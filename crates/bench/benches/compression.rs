@@ -1,0 +1,43 @@
+//! Criterion benches for the ΔCompress pipeline (offline cost, §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dz_compress::obs::{compress_matrix, hessian_from_inputs, ObsConfig};
+use dz_compress::quant::QuantSpec;
+use dz_tensor::{Matrix, Rng};
+
+fn bench_obs_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_solver");
+    for &d in &[64usize, 128, 256] {
+        let mut rng = Rng::seeded(d as u64);
+        let w = Matrix::randn(d, d, 0.02, &mut rng);
+        let x = Matrix::randn(2 * d, d, 1.0, &mut rng);
+        let h = hessian_from_inputs(&[&x]);
+        let cfg = ObsConfig {
+            spec: QuantSpec::new(4, 16),
+            sparse24: true,
+            damp: 0.05,
+        };
+        group.bench_with_input(BenchmarkId::new("sparse24_4bit", d), &d, |b, _| {
+            b.iter(|| compress_matrix(&w, &h, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hessian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hessian");
+    for &d in &[64usize, 256] {
+        let mut rng = Rng::seeded(d as u64);
+        let xs: Vec<Matrix> = (0..8).map(|_| Matrix::randn(24, d, 1.0, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("accumulate", d), &d, |b, _| {
+            b.iter(|| {
+                let refs: Vec<&Matrix> = xs.iter().collect();
+                hessian_from_inputs(&refs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_solver, bench_hessian);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the GDeflate-substitute codec (Step 4 trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dz_tensor::Rng;
+
+fn packed_delta_like(n: usize, seed: u64) -> Vec<u8> {
+    // Quantized deltas are low-entropy integer streams with runs of zero
+    // levels; synthesize the same flavor of data.
+    let mut rng = Rng::seeded(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.bernoulli(0.6) {
+            let run = 1 + rng.below(24);
+            for _ in 0..run.min(n - out.len()) {
+                out.push(0);
+            }
+        } else {
+            out.push(rng.below(256) as u8);
+        }
+    }
+    out
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossless");
+    for &n in &[64usize * 1024, 512 * 1024] {
+        let data = packed_delta_like(n, 7);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("compress", n), &data, |b, d| {
+            b.iter(|| dz_lossless::compress(d))
+        });
+        let compressed = dz_lossless::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", n), &compressed, |b, d| {
+            b.iter(|| dz_lossless::decompress(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

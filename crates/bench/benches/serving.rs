@@ -1,0 +1,37 @@
+//! Criterion benches for the serving simulator itself (events/second of the
+//! discrete-event replay; keeps the figure sweeps honest about sim cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_serve::{CostModel, DeltaZipConfig, DeltaZipEngine, Engine, VllmScbConfig, VllmScbEngine};
+use dz_workload::{PopularityDist, Trace, TraceSpec};
+
+fn trace(rate: f64) -> Trace {
+    Trace::generate(TraceSpec {
+        n_models: 16,
+        arrival_rate: rate,
+        duration_s: 60.0,
+        popularity: PopularityDist::Zipf { alpha: 1.5 },
+        seed: 42,
+    })
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    let cost = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
+    for rate in [0.5f64, 2.0] {
+        let tr = trace(rate);
+        group.bench_with_input(BenchmarkId::new("deltazip", rate), &tr, |b, tr| {
+            b.iter(|| DeltaZipEngine::new(cost, DeltaZipConfig::default()).run(tr))
+        });
+        group.bench_with_input(BenchmarkId::new("vllm_scb", rate), &tr, |b, tr| {
+            b.iter(|| VllmScbEngine::new(cost, VllmScbConfig::default()).run(tr))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

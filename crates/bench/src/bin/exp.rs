@@ -1,0 +1,107 @@
+//! The experiment runner: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp [--quick] all            # every artifact, archived to target/experiments/
+//! exp [--quick] <id> [<id>..]  # e.g. exp table1 fig11
+//! exp --list                   # show available ids
+//! ```
+
+use dz_bench::experiments::{
+    ablations, extensions, kernels, quality, serving, workloads, Report, Scale,
+};
+use std::io::Write;
+
+fn available() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "table1", "table2", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "ablation-scheduler", "ablation-sbmm", "ablation-reconstruct", "tuning-n",
+        "ext-peft", "ablation-resume", "ablation-length-aware", "ablation-slo",
+        "ablation-dynamic-n", "ext-scalability",
+    ]
+}
+
+fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
+    Some(match id {
+        "fig1" => workloads::fig1(),
+        "fig2" => quality::fig2(zoo),
+        "fig3" => quality::fig3(zoo),
+        "fig5" => quality::fig5(zoo),
+        "fig6" => kernels::fig6(),
+        "fig7" => kernels::fig7(),
+        "table1" => quality::table1(zoo),
+        "table2" => quality::table2(zoo),
+        "fig10" => serving::fig10(),
+        "fig11" => serving::fig11(),
+        "fig12" => serving::fig12(),
+        "fig13" => serving::fig13(),
+        "fig14" => serving::fig14(),
+        "fig15" => serving::fig15(),
+        "fig16" => serving::fig16(),
+        "fig17" => kernels::fig17(),
+        "fig18" => serving::fig18(),
+        "fig19" => serving::fig19(),
+        "ablation-scheduler" => ablations::ablation_scheduler(),
+        "ablation-sbmm" => ablations::ablation_sbmm(),
+        "ablation-reconstruct" => ablations::ablation_reconstruct(zoo),
+        "tuning-n" => ablations::tuning_demo(),
+        "ext-peft" => extensions::ext_peft(zoo, scale),
+        "ablation-resume" => extensions::ablation_resume(),
+        "ablation-length-aware" => extensions::ablation_length_aware(),
+        "ablation-slo" => extensions::ablation_slo(),
+        "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
+        "ext-scalability" => extensions::ext_scalability(),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in available() {
+            println!("{id}");
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() {
+        eprintln!("usage: exp [--quick] (all | <id>...); see --list");
+        std::process::exit(2);
+    }
+    let targets: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        available()
+    } else {
+        let known = available();
+        for id in &ids {
+            if !known.contains(&id.as_str()) {
+                eprintln!("unknown experiment id: {id} (see --list)");
+                std::process::exit(2);
+            }
+        }
+        known.into_iter().filter(|k| ids.iter().any(|i| i == k)).collect()
+    };
+
+    let out_dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let mut zoo = quality::Zoo::new(scale);
+    let mut combined = String::new();
+    for id in targets {
+        let start = std::time::Instant::now();
+        let report = run_one(id, &mut zoo, scale).expect("id validated above");
+        let rendered = report.render();
+        println!("{rendered}");
+        println!("[{} done in {:.1?}]\n", report.id, start.elapsed());
+        combined.push_str(&rendered);
+        combined.push('\n');
+        let path = out_dir.join(format!("{}.md", report.id));
+        let mut f = std::fs::File::create(&path).expect("create report file");
+        f.write_all(rendered.as_bytes()).expect("write report");
+    }
+    let mut f =
+        std::fs::File::create(out_dir.join("all.md")).expect("create combined report");
+    f.write_all(combined.as_bytes()).expect("write combined report");
+}

@@ -1,0 +1,172 @@
+//! Kernel-level figures: 6 (matmul formats), 7 (batched-matmul breakdown),
+//! 17 (SBMM scaling in the number of models).
+
+use super::{md_table, Report};
+use dz_gpusim::kernel::{normalized_achieved_flops, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
+use dz_gpusim::spec::A800;
+
+const INT1: WeightFormat = WeightFormat::Int { bits: 1, sparse24: false };
+const INT2: WeightFormat = WeightFormat::Int { bits: 2, sparse24: false };
+const INT4: WeightFormat = WeightFormat::Int { bits: 4, sparse24: false };
+const INT4_SPARSE: WeightFormat = WeightFormat::Int { bits: 4, sparse24: true };
+
+/// Figure 6: normalized achieved FLOPs vs input size per weight format.
+pub fn fig6() -> Report {
+    let k = 4096;
+    let n = 4096;
+    let formats: [(&str, WeightFormat); 5] = [
+        ("Sparse Int4 x FP16 (Ours)", INT4_SPARSE),
+        ("FP16 x FP16", WeightFormat::Fp16),
+        ("Int1 x FP16", INT1),
+        ("Int2 x FP16", INT2),
+        ("Int4 x FP16", INT4),
+    ];
+    let mut rows = Vec::new();
+    for exp in 0..=12u32 {
+        let m = 1usize << exp;
+        let mut row = vec![format!("2^{exp}")];
+        for (_, fmt) in &formats {
+            let norm = normalized_achieved_flops(&A800, &MatmulDesc { m, k, n, format: *fmt });
+            row.push(format!("{norm:.3}"));
+        }
+        rows.push(row);
+    }
+    let header: Vec<&str> = std::iter::once("input size")
+        .chain(formats.iter().map(|(n, _)| *n))
+        .collect();
+    let mut body = md_table(&header, &rows);
+    let peak_sparse = normalized_achieved_flops(
+        &A800,
+        &MatmulDesc { m: 4096, k, n, format: INT4_SPARSE },
+    );
+    let peak_dense = normalized_achieved_flops(
+        &A800,
+        &MatmulDesc { m: 4096, k, n, format: WeightFormat::Fp16 },
+    );
+    body.push_str(&format!(
+        "\nSparse Int4 speedup over peak dense FP16 at large input: {:.2}x (paper: 1.6x)\n",
+        peak_sparse / peak_dense
+    ));
+    Report {
+        id: "fig6",
+        title: "(Compressed) matrix multiplication performance",
+        body,
+    }
+}
+
+/// Figure 7: batched matmul execution time by implementation.
+pub fn fig7() -> Report {
+    let mut rows = Vec::new();
+    for &(dim, label) in &[(2048usize, "2048x2048"), (4096, "4096x4096")] {
+        for &n_models in &[16usize, 64] {
+            let reqs = vec![1usize; n_models];
+            let ms = |s| sbmm_time(&A800, &reqs, dim, dim, INT4_SPARSE, s) * 1e3;
+            let fp16_loop =
+                sbmm_time(&A800, &reqs, dim, dim, WeightFormat::Fp16, BatchedImpl::Fp16ForLoop) * 1e3;
+            let fp16_bmm =
+                sbmm_time(&A800, &reqs, dim, dim, WeightFormat::Fp16, BatchedImpl::Fp16Bmm) * 1e3;
+            rows.push(vec![
+                label.to_string(),
+                n_models.to_string(),
+                format!("{fp16_loop:.3}"),
+                format!("{fp16_bmm:.3}"),
+                format!("{:.3}", ms(BatchedImpl::NaiveForLoop)),
+                format!("{:.3}", ms(BatchedImpl::SbmmPlus)),
+            ]);
+        }
+    }
+    Report {
+        id: "fig7",
+        title: "Batched matrix multiplication breakdown (ms)",
+        body: md_table(
+            &["matrix", "models", "FP16 for-loop", "FP16 bmm", "Naive for-loop", "SBMM"],
+            &rows,
+        ),
+    }
+}
+
+/// Figure 17: SBMM kernel latency vs number of models at fixed requests.
+pub fn fig17() -> Report {
+    let total_reqs = 128usize;
+    let dim = 2048usize;
+    let mut body = String::new();
+    for (dist_name, skewed) in [("Uniform", false), ("Zipf-1.5", true)] {
+        let mut rows = Vec::new();
+        for &n_models in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let reqs: Vec<usize> = if skewed {
+                // Zipf-1.5 split of the fixed request budget.
+                let weights: Vec<f64> =
+                    (0..n_models).map(|i| 1.0 / ((i + 1) as f64).powf(1.5)).collect();
+                let total_w: f64 = weights.iter().sum();
+                let mut alloc: Vec<usize> = weights
+                    .iter()
+                    .map(|w| ((w / total_w) * total_reqs as f64).round() as usize)
+                    .collect();
+                // Give remainder to the head model.
+                let assigned: usize = alloc.iter().sum();
+                alloc[0] += total_reqs.saturating_sub(assigned);
+                alloc
+            } else {
+                vec![total_reqs / n_models; n_models]
+            };
+            let ms = |fmt, s| sbmm_time(&A800, &reqs, dim, dim, fmt, s) * 1e3;
+            rows.push(vec![
+                n_models.to_string(),
+                format!("{:.3}", ms(WeightFormat::Fp16, BatchedImpl::Fp16ForLoop)),
+                format!("{:.3}", ms(INT4_SPARSE, BatchedImpl::NaiveForLoop)),
+                format!("{:.3}", ms(INT4_SPARSE, BatchedImpl::Sbmm)),
+                format!("{:.3}", ms(INT4_SPARSE, BatchedImpl::SbmmPlus)),
+            ]);
+        }
+        body.push_str(&format!("\n### {dist_name}\n\n"));
+        body.push_str(&md_table(
+            &["models", "FP16", "For-Loop", "Ours", "Ours+"],
+            &rows,
+        ));
+    }
+    Report {
+        id: "fig17",
+        title: "SBMM kernel latency vs number of models, fixed 128 requests (ms)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_report_contains_speedup_claim() {
+        let r = fig6();
+        assert!(r.body.contains("speedup over peak dense"));
+        assert_eq!(r.body.lines().filter(|l| l.starts_with("| 2^")).count(), 13);
+    }
+
+    #[test]
+    fn fig7_sbmm_column_is_fastest() {
+        let r = fig7();
+        for line in r.body.lines().filter(|l| l.starts_with("| 2048") || l.starts_with("| 4096")) {
+            let cells: Vec<f64> = line
+                .split('|')
+                .filter_map(|c| c.trim().parse::<f64>().ok())
+                .collect();
+            // cells = [models, fp16loop, bmm, naive, sbmm]
+            let sbmm = cells[4];
+            assert!(sbmm <= cells[1] && sbmm <= cells[2] && sbmm <= cells[3], "{line}");
+        }
+    }
+
+    #[test]
+    fn fig17_ours_plus_scales_gently() {
+        let r = fig17();
+        // In the uniform section, Ours+ at 128 models must stay well under
+        // For-Loop at 128 models.
+        let uniform: Vec<&str> = r.body.lines().filter(|l| l.starts_with("| 128 ")).collect();
+        let cells: Vec<f64> = uniform[0]
+            .split('|')
+            .filter_map(|c| c.trim().parse::<f64>().ok())
+            .collect();
+        let (for_loop, ours_plus) = (cells[2], cells[4]);
+        assert!(ours_plus * 1.5 < for_loop, "{uniform:?}");
+    }
+}

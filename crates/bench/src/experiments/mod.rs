@@ -1,0 +1,96 @@
+//! Experiment drivers regenerating every table and figure in the paper.
+//!
+//! Each `figN`/`tableN` function reproduces the corresponding artifact of
+//! the evaluation section and returns a text [`Report`] (printed by the
+//! `exp` binary and archived under `target/experiments/`). The experiment
+//! index lives in `DESIGN.md`; expected-vs-measured notes in
+//! `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod extensions;
+pub mod kernels;
+pub mod quality;
+pub mod serving;
+pub mod workloads;
+
+/// A rendered experiment artifact.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Stable id, e.g. `"table1"` or `"fig11"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Pre-rendered text body (markdown-ish).
+    pub body: String,
+}
+
+impl Report {
+    /// Renders with a header.
+    pub fn render(&self) -> String {
+        format!("## {} — {}\n\n{}\n", self.id, self.title, self.body)
+    }
+}
+
+/// Global experiment scale (quality experiments train real models; `Quick`
+/// divides step counts by 4 for smoke runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full runs, used for the committed EXPERIMENTS.md numbers.
+    Full,
+    /// 4x fewer training steps; shapes hold, absolute accuracy dips.
+    Quick,
+}
+
+impl Scale {
+    /// Scales a step count.
+    pub fn steps(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 4).max(50),
+        }
+    }
+}
+
+/// Formats a markdown table from a header and rows.
+pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_table_renders() {
+        let t = md_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn scale_quick_divides() {
+        assert_eq!(Scale::Quick.steps(1200), 300);
+        assert_eq!(Scale::Full.steps(1200), 1200);
+        assert_eq!(Scale::Quick.steps(100), 50);
+    }
+
+    #[test]
+    fn report_renders_with_header() {
+        let r = Report {
+            id: "figX",
+            title: "Test",
+            body: "body".into(),
+        };
+        assert!(r.render().starts_with("## figX — Test"));
+    }
+}

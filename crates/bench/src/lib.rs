@@ -1,0 +1,8 @@
+//! Experiment harness for the DeltaZip reproduction.
+//!
+//! `cargo run -p dz-bench --release --bin exp -- all` regenerates every
+//! table and figure of the paper's evaluation section; individual ids
+//! (`table1`, `fig11`, ...) run one artifact. Criterion benches under
+//! `benches/` measure the CPU reference kernels and codecs.
+
+pub mod experiments;

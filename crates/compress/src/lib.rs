@@ -1,0 +1,27 @@
+//! ΔCompress and friends: post-training compression of model deltas.
+//!
+//! This crate implements the paper's compression stack from scratch:
+//!
+//! * [`quant`] — symmetric group quantization grids (2/3/4/8 bit),
+//! * [`obs`] — the SparseGPT-style optimal-brain-surgeon solver: joint
+//!   2:4 structured pruning + quantization with inverse-Hessian error
+//!   propagation (Eq. 1 of the paper),
+//! * [`pack`] — hardware-style bit-packed storage for dense-quantized and
+//!   2:4-sparse matrices (values + 2-bit indices), with exact byte
+//!   accounting used for every compression-ratio figure,
+//! * [`calib`] — calibration-set activation capture and Hessian assembly,
+//! * [`pipeline`] — ΔCompress itself (Algorithm 1): per-layer delta
+//!   extraction, compression, weight reconstruction and activation
+//!   propagation, plus the optional lossless stage,
+//! * [`baselines`] — SparseGPT-direct and AWQ applied to the fine-tuned
+//!   weights, the paper's comparison points.
+
+pub mod baselines;
+pub mod calib;
+pub mod obs;
+pub mod pack;
+pub mod pipeline;
+pub mod quant;
+
+pub use pack::{CompressedMatrix, MatrixFormat};
+pub use pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};

@@ -1,0 +1,426 @@
+//! Bit-packed storage formats for compressed matrices.
+//!
+//! The formats mirror what the paper's GPU kernels consume (Figure 5):
+//!
+//! * **QuantDense** — every level packed at `bits` per value,
+//! * **QuantSparse24** — 2:4 structured sparsity: per group of 4 inputs only
+//!   the 2 kept levels are stored, plus one 2-bit in-group position index per
+//!   kept value (so a group costs `2*bits + 4` bits instead of `4*bits`).
+//!
+//! Matrices are stored output-major (`d_out` rows of `d_in` inputs), i.e.
+//! transposed relative to the model's `(d_in, d_out)` weights, so that 2:4
+//! groups are contiguous exactly like the hardware layout. Scales are
+//! per-(row, group) and counted as FP16 in all byte accounting.
+
+use crate::quant::{dequantize_value, QuantSpec};
+use dz_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Storage layout of a [`CompressedMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatrixFormat {
+    /// Dense quantized levels.
+    QuantDense,
+    /// 2:4 structured sparse quantized levels with position indices.
+    QuantSparse24,
+}
+
+/// A packed, quantized (optionally 2:4-sparse) matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedMatrix {
+    /// Input dimension (columns of each stored row).
+    pub d_in: usize,
+    /// Output dimension (number of stored rows).
+    pub d_out: usize,
+    /// Quantization grid.
+    pub spec: QuantSpec,
+    /// Storage layout.
+    pub format: MatrixFormat,
+    /// Packed biased levels, little-endian within each `u32`.
+    pub qweight: Vec<u32>,
+    /// 2-bit in-group position indices (4 per byte), sparse format only.
+    pub indices: Vec<u8>,
+    /// Per-(row, group) scales, row-major `(d_out, n_groups)`.
+    pub scales: Vec<f32>,
+}
+
+/// Packs a sequence of biased levels at `bits` per value into `u32` words.
+fn pack_levels(levels: impl Iterator<Item = u32>, bits: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    let mut filled = 0u32;
+    for v in levels {
+        debug_assert!(v < (1 << bits));
+        acc |= (v as u64) << filled;
+        filled += bits;
+        while filled >= 32 {
+            out.push((acc & 0xFFFF_FFFF) as u32);
+            acc >>= 32;
+            filled -= 32;
+        }
+    }
+    if filled > 0 {
+        out.push((acc & 0xFFFF_FFFF) as u32);
+    }
+    out
+}
+
+/// Reads the `i`-th `bits`-wide biased level from packed words.
+#[inline]
+fn read_level(packed: &[u32], i: usize, bits: u32) -> u32 {
+    let bit = i * bits as usize;
+    let word = bit / 32;
+    let off = (bit % 32) as u32;
+    let mask = (1u64 << bits) - 1;
+    let lo = (packed[word] as u64) >> off;
+    let v = if off + bits > 32 {
+        lo | ((packed[word + 1] as u64) << (32 - off))
+    } else {
+        lo
+    };
+    (v & mask) as u32
+}
+
+impl CompressedMatrix {
+    /// Builds a dense-quantized matrix from levels in output-major order.
+    ///
+    /// `levels[r * d_in + c]` is the signed level of input `c` of output row
+    /// `r`; `scales[r * n_groups + g]` its group scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn from_dense(
+        d_out: usize,
+        d_in: usize,
+        levels: &[i32],
+        scales: Vec<f32>,
+        spec: QuantSpec,
+    ) -> Self {
+        assert_eq!(levels.len(), d_out * d_in, "levels length mismatch");
+        let n_groups = d_in.div_ceil(spec.group_size);
+        assert_eq!(scales.len(), d_out * n_groups, "scales length mismatch");
+        let qmax = spec.qmax();
+        let packed = pack_levels(
+            levels.iter().map(|&q| {
+                debug_assert!(q.abs() <= qmax);
+                (q + qmax) as u32
+            }),
+            spec.bits,
+        );
+        CompressedMatrix {
+            d_in,
+            d_out,
+            spec,
+            format: MatrixFormat::QuantDense,
+            qweight: packed,
+            indices: Vec::new(),
+            scales,
+        }
+    }
+
+    /// Builds a 2:4-sparse matrix from full levels plus a keep-mask.
+    ///
+    /// The mask must keep exactly 2 of every 4 consecutive inputs in every
+    /// row. Kept levels are stored in order; each gets a 2-bit in-group
+    /// position index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_in % 4 != 0` or the mask violates the 2:4 constraint.
+    pub fn from_sparse24(
+        d_out: usize,
+        d_in: usize,
+        levels: &[i32],
+        mask: &[bool],
+        scales: Vec<f32>,
+        spec: QuantSpec,
+    ) -> Self {
+        assert_eq!(d_in % 4, 0, "2:4 needs d_in divisible by 4");
+        assert_eq!(levels.len(), d_out * d_in);
+        assert_eq!(mask.len(), d_out * d_in);
+        let n_groups = d_in.div_ceil(spec.group_size);
+        assert_eq!(scales.len(), d_out * n_groups, "scales length mismatch");
+        let qmax = spec.qmax();
+        let mut kept_levels = Vec::with_capacity(d_out * d_in / 2);
+        let mut idx_nibbles = Vec::with_capacity(d_out * d_in / 2);
+        for r in 0..d_out {
+            for g4 in 0..d_in / 4 {
+                let base = r * d_in + g4 * 4;
+                let kept: Vec<usize> = (0..4).filter(|&k| mask[base + k]).collect();
+                assert_eq!(
+                    kept.len(),
+                    2,
+                    "row {r} group {g4}: mask must keep exactly 2 of 4"
+                );
+                for &k in &kept {
+                    kept_levels.push((levels[base + k] + qmax) as u32);
+                    idx_nibbles.push(k as u8);
+                }
+            }
+        }
+        let qweight = pack_levels(kept_levels.into_iter(), spec.bits);
+        // Pack 2-bit indices, 4 per byte.
+        let mut indices = vec![0u8; idx_nibbles.len().div_ceil(4)];
+        for (i, &p) in idx_nibbles.iter().enumerate() {
+            indices[i / 4] |= p << ((i % 4) * 2);
+        }
+        CompressedMatrix {
+            d_in,
+            d_out,
+            spec,
+            format: MatrixFormat::QuantSparse24,
+            qweight,
+            indices,
+            scales,
+        }
+    }
+
+    /// Number of groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.d_in.div_ceil(self.spec.group_size)
+    }
+
+    /// Scale of input column `c` in output row `r`.
+    #[inline]
+    pub fn scale_at(&self, r: usize, c: usize) -> f32 {
+        self.scales[r * self.groups_per_row() + c / self.spec.group_size]
+    }
+
+    /// The signed level of `(row r, input c)`, resolving sparsity.
+    pub fn level_at(&self, r: usize, c: usize) -> i32 {
+        let qmax = self.spec.qmax();
+        match self.format {
+            MatrixFormat::QuantDense => {
+                read_level(&self.qweight, r * self.d_in + c, self.spec.bits) as i32 - qmax
+            }
+            MatrixFormat::QuantSparse24 => {
+                let g4 = c / 4;
+                let within = (c % 4) as u8;
+                let kept_base = (r * self.d_in) / 2 + g4 * 2;
+                for slot in 0..2 {
+                    let i = kept_base + slot;
+                    let pos = (self.indices[i / 4] >> ((i % 4) * 2)) & 0b11;
+                    if pos == within {
+                        return read_level(&self.qweight, i, self.spec.bits) as i32 - qmax;
+                    }
+                }
+                0
+            }
+        }
+    }
+
+    /// Dequantizes into the model's `(d_in, d_out)` weight orientation.
+    pub fn dequantize(&self) -> Matrix {
+        let mut w = Matrix::zeros(self.d_in, self.d_out);
+        for r in 0..self.d_out {
+            for c in 0..self.d_in {
+                let q = self.level_at(r, c);
+                if q != 0 {
+                    w.set(c, r, dequantize_value(q, self.scale_at(r, c)));
+                }
+            }
+        }
+        w
+    }
+
+    /// Exact storage footprint in bytes (scales counted as FP16).
+    pub fn packed_bytes(&self) -> usize {
+        let value_count = match self.format {
+            MatrixFormat::QuantDense => self.d_out * self.d_in,
+            MatrixFormat::QuantSparse24 => self.d_out * self.d_in / 2,
+        };
+        let value_bits = value_count * self.spec.bits as usize;
+        let index_bits = match self.format {
+            MatrixFormat::QuantDense => 0,
+            MatrixFormat::QuantSparse24 => value_count * 2,
+        };
+        let scale_bytes = self.scales.len() * 2;
+        value_bits.div_ceil(8) + index_bits.div_ceil(8) + scale_bytes
+    }
+
+    /// FP16 bytes of the uncompressed equivalent.
+    pub fn fp16_bytes(&self) -> usize {
+        self.d_in * self.d_out * 2
+    }
+
+    /// Serializes the packed payload (for the lossless stage / disk model).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.packed_bytes() + 16);
+        for w in &self.qweight {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.indices);
+        for s in &self.scales {
+            // Truncate to bf16-style 2-byte form for realistic entropy.
+            let bits = s.to_bits();
+            out.extend_from_slice(&((bits >> 16) as u16).to_le_bytes());
+        }
+        out
+    }
+
+    /// Fraction of stored levels that are exactly zero.
+    pub fn zero_level_fraction(&self) -> f64 {
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for r in 0..self.d_out {
+            for c in 0..self.d_in {
+                if self.level_at(r, c) == 0 {
+                    zeros += 1;
+                }
+                total += 1;
+            }
+        }
+        zeros as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_slice;
+    use dz_tensor::Rng;
+
+    fn dense_fixture(d_out: usize, d_in: usize, bits: u32, seed: u64) -> (Matrix, CompressedMatrix) {
+        let mut rng = Rng::seeded(seed);
+        let spec = QuantSpec::new(bits, 8);
+        let wt = Matrix::randn(d_out, d_in, 0.05, &mut rng); // Output-major.
+        let mut levels = Vec::new();
+        let mut scales = Vec::new();
+        for r in 0..d_out {
+            let (l, s) = quantize_slice(wt.row(r), spec);
+            levels.extend(l);
+            scales.extend(s);
+        }
+        let cm = CompressedMatrix::from_dense(d_out, d_in, &levels, scales, spec);
+        (wt, cm)
+    }
+
+    #[test]
+    fn dense_pack_unpack_round_trip() {
+        for bits in [2u32, 3, 4, 8] {
+            let (wt, cm) = dense_fixture(6, 16, bits, bits as u64);
+            let deq = cm.dequantize(); // (d_in, d_out)
+            assert_eq!(deq.shape(), (16, 6));
+            // Per-element error bounded by half a step of that group's scale.
+            for r in 0..6 {
+                for c in 0..16 {
+                    let err = (deq.get(c, r) - wt.get(r, c)).abs();
+                    let bound = cm.scale_at(r, c) * 0.5 + 1e-6;
+                    assert!(err <= bound, "bits={bits} err {err} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_round_trip_exactly() {
+        let (_, cm) = dense_fixture(4, 12, 4, 7);
+        // Reading every level back must stay within the grid.
+        for r in 0..4 {
+            for c in 0..12 {
+                let q = cm.level_at(r, c);
+                assert!(q.abs() <= cm.spec.qmax());
+            }
+        }
+    }
+
+    fn sparse_fixture(seed: u64, bits: u32) -> (Vec<i32>, Vec<bool>, CompressedMatrix) {
+        let mut rng = Rng::seeded(seed);
+        let (d_out, d_in) = (5, 16);
+        let spec = QuantSpec::new(bits, 8);
+        let qmax = spec.qmax();
+        let mut levels = vec![0i32; d_out * d_in];
+        let mut mask = vec![false; d_out * d_in];
+        for r in 0..d_out {
+            for g in 0..d_in / 4 {
+                // Keep two random distinct positions per group.
+                let first = rng.below(4);
+                let mut second = rng.below(4);
+                while second == first {
+                    second = rng.below(4);
+                }
+                for k in [first, second] {
+                    let i = r * d_in + g * 4 + k;
+                    mask[i] = true;
+                    levels[i] = rng.below((2 * qmax + 1) as usize) as i32 - qmax;
+                }
+            }
+        }
+        let scales = vec![0.1f32; d_out * 2];
+        let cm = CompressedMatrix::from_sparse24(d_out, d_in, &levels, &mask, scales, spec);
+        (levels, mask, cm)
+    }
+
+    #[test]
+    fn sparse_pack_unpack_round_trip() {
+        for bits in [2u32, 4] {
+            let (levels, mask, cm) = sparse_fixture(bits as u64 + 10, bits);
+            for r in 0..5 {
+                for c in 0..16 {
+                    let i = r * 16 + c;
+                    let expect = if mask[i] { levels[i] } else { 0 };
+                    assert_eq!(cm.level_at(r, c), expect, "bits={bits} r={r} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_dequantize_zeroes_pruned_positions() {
+        let (_, mask, cm) = sparse_fixture(3, 4);
+        let deq = cm.dequantize();
+        for r in 0..5 {
+            for c in 0..16 {
+                if !mask[r * 16 + c] {
+                    assert_eq!(deq.get(c, r), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bytes_match_paper_figure5_arithmetic() {
+        // 128 FP16 values = 256 bytes. 2:4 + 4-bit: 64 values * 4 bits = 32
+        // bytes + 64 indices * 2 bits = 16 bytes (plus scales).
+        let spec = QuantSpec::new(4, 128);
+        let levels = vec![1i32; 1 * 128];
+        let mask: Vec<bool> = (0..128).map(|i| i % 4 < 2).collect();
+        let cm = CompressedMatrix::from_sparse24(1, 128, &levels, &mask, vec![0.1], spec);
+        // 32 (values) + 16 (indices) + 2 (one fp16 scale) = 50 bytes.
+        assert_eq!(cm.packed_bytes(), 32 + 16 + 2);
+        assert_eq!(cm.fp16_bytes(), 256);
+        let ratio = cm.fp16_bytes() as f64 / cm.packed_bytes() as f64;
+        assert!((ratio - 5.12).abs() < 0.01, "ratio {ratio}");
+
+        // 2-bit variant: 16 + 16 + 2 = 34 bytes -> ~7.5x.
+        let spec2 = QuantSpec::new(2, 128);
+        let cm2 = CompressedMatrix::from_sparse24(1, 128, &vec![1i32; 128], &mask, vec![0.1], spec2);
+        assert_eq!(cm2.packed_bytes(), 16 + 16 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask must keep exactly 2 of 4")]
+    fn sparse_rejects_bad_mask() {
+        let spec = QuantSpec::new(4, 8);
+        let levels = vec![0i32; 8];
+        let mask = vec![true; 8]; // Keeps 4 of 4.
+        let _ = CompressedMatrix::from_sparse24(1, 8, &levels, &mask, vec![1.0], spec);
+    }
+
+    #[test]
+    fn to_bytes_length_tracks_packed_bytes() {
+        let (_, cm) = dense_fixture(7, 24, 4, 21);
+        let bytes = cm.to_bytes();
+        // Serialized form uses whole u32 words, so it can exceed the exact
+        // bit count, but never by more than 4 bytes per section.
+        assert!(bytes.len() >= cm.packed_bytes());
+        assert!(bytes.len() <= cm.packed_bytes() + 8);
+    }
+
+    #[test]
+    fn zero_fraction_reflects_sparsity() {
+        let (_, _, cm) = sparse_fixture(9, 4);
+        assert!(cm.zero_level_fraction() >= 0.5);
+    }
+}

@@ -1,0 +1,207 @@
+//! The Model Manager: bases, variants, adapters, lineage, metadata.
+
+use crate::DzError;
+use dz_compress::pipeline::CompressedDelta;
+use dz_model::lora::LoraAdapter;
+use dz_model::rosa::RosaAdapter;
+use dz_model::transformer::Params;
+
+/// Handle to a registered base model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaseId(pub usize);
+
+/// Handle to a registered variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VariantId(pub usize);
+
+/// What a variant physically is in the zoo.
+pub enum VariantArtifact {
+    /// A ΔCompressed full-model-tuning delta.
+    Delta(Box<CompressedDelta>),
+    /// A LoRA adapter.
+    Lora(Box<LoraAdapter>),
+    /// A RoSA adapter (low-rank + sparse, §8's PEFT extension).
+    Rosa(Box<RosaAdapter>),
+}
+
+impl VariantArtifact {
+    /// Bytes the artifact occupies when swapped (packed linears + FP16 rest
+    /// for deltas; FP16 pairs for adapters; pairs plus coordinate-format
+    /// non-zeros for RoSA).
+    pub fn swap_bytes(&self) -> usize {
+        match self {
+            VariantArtifact::Delta(d) => {
+                d.report.compressed_linear_bytes + d.report.uncompressed_rest_bytes
+            }
+            VariantArtifact::Lora(a) => a.fp16_bytes(),
+            VariantArtifact::Rosa(a) => a.serving_bytes(),
+        }
+    }
+}
+
+/// Metadata of one registered variant.
+pub struct VariantInfo {
+    /// Registered name (unique across the zoo).
+    pub name: String,
+    /// Lineage: the base the variant derives from.
+    pub base: BaseId,
+    /// The stored artifact.
+    pub artifact: VariantArtifact,
+}
+
+struct BaseEntry {
+    name: String,
+    params: Params,
+}
+
+/// Registry of bases and variants.
+#[derive(Default)]
+pub struct ModelManager {
+    bases: Vec<BaseEntry>,
+    variants: Vec<VariantInfo>,
+}
+
+impl ModelManager {
+    /// Registers a base model under a unique name.
+    pub fn add_base(&mut self, name: &str, params: Params) -> Result<BaseId, DzError> {
+        if self.bases.iter().any(|b| b.name == name) {
+            return Err(DzError::DuplicateName(name.to_string()));
+        }
+        self.bases.push(BaseEntry {
+            name: name.to_string(),
+            params,
+        });
+        Ok(BaseId(self.bases.len() - 1))
+    }
+
+    /// Registers a variant artifact under a unique name.
+    pub fn add_variant(
+        &mut self,
+        name: &str,
+        base: BaseId,
+        artifact: VariantArtifact,
+    ) -> Result<VariantId, DzError> {
+        if base.0 >= self.bases.len() {
+            return Err(DzError::UnknownBase);
+        }
+        if self.variants.iter().any(|v| v.name == name) {
+            return Err(DzError::DuplicateName(name.to_string()));
+        }
+        self.variants.push(VariantInfo {
+            name: name.to_string(),
+            base,
+            artifact,
+        });
+        Ok(VariantId(self.variants.len() - 1))
+    }
+
+    /// Base parameters, if the id is valid.
+    pub fn base_params(&self, id: BaseId) -> Option<&Params> {
+        self.bases.get(id.0).map(|b| &b.params)
+    }
+
+    /// Base name, if valid.
+    pub fn base_name(&self, id: BaseId) -> Option<&str> {
+        self.bases.get(id.0).map(|b| b.name.as_str())
+    }
+
+    /// Variant info, if valid.
+    pub fn variant(&self, id: VariantId) -> Option<&VariantInfo> {
+        self.variants.get(id.0)
+    }
+
+    /// Looks a variant up by name.
+    pub fn variant_by_name(&self, name: &str) -> Option<VariantId> {
+        self.variants
+            .iter()
+            .position(|v| v.name == name)
+            .map(VariantId)
+    }
+
+    /// All variants of a base (the "delta zoo" view).
+    pub fn variants_of(&self, base: BaseId) -> Vec<VariantId> {
+        self.variants
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.base == base)
+            .map(|(i, _)| VariantId(i))
+            .collect()
+    }
+
+    /// Number of registered bases.
+    pub fn n_bases(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Number of registered variants.
+    pub fn n_variants(&self) -> usize {
+        self.variants.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dz_model::transformer::test_config;
+    use dz_tensor::Rng;
+
+    fn params() -> Params {
+        Params::init(test_config(), &mut Rng::seeded(1))
+    }
+
+    #[test]
+    fn base_registration_and_lookup() {
+        let mut m = ModelManager::default();
+        let b = m.add_base("llama", params()).unwrap();
+        assert_eq!(m.base_name(b), Some("llama"));
+        assert!(m.base_params(b).is_some());
+        assert_eq!(m.n_bases(), 1);
+        assert!(m.base_params(BaseId(5)).is_none());
+    }
+
+    #[test]
+    fn variant_lineage() {
+        let mut m = ModelManager::default();
+        let b1 = m.add_base("llama", params()).unwrap();
+        let b2 = m.add_base("gemma", params()).unwrap();
+        let mut rng = Rng::seeded(2);
+        let adapter = dz_model::lora::LoraAdapter::init(
+            m.base_params(b1).unwrap(),
+            dz_model::lora::LoraConfig::rank(2),
+            &mut rng,
+        );
+        let v = m
+            .add_variant("vicuna-lora", b1, VariantArtifact::Lora(Box::new(adapter)))
+            .unwrap();
+        assert_eq!(m.variant(v).unwrap().base, b1);
+        assert_eq!(m.variants_of(b1), vec![v]);
+        assert!(m.variants_of(b2).is_empty());
+        assert_eq!(m.variant_by_name("vicuna-lora"), Some(v));
+        assert_eq!(m.variant_by_name("nope"), None);
+    }
+
+    #[test]
+    fn unknown_base_rejected() {
+        let mut m = ModelManager::default();
+        let mut rng = Rng::seeded(3);
+        let p = params();
+        let adapter =
+            dz_model::lora::LoraAdapter::init(&p, dz_model::lora::LoraConfig::rank(2), &mut rng);
+        assert_eq!(
+            m.add_variant("x", BaseId(0), VariantArtifact::Lora(Box::new(adapter)))
+                .err(),
+            Some(DzError::UnknownBase)
+        );
+    }
+
+    #[test]
+    fn swap_bytes_reflect_artifact_kind() {
+        let p = params();
+        let mut rng = Rng::seeded(4);
+        let adapter =
+            dz_model::lora::LoraAdapter::init(&p, dz_model::lora::LoraConfig::rank(2), &mut rng);
+        let lora_bytes = VariantArtifact::Lora(Box::new(adapter)).swap_bytes();
+        assert!(lora_bytes > 0);
+        assert!(lora_bytes < p.fp16_bytes());
+    }
+}

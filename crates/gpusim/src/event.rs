@@ -1,0 +1,168 @@
+//! A minimal discrete-event simulation core.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation timestamp in seconds.
+pub type SimTime = f64;
+
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; ties broken by insertion order so the
+        // simulation is deterministic.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("event time must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap event queue with a monotonic clock.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or in the past.
+    pub fn push(&mut self, at: SimTime, payload: T) {
+        assert!(!at.is_nan(), "event time must not be NaN");
+        assert!(
+            at >= self.now - 1e-12,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn push_after(&mut self, delay: SimTime, payload: T) {
+        let at = self.now + delay.max(0.0);
+        self.push(at, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now - 1e-9, "clock went backwards");
+            self.now = self.now.max(e.at);
+            (self.now, e.payload)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ());
+        q.push(7.0, ());
+        let (t1, _) = q.pop().unwrap();
+        let (t2, _) = q.pop().unwrap();
+        assert!(t2 >= t1);
+        assert_eq!(q.now(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(5.0, ());
+        let _ = q.pop();
+        q.push(1.0, ());
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "first");
+        let _ = q.pop();
+        q.push_after(3.0, "second");
+        let (t, _) = q.pop().unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+    }
+}

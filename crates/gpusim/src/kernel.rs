@@ -1,0 +1,374 @@
+//! Roofline kernel timing and batched-matmul strategy models.
+
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// On-GPU weight representation of a matmul operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightFormat {
+    /// Dense FP16 weights.
+    Fp16,
+    /// Quantized weights, optionally 2:4 sparse.
+    Int {
+        /// Bits per value (1, 2, 4, ...).
+        bits: u32,
+        /// 2:4 structured sparsity (halves stored values, adds 2-bit indices).
+        sparse24: bool,
+    },
+}
+
+impl WeightFormat {
+    /// Bytes needed to store a `k x n` weight matrix in this format.
+    pub fn weight_bytes(&self, k: usize, n: usize) -> f64 {
+        let vals = (k * n) as f64;
+        match *self {
+            WeightFormat::Fp16 => vals * 2.0,
+            WeightFormat::Int { bits, sparse24 } => {
+                if sparse24 {
+                    // Half the values at `bits`, plus 2-bit indices for each
+                    // kept value, plus ~1/16 scale overhead.
+                    vals / 2.0 * bits as f64 / 8.0 + vals / 2.0 * 2.0 / 8.0 + vals / 16.0 * 0.25
+                } else {
+                    vals * bits as f64 / 8.0 + vals / 16.0 * 0.25
+                }
+            }
+        }
+    }
+
+    /// Compute-ceiling multiplier relative to the dense FP16 peak.
+    pub fn compute_multiplier(&self, spec: &GpuSpec) -> f64 {
+        match *self {
+            WeightFormat::Fp16 => 1.0,
+            WeightFormat::Int { sparse24, .. } => {
+                if sparse24 {
+                    // Sparse tensor cores skip the pruned half.
+                    spec.sparse_speedup
+                } else {
+                    // Dequant-to-FP16 kernels top out at the dense peak.
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// One `m x k x n` matmul (activations `m x k`, weights `k x n`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatmulDesc {
+    /// Rows of activations (batch x tokens).
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output dimension.
+    pub n: usize,
+    /// Weight storage format.
+    pub format: WeightFormat,
+}
+
+impl MatmulDesc {
+    /// FLOPs of the dense-equivalent product.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Bytes moved: weights once, activations in and out.
+    pub fn bytes(&self) -> f64 {
+        self.format.weight_bytes(self.k, self.n)
+            + (self.m * self.k) as f64 * 2.0
+            + (self.m * self.n) as f64 * 2.0
+    }
+}
+
+/// Roofline execution time of one matmul, including launch overhead.
+pub fn matmul_time(spec: &GpuSpec, desc: &MatmulDesc) -> f64 {
+    let peak = spec.fp16_tflops * 1e12 * spec.efficiency * desc.format.compute_multiplier(spec);
+    let compute = desc.flops() / peak;
+    let memory = desc.bytes() / (spec.hbm_bw_gbps * 1e9);
+    compute.max(memory) + spec.kernel_launch_us * 1e-6
+}
+
+/// Achieved FLOP/s of one matmul normalized to the dense FP16 peak
+/// (the y-axis of Figure 6).
+pub fn normalized_achieved_flops(spec: &GpuSpec, desc: &MatmulDesc) -> f64 {
+    let t = matmul_time(spec, desc);
+    desc.flops() / t / (spec.fp16_tflops * 1e12)
+}
+
+/// Strategy for executing a batch of per-delta matmuls (Figures 7 and 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchedImpl {
+    /// Dense FP16 weights, one launch per delta.
+    Fp16ForLoop,
+    /// Dense FP16 via `torch.bmm`: weights first stacked into one tensor.
+    Fp16Bmm,
+    /// Low-precision kernel per request group, no reordering: scattered
+    /// reads inflate the memory traffic.
+    NaiveForLoop,
+    /// Request reordering only ("Ours" in Figure 17): per-delta launches
+    /// over contiguous inputs.
+    Sbmm,
+    /// Reordering + single dynamic-parallel launch ("Ours+"): launch cost
+    /// amortized to two kernels total.
+    SbmmPlus,
+}
+
+/// Penalty factor on memory traffic for scattered (unsorted) batches.
+const RANDOM_ACCESS_PENALTY: f64 = 2.0;
+
+/// Time to compute `y_i = x_i * Delta_{idx(i)}` for a batch.
+///
+/// `reqs_per_delta[d]` is the number of requests mapped to delta `d`
+/// (zeros allowed); each delta is `k x n` in `format`.
+pub fn sbmm_time(
+    spec: &GpuSpec,
+    reqs_per_delta: &[usize],
+    k: usize,
+    n: usize,
+    format: WeightFormat,
+    strategy: BatchedImpl,
+) -> f64 {
+    let launch = spec.kernel_launch_us * 1e-6;
+    let bw = spec.hbm_bw_gbps * 1e9;
+    let active: Vec<usize> = reqs_per_delta.iter().copied().filter(|&r| r > 0).collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    match strategy {
+        BatchedImpl::Fp16ForLoop => active
+            .iter()
+            .map(|&m| {
+                matmul_time(
+                    spec,
+                    &MatmulDesc {
+                        m,
+                        k,
+                        n,
+                        format: WeightFormat::Fp16,
+                    },
+                )
+            })
+            .sum(),
+        BatchedImpl::Fp16Bmm => {
+            // Stack weights (read + write through HBM), then one launch.
+            let stack_bytes = active.len() as f64 * WeightFormat::Fp16.weight_bytes(k, n) * 2.0;
+            let total_m: usize = active.iter().sum();
+            let mm = matmul_time(
+                spec,
+                &MatmulDesc {
+                    m: total_m,
+                    k,
+                    n,
+                    format: WeightFormat::Fp16,
+                },
+            );
+            stack_bytes / bw + mm
+        }
+        BatchedImpl::NaiveForLoop => active
+            .iter()
+            .map(|&m| {
+                let desc = MatmulDesc { m, k, n, format };
+                let peak = spec.fp16_tflops * 1e12 * spec.efficiency * format.compute_multiplier(spec);
+                let compute = desc.flops() / peak;
+                let memory = desc.bytes() * RANDOM_ACCESS_PENALTY / bw;
+                compute.max(memory) + launch
+            })
+            .sum(),
+        BatchedImpl::Sbmm => active
+            .iter()
+            .map(|&m| {
+                matmul_time(spec, &MatmulDesc { m, k, n, format })
+            })
+            .sum(),
+        BatchedImpl::SbmmPlus => {
+            // Two launches total (config kernel + fused blocked matmul);
+            // memory traffic still adds up across deltas, compute overlaps
+            // across SMs up to the bandwidth bound. The dispatcher falls
+            // back to plain per-group launches when those are cheaper
+            // (e.g. a single active delta does not need dynamic
+            // parallelism).
+            let total_bytes: f64 = active
+                .iter()
+                .map(|&m| MatmulDesc { m, k, n, format }.bytes())
+                .sum();
+            let total_flops: f64 = active
+                .iter()
+                .map(|&m| MatmulDesc { m, k, n, format }.flops())
+                .sum();
+            let peak = spec.fp16_tflops * 1e12 * spec.efficiency * format.compute_multiplier(spec);
+            let fused = (total_flops / peak).max(total_bytes / bw) + 2.0 * launch;
+            let per_group = sbmm_time(spec, reqs_per_delta, k, n, format, BatchedImpl::Sbmm);
+            fused.min(per_group)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::A800;
+
+    const INT4S: WeightFormat = WeightFormat::Int {
+        bits: 4,
+        sparse24: true,
+    };
+    const INT4: WeightFormat = WeightFormat::Int {
+        bits: 4,
+        sparse24: false,
+    };
+
+    #[test]
+    fn weight_bytes_orderings() {
+        let fp16 = WeightFormat::Fp16.weight_bytes(4096, 4096);
+        let int4 = INT4.weight_bytes(4096, 4096);
+        let int4s = INT4S.weight_bytes(4096, 4096);
+        assert!(int4 < fp16 / 3.5, "int4 {int4} vs fp16 {fp16}");
+        assert!(int4s < int4, "sparse should be smaller than dense int4");
+    }
+
+    #[test]
+    fn decode_is_memory_bound_prefill_compute_bound() {
+        let decode = MatmulDesc {
+            m: 4,
+            k: 4096,
+            n: 4096,
+            format: WeightFormat::Fp16,
+        };
+        let prefill = MatmulDesc {
+            m: 4096,
+            k: 4096,
+            n: 4096,
+            format: WeightFormat::Fp16,
+        };
+        let bw = A800.hbm_bw_gbps * 1e9;
+        let peak = A800.fp16_tflops * 1e12 * A800.efficiency;
+        assert!(decode.bytes() / bw > decode.flops() / peak, "decode should be memory bound");
+        assert!(prefill.flops() / peak > prefill.bytes() / bw, "prefill should be compute bound");
+    }
+
+    #[test]
+    fn figure6_shape_small_inputs_quant_wins_by_bytes() {
+        // At m in 1..4 every format is memory bound; normalized achieved
+        // flops ranks by bytes moved: sparse-int4 < int4 < fp16 bytes, so
+        // sparse-int4 achieves the most.
+        for m in [1usize, 2, 4] {
+            let f = |fmt| {
+                normalized_achieved_flops(
+                    &A800,
+                    &MatmulDesc {
+                        m,
+                        k: 4096,
+                        n: 4096,
+                        format: fmt,
+                    },
+                )
+            };
+            assert!(f(INT4S) > f(INT4), "m={m}");
+            assert!(f(INT4) > f(WeightFormat::Fp16), "m={m}");
+        }
+    }
+
+    #[test]
+    fn figure6_shape_large_inputs_sparse_exceeds_dense_peak() {
+        let big = MatmulDesc {
+            m: 4096,
+            k: 4096,
+            n: 4096,
+            format: INT4S,
+        };
+        let norm = normalized_achieved_flops(&A800, &big);
+        // Sparse tensor cores push past the dense peak (paper: ~1.6x, times
+        // the efficiency factor).
+        assert!(norm > 1.0, "normalized {norm}");
+        let dense = MatmulDesc {
+            m: 4096,
+            k: 4096,
+            n: 4096,
+            format: WeightFormat::Fp16,
+        };
+        let dn = normalized_achieved_flops(&A800, &dense);
+        assert!(norm > dn * 1.3, "sparse {norm} vs dense {dn}");
+        // Dense int4 converges to dense fp16 at large m (same mma ceiling).
+        let di = normalized_achieved_flops(
+            &A800,
+            &MatmulDesc {
+                m: 4096,
+                k: 4096,
+                n: 4096,
+                format: INT4,
+            },
+        );
+        assert!((di - dn).abs() / dn < 0.2, "int4 {di} vs fp16 {dn}");
+    }
+
+    #[test]
+    fn figure7_shape_sbmm_beats_loops_and_bmm() {
+        for n_models in [16usize, 64] {
+            let reqs = vec![1usize; n_models];
+            let t = |s| sbmm_time(&A800, &reqs, 4096, 4096, INT4S, s);
+            let fp16_loop = t(BatchedImpl::Fp16ForLoop);
+            let bmm = t(BatchedImpl::Fp16Bmm);
+            let naive = t(BatchedImpl::NaiveForLoop);
+            let ours = t(BatchedImpl::Sbmm);
+            let ours_plus = t(BatchedImpl::SbmmPlus);
+            assert!(ours < naive, "n={n_models}: reorder must help");
+            assert!(ours_plus < ours, "n={n_models}: fused launch must help");
+            assert!(ours_plus < fp16_loop, "n={n_models}");
+            assert!(ours_plus < bmm, "n={n_models}");
+        }
+    }
+
+    #[test]
+    fn sbmm_scales_gently_with_model_count_at_fixed_requests() {
+        // Figure 17: with total requests fixed, Ours+ grows slowly in the
+        // number of distinct models.
+        let total_reqs = 64usize;
+        let t_few = sbmm_time(
+            &A800,
+            &vec![total_reqs / 4; 4],
+            2048,
+            2048,
+            INT4S,
+            BatchedImpl::SbmmPlus,
+        );
+        let t_many = sbmm_time(
+            &A800,
+            &vec![1; total_reqs],
+            2048,
+            2048,
+            INT4S,
+            BatchedImpl::SbmmPlus,
+        );
+        // More distinct models touch more weight bytes, so some growth is
+        // expected, but far less than the naive loop's.
+        let naive_many = sbmm_time(
+            &A800,
+            &vec![1; total_reqs],
+            2048,
+            2048,
+            INT4S,
+            BatchedImpl::NaiveForLoop,
+        );
+        assert!(t_many < naive_many / 1.5);
+        assert!(t_many > t_few);
+    }
+
+    #[test]
+    fn empty_batch_costs_nothing() {
+        assert_eq!(
+            sbmm_time(&A800, &[0, 0], 1024, 1024, INT4S, BatchedImpl::Sbmm),
+            0.0
+        );
+    }
+
+    #[test]
+    fn launch_overhead_visible_at_tiny_work() {
+        let tiny = MatmulDesc {
+            m: 1,
+            k: 64,
+            n: 64,
+            format: WeightFormat::Fp16,
+        };
+        let t = matmul_time(&A800, &tiny);
+        assert!(t >= A800.kernel_launch_us * 1e-6);
+    }
+}

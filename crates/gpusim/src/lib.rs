@@ -1,0 +1,31 @@
+//! A discrete-event GPU cluster performance model.
+//!
+//! No GPUs exist in this environment, so serving performance (Figures 6-19
+//! of the paper) is reproduced on an analytical model with the standard
+//! first-order structure:
+//!
+//! * **roofline kernels** — a matmul costs
+//!   `max(flops / peak, bytes / bandwidth) + launch overhead`; decode steps
+//!   are memory-bound (weight bytes dominate), prefill is compute-bound,
+//! * **sparse tensor cores** — 2:4 kernels get a higher compute ceiling at
+//!   large inputs (the paper measures ~1.6x over dense FP16 peak),
+//! * **batched-matmul strategies** — per-request loops pay per-launch
+//!   overhead and scattered access; SBMM pays two launches total,
+//! * **transfers** — disk -> host -> device with per-hop bandwidth and
+//!   latency (NVMe vs NFS vs PCIe), optionally through the lossless codec,
+//! * **collectives** — ring all-reduce for tensor parallelism.
+//!
+//! The absolute constants are calibrated to public datasheets (A800 / A100,
+//! RTX 3090); every experiment uses *relative* comparisons, which is what
+//! the paper's claims are about.
+
+pub mod event;
+pub mod kernel;
+pub mod shapes;
+pub mod spec;
+pub mod xfer;
+
+pub use event::EventQueue;
+pub use kernel::{matmul_time, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
+pub use shapes::ModelShape;
+pub use spec::{GpuSpec, NodeSpec, StorageKind};

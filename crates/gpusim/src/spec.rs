@@ -1,0 +1,167 @@
+//! Hardware specifications (datasheet-calibrated).
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU SKU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Dense FP16 tensor-core peak, TFLOP/s.
+    pub fp16_tflops: f64,
+    /// Achievable speedup of 2:4 sparse tensor cores over the dense peak
+    /// at large input sizes (the paper measures ~1.6x end to end).
+    pub sparse_speedup: f64,
+    /// HBM capacity, GiB.
+    pub hbm_gb: f64,
+    /// HBM bandwidth, GB/s.
+    pub hbm_bw_gbps: f64,
+    /// Host-to-device bandwidth, GB/s (PCIe).
+    pub pcie_gbps: f64,
+    /// Kernel launch overhead, microseconds.
+    pub kernel_launch_us: f64,
+    /// Fraction of peak a well-tuned kernel actually achieves.
+    pub efficiency: f64,
+}
+
+/// NVIDIA A800 (A100-class; the paper's main testbed, 4 per node).
+pub const A800: GpuSpec = GpuSpec {
+    name: "A800-80G",
+    fp16_tflops: 312.0,
+    sparse_speedup: 1.6,
+    hbm_gb: 80.0,
+    hbm_bw_gbps: 2039.0,
+    pcie_gbps: 25.0,
+    kernel_launch_us: 6.0,
+    efficiency: 0.8,
+};
+
+/// NVIDIA RTX 3090 (the paper's microbenchmark GPU).
+pub const RTX3090: GpuSpec = GpuSpec {
+    name: "RTX-3090",
+    fp16_tflops: 71.0,
+    sparse_speedup: 1.6,
+    hbm_gb: 24.0,
+    hbm_bw_gbps: 936.0,
+    pcie_gbps: 16.0,
+    kernel_launch_us: 6.0,
+    efficiency: 0.75,
+};
+
+/// Where model state lives before it is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Local NVMe (the paper's all-NVMe parallel FS).
+    Nvme,
+    /// Network file system over a 50 Gbps RoCE link.
+    Nfs,
+}
+
+impl StorageKind {
+    /// Sequential read bandwidth, GB/s.
+    pub fn read_gbps(self) -> f64 {
+        match self {
+            StorageKind::Nvme => 6.0,
+            StorageKind::Nfs => 5.0, // ~50 Gbps network, shared.
+        }
+    }
+
+    /// First-byte latency, seconds.
+    pub fn latency_s(self) -> f64 {
+        match self {
+            StorageKind::Nvme => 100e-6,
+            StorageKind::Nfs => 1e-3,
+        }
+    }
+}
+
+/// A serving node: homogeneous GPUs plus interconnect and storage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeSpec {
+    /// GPU SKU.
+    pub gpu: GpuSpec,
+    /// GPUs in the tensor-parallel group.
+    pub n_gpus: usize,
+    /// GPU-to-GPU link bandwidth, GB/s (NVLink on A800, PCIe on 3090).
+    pub link_gbps: f64,
+    /// Per-hop link latency, seconds.
+    pub link_latency_s: f64,
+    /// Storage tier for cold model state.
+    pub storage: StorageKind,
+    /// Host DRAM capacity, GiB (CPU cache tier for deltas).
+    pub host_mem_gb: f64,
+}
+
+impl NodeSpec {
+    /// The paper's main testbed: 4 x A800 with NVLink and NVMe.
+    pub fn a800_node(n_gpus: usize) -> Self {
+        NodeSpec {
+            gpu: A800,
+            n_gpus,
+            link_gbps: 200.0, // A800 NVLink (reduced vs A100's 300).
+            link_latency_s: 5e-6,
+            storage: StorageKind::Nvme,
+            host_mem_gb: 2048.0,
+        }
+    }
+
+    /// The microbenchmark box: RTX 3090s over PCIe.
+    pub fn rtx3090_node(n_gpus: usize) -> Self {
+        NodeSpec {
+            gpu: RTX3090,
+            n_gpus,
+            link_gbps: 16.0,
+            link_latency_s: 10e-6,
+            storage: StorageKind::Nvme,
+            host_mem_gb: 256.0,
+        }
+    }
+
+    /// Ring all-reduce time for `bytes` across the TP group.
+    pub fn allreduce_s(&self, bytes: f64) -> f64 {
+        if self.n_gpus <= 1 {
+            return 0.0;
+        }
+        let n = self.n_gpus as f64;
+        // 2(n-1)/n of the data crosses each link, 2(n-1) latency hops.
+        2.0 * (n - 1.0) / n * bytes / (self.link_gbps * 1e9)
+            + 2.0 * (n - 1.0) * self.link_latency_s
+    }
+
+    /// Aggregate HBM capacity in bytes.
+    pub fn total_hbm_bytes(&self) -> f64 {
+        self.gpu.hbm_gb * 1e9 * self.n_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_orderings_hold() {
+        assert!(A800.fp16_tflops > RTX3090.fp16_tflops);
+        assert!(A800.hbm_bw_gbps > RTX3090.hbm_bw_gbps);
+        assert!(A800.hbm_gb > RTX3090.hbm_gb);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_and_links() {
+        let node = NodeSpec::a800_node(4);
+        let t1 = node.allreduce_s(1e6);
+        let t2 = node.allreduce_s(1e8);
+        assert!(t2 > t1);
+        // Single GPU needs no collective.
+        assert_eq!(NodeSpec::a800_node(1).allreduce_s(1e9), 0.0);
+        // NVLink beats PCIe for the same payload.
+        let pcie = NodeSpec::rtx3090_node(4).allreduce_s(1e8);
+        let nvlink = node.allreduce_s(1e8);
+        assert!(nvlink < pcie);
+    }
+
+    #[test]
+    fn storage_tiers_are_ordered() {
+        assert!(StorageKind::Nvme.read_gbps() >= StorageKind::Nfs.read_gbps());
+        assert!(StorageKind::Nvme.latency_s() < StorageKind::Nfs.latency_s());
+    }
+}

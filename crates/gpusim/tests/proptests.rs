@@ -1,0 +1,48 @@
+//! Property-based tests of the performance model's monotonicity and the
+//! event queue's ordering guarantees.
+
+use dz_gpusim::kernel::{matmul_time, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
+use dz_gpusim::spec::A800;
+use dz_gpusim::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn matmul_time_monotone_in_m(k in 64usize..2048, n in 64usize..2048, m in 1usize..512) {
+        let t1 = matmul_time(&A800, &MatmulDesc { m, k, n, format: WeightFormat::Fp16 });
+        let t2 = matmul_time(&A800, &MatmulDesc { m: m * 2, k, n, format: WeightFormat::Fp16 });
+        prop_assert!(t2 >= t1 - 1e-12);
+    }
+
+    #[test]
+    fn sparse_weights_never_move_more_bytes(k in 64usize..4096, n in 64usize..4096, bits in 2u32..8) {
+        let dense = WeightFormat::Int { bits, sparse24: false }.weight_bytes(k, n);
+        let sparse = WeightFormat::Int { bits, sparse24: true }.weight_bytes(k, n);
+        prop_assert!(sparse < dense + 1.0);
+        prop_assert!(WeightFormat::Fp16.weight_bytes(k, n) > dense);
+    }
+
+    #[test]
+    fn sbmm_plus_never_slower_than_naive(reqs in proptest::collection::vec(0usize..8, 1..32)) {
+        let fmt = WeightFormat::Int { bits: 4, sparse24: true };
+        let plus = sbmm_time(&A800, &reqs, 1024, 1024, fmt, BatchedImpl::SbmmPlus);
+        let naive = sbmm_time(&A800, &reqs, 1024, 1024, fmt, BatchedImpl::NaiveForLoop);
+        prop_assert!(plus <= naive + 1e-12, "plus {plus} naive {naive}");
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut prev = -1.0f64;
+        let mut count = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! CPU reference kernels over DeltaZip's packed delta formats.
+//!
+//! The paper's serving engine relies on three GPU kernels: a plain FP16
+//! GEMM for the shared base model, a fused dequantize-GEMM for dense
+//! quantized deltas, and a 2:4-sparse variant of it. On top of those sits
+//! SBMM — *Selective Batched Matrix Multiplication* — which groups the
+//! requests of a batch by their delta and runs one grouped multiply per
+//! delta instead of one kernel launch per request.
+//!
+//! This crate provides bit-exact CPU implementations of each kernel. They
+//! serve two purposes: (1) they make the decoupled serving path *actually
+//! executable* (the examples generate text through base + packed delta),
+//! and (2) they pin down the numerics that the `dz-gpusim` performance
+//! model assigns costs to. Criterion benches over these kernels back the
+//! CPU-side sanity check of Figure 6/7 shapes.
+//!
+//! The adapter side (Punica-style SGMV, extended with RoSA's sparse
+//! component per §8) lives in [`sgmv`], with [`sgmv::AdapterBatch`] as the
+//! adapter counterpart of [`decoupled::DecoupledBatch`].
+
+pub mod decoupled;
+pub mod qgemm;
+pub(crate) mod runner;
+pub mod sbmm;
+pub mod sgmv;
+
+pub use qgemm::{dense_gemm, quant_gemm};
+pub use sbmm::{sbmm_grouped, sbmm_naive};
+pub use sgmv::{sgmv_grouped, AdapterBatch, AdapterView};

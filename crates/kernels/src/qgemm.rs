@@ -1,0 +1,157 @@
+//! Dense and fused-dequantize GEMM kernels.
+//!
+//! `quant_gemm` computes `y = x * W` directly from the packed
+//! representation, decoding each output row's levels on the fly — the CPU
+//! analog of a fused dequantization GEMM. For the 2:4 sparse format it only
+//! touches the kept values, the same work-skipping sparse tensor cores do.
+
+use dz_compress::pack::{CompressedMatrix, MatrixFormat};
+use dz_tensor::Matrix;
+
+/// Plain dense GEMM (the base-model path); thin alias over the tensor crate.
+pub fn dense_gemm(x: &Matrix, w: &Matrix) -> Matrix {
+    x.matmul(w)
+}
+
+/// Fused dequantize-GEMM: `y = x * dequant(cm)` without materializing the
+/// dense weight matrix.
+///
+/// `x` is `(batch, d_in)`, the result `(batch, d_out)`.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != cm.d_in`.
+pub fn quant_gemm(x: &Matrix, cm: &CompressedMatrix) -> Matrix {
+    assert_eq!(x.cols(), cm.d_in, "input width mismatch");
+    let b = x.rows();
+    let mut y = Matrix::zeros(b, cm.d_out);
+    match cm.format {
+        MatrixFormat::QuantDense => quant_gemm_dense(x, cm, &mut y),
+        MatrixFormat::QuantSparse24 => quant_gemm_sparse(x, cm, &mut y),
+    }
+    y
+}
+
+fn quant_gemm_dense(x: &Matrix, cm: &CompressedMatrix, y: &mut Matrix) {
+    let b = x.rows();
+    let mut wrow = vec![0.0f32; cm.d_in];
+    for r in 0..cm.d_out {
+        // Decode output row r once.
+        for (c, w) in wrow.iter_mut().enumerate() {
+            let q = cm.level_at(r, c);
+            *w = if q == 0 {
+                0.0
+            } else {
+                q as f32 * cm.scale_at(r, c)
+            };
+        }
+        for bi in 0..b {
+            let xrow = x.row(bi);
+            let mut acc = 0.0f32;
+            for (xv, wv) in xrow.iter().zip(wrow.iter()) {
+                acc += xv * wv;
+            }
+            y.set(bi, r, acc);
+        }
+    }
+}
+
+fn quant_gemm_sparse(x: &Matrix, cm: &CompressedMatrix, y: &mut Matrix) {
+    let b = x.rows();
+    // Walk only kept values: for each row, each 4-group stores 2 entries.
+    let groups4 = cm.d_in / 4;
+    for r in 0..cm.d_out {
+        // Collect the (column, weight) pairs of this row once.
+        let mut cols = [0usize; 2];
+        let mut vals = [0.0f32; 2];
+        for bi in 0..b {
+            y.set(bi, r, 0.0);
+        }
+        for g4 in 0..groups4 {
+            let kept_base = (r * cm.d_in) / 2 + g4 * 2;
+            for slot in 0..2 {
+                let i = kept_base + slot;
+                let pos = (cm.indices[i / 4] >> ((i % 4) * 2)) & 0b11;
+                let c = g4 * 4 + pos as usize;
+                cols[slot] = c;
+                let q = cm.level_at(r, c);
+                vals[slot] = q as f32 * cm.scale_at(r, c);
+            }
+            for bi in 0..b {
+                let xrow = x.row(bi);
+                let add = xrow[cols[0]] * vals[0] + xrow[cols[1]] * vals[1];
+                y.set(bi, r, y.get(bi, r) + add);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dz_compress::obs::{compress_matrix, ObsConfig};
+    use dz_compress::quant::QuantSpec;
+    use dz_tensor::Rng;
+
+    fn packed_fixture(sparse: bool, bits: u32, seed: u64) -> (Matrix, CompressedMatrix) {
+        let mut rng = Rng::seeded(seed);
+        let w = Matrix::randn(16, 8, 0.05, &mut rng);
+        let cfg = ObsConfig {
+            spec: QuantSpec::new(bits, 16),
+            sparse24: sparse,
+            damp: 0.05,
+        };
+        let res = compress_matrix(&w, &Matrix::identity(16), &cfg);
+        (res.reconstructed, res.packed)
+    }
+
+    #[test]
+    fn dense_quant_gemm_matches_dequantized_matmul() {
+        for bits in [2u32, 4, 8] {
+            let (rec, cm) = packed_fixture(false, bits, bits as u64);
+            let mut rng = Rng::seeded(99);
+            let x = Matrix::randn(5, 16, 1.0, &mut rng);
+            let fused = quant_gemm(&x, &cm);
+            let reference = x.matmul(&rec);
+            assert!(
+                fused.max_abs_diff(&reference) < 1e-4,
+                "bits={bits} diff {}",
+                fused.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_quant_gemm_matches_dequantized_matmul() {
+        for bits in [2u32, 4] {
+            let (rec, cm) = packed_fixture(true, bits, bits as u64 + 5);
+            let mut rng = Rng::seeded(42);
+            let x = Matrix::randn(7, 16, 1.0, &mut rng);
+            let fused = quant_gemm(&x, &cm);
+            let reference = x.matmul(&rec);
+            assert!(
+                fused.max_abs_diff(&reference) < 1e-4,
+                "bits={bits} diff {}",
+                fused.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn single_row_batch_works() {
+        let (rec, cm) = packed_fixture(true, 4, 11);
+        let mut rng = Rng::seeded(3);
+        let x = Matrix::randn(1, 16, 1.0, &mut rng);
+        let fused = quant_gemm(&x, &cm);
+        assert_eq!(fused.shape(), (1, 8));
+        assert!(fused.max_abs_diff(&x.matmul(&rec)) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics() {
+        let (_, cm) = packed_fixture(false, 4, 13);
+        let x = Matrix::zeros(2, 12);
+        let _ = quant_gemm(&x, &cm);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared machinery of the batched decode runners.
+//!
+//! [`crate::decoupled::DecoupledBatch`] (base + compressed deltas) and
+//! [`crate::sgmv::AdapterBatch`] (base + LoRA/RoSA adapters) run the same
+//! per-request transformer step and differ only in how each linear
+//! projection is computed; the per-request pieces (KV-cache attention,
+//! layer norm, slot bookkeeping) live here.
+
+use dz_model::transformer::KvCache;
+use dz_tensor::Matrix;
+
+/// A request being decoded by a batch runner.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    /// Index of the variant/adapter the request targets.
+    pub variant: usize,
+    /// Per-request KV cache.
+    pub cache: KvCache,
+    /// Last token fed (next decode input).
+    pub last_token: usize,
+    /// Tokens generated so far.
+    pub generated: Vec<usize>,
+}
+
+impl Slot {
+    /// Fresh slot for `variant` starting at `last_token`.
+    pub fn new(variant: usize, n_layers: usize, last_token: usize) -> Self {
+        Slot {
+            variant,
+            cache: KvCache::new(n_layers),
+            last_token,
+            generated: Vec::new(),
+        }
+    }
+}
+
+/// Row-wise LayerNorm with gain `g` and bias `b` (both `(1, n)`).
+pub(crate) fn layer_norm_row(x: &[f32], g: &Matrix, b: &Matrix, out: &mut [f32]) {
+    const EPS: f32 = 1e-5;
+    let n = x.len();
+    let mean = x.iter().sum::<f32>() / n as f32;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+    let inv = 1.0 / (var + EPS).sqrt();
+    for c in 0..n {
+        out[c] = (x[c] - mean) * inv * g.get(0, c) + b.get(0, c);
+    }
+}
+
+/// One request's causal attention for layer `li` against its cache.
+///
+/// `q`/`k`/`v` hold the batch's projections; row `bi` belongs to this
+/// request. The layer's cache is extended with the new key/value row and
+/// the attention output is written to `out` row `bi`.
+pub(crate) fn attention_one(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    bi: usize,
+    cache: &mut KvCache,
+    li: usize,
+    heads: usize,
+    out: &mut Matrix,
+) {
+    let d = q.cols();
+    let dh = d / heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let k_new = k.submatrix(bi, 0, 1, d);
+    let v_new = v.submatrix(bi, 0, 1, d);
+    // Check this layer's cache specifically: within one step the earlier
+    // layers have already been extended.
+    let layer_empty = cache.k[li].cols() == 0;
+    let (k_all, v_all) = if layer_empty {
+        (k_new, v_new)
+    } else {
+        (
+            Matrix::vstack(&[&cache.k[li], &k_new]),
+            Matrix::vstack(&[&cache.v[li], &v_new]),
+        )
+    };
+    let total = k_all.rows();
+    for hi in 0..heads {
+        let mut scores = vec![0.0f32; total];
+        for (j, s) in scores.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for c in 0..dh {
+                acc += q.get(bi, hi * dh + c) * k_all.get(j, hi * dh + c);
+            }
+            *s = acc * scale;
+        }
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        let inv = 1.0 / sum;
+        for c in 0..dh {
+            let mut acc = 0.0f32;
+            for (j, s) in scores.iter().enumerate() {
+                acc += s * inv * v_all.get(j, hi * dh + c);
+            }
+            out.set(bi, hi * dh + c, acc);
+        }
+    }
+    cache.k[li] = k_all;
+    cache.v[li] = v_all;
+}
+
+/// Greedy argmax over a logits row.
+pub(crate) fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty vocab")
+}
+
+/// GELU (tanh approximation), applied in place.
+pub(crate) fn gelu_assign(m: &mut Matrix) {
+    const C: f32 = 0.797_884_6;
+    m.map_assign(|v| 0.5 * v * (1.0 + (C * (v + 0.044_715 * v * v * v)).tanh()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 3.0, -2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn layer_norm_row_normalizes() {
+        let g = Matrix::full(1, 4, 1.0);
+        let b = Matrix::zeros(1, 4);
+        let mut out = vec![0.0f32; 4];
+        layer_norm_row(&[1.0, 2.0, 3.0, 4.0], &g, &b, &mut out);
+        let mean: f32 = out.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,500 @@
+//! Punica-style SGMV adapter serving, runnable on CPU.
+//!
+//! Adapter variants (LoRA, and RoSA per §8) are served like deltas —
+//! shared base GEMM plus a grouped per-adapter product — but the adapter
+//! product is two skinny matmuls `(x A) B` scaled by `alpha/r` (SGMV:
+//! segmented gather matrix-vector), plus an optional coordinate-format
+//! sparse term for RoSA. [`AdapterBatch`] mirrors
+//! [`crate::decoupled::DecoupledBatch`]: it decodes a batch of requests for
+//! different adapters of one base in lock-step with per-request KV caches.
+
+use crate::qgemm::dense_gemm;
+use crate::runner::{argmax, attention_one, gelu_assign, layer_norm_row, Slot};
+use dz_model::lora::LoraAdapter;
+use dz_model::rosa::RosaAdapter;
+use dz_model::transformer::Params;
+use dz_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// A sparse matrix in coordinate format (RoSA's sparse component).
+#[derive(Debug, Clone)]
+pub struct SparseCoo {
+    shape: (usize, usize),
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl SparseCoo {
+    /// Extracts the non-zeros of `values` on the support of `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn from_masked(values: &Matrix, mask: &Matrix) -> Self {
+        assert_eq!(values.shape(), mask.shape(), "mask shape mismatch");
+        let (r, c) = values.shape();
+        let mut out = SparseCoo {
+            shape: (r, c),
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        };
+        for i in 0..r {
+            for j in 0..c {
+                if mask.get(i, j) != 0.0 {
+                    out.rows.push(i as u32);
+                    out.cols.push(j as u32);
+                    out.vals.push(values.get(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Matrix shape `(d_in, d_out)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Accumulates `y += x * S` for one activation row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths do not match the sparse shape.
+    pub fn accumulate_row(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.shape.0, "input row length mismatch");
+        assert_eq!(y.len(), self.shape.1, "output row length mismatch");
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.vals) {
+            y[c as usize] += x[r as usize] * v;
+        }
+    }
+}
+
+/// One adapted projection: `y += scale * (x A) B (+ x S)`.
+pub struct AdapterWeights<'a> {
+    /// Down projection `(d_in, r)`.
+    pub a: &'a Matrix,
+    /// Up projection `(r, d_out)`.
+    pub b: &'a Matrix,
+    /// Effective scale `alpha / r`.
+    pub scale: f32,
+    /// RoSA sparse component, if any.
+    pub sparse: Option<SparseCoo>,
+}
+
+/// A variant's adapter resolved to per-projection weights, keyed by the
+/// stable parameter name (`layer{i}.{field}`).
+pub struct AdapterView<'a> {
+    by_name: BTreeMap<String, AdapterWeights<'a>>,
+}
+
+impl<'a> AdapterView<'a> {
+    /// View of a plain LoRA adapter.
+    pub fn from_lora(adapter: &'a LoraAdapter) -> Self {
+        let scale = adapter.scale();
+        let by_name = adapter
+            .pairs
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    AdapterWeights {
+                        a: &p.a,
+                        b: &p.b,
+                        scale,
+                        sparse: None,
+                    },
+                )
+            })
+            .collect();
+        AdapterView { by_name }
+    }
+
+    /// View of a RoSA adapter (low-rank pairs plus sparse components).
+    pub fn from_rosa(adapter: &'a RosaAdapter) -> Self {
+        let scale = adapter.scale();
+        let by_name = adapter
+            .pairs
+            .iter()
+            .zip(&adapter.sparse)
+            .map(|(p, s)| {
+                (
+                    p.name.clone(),
+                    AdapterWeights {
+                        a: &p.a,
+                        b: &p.b,
+                        scale,
+                        sparse: Some(SparseCoo::from_masked(&s.values, &s.mask)),
+                    },
+                )
+            })
+            .collect();
+        AdapterView { by_name }
+    }
+
+    /// The adapter weights for a projection, if it is adapted.
+    pub fn get(&self, name: &str) -> Option<&AdapterWeights<'a>> {
+        self.by_name.get(name)
+    }
+}
+
+/// Grouped adapter product: for each request row `i`,
+/// `y[i] = scale_j (x[i] A_j) B_j + x[i] S_j` with `j = adapter_idx[i]`;
+/// rows whose adapter does not adapt this projection contribute zero.
+///
+/// Requests are bucketed per adapter so each group's two skinny matmuls
+/// run on a contiguous gather, mirroring the SBMM reorder (§5.2).
+///
+/// # Panics
+///
+/// Panics if `adapter_idx` is out of range or lengths mismatch.
+pub fn sgmv_grouped(
+    x: &Matrix,
+    adapter_idx: &[usize],
+    adapters: &[Option<&AdapterWeights<'_>>],
+    d_out: usize,
+) -> Matrix {
+    assert_eq!(x.rows(), adapter_idx.len(), "assignment length mismatch");
+    let mut y = Matrix::zeros(x.rows(), d_out);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); adapters.len()];
+    for (i, &ai) in adapter_idx.iter().enumerate() {
+        assert!(ai < adapters.len(), "adapter index {ai} out of range");
+        buckets[ai].push(i);
+    }
+    for (ai, rows) in buckets.iter().enumerate() {
+        let Some(w) = adapters[ai] else { continue };
+        if rows.is_empty() {
+            continue;
+        }
+        let mut xg = Matrix::zeros(rows.len(), x.cols());
+        for (gr, &i) in rows.iter().enumerate() {
+            xg.row_mut(gr).copy_from_slice(x.row(i));
+        }
+        // Two skinny GEMMs: (g, d_in)(d_in, r) then (g, r)(r, d_out).
+        let xa = dense_gemm(&xg, w.a);
+        let mut yg = dense_gemm(&xa, w.b);
+        yg.scale_assign(w.scale);
+        if let Some(sparse) = &w.sparse {
+            for (gr, &i) in rows.iter().enumerate() {
+                let _ = i;
+                sparse.accumulate_row(xg.row(gr), yg.row_mut(gr));
+            }
+        }
+        for (gr, &i) in rows.iter().enumerate() {
+            for (c, v) in yg.row(gr).iter().enumerate() {
+                let cur = y.get(i, c);
+                y.set(i, c, cur + v);
+            }
+        }
+    }
+    y
+}
+
+/// A batched adapter decoder over one base model and many adapters.
+///
+/// Unlike [`crate::decoupled::DecoupledBatch`], every non-projection
+/// parameter (embeddings, norms, biases, head) comes from the shared base —
+/// adapters only touch the linear projections.
+pub struct AdapterBatch<'a> {
+    base: &'a Params,
+    adapters: Vec<AdapterView<'a>>,
+    slots: Vec<Slot>,
+}
+
+impl<'a> AdapterBatch<'a> {
+    /// Creates a runner over `base` and the given adapters.
+    pub fn new(base: &'a Params, adapters: Vec<AdapterView<'a>>) -> Self {
+        AdapterBatch {
+            base,
+            adapters,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Admits a request for `adapter`, prefilling its prompt; returns the
+    /// slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adapter index is out of range or the prompt is empty.
+    pub fn admit(&mut self, adapter: usize, prompt: &[usize]) -> usize {
+        assert!(adapter < self.adapters.len(), "adapter out of range");
+        assert!(!prompt.is_empty(), "empty prompt");
+        let last = *prompt.last().expect("non-empty");
+        self.slots
+            .push(Slot::new(adapter, self.base.config.n_layers, last));
+        let idx = self.slots.len() - 1;
+        for t in 0..prompt.len() - 1 {
+            let _ = self.step_tokens(&[(idx, prompt[t])]);
+        }
+        idx
+    }
+
+    /// Decodes one token for every active slot; returns `(slot, next)`.
+    pub fn decode_step(&mut self) -> Vec<(usize, usize)> {
+        let work: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.last_token))
+            .collect();
+        let logits = self.step_tokens(&work);
+        let mut out = Vec::with_capacity(work.len());
+        for ((slot, _), row) in work.iter().zip(logits.iter()) {
+            let next = argmax(row);
+            self.slots[*slot].last_token = next;
+            self.slots[*slot].generated.push(next);
+            out.push((*slot, next));
+        }
+        out
+    }
+
+    /// Tokens generated so far by a slot.
+    pub fn generated(&self, slot: usize) -> &[usize] {
+        &self.slots[slot].generated
+    }
+
+    /// Shared base linear plus the grouped adapter product and base bias.
+    fn linear(
+        &self,
+        x: &Matrix,
+        w_base: &Matrix,
+        bias: &Matrix,
+        name: &str,
+        adapter_idx: &[usize],
+    ) -> Matrix {
+        let mut y = dense_gemm(x, w_base);
+        let views: Vec<Option<&AdapterWeights<'_>>> =
+            self.adapters.iter().map(|v| v.get(name)).collect();
+        if views.iter().any(Option::is_some) {
+            let ya = sgmv_grouped(x, adapter_idx, &views, w_base.cols());
+            y.add_assign(&ya);
+        }
+        for bi in 0..y.rows() {
+            for (c, v) in y.row_mut(bi).iter_mut().enumerate() {
+                *v += bias.get(0, c);
+            }
+        }
+        y
+    }
+
+    /// Core batched step (same wiring as the decoupled runner, base-only
+    /// non-projection parameters).
+    fn step_tokens(&mut self, work: &[(usize, usize)]) -> Vec<Vec<f32>> {
+        let cfg = &self.base.config;
+        let d = cfg.d_model;
+        let b = work.len();
+        let adapter_idx: Vec<usize> =
+            work.iter().map(|(s, _)| self.slots[*s].variant).collect();
+
+        let mut x = Matrix::zeros(b, d);
+        for (bi, &(slot, token)) in work.iter().enumerate() {
+            let pos = self.slots[slot].cache.len();
+            assert!(pos < cfg.max_seq, "sequence overflow");
+            let row = x.row_mut(bi);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = self.base.tok_emb.get(token, c) + self.base.pos_emb.get(pos, c);
+            }
+        }
+
+        let heads = cfg.n_heads;
+        for li in 0..cfg.n_layers {
+            let l = &self.base.layers[li];
+            let mut h = Matrix::zeros(b, d);
+            for bi in 0..b {
+                let src: Vec<f32> = x.row(bi).to_vec();
+                layer_norm_row(&src, &l.ln1_g, &l.ln1_b, h.row_mut(bi));
+            }
+            let q = self.linear(&h, &l.wq, &l.bq, &format!("layer{li}.wq"), &adapter_idx);
+            let k = self.linear(&h, &l.wk, &l.bk, &format!("layer{li}.wk"), &adapter_idx);
+            let v = self.linear(&h, &l.wv, &l.bv, &format!("layer{li}.wv"), &adapter_idx);
+            let mut attn = Matrix::zeros(b, d);
+            for (bi, &(slot, _)) in work.iter().enumerate() {
+                let cache = &mut self.slots[slot].cache;
+                attention_one(&q, &k, &v, bi, cache, li, heads, &mut attn);
+            }
+            let proj = self.linear(&attn, &l.wo, &l.bo, &format!("layer{li}.wo"), &adapter_idx);
+            x.add_assign(&proj);
+            let mut h2 = Matrix::zeros(b, d);
+            for bi in 0..b {
+                let src: Vec<f32> = x.row(bi).to_vec();
+                layer_norm_row(&src, &l.ln2_g, &l.ln2_b, h2.row_mut(bi));
+            }
+            let mut up = self.linear(&h2, &l.w1, &l.b1, &format!("layer{li}.w1"), &adapter_idx);
+            gelu_assign(&mut up);
+            let down = self.linear(&up, &l.w2, &l.b2, &format!("layer{li}.w2"), &adapter_idx);
+            x.add_assign(&down);
+        }
+        let mut out = Vec::with_capacity(b);
+        for bi in 0..b {
+            let mut xf = vec![0.0f32; d];
+            let src: Vec<f32> = x.row(bi).to_vec();
+            layer_norm_row(&src, &self.base.lnf_g, &self.base.lnf_b, &mut xf);
+            let mut logits = vec![0.0f32; cfg.vocab];
+            for (c, lg) in logits.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (r, xv) in xf.iter().enumerate() {
+                    acc += xv * self.base.head.get(r, c);
+                }
+                *lg = acc;
+            }
+            out.push(logits);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dz_model::lora::{finetune_lora, LoraConfig};
+    use dz_model::rosa::{finetune_rosa, RosaConfig};
+    use dz_model::tasks::{Corpus, SentimentTask};
+    use dz_model::train::{pretrain, TrainConfig};
+    use dz_model::transformer::test_config;
+    use dz_tensor::Rng;
+
+    fn base() -> Params {
+        let cfg = test_config();
+        let mut rng = Rng::seeded(1);
+        let mut p = Params::init(cfg, &mut rng);
+        pretrain(&mut p, &Corpus::new(cfg.max_seq), TrainConfig::pretrain(50));
+        p
+    }
+
+    fn short_train() -> TrainConfig {
+        TrainConfig {
+            steps: 60,
+            batch: 4,
+            lr: 1e-2,
+            clip: 1.0,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn sparse_coo_matches_dense_product() {
+        let mut rng = Rng::seeded(3);
+        let dense = Matrix::randn(6, 5, 1.0, &mut rng);
+        let mut mask = Matrix::zeros(6, 5);
+        for i in 0..6 {
+            mask.set(i, (i * 2) % 5, 1.0);
+        }
+        let masked = dense.hadamard(&mask);
+        let coo = SparseCoo::from_masked(&masked, &mask);
+        assert_eq!(coo.nnz(), 6);
+        let x: Vec<f32> = (0..6).map(|i| i as f32 + 0.5).collect();
+        let mut y = vec![0.0f32; 5];
+        coo.accumulate_row(&x, &mut y);
+        let want = Matrix::from_rows(&[&x]).matmul(&masked);
+        for c in 0..5 {
+            assert!((y[c] - want.get(0, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sgmv_matches_per_request_dense_math() {
+        let p = base();
+        let mut rng = Rng::seeded(4);
+        let a1 = dz_model::lora::LoraAdapter::init(&p, LoraConfig::rank(2), &mut rng);
+        let a2 = dz_model::lora::LoraAdapter::init(&p, LoraConfig::rank(4), &mut rng);
+        let v1 = AdapterView::from_lora(&a1);
+        let v2 = AdapterView::from_lora(&a2);
+        let name = "layer0.wq";
+        let w = p.get(name).unwrap();
+        let x = Matrix::randn(5, w.rows(), 1.0, &mut rng);
+        let idx = [0usize, 1, 0, 1, 1];
+        let views = [v1.get(name), v2.get(name)];
+        let y = sgmv_grouped(&x, &idx, &views, w.cols());
+        for (i, &ai) in idx.iter().enumerate() {
+            let adapter = if ai == 0 { &a1 } else { &a2 };
+            let pair = adapter.pairs.iter().find(|pr| pr.name == name).unwrap();
+            let xi = x.submatrix(i, 0, 1, x.cols());
+            let want = xi.matmul(&pair.a).matmul(&pair.b).scale(adapter.scale());
+            for c in 0..w.cols() {
+                assert!((y.get(i, c) - want.get(0, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn lora_batch_matches_merged_model() {
+        let p = base();
+        let mut rng = Rng::seeded(5);
+        let mut adapter = dz_model::lora::LoraAdapter::init(&p, LoraConfig::rank(4), &mut rng);
+        finetune_lora(&p, &mut adapter, &SentimentTask, short_train());
+        let merged = adapter.merge(&p);
+        let prompt = vec![1usize, 20, 21, 2];
+        let want = dz_model::eval::greedy_generate(&merged, &prompt, 4);
+        let mut batch = AdapterBatch::new(&p, vec![AdapterView::from_lora(&adapter)]);
+        let slot = batch.admit(0, &prompt);
+        for _ in 0..4 {
+            batch.decode_step();
+        }
+        assert_eq!(batch.generated(slot), &want[..]);
+    }
+
+    #[test]
+    fn rosa_batch_matches_merged_model() {
+        let p = base();
+        let mut rng = Rng::seeded(6);
+        let mut adapter = RosaAdapter::init(&p, RosaConfig::new(2, 0.05), &mut rng);
+        finetune_rosa(&p, &mut adapter, &SentimentTask, short_train());
+        assert!(adapter.sparse.iter().any(|s| s.nnz() > 0));
+        let merged = adapter.merge(&p);
+        let prompt = vec![1usize, 22, 23, 2];
+        let want = dz_model::eval::greedy_generate(&merged, &prompt, 4);
+        let mut batch = AdapterBatch::new(&p, vec![AdapterView::from_rosa(&adapter)]);
+        let slot = batch.admit(0, &prompt);
+        for _ in 0..4 {
+            batch.decode_step();
+        }
+        assert_eq!(batch.generated(slot), &want[..]);
+    }
+
+    #[test]
+    fn mixed_lora_rosa_batch_keeps_requests_separate() {
+        let p = base();
+        let mut rng = Rng::seeded(7);
+        let mut lora = dz_model::lora::LoraAdapter::init(&p, LoraConfig::rank(2), &mut rng);
+        finetune_lora(&p, &mut lora, &SentimentTask, short_train());
+        let mut rosa = RosaAdapter::init(&p, RosaConfig::new(2, 0.03), &mut rng);
+        finetune_rosa(
+            &p,
+            &mut rosa,
+            &dz_model::tasks::NliTask,
+            short_train(),
+        );
+        let m1 = lora.merge(&p);
+        let m2 = rosa.merge(&p);
+        let p1 = vec![1usize, 20, 21, 2];
+        let p2 = vec![1usize, 25, 2, 30, 4];
+        let w1 = dz_model::eval::greedy_generate(&m1, &p1, 3);
+        let w2 = dz_model::eval::greedy_generate(&m2, &p2, 3);
+        let mut batch = AdapterBatch::new(
+            &p,
+            vec![AdapterView::from_lora(&lora), AdapterView::from_rosa(&rosa)],
+        );
+        let s1 = batch.admit(0, &p1);
+        let s2 = batch.admit(1, &p2);
+        for _ in 0..3 {
+            batch.decode_step();
+        }
+        assert_eq!(batch.generated(s1), &w1[..], "lora request diverged");
+        assert_eq!(batch.generated(s2), &w2[..], "rosa request diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "adapter out of range")]
+    fn out_of_range_adapter_rejected() {
+        let p = base();
+        let mut batch = AdapterBatch::new(&p, vec![]);
+        let _ = batch.admit(0, &[1, 2]);
+    }
+}

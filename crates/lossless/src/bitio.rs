@@ -1,0 +1,184 @@
+//! LSB-first bit-level I/O, DEFLATE style.
+//!
+//! Bits are written into bytes starting at the least significant position;
+//! multi-bit values are written least-significant-bit first. This matches
+//! RFC 1951 conventions so the Huffman layer can reuse the standard
+//! canonical-code bit order (codes are written MSB-first via explicit
+//! reversal in the Huffman encoder).
+
+/// Accumulates bits into a byte vector, LSB first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        assert!(n <= 32, "write_bits supports at most 32 bits");
+        debug_assert!(n == 32 || value < (1u32 << n), "value {value} wider than {n} bits");
+        self.acc |= (value as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Number of complete bytes plus a partial byte, in bits.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+
+    /// Flushes any partial byte (zero-padded) and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Reads bits from a byte slice, LSB first.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+/// Error returned when a reader runs out of input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Reads `n` bits (`n <= 32`), LSB first.
+    ///
+    /// Returns [`OutOfBits`] if fewer than `n` bits remain.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, OutOfBits> {
+        assert!(n <= 32, "read_bits supports at most 32 bits");
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill();
+        if self.nbits < n {
+            return Err(OutOfBits);
+        }
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let v = (self.acc as u32) & mask;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Result<u32, OutOfBits> {
+        self.read_bits(1)
+    }
+
+    /// Total bits remaining (including buffered ones).
+    pub fn bits_remaining(&self) -> usize {
+        (self.data.len() - self.pos) * 8 + self.nbits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b1010, 4);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 3);
+        w.write_bits(0x12345678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 0b1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(3).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 0x12345678);
+    }
+
+    #[test]
+    fn lsb_first_layout() {
+        let mut w = BitWriter::new();
+        // Writing 1,0,1,1 as single bits should give 0b...1101 = 13.
+        w.write_bits(1, 1);
+        w.write_bits(0, 1);
+        w.write_bits(1, 1);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_1101]);
+    }
+
+    #[test]
+    fn out_of_bits_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        // Padding bits of the final byte are readable...
+        assert!(r.read_bits(5).is_ok());
+        // ...but past the final byte we must fail.
+        assert_eq!(r.read_bits(1), Err(OutOfBits));
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 9);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn empty_reader() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(1), Err(OutOfBits));
+        assert_eq!(r.bits_remaining(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! A from-scratch lossless codec standing in for nvcomp's GDeflate.
+//!
+//! DeltaZip's compression pipeline has an optional Step 4: lossless
+//! compression of the packed delta so that disk- or NFS-bound deployments
+//! trade decompression compute for I/O. The paper uses GDeflate, whose
+//! defining property (vs. plain DEFLATE) is that the stream is split into
+//! independently decodable pages so a GPU can decompress them in parallel.
+//!
+//! This crate reproduces that design in safe Rust:
+//!
+//! * [`lz77`] — greedy hash-chain LZ77 matcher (window 32 KiB, matches
+//!   3..=258 bytes, DEFLATE-compatible limits),
+//! * [`huffman`] — length-limited canonical Huffman codes built with the
+//!   package-merge algorithm,
+//! * [`bitio`] — LSB-first bit reader/writer,
+//! * [`page`] — the paged container: each page compresses independently and
+//!   records its compressed size, so pages can be decoded in parallel.
+//!
+//! The container format is custom (simpler than RFC 1951 — code lengths are
+//! stored verbatim rather than RLE-encoded) but the algorithmic content is
+//! the same, so compression ratios land in the same regime.
+//!
+//! # Examples
+//!
+//! ```
+//! let data = b"abcabcabcabc-the quick brown fox-abcabcabc".repeat(20);
+//! let compressed = dz_lossless::compress(&data);
+//! assert!(compressed.len() < data.len());
+//! let restored = dz_lossless::decompress(&compressed).unwrap();
+//! assert_eq!(restored, data);
+//! ```
+
+pub mod bitio;
+pub mod crc;
+pub mod huffman;
+pub mod lz77;
+pub mod page;
+
+pub use page::{compress, compress_with_page_size, decompress, CodecError, DEFAULT_PAGE_SIZE};
+
+/// Compression statistics for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ratio {
+    /// Bytes in.
+    pub raw: usize,
+    /// Bytes out.
+    pub compressed: usize,
+}
+
+impl Ratio {
+    /// `raw / compressed`; `1.0` for empty input.
+    pub fn factor(&self) -> f64 {
+        if self.compressed == 0 {
+            1.0
+        } else {
+            self.raw as f64 / self.compressed as f64
+        }
+    }
+}
+
+/// Compresses and reports the ratio in one call.
+pub fn compress_stats(data: &[u8]) -> (Vec<u8>, Ratio) {
+    let out = compress(data);
+    let ratio = Ratio {
+        raw: data.len(),
+        compressed: out.len(),
+    };
+    (out, ratio)
+}

@@ -1,0 +1,453 @@
+//! The paged container tying LZ77 and Huffman together.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "DZLC" | version u8 | page_size u32 | raw_len u64 | n_pages u32
+//! page table: n_pages x { comp_len u32, mode u8 }
+//! page payloads, back to back
+//! ```
+//!
+//! Each page compresses `page_size` raw bytes independently (the last page
+//! may be shorter). A page is stored raw (`mode = 1`) when entropy coding
+//! would not help, mirroring DEFLATE's stored blocks. Independent pages are
+//! what makes GDeflate GPU-friendly: a decompression engine assigns one page
+//! per thread block. Here they let `decompress` be trivially parallelizable
+//! and bound the memory of the matcher.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{code_lengths, Decoder, DecodeError, Encoder, MAX_CODE_LEN};
+use crate::lz77::{tokenize, Token, MAX_MATCH, MIN_MATCH};
+
+/// Default page size (64 KiB, as GDeflate uses).
+pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
+
+const MAGIC: &[u8; 4] = b"DZLC";
+const VERSION: u8 = 2;
+const MODE_HUFFMAN: u8 = 0;
+const MODE_STORED: u8 = 1;
+
+/// Number of literal/length symbols (256 literals + EOB + 29 length codes).
+const NUM_LITLEN: usize = 286;
+/// End-of-block symbol.
+const EOB: usize = 256;
+/// Number of distance symbols.
+const NUM_DIST: usize = 30;
+
+/// `(base_length, extra_bits)` for length codes 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// `(base_distance, extra_bits)` for distance codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Errors surfaced while decoding a compressed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream does not start with the container magic.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u8),
+    /// Stream is shorter than its headers claim.
+    Truncated,
+    /// A page failed to entropy-decode.
+    Corrupt(&'static str),
+    /// The decoded payload does not match the stored checksum.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::Truncated => write!(f, "truncated stream"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::OutOfBits => CodecError::Truncated,
+            DecodeError::BadCode => CodecError::Corrupt("invalid huffman code"),
+        }
+    }
+}
+
+fn length_to_symbol(len: u16) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+    // Find the last code whose base <= len.
+    let mut idx = 0;
+    for (i, (base, _)) in LEN_TABLE.iter().enumerate() {
+        if *base <= len {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, len - base, extra)
+}
+
+fn dist_to_symbol(dist: u16) -> (usize, u16, u8) {
+    let mut idx = 0;
+    for (i, (base, _)) in DIST_TABLE.iter().enumerate() {
+        if *base <= dist {
+            idx = i;
+        } else {
+            break;
+        }
+    }
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, dist - base, extra)
+}
+
+/// Compresses one page; returns `(mode, payload)`.
+fn compress_page(raw: &[u8]) -> (u8, Vec<u8>) {
+    let tokens = tokenize(raw);
+    // Gather symbol frequencies.
+    let mut lit_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_to_symbol(len).0] += 1;
+                dist_freq[dist_to_symbol(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+    let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN);
+    let dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN);
+    let lit_enc = Encoder::from_lengths(&lit_lens);
+    let dist_enc = Encoder::from_lengths(&dist_lens);
+
+    let mut w = BitWriter::new();
+    // Header: code lengths, 4 bits each (max length is 15).
+    for &l in &lit_lens {
+        w.write_bits(l, 4);
+    }
+    for &l in &dist_lens {
+        w.write_bits(l, 4);
+    }
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.encode(&mut w, b as usize),
+            Token::Match { len, dist } => {
+                let (sym, extra_val, extra_bits) = length_to_symbol(len);
+                lit_enc.encode(&mut w, sym);
+                if extra_bits > 0 {
+                    w.write_bits(extra_val as u32, extra_bits as u32);
+                }
+                let (dsym, dextra_val, dextra_bits) = dist_to_symbol(dist);
+                dist_enc.encode(&mut w, dsym);
+                if dextra_bits > 0 {
+                    w.write_bits(dextra_val as u32, dextra_bits as u32);
+                }
+            }
+        }
+    }
+    lit_enc.encode(&mut w, EOB);
+    let payload = w.finish();
+    if payload.len() >= raw.len() {
+        (MODE_STORED, raw.to_vec())
+    } else {
+        (MODE_HUFFMAN, payload)
+    }
+}
+
+fn decompress_page(payload: &[u8], mode: u8, raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    match mode {
+        MODE_STORED => {
+            if payload.len() != raw_len {
+                return Err(CodecError::Corrupt("stored page length mismatch"));
+            }
+            Ok(payload.to_vec())
+        }
+        MODE_HUFFMAN => {
+            let mut r = BitReader::new(payload);
+            let mut lit_lens = vec![0u32; NUM_LITLEN];
+            for l in lit_lens.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| CodecError::Truncated)?;
+            }
+            let mut dist_lens = vec![0u32; NUM_DIST];
+            for l in dist_lens.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| CodecError::Truncated)?;
+            }
+            let lit_dec = Decoder::from_lengths(&lit_lens);
+            let dist_dec = Decoder::from_lengths(&dist_lens);
+            let mut out = Vec::with_capacity(raw_len);
+            loop {
+                let sym = lit_dec.decode(&mut r)? as usize;
+                if sym == EOB {
+                    break;
+                }
+                if sym < 256 {
+                    out.push(sym as u8);
+                } else {
+                    let idx = sym - 257;
+                    if idx >= LEN_TABLE.len() {
+                        return Err(CodecError::Corrupt("bad length symbol"));
+                    }
+                    let (base, extra) = LEN_TABLE[idx];
+                    let len = base as usize
+                        + r.read_bits(extra as u32).map_err(|_| CodecError::Truncated)? as usize;
+                    let dsym = dist_dec.decode(&mut r)? as usize;
+                    if dsym >= DIST_TABLE.len() {
+                        return Err(CodecError::Corrupt("bad distance symbol"));
+                    }
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dist = dbase as usize
+                        + r.read_bits(dextra as u32).map_err(|_| CodecError::Truncated)? as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(CodecError::Corrupt("distance before start"));
+                    }
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                if out.len() > raw_len {
+                    return Err(CodecError::Corrupt("page overflow"));
+                }
+            }
+            if out.len() != raw_len {
+                return Err(CodecError::Corrupt("page length mismatch"));
+            }
+            Ok(out)
+        }
+        _ => Err(CodecError::Corrupt("unknown page mode")),
+    }
+}
+
+/// Compresses `data` with the default page size.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with_page_size(data, DEFAULT_PAGE_SIZE)
+}
+
+/// Compresses `data` with an explicit page size.
+///
+/// # Panics
+///
+/// Panics if `page_size == 0`.
+pub fn compress_with_page_size(data: &[u8], page_size: usize) -> Vec<u8> {
+    assert!(page_size > 0, "page size must be positive");
+    let n_pages = data.len().div_ceil(page_size);
+    let mut pages = Vec::with_capacity(n_pages);
+    for chunk in data.chunks(page_size) {
+        pages.push(compress_page(chunk));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(page_size as u32).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crate::crc::crc32(data).to_le_bytes());
+    out.extend_from_slice(&(n_pages as u32).to_le_bytes());
+    for (mode, payload) in &pages {
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.push(*mode);
+    }
+    for (_, payload) in &pages {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+        if *pos + n > stream.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &stream[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = take(&mut pos, 1)?[0];
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let page_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let raw_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let n_pages = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    if page_size == 0 && raw_len > 0 {
+        return Err(CodecError::Corrupt("zero page size"));
+    }
+    if n_pages != raw_len.div_ceil(page_size.max(1)) {
+        return Err(CodecError::Corrupt("page count mismatch"));
+    }
+    let mut table = Vec::with_capacity(n_pages);
+    for _ in 0..n_pages {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mode = take(&mut pos, 1)?[0];
+        table.push((len, mode));
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    for (i, (len, mode)) in table.iter().enumerate() {
+        let payload = take(&mut pos, *len)?;
+        let expected = if i + 1 == n_pages {
+            raw_len - page_size * (n_pages - 1)
+        } else {
+            page_size
+        };
+        out.extend(decompress_page(payload, *mode, expected)?);
+    }
+    if crate::crc::crc32(&out) != stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(b"");
+    }
+
+    #[test]
+    fn small_text() {
+        round_trip(b"hello world, hello world, hello world");
+    }
+
+    #[test]
+    fn compresses_repetitive_data_well() {
+        let data = b"0123456789abcdef".repeat(4096);
+        let c = compress(&data);
+        assert!(
+            (c.len() as f64) < data.len() as f64 * 0.1,
+            "only {} -> {}",
+            data.len(),
+            c.len()
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_data_stays_near_raw() {
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        // Stored-mode fallback bounds expansion to the page table overhead.
+        assert!(c.len() < data.len() + 64 + data.len() / DEFAULT_PAGE_SIZE * 8);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn multi_page_boundaries() {
+        let data: Vec<u8> = (0..DEFAULT_PAGE_SIZE * 2 + 17)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        round_trip(&data);
+        // Tiny pages stress the page table path.
+        let c = compress_with_page_size(&data[..1000], 64);
+        assert_eq!(decompress(&c).unwrap(), &data[..1000]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decompress(b"NOPE"), Err(CodecError::BadMagic));
+        assert_eq!(decompress(b"DZ"), Err(CodecError::Truncated));
+        let mut c = compress(b"data data data");
+        c[0] = b'X';
+        assert_eq!(decompress(&c), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let data = b"the same phrase repeats; the same phrase repeats".repeat(10);
+        let c = compress(&data);
+        for cut in [5, 12, 20, c.len() - 1] {
+            let r = decompress(&c[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_version_bump() {
+        let mut c = compress(b"abc");
+        c[4] = 9;
+        assert_eq!(decompress(&c), Err(CodecError::BadVersion(9)));
+    }
+
+    #[test]
+    fn length_symbol_tables_cover_all_lengths() {
+        for len in MIN_MATCH as u16..=MAX_MATCH as u16 {
+            let (sym, extra_val, extra_bits) = length_to_symbol(len);
+            assert!((257..286).contains(&sym));
+            let (base, eb) = LEN_TABLE[sym - 257];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base + extra_val, len);
+            assert!(extra_val < (1 << extra_bits.max(0)) || extra_bits == 0);
+        }
+    }
+
+    #[test]
+    fn distance_symbol_tables_cover_window() {
+        for dist in [1u16, 2, 3, 4, 5, 100, 1024, 4096, 16384, 32767] {
+            let (sym, extra_val, extra_bits) = dist_to_symbol(dist);
+            let (base, eb) = DIST_TABLE[sym];
+            assert_eq!(eb, extra_bits);
+            assert_eq!(base + extra_val, dist);
+        }
+    }
+
+    #[test]
+    fn float_delta_bytes_compress() {
+        // A packed, quantized delta looks like low-entropy integer data; the
+        // codec must find structure in repeated scale bytes.
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            data.extend_from_slice(&((i % 7) as u8).to_le_bytes());
+            data.push(0);
+            data.push(0);
+        }
+        let c = compress(&data);
+        assert!(c.len() * 4 < data.len());
+        round_trip(&data);
+    }
+}

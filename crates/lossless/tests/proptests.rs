@@ -1,0 +1,76 @@
+//! Property-based tests: the codec must be the identity on arbitrary bytes.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let c = dz_lossless::compress(&data);
+        let d = dz_lossless::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn round_trip_small_pages(data in proptest::collection::vec(any::<u8>(), 0..4_000), page in 1usize..512) {
+        let c = dz_lossless::compress_with_page_size(&data, page);
+        let d = dz_lossless::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn round_trip_structured_bytes(seed in any::<u64>(), n in 0usize..30_000) {
+        // Runs and repeats: the kind of data packed deltas produce.
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let b = (x & 0x0F) as u8;
+            let run = ((x >> 8) & 0x3F) as usize + 1;
+            for _ in 0..run.min(n - data.len()) {
+                data.push(b);
+            }
+        }
+        let c = dz_lossless::compress(&data);
+        let d = dz_lossless::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn truncation_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2_000), cut in 0usize..2_000) {
+        let c = dz_lossless::compress(&data);
+        let cut = cut.min(c.len());
+        // Must return an error or (for cut == len) the original data; never panic.
+        match dz_lossless::decompress(&c[..cut]) {
+            Ok(d) => prop_assert_eq!(d, data),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn garbage_input_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1_000)) {
+        let _ = dz_lossless::decompress(&data);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_never_silent(
+        data in proptest::collection::vec(any::<u8>(), 1..2_000),
+        pos in any::<proptest::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        // Failure injection: flip one byte anywhere in the stream. The
+        // decoder must either error out or still return the exact original
+        // (it must never hand back silently corrupted weights).
+        let c = dz_lossless::compress(&data);
+        let mut corrupted = c.clone();
+        let i = pos.index(corrupted.len());
+        corrupted[i] ^= flip;
+        match dz_lossless::decompress(&corrupted) {
+            Ok(d) => prop_assert_eq!(d, data),
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Shared forward-graph builder for adapter fine-tuning methods.
+//!
+//! LoRA ([`crate::lora`]) and RoSA ([`crate::rosa`]) both train adjunct
+//! parameters against a frozen base: their forward graphs differ only in
+//! what each linear projection adds on top of `h W + b`. This builder owns
+//! the transformer wiring (embeddings, attention, MLP, norms) and delegates
+//! every linear projection to the caller, so each method supplies just its
+//! adapter term.
+
+use crate::autograd::{NodeId, Tape};
+use crate::transformer::Params;
+use dz_tensor::Matrix;
+
+/// Builds the frozen-base transformer graph over `ids`, calling `linear`
+/// for every adapted projection.
+///
+/// `linear(tape, h, w, bias, name)` must return the projection output for
+/// input activations `h` and frozen weight `w` — typically
+/// `h W + b (+ adapter terms)`. Base weights must be registered with
+/// [`Tape::leaf_no_grad`] inside the closure so backward skips their
+/// gradient matmuls.
+///
+/// # Panics
+///
+/// Panics if `ids` is empty or longer than the model's maximum sequence.
+pub(crate) fn adapted_forward(
+    tape: &mut Tape,
+    base: &Params,
+    ids: &[usize],
+    mut linear: impl FnMut(&mut Tape, NodeId, &Matrix, &Matrix, &str) -> NodeId,
+) -> NodeId {
+    let config = &base.config;
+    assert!(!ids.is_empty() && ids.len() <= config.max_seq);
+    let t = ids.len();
+    let tok_table = tape.leaf_no_grad(base.tok_emb.clone());
+    let pos_table = tape.leaf_no_grad(base.pos_emb.clone());
+    let tok = tape.gather(tok_table, ids);
+    let positions: Vec<usize> = (0..t).collect();
+    let pos = tape.gather(pos_table, &positions);
+    let mut x = tape.add(tok, pos);
+    for (i, l) in base.layers.iter().enumerate() {
+        let g1 = tape.leaf_no_grad(l.ln1_g.clone());
+        let b1n = tape.leaf_no_grad(l.ln1_b.clone());
+        let h = tape.layer_norm(x, g1, b1n);
+        let q = linear(tape, h, &l.wq, &l.bq, &format!("layer{i}.wq"));
+        let k = linear(tape, h, &l.wk, &l.bk, &format!("layer{i}.wk"));
+        let v = linear(tape, h, &l.wv, &l.bv, &format!("layer{i}.wv"));
+        let attn = tape.mha_causal(q, k, v, config.n_heads);
+        let proj = linear(tape, attn, &l.wo, &l.bo, &format!("layer{i}.wo"));
+        x = tape.add(x, proj);
+        let g2 = tape.leaf_no_grad(l.ln2_g.clone());
+        let b2n = tape.leaf_no_grad(l.ln2_b.clone());
+        let h2 = tape.layer_norm(x, g2, b2n);
+        let up = linear(tape, h2, &l.w1, &l.b1, &format!("layer{i}.w1"));
+        let act = tape.gelu(up);
+        let down = linear(tape, act, &l.w2, &l.b2, &format!("layer{i}.w2"));
+        x = tape.add(x, down);
+    }
+    let gf = tape.leaf_no_grad(base.lnf_g.clone());
+    let bf = tape.leaf_no_grad(base.lnf_b.clone());
+    let xf = tape.layer_norm(x, gf, bf);
+    let head = tape.leaf_no_grad(base.head.clone());
+    tape.matmul(xf, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::{forward_full, test_config};
+    use dz_tensor::Rng;
+
+    #[test]
+    fn plain_linear_matches_reference_forward() {
+        // With no adapter terms the builder must reproduce the standard
+        // forward pass exactly.
+        let cfg = test_config();
+        let mut rng = Rng::seeded(1);
+        let base = Params::init(cfg, &mut rng);
+        let ids = [1usize, 5, 9, 3];
+        let mut tape = Tape::new();
+        let logits = adapted_forward(&mut tape, &base, &ids, |tape, h, w, b, _| {
+            let wn = tape.leaf_no_grad(w.clone());
+            let bn = tape.leaf_no_grad(b.clone());
+            let y = tape.matmul(h, wn);
+            tape.add_bias(y, bn)
+        });
+        let got = tape.value(logits).clone();
+        let want = forward_full(&base, &ids);
+        assert!(got.max_abs_diff(&want) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_is_rejected() {
+        let cfg = test_config();
+        let mut rng = Rng::seeded(2);
+        let base = Params::init(cfg, &mut rng);
+        let mut tape = Tape::new();
+        let _ = adapted_forward(&mut tape, &base, &[], |_tape, h, _, _, _| h);
+    }
+}

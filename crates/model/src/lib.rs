@@ -1,0 +1,38 @@
+//! A tiny, fully trainable GPT-style transformer substrate.
+//!
+//! The DeltaZip paper compresses deltas of *real* fine-tuned models. We have
+//! no GPU or pretrained checkpoints here, so this crate provides the closest
+//! faithful substitute: a complete decoder-only transformer implemented from
+//! scratch (tape-based reverse-mode autograd, Adam, LayerNorm, multi-head
+//! causal attention) that we pre-train on a synthetic corpus and then
+//! **actually full-model fine-tune** (or LoRA fine-tune) on synthetic
+//! downstream tasks. Fine-tuning a converged model with a small learning
+//! rate produces genuinely small-magnitude deltas — the phenomenon Figure 3
+//! of the paper illustrates and ΔCompress exploits.
+//!
+//! Key modules:
+//!
+//! * [`autograd`] — a minimal tape with exactly the ops a transformer needs,
+//!   each with a hand-written backward pass (checked against finite
+//!   differences in tests),
+//! * [`transformer`] — parameters, the training-time forward pass, and an
+//!   inference pass with a KV cache,
+//! * [`train`] — Adam plus pre-training / FMT / LoRA fine-tuning loops,
+//! * [`tasks`] — synthetic downstream tasks of graded difficulty standing in
+//!   for the paper's evaluation suites,
+//! * [`lora`] — low-rank adapters (the PEFT baseline),
+//! * [`zoo`] — named model-family presets mirroring the paper's model list.
+
+pub(crate) mod adapted;
+pub mod autograd;
+pub mod eval;
+pub mod galore;
+pub mod lora;
+pub mod rosa;
+pub mod tasks;
+pub mod train;
+pub mod transformer;
+pub mod vocab;
+pub mod zoo;
+
+pub use transformer::{ModelConfig, Params};

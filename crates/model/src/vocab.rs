@@ -1,0 +1,122 @@
+//! The shared synthetic vocabulary.
+//!
+//! All models in the reproduction share one token space so that tasks,
+//! corpora, and models compose freely (exactly like real LLM families share
+//! a tokenizer). The layout reserves low ids for control tokens, then
+//! digits, then answer labels, then a bank of "word" tokens used by the
+//! corpus generator and the classification tasks.
+
+/// Padding token.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token.
+pub const BOS: usize = 1;
+/// Separator between task fields.
+pub const SEP: usize = 2;
+/// "=" token used by arithmetic tasks.
+pub const EQUALS: usize = 3;
+/// Query marker used by recall tasks.
+pub const QUERY: usize = 4;
+/// "yes" answer label.
+pub const YES: usize = 5;
+/// "no" answer label.
+pub const NO: usize = 6;
+/// "positive" answer label.
+pub const POS: usize = 7;
+/// "negative" answer label.
+pub const NEG: usize = 8;
+/// "+" operator token.
+pub const PLUS: usize = 9;
+
+/// First digit token; digit `d` is `DIGIT0 + d`.
+pub const DIGIT0: usize = 10;
+
+/// First generic word token.
+pub const WORD0: usize = 20;
+
+/// Number of generic word tokens.
+pub const NUM_WORDS: usize = 40;
+
+/// Smallest vocabulary size that contains every token above.
+pub const MIN_VOCAB: usize = WORD0 + NUM_WORDS;
+
+/// Token id for digit `d` (0..=9).
+///
+/// # Panics
+///
+/// Panics if `d > 9`.
+pub fn digit(d: usize) -> usize {
+    assert!(d <= 9, "digit out of range");
+    DIGIT0 + d
+}
+
+/// Token id for word index `w`.
+///
+/// # Panics
+///
+/// Panics if `w >= NUM_WORDS`.
+pub fn word(w: usize) -> usize {
+    assert!(w < NUM_WORDS, "word index out of range");
+    WORD0 + w
+}
+
+/// Human-readable rendering of a token id, for demos and debugging.
+pub fn render(tok: usize) -> String {
+    match tok {
+        PAD => "<pad>".into(),
+        BOS => "<bos>".into(),
+        SEP => "|".into(),
+        EQUALS => "=".into(),
+        QUERY => "?".into(),
+        YES => "yes".into(),
+        NO => "no".into(),
+        POS => "pos".into(),
+        NEG => "neg".into(),
+        PLUS => "+".into(),
+        d if (DIGIT0..DIGIT0 + 10).contains(&d) => format!("{}", d - DIGIT0),
+        w if (WORD0..WORD0 + NUM_WORDS).contains(&w) => format!("w{}", w - WORD0),
+        other => format!("<{other}>"),
+    }
+}
+
+/// Renders a token sequence as a readable string.
+pub fn render_seq(toks: &[usize]) -> String {
+    toks.iter()
+        .map(|&t| render(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_ids_do_not_collide() {
+        let mut ids = vec![PAD, BOS, SEP, EQUALS, QUERY, YES, NO, POS, NEG, PLUS];
+        for d in 0..10 {
+            ids.push(digit(d));
+        }
+        for w in 0..NUM_WORDS {
+            ids.push(word(w));
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate token ids");
+        assert!(ids.iter().all(|&i| i < MIN_VOCAB));
+    }
+
+    #[test]
+    fn render_round_trips_visually() {
+        assert_eq!(render(digit(7)), "7");
+        assert_eq!(render(word(0)), "w0");
+        assert_eq!(render(YES), "yes");
+        assert_eq!(render_seq(&[BOS, digit(1), PLUS, digit(2)]), "<bos> 1 + 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "digit out of range")]
+    fn digit_bounds() {
+        let _ = digit(10);
+    }
+}

@@ -1,0 +1,427 @@
+//! Iteration-level cost model shared by all engines.
+//!
+//! Engines simulate at the granularity the real systems schedule at: one
+//! decode iteration (one forward pass) per step, plus prompt-processing and
+//! weight-loading charges. Each charge is assembled from the `dz-gpusim`
+//! roofline kernels, so decode is memory-bound, prefill compute-bound, and
+//! tensor parallelism adds all-reduce costs per layer.
+
+use crate::policy::ResumePolicy;
+use dz_gpusim::kernel::{matmul_time, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_gpusim::xfer;
+
+/// Shared cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Hardware of the tensor-parallel serving group.
+    pub node: NodeSpec,
+    /// Model family shape (base and all variants share it).
+    pub shape: ModelShape,
+    /// Delta storage format (e.g. 4-bit 2:4).
+    pub delta_format: WeightFormat,
+    /// Mean context length assumed for KV-cache traffic.
+    pub avg_context_tokens: usize,
+    /// Effective end-to-end model/delta load bandwidth, GB/s. Real systems
+    /// are deserialization-bound well below raw PCIe (vLLM loads a 13B
+    /// checkpoint in tens of seconds; cf. Figure 16's loading segments).
+    pub effective_load_gbps: f64,
+}
+
+impl CostModel {
+    /// Standard configuration: 4-bit 2:4 deltas.
+    pub fn new(node: NodeSpec, shape: ModelShape) -> Self {
+        CostModel {
+            node,
+            shape,
+            delta_format: WeightFormat::Int {
+                bits: 4,
+                sparse24: true,
+            },
+            avg_context_tokens: 256,
+            effective_load_gbps: 2.0,
+        }
+    }
+
+    /// Bytes of one compressed delta.
+    pub fn delta_bytes(&self) -> f64 {
+        match self.delta_format {
+            WeightFormat::Fp16 => self.shape.fp16_bytes(),
+            WeightFormat::Int { bits, sparse24 } => self.shape.delta_bytes(bits, sparse24),
+        }
+    }
+
+    /// Bytes of the full FP16 model.
+    pub fn model_bytes(&self) -> f64 {
+        self.shape.fp16_bytes()
+    }
+
+    /// Time for one decode iteration of the DeltaZip engine.
+    ///
+    /// `reqs_per_delta[d]` is the number of running requests per resident
+    /// delta (zeros allowed); their sum is the shared base batch.
+    pub fn deltazip_decode_iter(&self, reqs_per_delta: &[usize], strategy: BatchedImpl) -> f64 {
+        let batch: usize = reqs_per_delta.iter().sum();
+        if batch == 0 {
+            return 0.0;
+        }
+        let tp = self.node.n_gpus.max(1);
+        let mut t = 0.0;
+        for (k, n) in self.shape.layer_linears() {
+            // Base GEMM, batched over every request, sharded over TP ranks.
+            let base = MatmulDesc {
+                m: batch,
+                k,
+                n: n / tp,
+                format: WeightFormat::Fp16,
+            };
+            t += matmul_time(&self.node.gpu, &base);
+            // Delta SBMM on the same activations.
+            t += sbmm_time(
+                &self.node.gpu,
+                reqs_per_delta,
+                k,
+                n / tp,
+                self.delta_format,
+                strategy,
+            );
+        }
+        t *= self.shape.n_layers as f64;
+        t += self.head_and_kv_time(batch);
+        t += self.allreduce_per_iter(batch);
+        t
+    }
+
+    /// Time for one decode iteration of the vLLM+SCB baseline.
+    ///
+    /// Every resident model with requests runs its own full-precision pass;
+    /// weights of *each* model are streamed from HBM every iteration.
+    pub fn vllm_decode_iter(&self, reqs_per_model: &[usize]) -> f64 {
+        let tp = self.node.n_gpus.max(1);
+        let mut t = 0.0;
+        let mut batch_total = 0usize;
+        for &m in reqs_per_model {
+            if m == 0 {
+                continue;
+            }
+            batch_total += m;
+            for (k, n) in self.shape.layer_linears() {
+                let desc = MatmulDesc {
+                    m,
+                    k,
+                    n: n / tp,
+                    format: WeightFormat::Fp16,
+                };
+                t += matmul_time(&self.node.gpu, &desc);
+            }
+        }
+        if batch_total == 0 {
+            return 0.0;
+        }
+        t *= self.shape.n_layers as f64;
+        t += self.head_and_kv_time(batch_total);
+        t += self.allreduce_per_iter(batch_total);
+        t
+    }
+
+    /// Decode iteration for LoRA serving (Punica-style SGMV): base GEMM plus
+    /// a rank-`r` adapter product whose weight traffic is negligible.
+    pub fn lora_decode_iter(&self, reqs_per_adapter: &[usize], rank: usize) -> f64 {
+        let batch: usize = reqs_per_adapter.iter().sum();
+        if batch == 0 {
+            return 0.0;
+        }
+        let tp = self.node.n_gpus.max(1);
+        let mut t = 0.0;
+        for (k, n) in self.shape.layer_linears() {
+            let base = MatmulDesc {
+                m: batch,
+                k,
+                n: n / tp,
+                format: WeightFormat::Fp16,
+            };
+            t += matmul_time(&self.node.gpu, &base);
+            // SGMV: x A then (xA) B for each adapter; tiny k x r and r x n.
+            let distinct = reqs_per_adapter.iter().filter(|&&r| r > 0).count();
+            let adapter_bytes = (k * rank + rank * n / tp) as f64 * 2.0;
+            let adapter_flops = 2.0 * batch as f64 * (k * rank + rank * n / tp) as f64;
+            let bw = self.node.gpu.hbm_bw_gbps * 1e9;
+            let peak = self.node.gpu.fp16_tflops * 1e12 * self.node.gpu.efficiency;
+            t += (adapter_flops / peak).max(adapter_bytes * distinct as f64 / bw)
+                + 2.0 * self.node.gpu.kernel_launch_us * 1e-6;
+        }
+        t *= self.shape.n_layers as f64;
+        t += self.head_and_kv_time(batch);
+        t += self.allreduce_per_iter(batch);
+        t
+    }
+
+    /// Decode iteration for RoSA-style adapters (low-rank pair plus an
+    /// unstructured sparse component of the given `density`).
+    ///
+    /// The low-rank part prices like Punica SGMV; the sparse part adds, per
+    /// distinct adapter, the traffic of its non-zeros (value + coordinate)
+    /// and a gather-SpMM that runs far below dense peak — unstructured
+    /// sparsity has no tensor-core support, which is exactly why the paper
+    /// compresses *deltas* with structured 2:4 instead (§4.1).
+    pub fn rosa_decode_iter(
+        &self,
+        reqs_per_adapter: &[usize],
+        rank: usize,
+        density: f64,
+    ) -> f64 {
+        let mut t = self.lora_decode_iter(reqs_per_adapter, rank);
+        if density <= 0.0 {
+            return t;
+        }
+        let batch: usize = reqs_per_adapter.iter().sum();
+        if batch == 0 {
+            return 0.0;
+        }
+        let tp = self.node.n_gpus.max(1);
+        let distinct = reqs_per_adapter.iter().filter(|&&r| r > 0).count();
+        let bw = self.node.gpu.hbm_bw_gbps * 1e9;
+        // Gather-SpMM efficiency relative to dense FP16 peak.
+        let peak = self.node.gpu.fp16_tflops * 1e12 * self.node.gpu.efficiency * 0.1;
+        let mut sparse = 0.0;
+        for (k, n) in self.shape.layer_linears() {
+            let nnz = density * (k * n / tp) as f64;
+            // FP16 value + 32-bit coordinate per non-zero.
+            let bytes = nnz * 6.0 * distinct as f64;
+            let flops = 2.0 * batch as f64 * nnz;
+            sparse += (flops / peak).max(bytes / bw) + self.node.gpu.kernel_launch_us * 1e-6;
+        }
+        t += sparse * self.shape.n_layers as f64;
+        t
+    }
+
+    /// Time to restore a preempted request's KV state from host memory:
+    /// the PCIe transfer of `context_tokens` of KV cache, sharded over the
+    /// tensor-parallel ranks.
+    pub fn kv_swap_time(&self, context_tokens: usize) -> f64 {
+        let bytes = context_tokens as f64 * self.shape.kv_bytes_per_token()
+            / self.node.n_gpus.max(1) as f64;
+        xfer::host_to_device_s(&self.node, bytes)
+    }
+
+    /// Resume charge for a preempted request holding `context_tokens` of
+    /// KV state (prompt plus already-generated tokens) under `policy`.
+    pub fn resume_time(&self, policy: ResumePolicy, context_tokens: usize) -> f64 {
+        match policy {
+            ResumePolicy::SwapToHost => self.kv_swap_time(context_tokens),
+            ResumePolicy::Recompute => self.prefill_time(context_tokens),
+            ResumePolicy::CostBased => self
+                .kv_swap_time(context_tokens)
+                .min(self.prefill_time(context_tokens)),
+        }
+    }
+
+    fn head_and_kv_time(&self, batch: usize) -> f64 {
+        let tp = self.node.n_gpus.max(1);
+        let head = MatmulDesc {
+            m: batch,
+            k: self.shape.d_model,
+            n: self.shape.vocab / tp,
+            format: WeightFormat::Fp16,
+        };
+        let kv_bytes = batch as f64 * self.avg_context_tokens as f64
+            * self.shape.kv_bytes_per_token()
+            / tp as f64;
+        matmul_time(&self.node.gpu, &head) + kv_bytes / (self.node.gpu.hbm_bw_gbps * 1e9)
+    }
+
+    fn allreduce_per_iter(&self, batch: usize) -> f64 {
+        // Two all-reduces per layer (attention out, MLP down) on (batch, d).
+        let bytes = (batch * self.shape.d_model * 2) as f64;
+        2.0 * self.shape.n_layers as f64 * self.node.allreduce_s(bytes)
+    }
+
+    /// Prompt-processing time for a set of prompts (compute-bound batch).
+    pub fn prefill_time(&self, total_prompt_tokens: usize) -> f64 {
+        if total_prompt_tokens == 0 {
+            return 0.0;
+        }
+        let tp = self.node.n_gpus.max(1);
+        let mut t = 0.0;
+        for (k, n) in self.shape.layer_linears() {
+            let desc = MatmulDesc {
+                m: total_prompt_tokens,
+                k,
+                n: n / tp,
+                format: WeightFormat::Fp16,
+            };
+            t += matmul_time(&self.node.gpu, &desc);
+        }
+        t * self.shape.n_layers as f64 + self.allreduce_per_iter(total_prompt_tokens)
+    }
+
+    /// Load time through the deserialization-bound pipeline, floored by the
+    /// physical transfer path. Cold (disk) loads pay the disk read *on top*
+    /// of the deserialization pipeline: the read cannot fully overlap it.
+    fn load_time(&self, bytes: f64, tier: xfer::Tier) -> f64 {
+        let physical =
+            xfer::load_to_device_s(&self.node, tier, bytes / self.node.n_gpus.max(1) as f64);
+        let pipeline = bytes / (self.effective_load_gbps * 1e9);
+        match tier {
+            xfer::Tier::Disk => physical + pipeline,
+            _ => physical.max(pipeline),
+        }
+    }
+
+    /// Time to bring one compressed delta from host memory to the GPUs.
+    pub fn delta_load_time(&self) -> f64 {
+        self.load_time(self.delta_bytes(), xfer::Tier::Host)
+    }
+
+    /// Time to swap one full FP16 model from host memory to the GPUs.
+    pub fn model_load_time(&self) -> f64 {
+        self.load_time(self.model_bytes(), xfer::Tier::Host)
+    }
+
+    /// Time to load a delta from cold storage (first touch).
+    pub fn delta_cold_load_time(&self) -> f64 {
+        self.load_time(self.delta_bytes(), xfer::Tier::Disk)
+    }
+
+    /// How many full FP16 models fit in the cluster HBM next to activations.
+    pub fn vllm_resident_capacity(&self) -> usize {
+        // Reserve 15% of HBM for KV cache and activations.
+        let usable = self.node.total_hbm_bytes() * 0.85;
+        (usable / self.model_bytes()).floor() as usize
+    }
+
+    /// How many deltas fit next to the resident base model.
+    pub fn delta_resident_capacity(&self) -> usize {
+        let usable = self.node.total_hbm_bytes() * 0.85 - self.model_bytes();
+        (usable.max(0.0) / self.delta_bytes()).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())
+    }
+
+    #[test]
+    fn deltazip_iter_beats_vllm_iter_at_many_models() {
+        let cm = model();
+        // 8 models, 2 requests each.
+        let reqs = vec![2usize; 8];
+        let dz = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+        let vllm = cm.vllm_decode_iter(&reqs);
+        assert!(
+            dz < vllm / 2.0,
+            "deltazip {dz} should be well under vllm {vllm}"
+        );
+    }
+
+    #[test]
+    fn single_model_gap_is_modest() {
+        // With one model the baseline reads one set of FP16 weights and
+        // DeltaZip reads base + one delta: DeltaZip should be comparable
+        // (slightly slower), matching the paper's unloaded-latency caveat.
+        let cm = model();
+        let dz = cm.deltazip_decode_iter(&[4], BatchedImpl::SbmmPlus);
+        let vllm = cm.vllm_decode_iter(&[4]);
+        assert!(dz > vllm * 0.9 && dz < vllm * 1.6, "dz {dz} vllm {vllm}");
+    }
+
+    #[test]
+    fn lora_iter_is_cheapest() {
+        let cm = model();
+        let reqs = vec![1usize; 8];
+        let lora = cm.lora_decode_iter(&reqs, 16);
+        let dz = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+        assert!(lora < dz, "lora {lora} vs dz {dz}");
+    }
+
+    #[test]
+    fn loads_are_ordered_by_bytes() {
+        let cm = model();
+        assert!(cm.delta_load_time() < cm.model_load_time() / 3.0);
+        assert!(cm.delta_cold_load_time() > cm.delta_load_time());
+    }
+
+    #[test]
+    fn capacities_are_sane() {
+        let cm = model();
+        let vllm_cap = cm.vllm_resident_capacity();
+        let delta_cap = cm.delta_resident_capacity();
+        assert!(vllm_cap >= 4, "vllm cap {vllm_cap}");
+        assert!(delta_cap > vllm_cap, "delta cap {delta_cap} must exceed {vllm_cap}");
+    }
+
+    #[test]
+    fn prefill_scales_superlinearly_vs_decode() {
+        let cm = model();
+        let decode = cm.deltazip_decode_iter(&[1], BatchedImpl::SbmmPlus);
+        let prefill = cm.prefill_time(512);
+        assert!(prefill > decode, "prefill {prefill} decode {decode}");
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let cm = model();
+        assert_eq!(cm.deltazip_decode_iter(&[], BatchedImpl::SbmmPlus), 0.0);
+        assert_eq!(cm.vllm_decode_iter(&[0, 0]), 0.0);
+        assert_eq!(cm.prefill_time(0), 0.0);
+    }
+
+    #[test]
+    fn rosa_sits_between_lora_and_delta() {
+        let cm = model();
+        let reqs = vec![1usize; 8];
+        let lora = cm.lora_decode_iter(&reqs, 16);
+        let rosa = cm.rosa_decode_iter(&reqs, 16, 0.01);
+        let dz = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+        assert!(rosa > lora, "rosa {rosa} must pay for the sparse part over {lora}");
+        assert!(rosa < dz, "rosa {rosa} should stay under full delta serving {dz}");
+    }
+
+    #[test]
+    fn rosa_with_zero_density_is_lora() {
+        let cm = model();
+        let reqs = vec![2usize; 4];
+        assert_eq!(cm.rosa_decode_iter(&reqs, 16, 0.0), cm.lora_decode_iter(&reqs, 16));
+    }
+
+    #[test]
+    fn resume_swap_beats_recompute_for_long_contexts() {
+        // Swapping KV back over PCIe is linear in context; recomputing the
+        // prefill is compute-bound and grows faster for this model size, so
+        // CostBased picks swap at long contexts.
+        let cm = model();
+        let long = 2048;
+        assert!(cm.kv_swap_time(long) < cm.prefill_time(long));
+        assert_eq!(
+            cm.resume_time(ResumePolicy::CostBased, long),
+            cm.kv_swap_time(long)
+        );
+    }
+
+    #[test]
+    fn resume_policies_are_consistent() {
+        let cm = model();
+        for ctx in [16usize, 256, 1024] {
+            let swap = cm.resume_time(ResumePolicy::SwapToHost, ctx);
+            let rec = cm.resume_time(ResumePolicy::Recompute, ctx);
+            let best = cm.resume_time(ResumePolicy::CostBased, ctx);
+            assert!(best <= swap && best <= rec);
+            assert!(best == swap || best == rec);
+        }
+    }
+
+    #[test]
+    fn tensor_parallelism_reduces_iteration_time() {
+        let one = CostModel::new(NodeSpec::a800_node(1), ModelShape::llama13b());
+        let four = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
+        let reqs = vec![2usize; 4];
+        let t1 = one.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+        let t4 = four.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+        assert!(t4 < t1, "tp4 {t4} vs tp1 {t1}");
+    }
+}

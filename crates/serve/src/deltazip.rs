@@ -1,0 +1,645 @@
+//! The DeltaZip serving engine (§5 of the paper).
+//!
+//! One simulation step = one continuous-batching iteration:
+//!
+//! 1. admit arrivals into the FCFS queue,
+//! 2. (re)schedule: running requests keep their slots; the queue is scanned
+//!    in order (or in SLO-priority order when a [`SloPolicy`] is set),
+//!    selecting up to `N` distinct deltas; any queued request whose delta is
+//!    already selected may **skip the line** (it becomes a *child* of the
+//!    request that caused the delta's selection),
+//! 3. load any missing deltas (host -> device; first touch comes from
+//!    disk), charging the wait to the affected requests,
+//! 4. batch-prefill newly admitted prompts and restore preempted requests
+//!    per the [`ResumePolicy`],
+//! 5. run one decode iteration: shared base GEMM over the whole batch plus
+//!    SBMM over the resident deltas,
+//! 6. finish requests that produced all tokens; when a *parent* finishes,
+//!    its children are preempted back to their original queue positions
+//!    (the starvation-avoidance rule of §5.4), unless the
+//!    [`PreemptionPolicy`] spares them.
+//!
+//! `N` itself may be adjusted online by a [`DynamicN`] controller (§5.4's
+//! "dynamic tuning").
+
+use crate::cost::CostModel;
+use crate::metrics::Metrics;
+use crate::policy::{PreemptionPolicy, ResumePolicy};
+use crate::predictor::LengthEstimator;
+use crate::request::{Phase, ReqState};
+use crate::slo::SloPolicy;
+use crate::tuning::DynamicN;
+use crate::Engine;
+use dz_gpusim::kernel::BatchedImpl;
+use dz_workload::Trace;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Tunables of the DeltaZip engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaZipConfig {
+    /// `N`: maximum distinct deltas processed concurrently.
+    pub max_concurrent_deltas: usize,
+    /// `K`: maximum requests in one batch.
+    pub max_batch: usize,
+    /// Delta-matmul execution strategy.
+    pub strategy: BatchedImpl,
+    /// Starvation-avoidance rule (Figure 19 ablation; §8 length-aware fix).
+    pub preemption: PreemptionPolicy,
+    /// How preempted requests are restored on re-admission.
+    pub resume: ResumePolicy,
+    /// Enable skip-the-line batching (disabling degenerates to plain FCFS).
+    pub skip_the_line: bool,
+    /// Host-DRAM delta cache capacity (deltas evicted from it fall back to
+    /// disk, §5.4's hierarchical management). `None` = unbounded host cache.
+    pub host_capacity_deltas: Option<usize>,
+}
+
+impl Default for DeltaZipConfig {
+    fn default() -> Self {
+        DeltaZipConfig {
+            max_concurrent_deltas: 8,
+            max_batch: 48,
+            strategy: BatchedImpl::SbmmPlus,
+            preemption: PreemptionPolicy::ParentFinish,
+            resume: ResumePolicy::SwapToHost,
+            skip_the_line: true,
+            host_capacity_deltas: None,
+        }
+    }
+}
+
+/// The engine.
+pub struct DeltaZipEngine {
+    /// Cost model (hardware + model shape + delta format).
+    pub cost: CostModel,
+    /// Scheduler configuration.
+    pub config: DeltaZipConfig,
+    /// Output-length estimator backing
+    /// [`PreemptionPolicy::LengthAware`]; learned online unless replaced.
+    pub estimator: LengthEstimator,
+    /// Optional SLO priority policy; `None` scans the queue FCFS.
+    pub slo_policy: Option<SloPolicy>,
+    /// Optional online `N` controller; overrides `max_concurrent_deltas`
+    /// while set.
+    pub dynamic_n: Option<DynamicN>,
+}
+
+impl DeltaZipEngine {
+    /// Creates an engine with the paper's defaults (FCFS scan, static `N`,
+    /// online-mean length estimates).
+    pub fn new(cost: CostModel, config: DeltaZipConfig) -> Self {
+        DeltaZipEngine {
+            cost,
+            config,
+            estimator: LengthEstimator::default(),
+            slo_policy: None,
+            dynamic_n: None,
+        }
+    }
+
+    /// Replaces the length estimator (for the §8 ablations).
+    pub fn with_estimator(mut self, estimator: LengthEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Enables SLO-priority queue scanning.
+    pub fn with_slo_policy(mut self, policy: SloPolicy) -> Self {
+        self.slo_policy = Some(policy);
+        self
+    }
+
+    /// Enables online `N` tuning.
+    pub fn with_dynamic_n(mut self, controller: DynamicN) -> Self {
+        self.dynamic_n = Some(controller);
+        self
+    }
+
+    /// Queue ids in scheduling order: FCFS, or priority-with-aging when an
+    /// SLO policy is set.
+    fn scan_order(&self, queue: &BTreeSet<usize>, states: &[ReqState], now: f64) -> Vec<usize> {
+        let mut ids: Vec<usize> = queue.iter().copied().collect();
+        if let Some(policy) = &self.slo_policy {
+            let mut keyed: Vec<(f64, usize)> = ids
+                .into_iter()
+                .map(|qid| {
+                    let wait = (now - states[qid].req.arrival).max(0.0);
+                    (policy.score(states[qid].req.model, wait), qid)
+                })
+                .collect();
+            keyed.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite scores")
+                    .then(a.1.cmp(&b.1))
+            });
+            ids = keyed.into_iter().map(|(_, qid)| qid).collect();
+        }
+        ids
+    }
+}
+
+impl Engine for DeltaZipEngine {
+    fn label(&self) -> String {
+        format!("DeltaZip(N={})", self.config.max_concurrent_deltas)
+    }
+
+    fn run(&mut self, trace: &Trace) -> Metrics {
+        let cfg = self.config;
+        let cost = self.cost;
+        let mut states: Vec<ReqState> =
+            trace.requests.iter().cloned().map(ReqState::new).collect();
+        // Queue of request ids, FCFS == id order (trace is arrival-sorted).
+        let mut queue: BTreeSet<usize> = BTreeSet::new();
+        let mut running: Vec<usize> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut t = 0.0f64;
+        // Delta residency: deltas stay on GPU (LRU) up to the memory
+        // capacity; `N` caps batch concurrency, not residency. `warm` holds
+        // deltas cached in host DRAM with LRU stamps — bounded by
+        // `host_capacity_deltas`, so evicted deltas fall back to disk.
+        let capacity = cost
+            .delta_resident_capacity()
+            .max(cfg.max_concurrent_deltas);
+        let mut on_gpu: HashMap<usize, f64> = HashMap::new();
+        let mut warm: HashMap<usize, f64> = HashMap::new();
+        // The parent request per selected delta.
+        let mut parent_of_delta: HashMap<usize, usize> = HashMap::new();
+
+        loop {
+            // Step 1: admit arrivals up to the current time.
+            while next_arrival < states.len() && states[next_arrival].req.arrival <= t {
+                queue.insert(next_arrival);
+                next_arrival += 1;
+            }
+            if running.is_empty() && queue.is_empty() {
+                if next_arrival >= states.len() {
+                    break;
+                }
+                t = states[next_arrival].req.arrival;
+                continue;
+            }
+
+            // Step 2: scheduling. Running requests keep their deltas.
+            let n_cap = match self.dynamic_n.as_mut() {
+                Some(ctl) => {
+                    let distinct: HashSet<usize> =
+                        queue.iter().map(|&qid| states[qid].req.model).collect();
+                    ctl.update(t, queue.len(), distinct.len())
+                }
+                None => cfg.max_concurrent_deltas,
+            };
+            let mut selected: BTreeSet<usize> =
+                running.iter().map(|&i| states[i].req.model).collect();
+            parent_of_delta.retain(|d, _| selected.contains(d));
+            let mut batch_size = running.len();
+            let mut admitted: Vec<usize> = Vec::new();
+            for qid in self.scan_order(&queue, &states, t) {
+                if batch_size >= cfg.max_batch {
+                    break;
+                }
+                let delta = states[qid].req.model;
+                if selected.contains(&delta) {
+                    if !cfg.skip_the_line && parent_of_delta.get(&delta) != Some(&qid) {
+                        // Pure FCFS ablation: only the queue head may enter.
+                        continue;
+                    }
+                    admitted.push(qid);
+                    batch_size += 1;
+                } else if selected.len() < n_cap {
+                    selected.insert(delta);
+                    parent_of_delta.insert(delta, qid);
+                    admitted.push(qid);
+                    batch_size += 1;
+                }
+            }
+            for &qid in &admitted {
+                queue.remove(&qid);
+                let parent = parent_of_delta
+                    .get(&states[qid].req.model)
+                    .copied()
+                    .filter(|&p| p != qid);
+                states[qid].parent = parent;
+                states[qid].admit(t);
+                running.push(qid);
+            }
+
+            // Step 3: load deltas that are not yet on GPU, evicting the
+            // least-recently-used non-selected deltas under memory pressure.
+            let mut load_s = 0.0;
+            let needed: Vec<usize> = selected
+                .iter()
+                .copied()
+                .filter(|d| !on_gpu.contains_key(d))
+                .collect();
+            for d in needed {
+                while on_gpu.len() >= capacity {
+                    let victim = on_gpu
+                        .iter()
+                        .filter(|(d, _)| !selected.contains(*d))
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
+                        .map(|(&d, _)| d);
+                    match victim {
+                        Some(v) => {
+                            on_gpu.remove(&v);
+                        }
+                        None => break, // Capacity >= N guarantees progress.
+                    }
+                }
+                load_s += if warm.contains_key(&d) {
+                    cost.delta_load_time()
+                } else {
+                    cost.delta_cold_load_time()
+                };
+                warm.insert(d, t);
+                if let Some(host_cap) = cfg.host_capacity_deltas {
+                    while warm.len() > host_cap.max(1) {
+                        let victim = warm
+                            .iter()
+                            .filter(|(d, _)| !on_gpu.contains_key(*d) && !selected.contains(*d))
+                            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
+                            .map(|(&d, _)| d);
+                        match victim {
+                            Some(v) => {
+                                warm.remove(&v);
+                            }
+                            None => break, // Everything cached is in use.
+                        }
+                    }
+                }
+                on_gpu.insert(d, t);
+            }
+            // Touch LRU stamps of the deltas used this iteration.
+            for d in &selected {
+                if let Some(stamp) = on_gpu.get_mut(d) {
+                    *stamp = t;
+                }
+                if let Some(stamp) = warm.get_mut(d) {
+                    *stamp = t;
+                }
+            }
+            if load_s > 0.0 {
+                t += load_s;
+                for &rid in &running {
+                    states[rid].load_wait_s += load_s;
+                }
+            }
+
+            // Step 4: batched prefill for newly admitted requests, plus
+            // state restoration for resumed (previously preempted) ones.
+            let mut prompt_tokens = 0usize;
+            let mut restore_s = 0.0;
+            for &rid in &running {
+                if states[rid].phase != Phase::Admitted {
+                    continue;
+                }
+                if states[rid].tokens_done > 0 {
+                    let ctx = states[rid].req.prompt_tokens + states[rid].tokens_done;
+                    restore_s += cost.resume_time(cfg.resume, ctx);
+                } else {
+                    prompt_tokens += states[rid].req.prompt_tokens;
+                }
+            }
+            if prompt_tokens > 0 {
+                t += cost.prefill_time(prompt_tokens);
+            }
+            if restore_s > 0.0 {
+                t += restore_s;
+                for &rid in &running {
+                    states[rid].load_wait_s += restore_s;
+                }
+            }
+            for &rid in &running {
+                if states[rid].phase == Phase::Admitted {
+                    states[rid].phase = Phase::Running;
+                }
+            }
+
+            // Step 5: one decode iteration over the whole batch.
+            let delta_ids: Vec<usize> = selected.iter().copied().collect();
+            let mut reqs_per_delta = vec![0usize; delta_ids.len()];
+            for &rid in &running {
+                let di = delta_ids
+                    .iter()
+                    .position(|&d| d == states[rid].req.model)
+                    .expect("running request's delta is selected");
+                reqs_per_delta[di] += 1;
+            }
+            t += cost.deltazip_decode_iter(&reqs_per_delta, cfg.strategy);
+            let mut finished_parents: Vec<usize> = Vec::new();
+            for &rid in &running {
+                states[rid].tokens_done += 1;
+                states[rid].record_first_token(t);
+            }
+            running.retain(|&rid| {
+                if states[rid].done() {
+                    states[rid].finish(t);
+                    finished_parents.push(rid);
+                    false
+                } else {
+                    true
+                }
+            });
+            for &rid in &finished_parents {
+                self.estimator
+                    .observe(states[rid].req.model, states[rid].req.output_tokens);
+            }
+
+            // Step 6: starvation avoidance — preempt children of finished
+            // parents back to their original queue slots. Only kick children
+            // when someone is actually starving: a queued request whose
+            // delta is not in the selected set.
+            let someone_starving = queue
+                .iter()
+                .any(|&qid| !selected.contains(&states[qid].req.model));
+            if cfg.preemption.enabled() && someone_starving {
+                let finished: HashSet<usize> = finished_parents.iter().copied().collect();
+                let mut preempted = Vec::new();
+                let mut spared = Vec::new();
+                running.retain(|&rid| {
+                    if !states[rid]
+                        .parent
+                        .is_some_and(|p| finished.contains(&p))
+                    {
+                        return true;
+                    }
+                    if let PreemptionPolicy::LengthAware { spare_tokens } = cfg.preemption {
+                        let remaining = self.estimator.remaining(
+                            states[rid].req.model,
+                            states[rid].tokens_done,
+                            states[rid].req.output_tokens,
+                        );
+                        if remaining.is_some_and(|r| r <= spare_tokens as f64) {
+                            spared.push(rid);
+                            return true;
+                        }
+                    }
+                    preempted.push(rid);
+                    false
+                });
+                for rid in preempted {
+                    states[rid].preemptions += 1;
+                    states[rid].parent = None;
+                    states[rid].phase = Phase::Queued;
+                    queue.insert(rid);
+                }
+                // A spared child rides to completion; nothing may preempt
+                // it again through the (gone) parent link.
+                for rid in spared {
+                    states[rid].parent = None;
+                }
+            }
+            // Promote a child to parent when its parent finished.
+            for fp in finished_parents {
+                parent_of_delta.retain(|_, p| *p != fp);
+            }
+        }
+
+        Metrics::from_states(self.label(), &states, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{SloClass, SloPolicy};
+    use crate::tuning::{DynamicN, DynamicNConfig};
+    use dz_gpusim::shapes::ModelShape;
+    use dz_gpusim::spec::NodeSpec;
+    use dz_workload::{PopularityDist, Trace, TraceSpec};
+
+    fn small_trace(rate: f64, pop: PopularityDist, seed: u64) -> Trace {
+        Trace::generate(TraceSpec {
+            n_models: 8,
+            arrival_rate: rate,
+            duration_s: 60.0,
+            popularity: pop,
+            seed,
+        })
+    }
+
+    fn engine(n: usize) -> DeltaZipEngine {
+        let cost = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
+        DeltaZipEngine::new(
+            cost,
+            DeltaZipConfig {
+                max_concurrent_deltas: n,
+                ..DeltaZipConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let trace = small_trace(1.0, PopularityDist::Zipf { alpha: 1.5 }, 1);
+        let m = engine(4).run(&trace);
+        assert_eq!(m.len(), trace.len());
+        // Conservation: record ids are exactly the trace ids.
+        let mut ids: Vec<usize> = m.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..trace.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latencies_are_physical() {
+        let trace = small_trace(0.5, PopularityDist::Uniform, 2);
+        let m = engine(4).run(&trace);
+        for r in &m.records {
+            assert!(r.e2e_s > 0.0, "req {} has non-positive latency", r.id);
+            assert!(r.ttft_s > 0.0 && r.ttft_s <= r.e2e_s + 1e-9);
+            assert!(r.queue_s >= 0.0);
+        }
+        assert!(m.makespan_s >= 60.0 * 0.5);
+    }
+
+    #[test]
+    fn idle_system_has_low_latency() {
+        // A trickle of requests: latency should be decode-dominated (well
+        // under a second per token budget at 13B on 4 GPUs).
+        let trace = small_trace(0.05, PopularityDist::Uniform, 3);
+        let m = engine(8).run(&trace);
+        assert!(m.mean_time_per_token() < 0.2, "{}", m.mean_time_per_token());
+    }
+
+    #[test]
+    fn more_deltas_help_under_skew_until_memory_pressure() {
+        let trace = small_trace(2.0, PopularityDist::Zipf { alpha: 1.5 }, 4);
+        let m1 = engine(1).run(&trace);
+        let m8 = engine(8).run(&trace);
+        assert!(
+            m8.mean_e2e() < m1.mean_e2e(),
+            "N=8 {} should beat N=1 {}",
+            m8.mean_e2e(),
+            m1.mean_e2e()
+        );
+    }
+
+    #[test]
+    fn preemption_reduces_tail_ttft_under_skew() {
+        let trace = small_trace(2.5, PopularityDist::Zipf { alpha: 2.0 }, 5);
+        let mut with = engine(3);
+        with.config.max_batch = 24;
+        let mut without = engine(3);
+        without.config.max_batch = 24;
+        without.config.preemption = PreemptionPolicy::Never;
+        let mw = with.run(&trace);
+        let mo = without.run(&trace);
+        let p90_with = mw.ttft_percentile(0.9);
+        let p90_without = mo.ttft_percentile(0.9);
+        assert!(
+            p90_with <= p90_without * 1.05,
+            "preemption should not hurt the tail: {p90_with} vs {p90_without}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace {
+            spec: TraceSpec {
+                n_models: 2,
+                arrival_rate: 1.0,
+                duration_s: 0.0,
+                popularity: PopularityDist::Uniform,
+                seed: 0,
+            },
+            requests: vec![],
+        };
+        let m = engine(2).run(&trace);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn skip_the_line_improves_mean_latency() {
+        let trace = small_trace(2.0, PopularityDist::Zipf { alpha: 1.5 }, 6);
+        let with = engine(4).run(&trace);
+        let mut engine_no_skip = engine(4);
+        engine_no_skip.config.skip_the_line = false;
+        let without = engine_no_skip.run(&trace);
+        assert!(
+            with.mean_e2e() <= without.mean_e2e() * 1.05,
+            "skip-the-line should help: {} vs {}",
+            with.mean_e2e(),
+            without.mean_e2e()
+        );
+    }
+
+    #[test]
+    fn length_aware_preemption_preempts_no_more_than_parent_finish() {
+        let trace = small_trace(2.5, PopularityDist::Zipf { alpha: 2.0 }, 7);
+        let mut strict = engine(3);
+        strict.config.max_batch = 24;
+        let mut aware = engine(3).with_estimator(LengthEstimator::Oracle);
+        aware.config.max_batch = 24;
+        aware.config.preemption = PreemptionPolicy::LengthAware { spare_tokens: 16 };
+        let ms = strict.run(&trace);
+        let ma = aware.run(&trace);
+        let total_strict: usize = ms.records.iter().map(|r| r.preemptions).sum();
+        let total_aware: usize = ma.records.iter().map(|r| r.preemptions).sum();
+        assert!(
+            total_aware <= total_strict,
+            "length-aware {total_aware} should not preempt more than strict {total_strict}"
+        );
+        assert_eq!(ma.len(), trace.len());
+    }
+
+    #[test]
+    fn huge_spare_budget_never_preempts() {
+        let trace = small_trace(2.5, PopularityDist::Zipf { alpha: 2.0 }, 8);
+        let mut aware = engine(3).with_estimator(LengthEstimator::Oracle);
+        aware.config.preemption = PreemptionPolicy::LengthAware {
+            spare_tokens: usize::MAX,
+        };
+        let m = aware.run(&trace);
+        assert!(m.records.iter().all(|r| r.preemptions == 0));
+    }
+
+    #[test]
+    fn resume_policies_all_conserve_requests() {
+        let trace = small_trace(2.5, PopularityDist::Zipf { alpha: 2.0 }, 9);
+        for resume in [
+            ResumePolicy::SwapToHost,
+            ResumePolicy::Recompute,
+            ResumePolicy::CostBased,
+        ] {
+            let mut e = engine(3);
+            e.config.max_batch = 16;
+            e.config.resume = resume;
+            let m = e.run(&trace);
+            assert_eq!(m.len(), trace.len(), "{resume:?} lost requests");
+        }
+    }
+
+    #[test]
+    fn cost_based_resume_is_no_worse_than_either_fixed_policy() {
+        let trace = small_trace(3.0, PopularityDist::Zipf { alpha: 2.0 }, 10);
+        let run = |resume: ResumePolicy| {
+            let mut e = engine(3);
+            e.config.max_batch = 16;
+            e.config.resume = resume;
+            e.run(&trace).mean_e2e()
+        };
+        let swap = run(ResumePolicy::SwapToHost);
+        let recompute = run(ResumePolicy::Recompute);
+        let best = run(ResumePolicy::CostBased);
+        assert!(
+            best <= swap.min(recompute) * 1.05,
+            "cost-based {best} vs swap {swap} / recompute {recompute}"
+        );
+    }
+
+    #[test]
+    fn bounded_host_cache_degrades_gracefully() {
+        // §5.4 scalability: with a tiny host cache, cold (disk) loads recur
+        // and latency rises, but every request is still served.
+        let trace = small_trace(1.0, PopularityDist::Uniform, 11);
+        let unbounded = engine(4).run(&trace);
+        let mut tight = engine(4);
+        tight.config.host_capacity_deltas = Some(2);
+        let bounded = tight.run(&trace);
+        assert_eq!(bounded.len(), trace.len());
+        let load_unbounded: f64 = unbounded.records.iter().map(|r| r.load_s).sum();
+        let load_bounded: f64 = bounded.records.iter().map(|r| r.load_s).sum();
+        assert!(
+            load_bounded >= load_unbounded,
+            "bounded cache {load_bounded} must re-load at least as much as unbounded {load_unbounded}"
+        );
+    }
+
+    #[test]
+    fn slo_priority_lowers_interactive_ttft() {
+        // Two interactive variants in a 8-model Zipf mix: with the policy
+        // their TTFT must not regress versus plain FCFS.
+        let trace = small_trace(2.5, PopularityDist::Zipf { alpha: 1.2 }, 12);
+        let policy = SloPolicy::tiered(8, 2);
+        let plain = engine(3).run(&trace);
+        let prioritized = engine(3).with_slo_policy(policy.clone()).run(&trace);
+        let inter = |m: &Metrics| {
+            m.subset("i".into(), |r| policy.class_of(r.model) == SloClass::Interactive)
+                .mean_ttft()
+        };
+        assert_eq!(prioritized.len(), trace.len());
+        assert!(
+            inter(&prioritized) <= inter(&plain) * 1.05,
+            "interactive TTFT {} should not exceed FCFS {}",
+            inter(&prioritized),
+            inter(&plain)
+        );
+    }
+
+    #[test]
+    fn dynamic_n_serves_everything_and_stays_in_bounds() {
+        let trace = small_trace(2.0, PopularityDist::Zipf { alpha: 1.5 }, 13);
+        let ctl = DynamicN::new(
+            DynamicNConfig {
+                min_n: 2,
+                max_n: 6,
+                ..DynamicNConfig::default()
+            },
+            4,
+        );
+        let mut e = engine(4).with_dynamic_n(ctl);
+        let m = e.run(&trace);
+        assert_eq!(m.len(), trace.len());
+        let n = e.dynamic_n.as_ref().expect("controller present").current();
+        assert!((2..=6).contains(&n), "controller left bounds: {n}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Serving engines over the GPU performance model.
+//!
+//! Three engines reproduce the paper's comparison points:
+//!
+//! * [`deltazip::DeltaZipEngine`] — the paper's system: base model resident,
+//!   compressed deltas swapped on demand, requests across variants batched
+//!   into shared base GEMMs plus SBMM delta products, iteration-level
+//!   (continuous) batching, FCFS with skip-the-line plus parent-finish
+//!   preemption, and a cap of `N` concurrent deltas,
+//! * [`vllm_scb::VllmScbEngine`] — the baseline the paper builds (vLLM +
+//!   Swapping, Continuous batching, same-model Batching): full FP16 models
+//!   swapped whole, batching only within one model,
+//! * [`lora::LoraEngine`] — Punica/S-LoRA-style adapter serving: adapters
+//!   are tiny, all resident, everything batches.
+//!
+//! All engines consume the same [`dz_workload::Trace`]s and emit the same
+//! [`metrics::Metrics`], so every figure is an apples-to-apples sweep.
+
+pub mod cluster;
+pub mod cost;
+pub mod deltazip;
+pub mod lora;
+pub mod metrics;
+pub mod policy;
+pub mod predictor;
+pub mod request;
+pub mod slo;
+pub mod tuning;
+pub mod vllm_scb;
+
+pub use cost::CostModel;
+pub use deltazip::{DeltaZipConfig, DeltaZipEngine};
+pub use lora::{LoraEngine, LoraServingConfig};
+pub use metrics::Metrics;
+pub use policy::{PreemptionPolicy, ResumePolicy};
+pub use predictor::LengthEstimator;
+pub use slo::{SloClass, SloPolicy};
+pub use vllm_scb::{VllmScbConfig, VllmScbEngine};
+
+/// A serving engine that can replay a trace.
+pub trait Engine {
+    /// Human-readable engine label for tables.
+    fn label(&self) -> String;
+    /// Replays the trace to completion and returns per-request metrics.
+    fn run(&mut self, trace: &dz_workload::Trace) -> Metrics;
+}

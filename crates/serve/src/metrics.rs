@@ -1,0 +1,290 @@
+//! Serving metrics: E2E latency, TTFT, throughput, SLO attainment,
+//! per-request latency breakdown.
+
+use crate::request::ReqState;
+use serde::Serialize;
+
+/// Frozen per-request measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct RequestRecord {
+    /// Request id.
+    pub id: usize,
+    /// Target model variant.
+    pub model: usize,
+    /// Arrival time (s).
+    pub arrival: f64,
+    /// End-to-end latency (s).
+    pub e2e_s: f64,
+    /// Time to first token (s).
+    pub ttft_s: f64,
+    /// Time from arrival to first admission (queuing).
+    pub queue_s: f64,
+    /// Time spent waiting on model/delta loads.
+    pub load_s: f64,
+    /// Output tokens produced.
+    pub output_tokens: usize,
+    /// Preemption count.
+    pub preemptions: usize,
+}
+
+/// Aggregated results of one trace replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metrics {
+    /// Engine label.
+    pub engine: String,
+    /// Per-request records (every request in the trace, finished).
+    pub records: Vec<RequestRecord>,
+    /// Wall-clock span of the replay (s).
+    pub makespan_s: f64,
+}
+
+impl Metrics {
+    /// Builds metrics from finished request states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request is unfinished — engines must drain.
+    pub fn from_states(engine: String, states: &[ReqState], makespan_s: f64) -> Metrics {
+        let records = states
+            .iter()
+            .map(|s| {
+                let finished = s
+                    .finished_at
+                    .unwrap_or_else(|| panic!("request {} never finished", s.req.id));
+                let first_tok = s
+                    .first_token_at
+                    .unwrap_or_else(|| panic!("request {} produced no token", s.req.id));
+                RequestRecord {
+                    id: s.req.id,
+                    model: s.req.model,
+                    arrival: s.req.arrival,
+                    e2e_s: finished - s.req.arrival,
+                    ttft_s: first_tok - s.req.arrival,
+                    queue_s: s.first_admitted_at.unwrap_or(finished) - s.req.arrival,
+                    load_s: s.load_wait_s,
+                    output_tokens: s.req.output_tokens,
+                    preemptions: s.preemptions,
+                }
+            })
+            .collect();
+        Metrics {
+            engine,
+            records,
+            makespan_s,
+        }
+    }
+
+    /// Number of requests served.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no requests were served.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean end-to-end latency (s).
+    pub fn mean_e2e(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.e2e_s))
+    }
+
+    /// Mean time to first token (s).
+    pub fn mean_ttft(&self) -> f64 {
+        mean(self.records.iter().map(|r| r.ttft_s))
+    }
+
+    /// Mean time per output token (s/token), the Figure 10 metric.
+    pub fn mean_time_per_token(&self) -> f64 {
+        mean(
+            self.records
+                .iter()
+                .map(|r| r.e2e_s / r.output_tokens.max(1) as f64),
+        )
+    }
+
+    /// Requests per second over the makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / self.makespan_s
+        }
+    }
+
+    /// Output tokens per second over the makespan.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.records.iter().map(|r| r.output_tokens).sum::<usize>() as f64 / self.makespan_s
+        }
+    }
+
+    /// Fraction of requests with E2E latency within `slo_s`.
+    pub fn slo_attainment_e2e(&self, slo_s: f64) -> f64 {
+        fraction(self.records.iter().map(|r| r.e2e_s), slo_s)
+    }
+
+    /// Fraction of requests with TTFT within `slo_s`.
+    pub fn slo_attainment_ttft(&self, slo_s: f64) -> f64 {
+        fraction(self.records.iter().map(|r| r.ttft_s), slo_s)
+    }
+
+    /// Attainment curve over a threshold grid: `(threshold, fraction)`.
+    pub fn slo_curve(&self, thresholds: &[f64], ttft: bool) -> Vec<(f64, f64)> {
+        thresholds
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    if ttft {
+                        self.slo_attainment_ttft(s)
+                    } else {
+                        self.slo_attainment_e2e(s)
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Percentile of E2E latency (q in 0..=1).
+    pub fn e2e_percentile(&self, q: f64) -> f64 {
+        percentile(self.records.iter().map(|r| r.e2e_s).collect(), q)
+    }
+
+    /// Percentile of TTFT.
+    pub fn ttft_percentile(&self, q: f64) -> f64 {
+        percentile(self.records.iter().map(|r| r.ttft_s).collect(), q)
+    }
+
+    /// A filtered view of the records (e.g. one SLO class, one model),
+    /// keeping the makespan of the full replay.
+    pub fn subset(&self, engine: String, keep: impl Fn(&RequestRecord) -> bool) -> Metrics {
+        Metrics {
+            engine,
+            records: self.records.iter().filter(|r| keep(r)).cloned().collect(),
+            makespan_s: self.makespan_s,
+        }
+    }
+
+    /// Mean queuing / loading / inference split (sums to mean E2E).
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let queue = mean(self.records.iter().map(|r| r.queue_s));
+        let load = mean(self.records.iter().map(|r| r.load_s));
+        let e2e = self.mean_e2e();
+        (queue, load, (e2e - queue - load).max(0.0))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn fraction(values: impl Iterator<Item = f64>, limit: f64) -> f64 {
+    let mut ok = 0usize;
+    let mut n = 0usize;
+    for v in values {
+        if v <= limit {
+            ok += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        ok as f64 / n as f64
+    }
+}
+
+fn percentile(mut values: Vec<f64>, q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pos = (q.clamp(0.0, 1.0) * (values.len() - 1) as f64).round() as usize;
+    values[pos]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dz_workload::Request;
+
+    fn record(e2e: f64, ttft: f64, toks: usize) -> RequestRecord {
+        RequestRecord {
+            id: 0,
+            model: 0,
+            arrival: 0.0,
+            e2e_s: e2e,
+            ttft_s: ttft,
+            queue_s: ttft / 2.0,
+            load_s: 0.1,
+            output_tokens: toks,
+            preemptions: 0,
+        }
+    }
+
+    fn metrics(records: Vec<RequestRecord>) -> Metrics {
+        Metrics {
+            engine: "test".into(),
+            records,
+            makespan_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn means_and_throughput() {
+        let m = metrics(vec![record(2.0, 0.5, 10), record(4.0, 1.5, 30)]);
+        assert!((m.mean_e2e() - 3.0).abs() < 1e-9);
+        assert!((m.mean_ttft() - 1.0).abs() < 1e-9);
+        assert!((m.throughput_rps() - 0.2).abs() < 1e-9);
+        assert!((m.throughput_tps() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_attainment() {
+        let m = metrics(vec![record(1.0, 0.1, 1), record(5.0, 2.0, 1), record(9.0, 4.0, 1)]);
+        assert!((m.slo_attainment_e2e(5.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.slo_attainment_ttft(0.5) - 1.0 / 3.0).abs() < 1e-9);
+        let curve = m.slo_curve(&[1.0, 10.0], false);
+        assert!(curve[1].1 >= curve[0].1, "attainment must be monotone");
+    }
+
+    #[test]
+    fn percentiles() {
+        let m = metrics((1..=100).map(|i| record(i as f64, i as f64 / 10.0, 1)).collect());
+        assert!((m.e2e_percentile(0.5) - 50.0).abs() <= 1.0);
+        assert!(m.e2e_percentile(0.9) > m.e2e_percentile(0.5));
+    }
+
+    #[test]
+    fn breakdown_sums_to_e2e() {
+        let m = metrics(vec![record(2.0, 1.0, 5)]);
+        let (q, l, i) = m.breakdown();
+        assert!((q + l + i - m.mean_e2e()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "never finished")]
+    fn unfinished_requests_are_a_bug() {
+        let st = crate::request::ReqState::new(Request {
+            id: 7,
+            model: 0,
+            arrival: 0.0,
+            prompt_tokens: 1,
+            output_tokens: 1,
+        });
+        let _ = Metrics::from_states("x".into(), &[st], 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Scheduler policy knobs of the DeltaZip engine.
+//!
+//! The paper ships one starvation rule (preempt line-skippers when their
+//! parent finishes, §5.4) and one resume mechanism (swap intermediate state
+//! to CPU memory, §5.4), and flags both as future work in §8: preempting a
+//! request that is about to finish is wasted work, and recomputing from
+//! scratch may beat swap-and-resume. These enums make each choice explicit
+//! so the ablation experiments can sweep them.
+
+/// When line-skipping requests are preempted (§5.4 / §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptionPolicy {
+    /// Never preempt — the "FCFS + skip-the-line" arm of Figure 19.
+    Never,
+    /// Preempt all children of a finished parent (the paper's rule).
+    ParentFinish,
+    /// Like [`PreemptionPolicy::ParentFinish`], but spare children whose
+    /// estimated remaining output is at most `spare_tokens` (§8's output
+    /// length prediction fix). The estimate comes from the engine's
+    /// [`crate::predictor::LengthEstimator`].
+    LengthAware {
+        /// Children predicted to finish within this many more tokens keep
+        /// their slots.
+        spare_tokens: usize,
+    },
+}
+
+impl PreemptionPolicy {
+    /// Whether this policy ever preempts.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, PreemptionPolicy::Never)
+    }
+}
+
+/// How a preempted request's state is restored on re-admission (§5.4 / §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumePolicy {
+    /// Swap the KV cache to host memory on preemption and back on resume:
+    /// the resume charge is a PCIe transfer of the request's KV state.
+    /// This is what the paper's implementation does.
+    #[default]
+    SwapToHost,
+    /// Drop the KV cache and recompute it on resume: the resume charge is
+    /// a prefill over prompt plus already-generated tokens.
+    Recompute,
+    /// Per-request, whichever of swap-in or recompute the cost model says
+    /// is cheaper (§8's "whether and when recomputing from scratch may be
+    /// faster than swap-and-resume").
+    CostBased,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_matches_variants() {
+        assert!(!PreemptionPolicy::Never.enabled());
+        assert!(PreemptionPolicy::ParentFinish.enabled());
+        assert!(PreemptionPolicy::LengthAware { spare_tokens: 8 }.enabled());
+    }
+
+    #[test]
+    fn resume_default_is_the_papers_mechanism() {
+        assert_eq!(ResumePolicy::default(), ResumePolicy::SwapToHost);
+    }
+}

@@ -1,0 +1,123 @@
+//! Runtime request state shared by all engines.
+
+use dz_workload::Request;
+
+/// Lifecycle phase of a request inside an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In the queue, not yet scheduled.
+    Queued,
+    /// Admitted; prompt not yet processed.
+    Admitted,
+    /// Decoding tokens.
+    Running,
+    /// All output tokens produced.
+    Finished,
+}
+
+/// Mutable per-request simulation state.
+#[derive(Debug, Clone)]
+pub struct ReqState {
+    /// The immutable trace request.
+    pub req: Request,
+    /// Current phase.
+    pub phase: Phase,
+    /// Tokens decoded so far.
+    pub tokens_done: usize,
+    /// Time the prompt finished processing (TTFT reference: first token).
+    pub first_token_at: Option<f64>,
+    /// Completion time.
+    pub finished_at: Option<f64>,
+    /// Time spent waiting in queue before first admission.
+    pub first_admitted_at: Option<f64>,
+    /// Seconds of delta/model loading this request waited on.
+    pub load_wait_s: f64,
+    /// Number of times the request was preempted.
+    pub preemptions: usize,
+    /// Queue id of the parent request (skip-the-line bookkeeping).
+    pub parent: Option<usize>,
+}
+
+impl ReqState {
+    /// Wraps a trace request.
+    pub fn new(req: Request) -> Self {
+        ReqState {
+            req,
+            phase: Phase::Queued,
+            tokens_done: 0,
+            first_token_at: None,
+            finished_at: None,
+            first_admitted_at: None,
+            load_wait_s: 0.0,
+            preemptions: 0,
+            parent: None,
+        }
+    }
+
+    /// Whether decoding has produced every output token.
+    pub fn done(&self) -> bool {
+        self.tokens_done >= self.req.output_tokens
+    }
+
+    /// Marks admission (idempotent for preempt/resume cycles).
+    pub fn admit(&mut self, now: f64) {
+        if self.first_admitted_at.is_none() {
+            self.first_admitted_at = Some(now);
+        }
+        self.phase = Phase::Admitted;
+    }
+
+    /// Records the first decoded token.
+    pub fn record_first_token(&mut self, now: f64) {
+        if self.first_token_at.is_none() {
+            self.first_token_at = Some(now);
+        }
+    }
+
+    /// Marks completion.
+    pub fn finish(&mut self, now: f64) {
+        debug_assert!(self.done());
+        self.phase = Phase::Finished;
+        self.finished_at = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request {
+            id: 0,
+            model: 1,
+            arrival: 2.0,
+            prompt_tokens: 10,
+            output_tokens: 3,
+        }
+    }
+
+    #[test]
+    fn lifecycle_progresses() {
+        let mut s = ReqState::new(req());
+        assert_eq!(s.phase, Phase::Queued);
+        s.admit(3.0);
+        assert_eq!(s.first_admitted_at, Some(3.0));
+        s.record_first_token(3.5);
+        s.tokens_done = 3;
+        assert!(s.done());
+        s.finish(4.0);
+        assert_eq!(s.phase, Phase::Finished);
+        assert_eq!(s.finished_at, Some(4.0));
+    }
+
+    #[test]
+    fn first_events_are_sticky() {
+        let mut s = ReqState::new(req());
+        s.admit(3.0);
+        s.admit(9.0);
+        assert_eq!(s.first_admitted_at, Some(3.0));
+        s.record_first_token(5.0);
+        s.record_first_token(8.0);
+        assert_eq!(s.first_token_at, Some(5.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! SLO classes and priority scheduling (§8 of the paper, future work).
+//!
+//! DeltaZip's reordering (skip-the-line) means it "cannot guarantee the SLO
+//! constraints of individual models"; §8 proposes "adding mechanisms to
+//! prioritize models based on their constraints". This module attaches an
+//! [`SloClass`] to each model variant and turns the engine's FCFS queue
+//! scan into a priority scan with aging, so latency-sensitive variants are
+//! selected first without permanently starving the batch tier.
+
+use crate::metrics::Metrics;
+
+/// Latency expectation tier of a model variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SloClass {
+    /// Chat-style variants: tight TTFT target.
+    Interactive,
+    /// Default tier.
+    Standard,
+    /// Offline/bulk variants: throughput matters, latency does not.
+    Batch,
+}
+
+impl SloClass {
+    /// Scheduling rank; lower is scheduled sooner.
+    pub fn rank(&self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// A representative TTFT target (s) used by the experiments' attainment
+    /// reports — Interactive expects a snappy first token, Batch tolerates
+    /// a long queue.
+    pub fn ttft_target_s(&self) -> f64 {
+        match self {
+            SloClass::Interactive => 5.0,
+            SloClass::Standard => 30.0,
+            SloClass::Batch => 120.0,
+        }
+    }
+}
+
+/// Per-model SLO assignment plus the aging rule.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    class_of_model: Vec<SloClass>,
+    /// Seconds of queue wait that promote a request by one class rank.
+    /// Aging bounds starvation: any Batch request eventually outranks
+    /// fresh Interactive arrivals. `f64::INFINITY` disables aging.
+    pub aging_s: f64,
+}
+
+impl SloPolicy {
+    /// Default aging horizon (s).
+    pub const DEFAULT_AGING_S: f64 = 60.0;
+
+    /// Creates a policy with an explicit class per model.
+    pub fn new(class_of_model: Vec<SloClass>) -> Self {
+        SloPolicy {
+            class_of_model,
+            aging_s: Self::DEFAULT_AGING_S,
+        }
+    }
+
+    /// Every model in the same class (degenerates to FCFS).
+    pub fn uniform(n_models: usize, class: SloClass) -> Self {
+        Self::new(vec![class; n_models])
+    }
+
+    /// The first `n_interactive` (most popular under Zipf) models are
+    /// Interactive, the rest Batch — the tiering a provider would sell.
+    pub fn tiered(n_models: usize, n_interactive: usize) -> Self {
+        let classes = (0..n_models)
+            .map(|m| {
+                if m < n_interactive {
+                    SloClass::Interactive
+                } else {
+                    SloClass::Batch
+                }
+            })
+            .collect();
+        Self::new(classes)
+    }
+
+    /// Class of a model (out-of-range models are Standard).
+    pub fn class_of(&self, model: usize) -> SloClass {
+        self.class_of_model
+            .get(model)
+            .copied()
+            .unwrap_or(SloClass::Standard)
+    }
+
+    /// Scheduling score of a queued request; lower scans first. Ties are
+    /// broken by arrival order in the engine.
+    pub fn score(&self, model: usize, wait_s: f64) -> f64 {
+        let aged = if self.aging_s.is_finite() && self.aging_s > 0.0 {
+            wait_s / self.aging_s
+        } else {
+            0.0
+        };
+        self.class_of(model).rank() as f64 - aged
+    }
+
+    /// Splits metrics into per-class views (for attainment reports).
+    pub fn split_metrics(&self, m: &Metrics) -> Vec<(SloClass, Metrics)> {
+        [SloClass::Interactive, SloClass::Standard, SloClass::Batch]
+            .into_iter()
+            .filter_map(|class| {
+                let subset = m.subset(format!("{}/{class:?}", m.engine), |r| {
+                    self.class_of(r.model) == class
+                });
+                (!subset.is_empty()).then_some((class, subset))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RequestRecord;
+
+    #[test]
+    fn ranks_are_ordered() {
+        assert!(SloClass::Interactive.rank() < SloClass::Standard.rank());
+        assert!(SloClass::Standard.rank() < SloClass::Batch.rank());
+        assert!(SloClass::Interactive.ttft_target_s() < SloClass::Batch.ttft_target_s());
+    }
+
+    #[test]
+    fn tiered_assignment() {
+        let p = SloPolicy::tiered(5, 2);
+        assert_eq!(p.class_of(0), SloClass::Interactive);
+        assert_eq!(p.class_of(1), SloClass::Interactive);
+        assert_eq!(p.class_of(2), SloClass::Batch);
+        // Out of range defaults to Standard.
+        assert_eq!(p.class_of(99), SloClass::Standard);
+    }
+
+    #[test]
+    fn fresh_interactive_beats_fresh_batch() {
+        let p = SloPolicy::tiered(4, 1);
+        assert!(p.score(0, 0.0) < p.score(3, 0.0));
+    }
+
+    #[test]
+    fn aging_promotes_waiting_batch_requests() {
+        let p = SloPolicy::tiered(4, 1);
+        // After 2*aging_s + epsilon of waiting, a Batch request outranks a
+        // fresh Interactive one.
+        let waited = 2.0 * p.aging_s + 1.0;
+        assert!(p.score(3, waited) < p.score(0, 0.0));
+    }
+
+    #[test]
+    fn infinite_aging_disables_promotion() {
+        let mut p = SloPolicy::tiered(4, 1);
+        p.aging_s = f64::INFINITY;
+        assert!(p.score(3, 1e9) > p.score(0, 0.0));
+    }
+
+    #[test]
+    fn split_metrics_partitions_records() {
+        let p = SloPolicy::tiered(4, 2);
+        let rec = |model: usize| RequestRecord {
+            id: model,
+            model,
+            arrival: 0.0,
+            e2e_s: 1.0,
+            ttft_s: 0.5,
+            queue_s: 0.1,
+            load_s: 0.0,
+            output_tokens: 4,
+            preemptions: 0,
+        };
+        let m = Metrics {
+            engine: "test".into(),
+            records: vec![rec(0), rec(1), rec(2), rec(3)],
+            makespan_s: 10.0,
+        };
+        let parts = p.split_metrics(&m);
+        assert_eq!(parts.len(), 2);
+        let total: usize = parts.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pathological workloads the schedulers must survive.
+
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_serve::{
+    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, PreemptionPolicy, VllmScbConfig,
+    VllmScbEngine,
+};
+use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
+
+fn cost() -> CostModel {
+    CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())
+}
+
+fn spec(n_models: usize) -> TraceSpec {
+    TraceSpec {
+        n_models,
+        arrival_rate: 1.0,
+        duration_s: 10.0,
+        popularity: PopularityDist::Uniform,
+        seed: 0,
+    }
+}
+
+fn req(id: usize, model: usize, arrival: f64) -> Request {
+    Request {
+        id,
+        model,
+        arrival,
+        prompt_tokens: 16,
+        output_tokens: 8,
+    }
+}
+
+#[test]
+fn simultaneous_arrival_burst() {
+    // Everyone arrives at t=0 across 16 models; both engines must drain.
+    let requests: Vec<Request> = (0..64).map(|i| req(i, i % 16, 0.0)).collect();
+    let trace = Trace {
+        spec: spec(16),
+        requests,
+    };
+    let dz = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&trace);
+    assert_eq!(dz.len(), 64);
+    let vllm = VllmScbEngine::new(cost(), VllmScbConfig::default()).run(&trace);
+    assert_eq!(vllm.len(), 64);
+    assert!(dz.mean_e2e() < vllm.mean_e2e());
+}
+
+#[test]
+fn single_model_workload_preemption_is_a_noop() {
+    // With one variant nobody can starve (there is no other delta to wait
+    // for), so preemption must never trigger and results are identical.
+    let requests: Vec<Request> = (0..20).map(|i| req(i, 0, i as f64 * 0.3)).collect();
+    let trace = Trace {
+        spec: spec(1),
+        requests,
+    };
+    let on = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&trace);
+    let off = DeltaZipEngine::new(
+        cost(),
+        DeltaZipConfig {
+            preemption: PreemptionPolicy::Never,
+            ..DeltaZipConfig::default()
+        },
+    )
+    .run(&trace);
+    assert_eq!(on.mean_e2e(), off.mean_e2e());
+    assert_eq!(on.makespan_s, off.makespan_s);
+    assert!(on.records.iter().all(|r| r.preemptions == 0));
+}
+
+#[test]
+fn one_request_per_model_many_models() {
+    // 64 models, one request each: maximal swap pressure.
+    let requests: Vec<Request> = (0..64).map(|i| req(i, i, i as f64 * 0.05)).collect();
+    let trace = Trace {
+        spec: spec(64),
+        requests,
+    };
+    let dz = DeltaZipEngine::new(
+        cost(),
+        DeltaZipConfig {
+            max_concurrent_deltas: 8,
+            ..DeltaZipConfig::default()
+        },
+    )
+    .run(&trace);
+    assert_eq!(dz.len(), 64);
+    // Every request needed a cold delta load at least once.
+    assert!(dz.records.iter().all(|r| r.load_s > 0.0));
+}
+
+#[test]
+fn single_token_outputs() {
+    let requests: Vec<Request> = (0..8)
+        .map(|i| Request {
+            id: i,
+            model: i % 2,
+            arrival: i as f64 * 0.1,
+            prompt_tokens: 1,
+            output_tokens: 1,
+        })
+        .collect();
+    let trace = Trace {
+        spec: spec(2),
+        requests,
+    };
+    let m = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&trace);
+    assert_eq!(m.len(), 8);
+    for r in &m.records {
+        assert!(r.ttft_s > 0.0 && (r.e2e_s - r.ttft_s).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tiny_batch_cap_still_drains() {
+    let requests: Vec<Request> = (0..30).map(|i| req(i, i % 5, 0.0)).collect();
+    let trace = Trace {
+        spec: spec(5),
+        requests,
+    };
+    let m = DeltaZipEngine::new(
+        cost(),
+        DeltaZipConfig {
+            max_batch: 1,
+            max_concurrent_deltas: 1,
+            ..DeltaZipConfig::default()
+        },
+    )
+    .run(&trace);
+    assert_eq!(m.len(), 30);
+}
+
+#[test]
+fn huge_outputs_do_not_starve_short_ones() {
+    // One long-running request plus a stream of short ones for another
+    // model; the short ones must not wait for the long one to finish.
+    let mut requests = vec![Request {
+        id: 0,
+        model: 0,
+        arrival: 0.0,
+        prompt_tokens: 32,
+        output_tokens: 2000,
+    }];
+    for i in 1..12 {
+        requests.push(Request {
+            id: i,
+            model: 1,
+            arrival: 0.2 * i as f64,
+            prompt_tokens: 8,
+            output_tokens: 8,
+        });
+    }
+    let trace = Trace {
+        spec: spec(2),
+        requests,
+    };
+    let m = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&trace);
+    let long = &m.records.iter().find(|r| r.id == 0).unwrap();
+    let shorts: Vec<_> = m.records.iter().filter(|r| r.id != 0).collect();
+    assert!(shorts.iter().all(|r| r.e2e_s < long.e2e_s / 4.0));
+}

@@ -1,0 +1,228 @@
+//! The small amount of dense linear algebra needed by the OBS solver.
+//!
+//! SparseGPT-style compression needs the inverse of a (damped) Hessian
+//! `H = X X^T + lambda I`, which is symmetric positive definite. We provide a
+//! Cholesky factorization, triangular solves, and a PSD inverse built from
+//! them. `f64` accumulation keeps the factorization stable for the modest
+//! matrix sizes used here (up to a few thousand).
+
+use crate::matrix::Matrix;
+
+/// Error type for factorizations that can fail on bad input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// The matrix is not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L L^T`.
+///
+/// Only the lower triangle of `a` is read. Returns an error if a pivot is
+/// non-positive, which for our use means the damping term was too small.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a.get(j, j) as f64;
+        for k in 0..j {
+            let v = l.get(j, k) as f64;
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let djj = d.sqrt();
+        l.set(j, j, djj as f32);
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a.get(i, j) as f64;
+            for k in 0..j {
+                s -= l.get(i, k) as f64 * l.get(j, k) as f64;
+            }
+            l.set(i, j, (s / djj) as f32);
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for lower-triangular `L` (forward substitution).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn solve_lower(l: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "solve_lower needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut y = vec![0.0f32; n];
+    for i in 0..n {
+        let mut s = b[i] as f64;
+        let row = l.row(i);
+        for (k, yk) in y.iter().enumerate().take(i) {
+            s -= row[k] as f64 * *yk as f64;
+        }
+        y[i] = (s / l.get(i, i) as f64) as f32;
+    }
+    y
+}
+
+/// Solves `L^T x = y` for lower-triangular `L` (backward substitution).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn solve_lower_transpose(l: &Matrix, y: &[f32]) -> Vec<f32> {
+    let n = l.rows();
+    assert_eq!(l.cols(), n, "solve_lower_transpose needs a square matrix");
+    assert_eq!(y.len(), n, "rhs length mismatch");
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut s = y[i] as f64;
+        for k in (i + 1)..n {
+            s -= l.get(k, i) as f64 * x[k] as f64;
+        }
+        x[i] = (s / l.get(i, i) as f64) as f32;
+    }
+    x
+}
+
+/// Inverse of a symmetric positive definite matrix via Cholesky.
+///
+/// Solves `A x_i = e_i` column by column; `O(n^3)` like the factorization
+/// itself, which is fine at the layer widths used in this reproduction.
+pub fn inverse_psd(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0f32; n];
+    for i in 0..n {
+        e[i] = 1.0;
+        let y = solve_lower(&l, &e);
+        let x = solve_lower_transpose(&l, &y);
+        for (r, v) in x.iter().enumerate() {
+            inv.set(r, i, *v);
+        }
+        e[i] = 0.0;
+    }
+    Ok(inv)
+}
+
+/// Upper-triangular Cholesky of the *inverse*: returns `U` with
+/// `A^{-1} = U^T U` computed as the transpose-inverse of `L`.
+///
+/// SparseGPT works with the upper Cholesky factor of `H^{-1}`; exposing it
+/// directly avoids forming the full inverse in the solver's hot loop.
+pub fn cholesky_inverse_upper(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let inv = inverse_psd(a)?;
+    // Cholesky of the inverse, then transpose to get the upper factor.
+    let l = cholesky(&inv)?;
+    Ok(l.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seeded(seed);
+        let x = Matrix::randn(n, n + 4, 1.0, &mut rng);
+        // X X^T + n*I is comfortably positive definite.
+        let mut a = x.matmul_nt(&x);
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f32);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = random_spd(12, 1);
+        let l = cholesky(&a).unwrap();
+        let rec = l.matmul_nt(&l);
+        assert!(a.max_abs_diff(&rec) < 1e-2, "diff {}", a.max_abs_diff(&rec));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(cholesky(&a), Err(LinalgError::NotSquare));
+    }
+
+    #[test]
+    fn triangular_solves_invert_l() {
+        let a = random_spd(8, 2);
+        let l = cholesky(&a).unwrap();
+        let b: Vec<f32> = (0..8).map(|i| i as f32 - 3.0).collect();
+        let y = solve_lower(&l, &b);
+        // L y should equal b.
+        let ly = l.matvec(&y);
+        for (u, v) in ly.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-3);
+        }
+        let x = solve_lower_transpose(&l, &y);
+        let ltx = l.transpose().matvec(&x);
+        for (u, v) in ltx.iter().zip(y.iter()) {
+            assert!((u - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn inverse_psd_gives_identity() {
+        let a = random_spd(10, 3);
+        let inv = inverse_psd(&a).unwrap();
+        let id = a.matmul(&inv);
+        let eye = Matrix::identity(10);
+        assert!(id.max_abs_diff(&eye) < 1e-2, "diff {}", id.max_abs_diff(&eye));
+    }
+
+    #[test]
+    fn cholesky_inverse_upper_reconstructs_inverse() {
+        let a = random_spd(9, 4);
+        let u = cholesky_inverse_upper(&a).unwrap();
+        let inv = inverse_psd(&a).unwrap();
+        let rec = u.matmul_tn(&u);
+        assert!(
+            rec.max_abs_diff(&inv) < 1e-2,
+            "diff {}",
+            rec.max_abs_diff(&inv)
+        );
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let inv = inverse_psd(&Matrix::identity(5)).unwrap();
+        assert!(inv.max_abs_diff(&Matrix::identity(5)) < 1e-6);
+    }
+}

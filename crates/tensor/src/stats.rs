@@ -1,0 +1,236 @@
+//! Summary statistics and histograms used by the experiment harness.
+//!
+//! Figure 3 of the paper plots the magnitude distribution of a base weight
+//! matrix, its fine-tuned counterpart, and their delta; the serving metrics
+//! report means and percentiles. This module hosts those small utilities so
+//! they are shared (and tested) in one place.
+
+/// Basic distribution summary of a slice of values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of the given values.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(values: &[f32]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            let v = v as f64;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let mean = sum / n;
+        let var = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Summary {
+            count: values.len(),
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// A fixed-range histogram with uniform bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        if v < self.lo || v >= self.hi || !v.is_finite() {
+            self.outliers += 1;
+            return;
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every element of a slice.
+    pub fn add_all(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.add(v as f64);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of out-of-range samples.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Renders a compact ASCII sparkline of the distribution.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| GLYPHS[(c as usize * (GLYPHS.len() - 1)) / max as usize])
+            .collect()
+    }
+}
+
+/// Returns the `q`-quantile (0.0..=1.0) of the values using linear
+/// interpolation on the sorted order statistics.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Mean of a slice of `f64` (0.0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.99);
+        h.add(-1.0);
+        h.add(10.0); // Boundary is exclusive on the right.
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.outliers(), 2);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_sparkline_length() {
+        let mut h = Histogram::new(0.0, 1.0, 16);
+        h.add_all(&[0.1, 0.1, 0.9]);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 16);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = vec![0.0, 10.0];
+        assert!((quantile(&v, 0.3).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Prompt/output length distributions.
+
+use dz_tensor::Rng;
+
+/// Log-normal token-length model with clipping.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthModel {
+    /// Log-mean of the prompt length.
+    pub prompt_mu: f64,
+    /// Log-std of the prompt length.
+    pub prompt_sigma: f64,
+    /// Log-mean of the output length.
+    pub output_mu: f64,
+    /// Log-std of the output length.
+    pub output_sigma: f64,
+    /// Inclusive clip range for both.
+    pub min_tokens: usize,
+    /// Upper clip.
+    pub max_tokens: usize,
+}
+
+impl LengthModel {
+    /// Parameters matching published LMSys Chatbot Arena statistics
+    /// (median prompt ~50 tokens with a heavy tail, outputs ~200).
+    pub fn lmsys_like() -> Self {
+        LengthModel {
+            prompt_mu: 4.0,  // median ~55 tokens
+            prompt_sigma: 0.9,
+            output_mu: 5.1,  // median ~165 tokens
+            output_sigma: 0.7,
+            min_tokens: 4,
+            max_tokens: 2048,
+        }
+    }
+
+    /// Samples `(prompt_tokens, output_tokens)`.
+    pub fn sample(&self, rng: &mut Rng) -> (usize, usize) {
+        let p = rng.lognormal(self.prompt_mu, self.prompt_sigma);
+        let o = rng.lognormal(self.output_mu, self.output_sigma);
+        (
+            (p as usize).clamp(self.min_tokens, self.max_tokens),
+            (o as usize).clamp(self.min_tokens, self.max_tokens),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_stay_in_bounds() {
+        let m = LengthModel::lmsys_like();
+        let mut rng = Rng::seeded(1);
+        for _ in 0..5000 {
+            let (p, o) = m.sample(&mut rng);
+            assert!((m.min_tokens..=m.max_tokens).contains(&p));
+            assert!((m.min_tokens..=m.max_tokens).contains(&o));
+        }
+    }
+
+    #[test]
+    fn medians_match_targets() {
+        let m = LengthModel::lmsys_like();
+        let mut rng = Rng::seeded(2);
+        let mut prompts: Vec<usize> = (0..20000).map(|_| m.sample(&mut rng).0).collect();
+        prompts.sort_unstable();
+        let median = prompts[prompts.len() / 2] as f64;
+        assert!((40.0..75.0).contains(&median), "prompt median {median}");
+        let mut outs: Vec<usize> = (0..20000).map(|_| m.sample(&mut rng).1).collect();
+        outs.sort_unstable();
+        let omedian = outs[outs.len() / 2] as f64;
+        assert!((120.0..220.0).contains(&omedian), "output median {omedian}");
+    }
+
+    #[test]
+    fn distribution_has_a_heavy_tail() {
+        let m = LengthModel::lmsys_like();
+        let mut rng = Rng::seeded(3);
+        let lens: Vec<usize> = (0..20000).map(|_| m.sample(&mut rng).0).collect();
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(mean > median * 1.2, "mean {mean} vs median {median}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Multi-variant LLM serving workload generation.
+//!
+//! The paper drives its serving experiments with prompts/responses sampled
+//! from the LMSys Chatbot Arena trace, Poisson arrivals, and three model
+//! popularity regimes: uniform, Zipf-skewed, and the Azure serverless
+//! function trace as a bursty proxy. None of those datasets ship here, so
+//! this crate synthesizes traces with the same published characteristics:
+//!
+//! * arrivals — a global Poisson process at rate λ ([`arrivals`]),
+//! * popularity — uniform, Zipf(α), or an Azure-like ON/OFF burst model
+//!   with heavy-tailed per-model rates ([`popularity`]),
+//! * lengths — log-normal prompt/output token counts clipped to the ranges
+//!   reported for LMSys conversations ([`lengths`]).
+//!
+//! Traces serialize to JSONL for inspection and replay.
+
+pub mod arrivals;
+pub mod lengths;
+pub mod popularity;
+pub mod stats;
+pub mod trace;
+
+pub use popularity::PopularityDist;
+pub use trace::{Request, Trace, TraceSpec};

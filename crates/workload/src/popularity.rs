@@ -1,0 +1,194 @@
+//! Model-popularity distributions: uniform, Zipf, and Azure-like bursts.
+
+use dz_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How requests distribute over model variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PopularityDist {
+    /// All variants equally popular.
+    Uniform,
+    /// Static skew: variant `i` has weight `1 / (i+1)^alpha`.
+    Zipf {
+        /// Skew exponent (the paper uses 1.5 end-to-end, 3.0-5.0 in the
+        /// delta-placement microbenchmark).
+        alpha: f64,
+    },
+    /// Bursty proxy for the Azure serverless trace: each variant cycles
+    /// through ON/OFF phases; weights are heavy-tailed and only ON models
+    /// receive traffic.
+    AzureLike,
+}
+
+/// A sampler assigning a model to each arrival instant.
+pub struct ModelPicker {
+    kind: PickerKind,
+}
+
+enum PickerKind {
+    Static {
+        weights: Vec<f64>,
+    },
+    Bursty {
+        /// Per-model heavy-tailed base weight.
+        weights: Vec<f64>,
+        /// Per-model ON/OFF schedule as sorted phase-change times.
+        schedules: Vec<Vec<(f64, bool)>>,
+    },
+}
+
+impl PopularityDist {
+    /// Builds a sampler for `n_models` over a trace of `duration_s`.
+    pub fn sampler(self, n_models: usize, duration_s: f64, rng: &mut Rng) -> ModelPicker {
+        assert!(n_models > 0, "need at least one model");
+        match self {
+            PopularityDist::Uniform => ModelPicker {
+                kind: PickerKind::Static {
+                    weights: vec![1.0; n_models],
+                },
+            },
+            PopularityDist::Zipf { alpha } => ModelPicker {
+                kind: PickerKind::Static {
+                    weights: (0..n_models)
+                        .map(|i| 1.0 / ((i + 1) as f64).powf(alpha))
+                        .collect(),
+                },
+            },
+            PopularityDist::AzureLike => {
+                // Heavy-tailed base popularity (Zipf-1.2) plus ON/OFF phases:
+                // mean ON 20 s, mean OFF 60 s, head models mostly ON.
+                let weights: Vec<f64> = (0..n_models)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(1.2))
+                    .collect();
+                let schedules = (0..n_models)
+                    .map(|i| {
+                        let mut phases = Vec::new();
+                        // Head models stay on longer.
+                        let on_mean = 20.0 + 60.0 / (i + 1) as f64;
+                        let off_mean = 10.0 + 8.0 * i as f64;
+                        let mut t = 0.0;
+                        let mut on = rng.bernoulli(0.5);
+                        phases.push((0.0, on));
+                        while t < duration_s {
+                            let dwell = if on {
+                                rng.exponential(1.0 / on_mean)
+                            } else {
+                                rng.exponential(1.0 / off_mean)
+                            };
+                            t += dwell;
+                            on = !on;
+                            phases.push((t, on));
+                        }
+                        phases
+                    })
+                    .collect();
+                ModelPicker {
+                    kind: PickerKind::Bursty { weights, schedules },
+                }
+            }
+        }
+    }
+}
+
+impl ModelPicker {
+    /// Chooses a model for an arrival at time `t`.
+    pub fn pick(&self, t: f64, rng: &mut Rng) -> usize {
+        match &self.kind {
+            PickerKind::Static { weights } => rng.weighted(weights),
+            PickerKind::Bursty { weights, schedules } => {
+                let effective: Vec<f64> = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| if is_on(&schedules[i], t) { *w } else { 0.0 })
+                    .collect();
+                if effective.iter().sum::<f64>() <= 0.0 {
+                    // Everyone OFF: fall back to base weights so the arrival
+                    // still lands somewhere (the trace has no gaps).
+                    rng.weighted(weights)
+                } else {
+                    rng.weighted(&effective)
+                }
+            }
+        }
+    }
+}
+
+fn is_on(schedule: &[(f64, bool)], t: f64) -> bool {
+    // Last phase change at or before t.
+    let mut on = schedule.first().map(|&(_, s)| s).unwrap_or(true);
+    for &(at, state) in schedule {
+        if at <= t {
+            on = state;
+        } else {
+            break;
+        }
+    }
+    on
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_roughly_even() {
+        let mut rng = Rng::seeded(1);
+        let picker = PopularityDist::Uniform.sampler(4, 100.0, &mut rng);
+        let mut counts = [0usize; 4];
+        for i in 0..8000 {
+            counts[picker.pick(i as f64 * 0.01, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 8000.0;
+            assert!((frac - 0.25).abs() < 0.03, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_orders_models_by_rank() {
+        let mut rng = Rng::seeded(2);
+        let picker = PopularityDist::Zipf { alpha: 1.5 }.sampler(6, 100.0, &mut rng);
+        let mut counts = [0usize; 6];
+        for i in 0..20000 {
+            counts[picker.pick(i as f64 * 0.005, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts[0] as f64 / 20000.0 > 0.4);
+    }
+
+    #[test]
+    fn azure_like_has_quiet_periods() {
+        let mut rng = Rng::seeded(3);
+        let picker = PopularityDist::AzureLike.sampler(10, 600.0, &mut rng);
+        // For a mid-tail model, find a window with zero picks and a window
+        // with many (burstiness).
+        let mut hits_per_window = vec![0usize; 60];
+        for i in 0..30000 {
+            let t = i as f64 * 0.02; // 600 s span.
+            let m = picker.pick(t, &mut rng);
+            if m == 4 {
+                hits_per_window[(t / 10.0) as usize] += 1;
+            }
+        }
+        let max = *hits_per_window.iter().max().unwrap();
+        let zeros = hits_per_window.iter().filter(|&&c| c == 0).count();
+        assert!(max > 5, "model 4 never bursts: {hits_per_window:?}");
+        assert!(zeros > 5, "model 4 never goes quiet");
+    }
+
+    #[test]
+    fn is_on_walks_schedule() {
+        let sched = vec![(0.0, false), (5.0, true), (9.0, false)];
+        assert!(!is_on(&sched, 1.0));
+        assert!(is_on(&sched, 6.0));
+        assert!(!is_on(&sched, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one model")]
+    fn zero_models_rejected() {
+        let mut rng = Rng::seeded(4);
+        let _ = PopularityDist::Uniform.sampler(0, 10.0, &mut rng);
+    }
+}

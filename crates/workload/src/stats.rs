@@ -1,0 +1,108 @@
+//! Trace statistics: the per-window invocation matrix behind Figure 1.
+
+use crate::trace::Trace;
+
+/// Per-model invocation counts in fixed windows.
+///
+/// `counts[m][w]` is the number of requests for model `m` arriving in
+/// window `w` of `window_s` seconds — the heat-map of Figure 1.
+pub fn invocation_matrix(trace: &Trace, window_s: f64) -> Vec<Vec<usize>> {
+    assert!(window_s > 0.0, "window must be positive");
+    let n_windows = (trace.spec.duration_s / window_s).ceil() as usize;
+    let mut counts = vec![vec![0usize; n_windows.max(1)]; trace.spec.n_models];
+    for r in &trace.requests {
+        let w = ((r.arrival / window_s) as usize).min(n_windows.saturating_sub(1));
+        counts[r.model][w] += 1;
+    }
+    counts
+}
+
+/// Fraction of (model, window) cells with zero requests — the "yellow area"
+/// of Figure 1 that motivates multiplexing.
+pub fn idle_fraction(matrix: &[Vec<usize>]) -> f64 {
+    let total: usize = matrix.iter().map(|row| row.len()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let idle: usize = matrix
+        .iter()
+        .map(|row| row.iter().filter(|&&c| c == 0).count())
+        .sum();
+    idle as f64 / total as f64
+}
+
+/// Renders the matrix as an ASCII heat map (one row per model).
+pub fn render_heatmap(matrix: &[Vec<usize>]) -> String {
+    const SHADES: [char; 5] = ['.', '░', '▒', '▓', '█'];
+    let max = matrix
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut out = String::new();
+    for (m, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("model {m:>3} |"));
+        for &c in row {
+            let idx = if c == 0 {
+                0
+            } else {
+                1 + (c * (SHADES.len() - 2)) / max
+            };
+            out.push(SHADES[idx.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::PopularityDist;
+    use crate::trace::{Trace, TraceSpec};
+
+    fn trace(pop: PopularityDist) -> Trace {
+        Trace::generate(TraceSpec {
+            n_models: 6,
+            arrival_rate: 1.0,
+            duration_s: 120.0,
+            popularity: pop,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn matrix_counts_every_request() {
+        let t = trace(PopularityDist::Uniform);
+        let m = invocation_matrix(&t, 10.0);
+        let total: usize = m.iter().flat_map(|r| r.iter()).sum();
+        assert_eq!(total, t.len());
+        assert_eq!(m.len(), 6);
+        assert_eq!(m[0].len(), 12);
+    }
+
+    #[test]
+    fn skewed_traces_have_more_idle_cells() {
+        let u = idle_fraction(&invocation_matrix(&trace(PopularityDist::Uniform), 10.0));
+        let z = idle_fraction(&invocation_matrix(
+            &trace(PopularityDist::Zipf { alpha: 1.5 }),
+            10.0,
+        ));
+        assert!(z > u, "zipf idle {z} vs uniform idle {u}");
+    }
+
+    #[test]
+    fn heatmap_renders_one_row_per_model() {
+        let t = trace(PopularityDist::AzureLike);
+        let m = invocation_matrix(&t, 10.0);
+        let map = render_heatmap(&m);
+        assert_eq!(map.lines().count(), 6);
+    }
+
+    #[test]
+    fn idle_fraction_of_empty_matrix_is_zero() {
+        assert_eq!(idle_fraction(&[]), 0.0);
+    }
+}

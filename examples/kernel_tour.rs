@@ -1,0 +1,110 @@
+//! Kernel tour: the packed formats, the fused dequant GEMMs, SBMM, and the
+//! GPU performance model behind Figures 6 and 7.
+//!
+//! ```text
+//! cargo run --release --example kernel_tour
+//! ```
+
+use dz_compress::obs::{compress_matrix, ObsConfig};
+use dz_compress::pack::CompressedMatrix;
+use dz_compress::quant::QuantSpec;
+use dz_gpusim::kernel::{
+    normalized_achieved_flops, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat,
+};
+use dz_gpusim::spec::A800;
+use dz_kernels::{quant_gemm, sbmm_grouped, sbmm_naive};
+use dz_tensor::{Matrix, Rng};
+use std::time::Instant;
+
+fn main() {
+    let mut rng = Rng::seeded(1);
+    let (d_in, d_out) = (256, 256);
+
+    // Pack a small delta at 4-bit + 2:4.
+    let delta = Matrix::randn(d_in, d_out, 0.01, &mut rng);
+    let cfg = ObsConfig {
+        spec: QuantSpec::new(4, 16),
+        sparse24: true,
+        damp: 0.05,
+    };
+    let packed = compress_matrix(&delta, &Matrix::identity(d_in), &cfg).packed;
+    println!(
+        "packed {}x{} delta: {} bytes vs {} FP16 bytes ({:.2}x), {:.0}% zero levels",
+        d_in,
+        d_out,
+        packed.packed_bytes(),
+        packed.fp16_bytes(),
+        packed.fp16_bytes() as f64 / packed.packed_bytes() as f64,
+        packed.zero_level_fraction() * 100.0
+    );
+
+    // Fused dequant GEMM numerics.
+    let x = Matrix::randn(8, d_in, 1.0, &mut rng);
+    let fused = quant_gemm(&x, &packed);
+    let reference = x.matmul(&packed.dequantize());
+    println!(
+        "fused dequant GEMM max |err| vs dense reference: {:.2e}",
+        fused.max_abs_diff(&reference)
+    );
+
+    // SBMM: grouped equals naive, and is faster on CPU too.
+    let n_models = 16usize;
+    let deltas: Vec<CompressedMatrix> = (0..n_models)
+        .map(|i| {
+            let w = Matrix::randn(d_in, d_out, 0.01, &mut Rng::seeded(100 + i as u64));
+            compress_matrix(&w, &Matrix::identity(d_in), &cfg).packed
+        })
+        .collect();
+    let refs: Vec<&CompressedMatrix> = deltas.iter().collect();
+    let xb = Matrix::randn(64, d_in, 1.0, &mut rng);
+    let idx: Vec<usize> = (0..64).map(|i| i % n_models).collect();
+    let t0 = Instant::now();
+    let a = sbmm_naive(&xb, &idx, &refs);
+    let naive_t = t0.elapsed();
+    let t1 = Instant::now();
+    let b = sbmm_grouped(&xb, &idx, &refs);
+    let grouped_t = t1.elapsed();
+    assert_eq!(a, b);
+    println!(
+        "SBMM over {n_models} deltas x 64 requests: naive {naive_t:?}, grouped {grouped_t:?} (equal outputs)"
+    );
+
+    // GPU performance model: the Figure 6 story.
+    println!("\nGPU model (A800), normalized achieved FLOPs vs input size:");
+    println!("{:>8} {:>10} {:>10} {:>14}", "m", "FP16", "Int4", "SparseInt4");
+    for exp in [0u32, 2, 4, 8, 12] {
+        let m = 1usize << exp;
+        let f = |format| {
+            normalized_achieved_flops(&A800, &MatmulDesc { m, k: 4096, n: 4096, format })
+        };
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>14.3}",
+            m,
+            f(WeightFormat::Fp16),
+            f(WeightFormat::Int { bits: 4, sparse24: false }),
+            f(WeightFormat::Int { bits: 4, sparse24: true }),
+        );
+    }
+
+    // And the Figure 7 story: kernel-launch amortization.
+    let reqs = vec![1usize; 64];
+    let fmt = WeightFormat::Int { bits: 4, sparse24: true };
+    println!("\n64 single-request deltas, 4096^2 (GPU model):");
+    for (name, strat) in [
+        ("FP16 for-loop", BatchedImpl::Fp16ForLoop),
+        ("FP16 bmm", BatchedImpl::Fp16Bmm),
+        ("naive for-loop", BatchedImpl::NaiveForLoop),
+        ("SBMM (reorder)", BatchedImpl::Sbmm),
+        ("SBMM+ (fused)", BatchedImpl::SbmmPlus),
+    ] {
+        let f = if matches!(strat, BatchedImpl::Fp16ForLoop | BatchedImpl::Fp16Bmm) {
+            WeightFormat::Fp16
+        } else {
+            fmt
+        };
+        println!(
+            "  {name:<16} {:>8.3} ms",
+            sbmm_time(&A800, &reqs, 4096, 4096, f, strat) * 1e3
+        );
+    }
+}

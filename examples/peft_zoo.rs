@@ -1,0 +1,120 @@
+//! PEFT zoo: fine-tune one tiny base with LoRA, RoSA and GaLore, register
+//! everything with the DeltaZip facade, and compare accuracy, artifact
+//! size and which serving path each method needs (§8).
+//!
+//! LoRA's update is exactly rank-r; RoSA adds a sparse component; GaLore's
+//! accumulated update is full-rank, so only the ΔCompress delta path can
+//! serve it — the point of the paper's §8 discussion.
+//!
+//! ```text
+//! cargo run --release --example peft_zoo
+//! ```
+
+use deltazip::DeltaZip;
+use dz_compress::pipeline::DeltaCompressConfig;
+use dz_model::eval::task_accuracy;
+use dz_model::galore::{finetune_galore, low_rank_residual, GaloreConfig};
+use dz_model::lora::{finetune_lora, LoraAdapter, LoraConfig};
+use dz_model::rosa::{finetune_rosa, RosaAdapter, RosaConfig};
+use dz_model::tasks::{Corpus, RecallTask};
+use dz_model::train::{finetune_fmt, pretrain, TrainConfig};
+use dz_model::transformer::{ModelConfig, Params};
+use dz_tensor::Rng;
+
+fn main() {
+    let cfg = ModelConfig {
+        d_model: 32,
+        n_heads: 4,
+        d_ff: 64,
+        ..dz_model::transformer::test_config()
+    };
+    let task = RecallTask;
+    let rank = 4;
+    let train = TrainConfig {
+        steps: 400,
+        batch: 8,
+        lr: 1e-2,
+        clip: 1.0,
+        seed: 7,
+    };
+
+    println!("pre-training a tiny base...");
+    let mut rng = Rng::seeded(1);
+    let mut base = Params::init(cfg, &mut rng);
+    pretrain(&mut base, &Corpus::new(cfg.max_seq), TrainConfig::pretrain(300));
+
+    println!("fine-tuning four ways (LoRA / RoSA / GaLore / FMT)...");
+    let mut lora = LoraAdapter::init(&base, LoraConfig::rank(rank), &mut rng);
+    finetune_lora(&base, &mut lora, &task, train);
+
+    let mut rosa = RosaAdapter::init(&base, RosaConfig::new(rank, 0.05), &mut rng);
+    finetune_rosa(&base, &mut rosa, &task, train);
+
+    let mut galore_model = base.clone();
+    finetune_galore(
+        &mut galore_model,
+        &task,
+        TrainConfig {
+            lr: 3e-3,
+            ..train
+        },
+        GaloreConfig::rank(rank),
+    );
+
+    let mut fmt = base.clone();
+    finetune_fmt(
+        &mut fmt,
+        &task,
+        TrainConfig {
+            lr: 3e-3,
+            ..train
+        },
+    );
+
+    println!("registering everything with the DeltaZip facade...\n");
+    let mut dz = DeltaZip::new();
+    let b = dz.register_base("tiny-base", base.clone()).expect("fresh name");
+    let v_lora = dz.register_lora("variant-lora", b, lora).expect("fresh name");
+    let v_rosa = dz.register_rosa("variant-rosa", b, rosa).expect("fresh name");
+    let v_galore = dz
+        .register_fmt_variant("variant-galore", b, &galore_model, DeltaCompressConfig::starred(4))
+        .expect("fresh name");
+    let v_fmt = dz
+        .register_fmt_variant("variant-fmt", b, &fmt, DeltaCompressConfig::starred(4))
+        .expect("fresh name");
+
+    let mut eval_rng = Rng::seeded(42);
+    println!(
+        "{:<16} {:>9} {:>14} {:>10} {}",
+        "variant", "acc (%)", "swap bytes", "rank-res", "serving path"
+    );
+    for (vid, name) in [
+        (v_lora, "LoRA"),
+        (v_rosa, "RoSA"),
+        (v_galore, "GaLore+ΔC"),
+        (v_fmt, "FMT+ΔC"),
+    ] {
+        let served = dz.reconstruct(vid).expect("registered variant");
+        let acc = task_accuracy(&served, &task, 300, &mut eval_rng) * 100.0;
+        let info = dz.manager().variant(vid).expect("registered variant");
+        let delta = served
+            .get("layer0.wq")
+            .expect("projection exists")
+            .sub(base.get("layer0.wq").expect("projection exists"));
+        let residual = low_rank_residual(&delta, rank, &mut eval_rng);
+        let path = match info.artifact {
+            deltazip::VariantArtifact::Delta(_) => "compressed delta (SBMM)",
+            deltazip::VariantArtifact::Lora(_) => "adapter (SGMV)",
+            deltazip::VariantArtifact::Rosa(_) => "adapter + sparse",
+        };
+        println!(
+            "{name:<16} {acc:>9.1} {:>14} {residual:>10.2} {path}",
+            info.artifact.swap_bytes()
+        );
+    }
+    println!(
+        "\nrank-res = residual of the best rank-{rank} fit to the layer0.wq delta;"
+    );
+    println!("~0 means the update is low-rank (adapter-servable), large means it");
+    println!("needs the full-model delta path that DeltaZip adds.");
+}

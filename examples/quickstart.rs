@@ -1,0 +1,75 @@
+//! Quickstart: train a base + one fine-tuned variant, register both with
+//! DeltaZip, and serve the variant through the decoupled base+delta path.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deltazip::DeltaZip;
+use dz_compress::pipeline::DeltaCompressConfig;
+use dz_model::eval::task_accuracy;
+use dz_model::tasks::{Corpus, SentimentTask, Task};
+use dz_model::train::{finetune_fmt, pretrain, TrainConfig};
+use dz_model::transformer::{ModelConfig, Params};
+use dz_model::vocab;
+use dz_tensor::Rng;
+
+fn main() {
+    // 1. Pre-train a tiny base model on the synthetic corpus.
+    let cfg = ModelConfig {
+        vocab: vocab::MIN_VOCAB,
+        d_model: 32,
+        n_layers: 2,
+        n_heads: 4,
+        d_ff: 64,
+        max_seq: 24,
+    };
+    let mut rng = Rng::seeded(7);
+    let mut base = Params::init(cfg, &mut rng);
+    let corpus = Corpus::new(cfg.max_seq);
+    println!("pre-training base ({} params)...", cfg.param_count());
+    pretrain(&mut base, &corpus, TrainConfig::pretrain(300));
+
+    // 2. Full-model fine-tune a sentiment variant.
+    let mut tuned = base.clone();
+    println!("fine-tuning variant on the sentiment task...");
+    finetune_fmt(&mut tuned, &SentimentTask, TrainConfig {
+        steps: 600,
+        batch: 8,
+        lr: 2e-3,
+        clip: 1.0,
+        seed: 11,
+    });
+    let fmt_acc = task_accuracy(&tuned, &SentimentTask, 300, &mut Rng::seeded(1));
+
+    // 3. Register with DeltaZip: the delta is extracted and ΔCompressed.
+    let mut dz = DeltaZip::new();
+    let b = dz.register_base("tiny-base", base).expect("register base");
+    let v = dz
+        .register_fmt_variant("tiny-sentiment", b, &tuned, DeltaCompressConfig::starred(4))
+        .expect("register variant");
+    let report = dz.size_report(v).expect("delta variant");
+    println!(
+        "compressed: model {:.2}x smaller (delta alone {:.2}x), {} -> {} bytes",
+        report.model_ratio(),
+        report.delta_ratio(),
+        report.full_fp16_bytes,
+        report.compressed_linear_bytes + report.uncompressed_rest_bytes,
+    );
+
+    // 4. Quality check: the compressed variant keeps its accuracy.
+    let rec = dz.reconstruct(v).expect("reconstruct");
+    let rec_acc = task_accuracy(&rec, &SentimentTask, 300, &mut Rng::seeded(1));
+    println!("accuracy: FMT {:.1}% -> ΔCompressed {:.1}%", fmt_acc * 100.0, rec_acc * 100.0);
+
+    // 5. Serve: greedy generation through base GEMM + SBMM delta kernels.
+    let ex = SentimentTask.sample(&mut Rng::seeded(5));
+    let prompt = ex.prompt();
+    let out = dz.generate(v, prompt, 1).expect("generate");
+    println!(
+        "prompt  {:?}\nanswer  {} (expected {})",
+        vocab::render_seq(prompt),
+        vocab::render(out[0]),
+        vocab::render(ex.answer()[0]),
+    );
+}

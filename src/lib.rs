@@ -1,0 +1,1 @@
+//! Umbrella library; see the `deltazip` crate.

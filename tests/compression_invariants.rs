@@ -1,0 +1,82 @@
+//! Property-based cross-crate invariants of the compression stack.
+
+use dz_compress::obs::{compress_matrix, hessian_from_inputs, output_mse, ObsConfig};
+use dz_compress::quant::QuantSpec;
+use dz_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+fn random_problem(seed: u64, d_in: usize, d_out: usize) -> (Matrix, Matrix, Vec<Matrix>) {
+    let mut rng = Rng::seeded(seed);
+    let w = Matrix::randn(d_in, d_out, 0.02, &mut rng);
+    let xs: Vec<Matrix> = (0..3)
+        .map(|_| Matrix::randn(16, d_in, 1.0, &mut rng))
+        .collect();
+    let refs: Vec<&Matrix> = xs.iter().collect();
+    let h = hessian_from_inputs(&refs);
+    (w, h, xs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reconstruction_is_always_24_sparse(seed in any::<u64>(), blocks in 1usize..5, outs in 1usize..12) {
+        let d_in = blocks * 8;
+        let (w, h, _) = random_problem(seed, d_in, outs);
+        let cfg = ObsConfig { spec: QuantSpec::new(4, 8), sparse24: true, damp: 0.05 };
+        let rec = compress_matrix(&w, &h, &cfg).reconstructed;
+        for out in 0..outs {
+            for g in 0..d_in / 4 {
+                let zeros = (0..4).filter(|&k| rec.get(g * 4 + k, out) == 0.0).count();
+                prop_assert!(zeros >= 2, "group {g} output {out} has {zeros} zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_never_hurt_output_error(seed in any::<u64>()) {
+        let (w, h, xs) = random_problem(seed, 16, 8);
+        let refs: Vec<&Matrix> = xs.iter().collect();
+        let err_at = |bits: u32| {
+            let cfg = ObsConfig { spec: QuantSpec::new(bits, 8), sparse24: false, damp: 0.05 };
+            output_mse(&w, &compress_matrix(&w, &h, &cfg).reconstructed, &refs)
+        };
+        let e2 = err_at(2);
+        let e4 = err_at(4);
+        let e8 = err_at(8);
+        // Allow a sliver of slack: scales differ per grid.
+        prop_assert!(e4 <= e2 * 1.05, "4-bit {e4} vs 2-bit {e2}");
+        prop_assert!(e8 <= e4 * 1.05, "8-bit {e8} vs 4-bit {e4}");
+    }
+
+    #[test]
+    fn packed_bytes_shrink_with_fewer_bits(seed in any::<u64>()) {
+        let (w, h, _) = random_problem(seed, 16, 8);
+        let size_at = |bits: u32, sparse: bool| {
+            let cfg = ObsConfig { spec: QuantSpec::new(bits, 8), sparse24: sparse, damp: 0.05 };
+            compress_matrix(&w, &h, &cfg).packed.packed_bytes()
+        };
+        prop_assert!(size_at(2, true) < size_at(4, true));
+        prop_assert!(size_at(4, true) < size_at(4, false) + 1);
+        prop_assert!(size_at(4, false) < size_at(8, false));
+    }
+
+    #[test]
+    fn dequantize_round_trips_through_pack(seed in any::<u64>(), sparse in any::<bool>()) {
+        // packed -> dequantize -> matches the solver's own reconstruction.
+        let (w, h, _) = random_problem(seed, 16, 6);
+        let cfg = ObsConfig { spec: QuantSpec::new(4, 8), sparse24: sparse, damp: 0.05 };
+        let res = compress_matrix(&w, &h, &cfg);
+        let again = res.packed.dequantize();
+        prop_assert!(again.max_abs_diff(&res.reconstructed) < 1e-6);
+    }
+
+    #[test]
+    fn compressed_payload_survives_lossless(seed in any::<u64>()) {
+        let (w, h, _) = random_problem(seed, 16, 8);
+        let cfg = ObsConfig { spec: QuantSpec::new(2, 8), sparse24: true, damp: 0.05 };
+        let payload = compress_matrix(&w, &h, &cfg).packed.to_bytes();
+        let rt = dz_lossless::decompress(&dz_lossless::compress(&payload)).unwrap();
+        prop_assert_eq!(rt, payload);
+    }
+}
