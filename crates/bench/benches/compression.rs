@@ -28,7 +28,9 @@ fn bench_hessian(c: &mut Criterion) {
     let mut group = c.benchmark_group("hessian");
     for &d in &[64usize, 256] {
         let mut rng = Rng::seeded(d as u64);
-        let xs: Vec<Matrix> = (0..8).map(|_| Matrix::randn(24, d, 1.0, &mut rng)).collect();
+        let xs: Vec<Matrix> = (0..8)
+            .map(|_| Matrix::randn(24, d, 1.0, &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::new("accumulate", d), &d, |b, _| {
             b.iter(|| {
                 let refs: Vec<&Matrix> = xs.iter().collect();

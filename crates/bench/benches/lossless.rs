@@ -11,9 +11,7 @@ fn packed_delta_like(n: usize, seed: u64) -> Vec<u8> {
     while out.len() < n {
         if rng.bernoulli(0.6) {
             let run = 1 + rng.below(24);
-            for _ in 0..run.min(n - out.len()) {
-                out.push(0);
-            }
+            out.extend(std::iter::repeat_n(0u8, run.min(n - out.len())));
         } else {
             out.push(rng.below(256) as u8);
         }

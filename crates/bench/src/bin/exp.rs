@@ -15,11 +15,34 @@ use std::io::Write;
 
 fn available() -> Vec<&'static str> {
     vec![
-        "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "table1", "table2", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-        "ablation-scheduler", "ablation-sbmm", "ablation-reconstruct", "tuning-n",
-        "ext-peft", "ablation-resume", "ablation-length-aware", "ablation-slo",
-        "ablation-dynamic-n", "ext-scalability",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table1",
+        "table2",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "ablation-scheduler",
+        "ablation-sbmm",
+        "ablation-reconstruct",
+        "tuning-n",
+        "ext-peft",
+        "ablation-resume",
+        "ablation-length-aware",
+        "ablation-slo",
+        "ablation-dynamic-n",
+        "ext-scalability",
     ]
 }
 
@@ -57,13 +80,13 @@ fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
     })
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         for id in available() {
             println!("{id}");
         }
-        return;
+        return Ok(());
     }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
@@ -82,11 +105,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        known.into_iter().filter(|k| ids.iter().any(|i| i == k)).collect()
+        known
+            .into_iter()
+            .filter(|k| ids.iter().any(|i| i == k))
+            .collect()
     };
 
     let out_dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(out_dir).expect("create output dir");
+    std::fs::create_dir_all(out_dir)?;
     let mut zoo = quality::Zoo::new(scale);
     let mut combined = String::new();
     for id in targets {
@@ -98,10 +124,10 @@ fn main() {
         combined.push_str(&rendered);
         combined.push('\n');
         let path = out_dir.join(format!("{}.md", report.id));
-        let mut f = std::fs::File::create(&path).expect("create report file");
-        f.write_all(rendered.as_bytes()).expect("write report");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(rendered.as_bytes())?;
     }
-    let mut f =
-        std::fs::File::create(out_dir.join("all.md")).expect("create combined report");
-    f.write_all(combined.as_bytes()).expect("write combined report");
+    let mut f = std::fs::File::create(out_dir.join("all.md"))?;
+    f.write_all(combined.as_bytes())?;
+    Ok(())
 }

@@ -5,9 +5,7 @@
 use super::{md_table, Report, Scale};
 use crate::experiments::quality::Zoo;
 use dz_compress::calib::calibration_set;
-use dz_compress::pipeline::{
-    delta_compress, delta_compress_no_reconstruct, DeltaCompressConfig,
-};
+use dz_compress::pipeline::{delta_compress, delta_compress_no_reconstruct, DeltaCompressConfig};
 use dz_gpusim::kernel::BatchedImpl;
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
@@ -56,7 +54,13 @@ pub fn ablation_scheduler() -> Report {
         id: "ablation-scheduler",
         title: "Scheduler mechanisms: plain FCFS vs skip-the-line vs +preemption",
         body: md_table(
-            &["config", "mean E2E (s)", "mean TTFT (s)", "p90 TTFT (s)", "req/s"],
+            &[
+                "config",
+                "mean E2E (s)",
+                "mean TTFT (s)",
+                "p90 TTFT (s)",
+                "req/s",
+            ],
             &rows,
         ),
     }
@@ -96,7 +100,10 @@ pub fn ablation_sbmm() -> Report {
     Report {
         id: "ablation-sbmm",
         title: "End-to-end impact of the SBMM kernel strategy",
-        body: md_table(&["strategy", "mean E2E (s)", "mean TTFT (s)", "req/s"], &rows),
+        body: md_table(
+            &["strategy", "mean E2E (s)", "mean TTFT (s)", "req/s"],
+            &rows,
+        ),
     }
 }
 
@@ -184,9 +191,7 @@ mod tests {
             .body
             .lines()
             .filter(|l| l.contains("skip="))
-            .map(|l| {
-                l.split('|').nth(2).unwrap().trim().parse::<f64>().unwrap()
-            })
+            .map(|l| l.split('|').nth(2).unwrap().trim().parse::<f64>().unwrap())
             .collect();
         assert_eq!(vals.len(), 3);
         assert!(

@@ -48,9 +48,7 @@ pub fn ext_peft(zoo: &mut Zoo, scale: Scale) -> Report {
     let base = zoo.base(&p);
     let fmt = zoo.fmt_on(&p, &task);
 
-    let eval = |m: &dz_model::Params| {
-        task_accuracy(m, &task, n_eval, &mut Rng::seeded(0xE7A1))
-    };
+    let eval = |m: &dz_model::Params| task_accuracy(m, &task, n_eval, &mut Rng::seeded(0xE7A1));
     let train_at = |seed: u64| TrainConfig {
         steps,
         batch: 8,
@@ -73,13 +71,20 @@ pub fn ext_peft(zoo: &mut Zoo, scale: Scale) -> Report {
     let (rosa, rosa_merged) = seeds
         .iter()
         .map(|&seed| {
-            let mut adapter =
-                RosaAdapter::init(&base, RosaConfig::new(rank, 0.05), &mut Rng::seeded(seed ^ 8));
+            let mut adapter = RosaAdapter::init(
+                &base,
+                RosaConfig::new(rank, 0.05),
+                &mut Rng::seeded(seed ^ 8),
+            );
             finetune_rosa(&base, &mut adapter, &task, train_at(seed));
             let merged = adapter.merge(&base);
             (adapter, merged)
         })
-        .max_by(|a, b| eval(&a.1).partial_cmp(&eval(&b.1)).expect("finite accuracy"))
+        .max_by(|a, b| {
+            eval(&a.1)
+                .partial_cmp(&eval(&b.1))
+                .expect("finite accuracy")
+        })
         .expect("non-empty seed list");
 
     let mut galore_model = base.clone();
@@ -99,8 +104,12 @@ pub fn ext_peft(zoo: &mut Zoo, scale: Scale) -> Report {
     let calib = calibration_set(&Corpus::new(p.config.max_seq), 12, 0xCA11B);
     let (fmt_delta, fmt_served) =
         delta_compress(&base, &fmt, &calib, DeltaCompressConfig::starred(4));
-    let (galore_delta, galore_served) =
-        delta_compress(&base, &galore_model, &calib, DeltaCompressConfig::starred(4));
+    let (galore_delta, galore_served) = delta_compress(
+        &base,
+        &galore_model,
+        &calib,
+        DeltaCompressConfig::starred(4),
+    );
 
     let acc = |m: &dz_model::Params| {
         format!(
@@ -109,19 +118,28 @@ pub fn ext_peft(zoo: &mut Zoo, scale: Scale) -> Report {
         )
     };
     let mib = |b: usize| format!("{:.2}", b as f64 / (1 << 20) as f64);
-    let lora_bytes = LoraAdapter::init(&base, LoraConfig::rank(rank), &mut Rng::seeded(1))
-        .fp16_bytes();
+    let lora_bytes =
+        LoraAdapter::init(&base, LoraConfig::rank(rank), &mut Rng::seeded(1)).fp16_bytes();
     let residual = |m: &dz_model::Params| {
         let name = "layer0.wq";
         let delta = m
             .get(name)
             .expect("projection exists")
             .sub(base.get(name).expect("projection exists"));
-        format!("{:.2}", low_rank_residual(&delta, rank, &mut Rng::seeded(2)))
+        format!(
+            "{:.2}",
+            low_rank_residual(&delta, rank, &mut Rng::seeded(2))
+        )
     };
 
     let rows = vec![
-        vec!["Base".into(), acc(&base), "-".into(), "-".into(), "-".into()],
+        vec![
+            "Base".into(),
+            acc(&base),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
         vec![
             format!("LoRA (r={rank})"),
             acc(&lora_merged),
@@ -170,7 +188,13 @@ pub fn ext_peft(zoo: &mut Zoo, scale: Scale) -> Report {
         title: "PEFT beyond LoRA (§8): accuracy, artifact size (MiB), \
                 rank-residual of layer0.wq delta, serving path",
         body: md_table(
-            &["method", "math acc (%)", "artifact MiB", "rank-res", "serving path"],
+            &[
+                "method",
+                "math acc (%)",
+                "artifact MiB",
+                "rank-res",
+                "serving path",
+            ],
             &rows,
         ),
     }
@@ -337,7 +361,14 @@ pub fn ablation_slo() -> Report {
         id: "ablation-slo",
         title: "SLO classes: per-class TTFT with and without priority scheduling",
         body: md_table(
-            &["scheduler", "class", "requests", "mean TTFT (s)", "p90 TTFT (s)", "attain@target"],
+            &[
+                "scheduler",
+                "class",
+                "requests",
+                "mean TTFT (s)",
+                "p90 TTFT (s)",
+                "attain@target",
+            ],
             &rows,
         ),
     }
@@ -451,7 +482,12 @@ pub fn ext_scalability() -> Report {
         id: "ext-scalability",
         title: "Host-cache capacity sweep (64 variants): disk-tier degradation",
         body: md_table(
-            &["host cache (deltas)", "mean E2E (s)", "mean TTFT (s)", "mean load wait (s)"],
+            &[
+                "host cache (deltas)",
+                "mean E2E (s)",
+                "mean TTFT (s)",
+                "mean load wait (s)",
+            ],
             &rows,
         ),
     }
@@ -485,7 +521,11 @@ mod tests {
             .lines()
             .filter(|l| l.contains("fixed") || l.contains("dynamic"))
             .map(|l| {
-                l.split('|').nth(2).expect("time/token column").trim().parse::<f64>()
+                l.split('|')
+                    .nth(2)
+                    .expect("time/token column")
+                    .trim()
+                    .parse::<f64>()
                     .expect("numeric time/token")
             })
             .collect();
@@ -506,12 +546,21 @@ mod tests {
             .lines()
             .filter(|l| l.contains("| ") && !l.contains("host cache") && !l.contains("---"))
             .map(|l| {
-                l.split('|').nth(2).expect("E2E column").trim().parse::<f64>()
+                l.split('|')
+                    .nth(2)
+                    .expect("E2E column")
+                    .trim()
+                    .parse::<f64>()
                     .expect("numeric E2E")
             })
             .collect();
         assert_eq!(e2e.len(), 5);
         // The tightest cache must not beat the unbounded one.
-        assert!(e2e[0] >= e2e[4] * 0.99, "tight {} vs unbounded {}", e2e[0], e2e[4]);
+        assert!(
+            e2e[0] >= e2e[4] * 0.99,
+            "tight {} vs unbounded {}",
+            e2e[0],
+            e2e[4]
+        );
     }
 }

@@ -2,13 +2,27 @@
 //! 17 (SBMM scaling in the number of models).
 
 use super::{md_table, Report};
-use dz_gpusim::kernel::{normalized_achieved_flops, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
+use dz_gpusim::kernel::{
+    normalized_achieved_flops, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat,
+};
 use dz_gpusim::spec::A800;
 
-const INT1: WeightFormat = WeightFormat::Int { bits: 1, sparse24: false };
-const INT2: WeightFormat = WeightFormat::Int { bits: 2, sparse24: false };
-const INT4: WeightFormat = WeightFormat::Int { bits: 4, sparse24: false };
-const INT4_SPARSE: WeightFormat = WeightFormat::Int { bits: 4, sparse24: true };
+const INT1: WeightFormat = WeightFormat::Int {
+    bits: 1,
+    sparse24: false,
+};
+const INT2: WeightFormat = WeightFormat::Int {
+    bits: 2,
+    sparse24: false,
+};
+const INT4: WeightFormat = WeightFormat::Int {
+    bits: 4,
+    sparse24: false,
+};
+const INT4_SPARSE: WeightFormat = WeightFormat::Int {
+    bits: 4,
+    sparse24: true,
+};
 
 /// Figure 6: normalized achieved FLOPs vs input size per weight format.
 pub fn fig6() -> Report {
@@ -26,7 +40,15 @@ pub fn fig6() -> Report {
         let m = 1usize << exp;
         let mut row = vec![format!("2^{exp}")];
         for (_, fmt) in &formats {
-            let norm = normalized_achieved_flops(&A800, &MatmulDesc { m, k, n, format: *fmt });
+            let norm = normalized_achieved_flops(
+                &A800,
+                &MatmulDesc {
+                    m,
+                    k,
+                    n,
+                    format: *fmt,
+                },
+            );
             row.push(format!("{norm:.3}"));
         }
         rows.push(row);
@@ -37,11 +59,21 @@ pub fn fig6() -> Report {
     let mut body = md_table(&header, &rows);
     let peak_sparse = normalized_achieved_flops(
         &A800,
-        &MatmulDesc { m: 4096, k, n, format: INT4_SPARSE },
+        &MatmulDesc {
+            m: 4096,
+            k,
+            n,
+            format: INT4_SPARSE,
+        },
     );
     let peak_dense = normalized_achieved_flops(
         &A800,
-        &MatmulDesc { m: 4096, k, n, format: WeightFormat::Fp16 },
+        &MatmulDesc {
+            m: 4096,
+            k,
+            n,
+            format: WeightFormat::Fp16,
+        },
     );
     body.push_str(&format!(
         "\nSparse Int4 speedup over peak dense FP16 at large input: {:.2}x (paper: 1.6x)\n",
@@ -61,10 +93,22 @@ pub fn fig7() -> Report {
         for &n_models in &[16usize, 64] {
             let reqs = vec![1usize; n_models];
             let ms = |s| sbmm_time(&A800, &reqs, dim, dim, INT4_SPARSE, s) * 1e3;
-            let fp16_loop =
-                sbmm_time(&A800, &reqs, dim, dim, WeightFormat::Fp16, BatchedImpl::Fp16ForLoop) * 1e3;
-            let fp16_bmm =
-                sbmm_time(&A800, &reqs, dim, dim, WeightFormat::Fp16, BatchedImpl::Fp16Bmm) * 1e3;
+            let fp16_loop = sbmm_time(
+                &A800,
+                &reqs,
+                dim,
+                dim,
+                WeightFormat::Fp16,
+                BatchedImpl::Fp16ForLoop,
+            ) * 1e3;
+            let fp16_bmm = sbmm_time(
+                &A800,
+                &reqs,
+                dim,
+                dim,
+                WeightFormat::Fp16,
+                BatchedImpl::Fp16Bmm,
+            ) * 1e3;
             rows.push(vec![
                 label.to_string(),
                 n_models.to_string(),
@@ -79,7 +123,14 @@ pub fn fig7() -> Report {
         id: "fig7",
         title: "Batched matrix multiplication breakdown (ms)",
         body: md_table(
-            &["matrix", "models", "FP16 for-loop", "FP16 bmm", "Naive for-loop", "SBMM"],
+            &[
+                "matrix",
+                "models",
+                "FP16 for-loop",
+                "FP16 bmm",
+                "Naive for-loop",
+                "SBMM",
+            ],
             &rows,
         ),
     }
@@ -95,8 +146,9 @@ pub fn fig17() -> Report {
         for &n_models in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
             let reqs: Vec<usize> = if skewed {
                 // Zipf-1.5 split of the fixed request budget.
-                let weights: Vec<f64> =
-                    (0..n_models).map(|i| 1.0 / ((i + 1) as f64).powf(1.5)).collect();
+                let weights: Vec<f64> = (0..n_models)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(1.5))
+                    .collect();
                 let total_w: f64 = weights.iter().sum();
                 let mut alloc: Vec<usize> = weights
                     .iter()
@@ -145,14 +197,21 @@ mod tests {
     #[test]
     fn fig7_sbmm_column_is_fastest() {
         let r = fig7();
-        for line in r.body.lines().filter(|l| l.starts_with("| 2048") || l.starts_with("| 4096")) {
+        for line in r
+            .body
+            .lines()
+            .filter(|l| l.starts_with("| 2048") || l.starts_with("| 4096"))
+        {
             let cells: Vec<f64> = line
                 .split('|')
                 .filter_map(|c| c.trim().parse::<f64>().ok())
                 .collect();
             // cells = [models, fp16loop, bmm, naive, sbmm]
             let sbmm = cells[4];
-            assert!(sbmm <= cells[1] && sbmm <= cells[2] && sbmm <= cells[3], "{line}");
+            assert!(
+                sbmm <= cells[1] && sbmm <= cells[2] && sbmm <= cells[3],
+                "{line}"
+            );
         }
     }
 

@@ -190,8 +190,12 @@ pub fn table1(zoo: &mut Zoo) -> Report {
         // FP16 reference.
         let fp16 = accs(&tuned, &task_list, n_eval);
         rows.push(
-            [vec![p.paper_analog.to_string(), "FP16".to_string()], fmt_accs(&fp16), vec!["1.00x".into()]]
-                .concat(),
+            [
+                vec![p.paper_analog.to_string(), "FP16".to_string()],
+                fmt_accs(&fp16),
+                vec!["1.00x".into()],
+            ]
+            .concat(),
         );
         // SparseGPT directly on the fine-tuned weights (4bit*).
         let sgpt = sparsegpt_direct(&tuned, &calib, 4, 16);
@@ -215,7 +219,8 @@ pub fn table1(zoo: &mut Zoo) -> Report {
         );
         // ΔCompress 4-bit and 2-bit (both starred: 2:4 sparsity).
         for bits in [4u32, 2] {
-            let (cd, rec) = delta_compress(&base, &tuned, &calib, DeltaCompressConfig::starred(bits));
+            let (cd, rec) =
+                delta_compress(&base, &tuned, &calib, DeltaCompressConfig::starred(bits));
             rows.push(
                 [
                     vec![String::new(), format!("DeltaZip({bits}bit*)")],
@@ -228,7 +233,8 @@ pub fn table1(zoo: &mut Zoo) -> Report {
     }
     Report {
         id: "table1",
-        title: "Post-compression model quality (accuracy %, T1-T3) and whole-model compression ratio",
+        title:
+            "Post-compression model quality (accuracy %, T1-T3) and whole-model compression ratio",
         body: md_table(&["model", "method", "T1", "T2", "T3", "ratio"], &rows),
     }
 }
@@ -236,13 +242,41 @@ pub fn table1(zoo: &mut Zoo) -> Report {
 /// Table 2: FMT vs LoRA vs ΔCompress accuracy.
 pub fn table2(zoo: &mut Zoo) -> Report {
     let cases: Vec<(&str, &str, Box<dyn Task>)> = vec![
-        ("llama-tiny-s", "Math (carry addition)", Box::new(tasks::MathTask)),
-        ("pythia-tiny", "Amazon Review (sentiment)", Box::new(tasks::SentimentTask)),
-        ("pythia-tiny", "BoolQ Yes/No (membership)", Box::new(tasks::BoolQTask)),
-        ("pythia-tiny", "NLI Classification (order)", Box::new(tasks::NliTask)),
-        ("openllama-tiny", "Amazon Review (sentiment)", Box::new(tasks::SentimentTask)),
-        ("openllama-tiny", "BoolQ Yes/No (membership)", Box::new(tasks::BoolQTask)),
-        ("openllama-tiny", "NLI Classification (order)", Box::new(tasks::NliTask)),
+        (
+            "llama-tiny-s",
+            "Math (carry addition)",
+            Box::new(tasks::MathTask),
+        ),
+        (
+            "pythia-tiny",
+            "Amazon Review (sentiment)",
+            Box::new(tasks::SentimentTask),
+        ),
+        (
+            "pythia-tiny",
+            "BoolQ Yes/No (membership)",
+            Box::new(tasks::BoolQTask),
+        ),
+        (
+            "pythia-tiny",
+            "NLI Classification (order)",
+            Box::new(tasks::NliTask),
+        ),
+        (
+            "openllama-tiny",
+            "Amazon Review (sentiment)",
+            Box::new(tasks::SentimentTask),
+        ),
+        (
+            "openllama-tiny",
+            "BoolQ Yes/No (membership)",
+            Box::new(tasks::BoolQTask),
+        ),
+        (
+            "openllama-tiny",
+            "NLI Classification (order)",
+            Box::new(tasks::NliTask),
+        ),
     ];
     let mut rows = Vec::new();
     for (fam, task_label, task) in cases {
@@ -253,9 +287,8 @@ pub fn table2(zoo: &mut Zoo) -> Report {
         let calib = calib_for(&p, 12);
         let (_, rec) = delta_compress(&base, &fmt, &calib, DeltaCompressConfig::starred(4));
         let n_eval = 300;
-        let acc = |m: &Params| {
-            task_accuracy(m, task.as_ref(), n_eval, &mut Rng::seeded(0xE7A2)) * 100.0
-        };
+        let acc =
+            |m: &Params| task_accuracy(m, task.as_ref(), n_eval, &mut Rng::seeded(0xE7A2)) * 100.0;
         rows.push(vec![
             p.paper_analog.to_string(),
             task_label.to_string(),
@@ -275,7 +308,10 @@ pub fn table2(zoo: &mut Zoo) -> Report {
 pub fn fig2(zoo: &mut Zoo) -> Report {
     let task_list: Vec<(&str, Box<dyn Task>)> = vec![
         ("SQL-like (recall, easy)", Box::new(tasks::RecallTask)),
-        ("Code-like (palindrome, medium)", Box::new(tasks::PalindromeTask)),
+        (
+            "Code-like (palindrome, medium)",
+            Box::new(tasks::PalindromeTask),
+        ),
         ("Math (carry addition, hard)", Box::new(tasks::MathTask)),
     ];
     let mut rows = Vec::new();

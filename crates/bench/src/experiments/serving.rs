@@ -4,8 +4,8 @@ use super::{md_table, Report};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::{
-    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, LoraEngine, LoraServingConfig, Metrics, PreemptionPolicy,
-    VllmScbConfig, VllmScbEngine,
+    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, LoraEngine, LoraServingConfig, Metrics,
+    PreemptionPolicy, VllmScbConfig, VllmScbEngine,
 };
 use dz_workload::{PopularityDist, Trace, TraceSpec};
 
@@ -114,14 +114,24 @@ pub fn fig11() -> Report {
             format!("{:.2}", vllm.throughput_rps()),
             format!("{:.2}", dz8.throughput_rps()),
             format!("{:.2}", dz12.throughput_rps()),
-            format!("{:.1}x", dz8.throughput_rps() / vllm.throughput_rps().max(1e-9)),
+            format!(
+                "{:.1}x",
+                dz8.throughput_rps() / vllm.throughput_rps().max(1e-9)
+            ),
         ]);
     }
     Report {
         id: "fig11",
         title: "Throughput (req/s): vLLM+SCB vs DeltaZip (N=8, N=12), 13B",
         body: md_table(
-            &["distribution", "rate", "vLLM+SCB", "DeltaZip N=8", "DeltaZip N=12", "speedup(N=8)"],
+            &[
+                "distribution",
+                "rate",
+                "vLLM+SCB",
+                "DeltaZip N=8",
+                "DeltaZip N=12",
+                "speedup(N=8)",
+            ],
             &rows,
         ),
     }
@@ -144,7 +154,13 @@ pub fn fig12() -> Report {
         id: "fig12",
         title: "Mean E2E latency / TTFT (s) across rates and distributions, 13B",
         body: md_table(
-            &["distribution", "rate", "vLLM+SCB", "DeltaZip N=8", "DeltaZip N=12"],
+            &[
+                "distribution",
+                "rate",
+                "vLLM+SCB",
+                "DeltaZip N=8",
+                "DeltaZip N=12",
+            ],
             &rows,
         ),
     }
@@ -216,7 +232,13 @@ pub fn fig14() -> Report {
         id: "fig14",
         title: "E2E / TTFT serving LoRA and FMT variants (s)",
         body: md_table(
-            &["workload", "vLLM E2E", "vLLM TTFT", "DeltaZip E2E", "DeltaZip TTFT"],
+            &[
+                "workload",
+                "vLLM E2E",
+                "vLLM TTFT",
+                "DeltaZip E2E",
+                "DeltaZip TTFT",
+            ],
             &rows,
         ),
     }
@@ -230,8 +252,22 @@ pub fn fig15() -> Report {
         let trace = trace_13b(rate, PopularityDist::Uniform, 0x15);
         let dz = dz_engine(cost, 8).run(&trace);
         let full = VllmScbEngine::new(cost, VllmScbConfig::default()).run(&trace);
-        let l16 = LoraEngine::new(cost, LoraServingConfig { rank: 16, ..LoraServingConfig::default() }).run(&trace);
-        let l64 = LoraEngine::new(cost, LoraServingConfig { rank: 64, ..LoraServingConfig::default() }).run(&trace);
+        let l16 = LoraEngine::new(
+            cost,
+            LoraServingConfig {
+                rank: 16,
+                ..LoraServingConfig::default()
+            },
+        )
+        .run(&trace);
+        let l64 = LoraEngine::new(
+            cost,
+            LoraServingConfig {
+                rank: 64,
+                ..LoraServingConfig::default()
+            },
+        )
+        .run(&trace);
         rows.push(vec![
             format!("{rate}"),
             format!("{:.1} / {:.2}", dz.mean_e2e(), dz.mean_ttft()),
@@ -244,7 +280,13 @@ pub fn fig15() -> Report {
         id: "fig15",
         title: "Mean E2E / TTFT (s) vs arrival rate",
         body: md_table(
-            &["rate", "Compressed Delta", "Full Model", "LoRA r=16", "LoRA r=64"],
+            &[
+                "rate",
+                "Compressed Delta",
+                "Full Model",
+                "LoRA r=16",
+                "LoRA r=64",
+            ],
             &rows,
         ),
     }
@@ -295,10 +337,22 @@ pub fn fig16() -> Report {
 pub fn fig18() -> Report {
     let mut rows = Vec::new();
     let cases: Vec<(&str, CostModel)> = vec![
-        ("7B, 1x3090", CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b())),
-        ("7B, 2x3090", CostModel::new(NodeSpec::rtx3090_node(2), ModelShape::llama7b())),
-        ("13B, 2xA800", CostModel::new(NodeSpec::a800_node(2), ModelShape::llama13b())),
-        ("13B, 4xA800", CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())),
+        (
+            "7B, 1x3090",
+            CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b()),
+        ),
+        (
+            "7B, 2x3090",
+            CostModel::new(NodeSpec::rtx3090_node(2), ModelShape::llama7b()),
+        ),
+        (
+            "13B, 2xA800",
+            CostModel::new(NodeSpec::a800_node(2), ModelShape::llama13b()),
+        ),
+        (
+            "13B, 4xA800",
+            CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b()),
+        ),
     ];
     for (label, cost) in cases {
         let trace = Trace::generate(TraceSpec {
@@ -350,14 +404,22 @@ pub fn fig19() -> Report {
         rows.push(vec![
             format!("p{}", (q * 100.0) as usize),
             format!("{:.1} / {:.1}", mo.e2e_percentile(q), mw.e2e_percentile(q)),
-            format!("{:.1} / {:.1}", mo.ttft_percentile(q), mw.ttft_percentile(q)),
+            format!(
+                "{:.1} / {:.1}",
+                mo.ttft_percentile(q),
+                mw.ttft_percentile(q)
+            ),
         ]);
     }
     let gain = |no: f64, yes: f64| (no - yes) / no.max(1e-9) * 100.0;
     let p90_ttft = gain(mo.ttft_percentile(0.9), mw.ttft_percentile(0.9));
     let p90_e2e = gain(mo.e2e_percentile(0.9), mw.e2e_percentile(0.9));
     let mut body = md_table(
-        &["percentile", "E2E no-preempt / preempt", "TTFT no-preempt / preempt"],
+        &[
+            "percentile",
+            "E2E no-preempt / preempt",
+            "TTFT no-preempt / preempt",
+        ],
         &rows,
     );
     body.push_str(&format!(
@@ -392,7 +454,12 @@ mod tests {
     #[test]
     fn fig15_lora_never_slower_than_full_model() {
         let r = fig15();
-        for line in r.body.lines().filter(|l| l.starts_with("| 0") || l.starts_with("| 1") || l.starts_with("| 2") || l.starts_with("| 4")) {
+        for line in r.body.lines().filter(|l| {
+            l.starts_with("| 0")
+                || l.starts_with("| 1")
+                || l.starts_with("| 2")
+                || l.starts_with("| 4")
+        }) {
             let cols: Vec<&str> = line.split('|').map(|c| c.trim()).collect();
             let full: f64 = cols[3].split('/').next().unwrap().trim().parse().unwrap();
             let lora: f64 = cols[4].split('/').next().unwrap().trim().parse().unwrap();
@@ -404,7 +471,10 @@ mod tests {
     fn fig10_table_has_six_n_values() {
         let r = fig10();
         assert_eq!(
-            r.body.lines().filter(|l| l.starts_with("| ") && !l.starts_with("| N")).count(),
+            r.body
+                .lines()
+                .filter(|l| l.starts_with("| ") && !l.starts_with("| N"))
+                .count(),
             6
         );
     }

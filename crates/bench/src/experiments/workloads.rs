@@ -12,7 +12,7 @@ pub fn fig1() -> Report {
         arrival_rate: 0.4,
         duration_s: 7.0 * 24.0 * 3600.0 / 100.0, // Scaled week (keeps output readable).
         popularity: PopularityDist::AzureLike,
-        seed: 0xF16_1,
+        seed: 0xF161,
     });
     let matrix = invocation_matrix(&trace, 300.0 / 100.0 * 15.0); // Scaled 5-min windows.
     let idle = idle_fraction(&matrix);
@@ -38,12 +38,18 @@ mod tests {
     #[test]
     fn fig1_has_20_rows_and_idle_cells() {
         let r = fig1();
-        assert_eq!(r.body.lines().filter(|l| l.starts_with("model")).count(), 20);
+        assert_eq!(
+            r.body.lines().filter(|l| l.starts_with("model")).count(),
+            20
+        );
         let idle_line = r.body.lines().find(|l| l.contains("Idle")).unwrap();
         let pct: f64 = idle_line
             .split_whitespace()
             .find_map(|w| w.trim_end_matches('%').parse().ok())
             .unwrap();
-        assert!(pct > 10.0, "trace should have substantial idle area: {pct}%");
+        assert!(
+            pct > 10.0,
+            "trace should have substantial idle area: {pct}%"
+        );
     }
 }

@@ -78,8 +78,8 @@ pub fn sparsegpt_direct(
 
 /// One AWQ-scaled, RTN-quantized linear layer; returns `(packed, rec, s)`.
 fn awq_layer(
-    w: &Matrix,          // (d_in, d_out)
-    x: &Matrix,          // (tokens, d_in)
+    w: &Matrix, // (d_in, d_out)
+    x: &Matrix, // (tokens, d_in)
     spec: QuantSpec,
 ) -> (CompressedMatrix, Matrix, Vec<f32>) {
     let act = channel_mean_abs(x);
@@ -88,12 +88,8 @@ fn awq_layer(
     for alpha in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
         // Per-channel scale s_c = act_c^alpha, normalized to unit geomean so
         // the overall weight magnitude stays put.
-        let mut s: Vec<f32> = act
-            .iter()
-            .map(|a| a.max(1e-5).powf(alpha))
-            .collect();
-        let log_mean =
-            s.iter().map(|v| (*v as f64).ln()).sum::<f64>() / s.len() as f64;
+        let mut s: Vec<f32> = act.iter().map(|a| a.max(1e-5).powf(alpha)).collect();
+        let log_mean = s.iter().map(|v| (*v as f64).ln()).sum::<f64>() / s.len() as f64;
         let norm = (log_mean).exp() as f32;
         for v in &mut s {
             *v /= norm;
@@ -115,8 +111,7 @@ fn awq_layer(
             levels.extend(l);
             scales.extend(sc);
         }
-        let packed =
-            CompressedMatrix::from_dense(wst.rows(), wst.cols(), &levels, scales, spec);
+        let packed = CompressedMatrix::from_dense(wst.rows(), wst.cols(), &levels, scales, spec);
         let mut rec = packed.dequantize(); // (d_in, d_out), still scaled.
         for (c, &sc) in s.iter().enumerate() {
             for j in 0..rec.cols() {

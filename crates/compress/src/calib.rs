@@ -4,8 +4,8 @@
 //! prompts from UltraChat). For each linear projection we need the matrix of
 //! inputs it sees, both to build the OBS Hessian and to score output error.
 
-use dz_model::transformer::{forward_probe, Params};
 use dz_model::tasks::Corpus;
+use dz_model::transformer::{forward_probe, Params};
 use dz_tensor::{Matrix, Rng};
 
 /// Generates a synthetic calibration set of `n` sequences.

@@ -22,6 +22,8 @@ pub mod obs;
 pub mod pack;
 pub mod pipeline;
 pub mod quant;
+pub mod wire;
 
 pub use pack::{CompressedMatrix, MatrixFormat};
 pub use pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
+pub use wire::WireError;

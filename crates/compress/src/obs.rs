@@ -89,14 +89,12 @@ pub fn compress_matrix(w: &Matrix, h: &Matrix, cfg: &ObsConfig) -> ObsResult {
     // Damped Hessian; damping keeps the Cholesky well conditioned even when
     // calibration activations are rank deficient.
     let mut hd = h.clone();
-    let mean_diag: f32 =
-        (0..d_in).map(|i| hd.get(i, i)).sum::<f32>() / d_in as f32;
+    let mean_diag: f32 = (0..d_in).map(|i| hd.get(i, i)).sum::<f32>() / d_in as f32;
     let damp = (cfg.damp * mean_diag).max(1e-6);
     for i in 0..d_in {
         hd.set(i, i, hd.get(i, i) + damp);
     }
-    let u = linalg::cholesky_inverse_upper(&hd)
-        .expect("damped Hessian must be positive definite");
+    let u = linalg::cholesky_inverse_upper(&hd).expect("damped Hessian must be positive definite");
 
     // Work in output-major orientation: rows = outputs.
     let mut wt = w.transpose(); // (d_out, d_in)
@@ -157,9 +155,9 @@ pub fn compress_matrix(w: &Matrix, h: &Matrix, cfg: &ObsConfig) -> ObsResult {
             if ujk == 0.0 {
                 continue;
             }
-            for r in 0..d_out {
+            for (r, &e) in err.iter().enumerate() {
                 let cur = wt.get(r, k);
-                wt.set(r, k, cur - err[r] * ujk);
+                wt.set(r, k, cur - e * ujk);
             }
         }
     }
@@ -281,10 +279,7 @@ mod tests {
         let rtn = compress_matrix(&w, &Matrix::identity(d_in), &cfg);
         let obs_mse = output_mse(&w, &obs.reconstructed, &refs);
         let rtn_mse = output_mse(&w, &rtn.reconstructed, &refs);
-        assert!(
-            obs_mse < rtn_mse,
-            "obs {obs_mse} should beat rtn {rtn_mse}"
-        );
+        assert!(obs_mse < rtn_mse, "obs {obs_mse} should beat rtn {rtn_mse}");
     }
 
     #[test]
@@ -305,9 +300,7 @@ mod tests {
         let rec = &res.reconstructed; // (d_in, d_out)
         for out in 0..8 {
             for g in 0..16 / 4 {
-                let zeros = (0..4)
-                    .filter(|&k| rec.get(g * 4 + k, out) == 0.0)
-                    .count();
+                let zeros = (0..4).filter(|&k| rec.get(g * 4 + k, out) == 0.0).count();
                 assert!(zeros >= 2, "out {out} group {g}: {zeros} zeros");
             }
         }

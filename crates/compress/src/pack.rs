@@ -281,7 +281,12 @@ mod tests {
     use crate::quant::quantize_slice;
     use dz_tensor::Rng;
 
-    fn dense_fixture(d_out: usize, d_in: usize, bits: u32, seed: u64) -> (Matrix, CompressedMatrix) {
+    fn dense_fixture(
+        d_out: usize,
+        d_in: usize,
+        bits: u32,
+        seed: u64,
+    ) -> (Matrix, CompressedMatrix) {
         let mut rng = Rng::seeded(seed);
         let spec = QuantSpec::new(bits, 8);
         let wt = Matrix::randn(d_out, d_in, 0.05, &mut rng); // Output-major.
@@ -384,7 +389,7 @@ mod tests {
         // 128 FP16 values = 256 bytes. 2:4 + 4-bit: 64 values * 4 bits = 32
         // bytes + 64 indices * 2 bits = 16 bytes (plus scales).
         let spec = QuantSpec::new(4, 128);
-        let levels = vec![1i32; 1 * 128];
+        let levels = vec![1i32; 128];
         let mask: Vec<bool> = (0..128).map(|i| i % 4 < 2).collect();
         let cm = CompressedMatrix::from_sparse24(1, 128, &levels, &mask, vec![0.1], spec);
         // 32 (values) + 16 (indices) + 2 (one fp16 scale) = 50 bytes.
@@ -395,7 +400,8 @@ mod tests {
 
         // 2-bit variant: 16 + 16 + 2 = 34 bytes -> ~7.5x.
         let spec2 = QuantSpec::new(2, 128);
-        let cm2 = CompressedMatrix::from_sparse24(1, 128, &vec![1i32; 128], &mask, vec![0.1], spec2);
+        let cm2 =
+            CompressedMatrix::from_sparse24(1, 128, &vec![1i32; 128], &mask, vec![0.1], spec2);
         assert_eq!(cm2.packed_bytes(), 16 + 16 + 2);
     }
 

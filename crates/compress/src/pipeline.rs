@@ -21,7 +21,7 @@ use dz_model::transformer::Params;
 use std::collections::BTreeMap;
 
 /// Configuration of the full ΔCompress pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeltaCompressConfig {
     /// Bits per delta weight (2 or 4 in the paper).
     pub bits: u32,
@@ -98,7 +98,7 @@ impl SizeReport {
 /// of every parameter ΔCompress leaves uncompressed (embeddings, biases,
 /// norms) — those change during fine-tuning too and must ship with the
 /// delta. Their bytes are what `uncompressed_rest_bytes` accounts for.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressedDelta {
     /// Packed delta per linear layer, keyed by stable parameter name.
     pub layers: BTreeMap<String, CompressedMatrix>,
@@ -133,7 +133,10 @@ impl CompressedDelta {
             out.set(name, value.clone());
         }
         for (name, cm) in &self.layers {
-            let w = base.get(name).expect("layer exists in base").add(&cm.dequantize());
+            let w = base
+                .get(name)
+                .expect("layer exists in base")
+                .add(&cm.dequantize());
             out.set(name, w);
         }
         out
@@ -141,7 +144,10 @@ impl CompressedDelta {
 }
 
 /// Collects the FP16 parameters that ride along uncompressed.
-fn collect_rest(finetuned: &Params, compressed: &BTreeMap<String, CompressedMatrix>) -> BTreeMap<String, dz_tensor::Matrix> {
+fn collect_rest(
+    finetuned: &Params,
+    compressed: &BTreeMap<String, CompressedMatrix>,
+) -> BTreeMap<String, dz_tensor::Matrix> {
     let mut rest = BTreeMap::new();
     finetuned.for_each(|name, m| {
         if !compressed.contains_key(name) {
@@ -326,7 +332,11 @@ mod tests {
             let (cd, _) = delta_compress(&base, &tuned, &calib, DeltaCompressConfig::starred(bits));
             let r = cd.report;
             assert!(r.compressed_linear_bytes > 0);
-            assert!(r.model_ratio() > 1.0, "bits={bits} ratio {}", r.model_ratio());
+            assert!(
+                r.model_ratio() > 1.0,
+                "bits={bits} ratio {}",
+                r.model_ratio()
+            );
             assert!(r.delta_ratio() > r.model_ratio());
             // 2-bit deltas must pack tighter than 4-bit.
             if bits == 2 {
@@ -376,8 +386,7 @@ mod tests {
         assert!(fmt_acc > 0.8, "fmt acc {fmt_acc}");
         let calib = calibration_set(&corpus, 8, 13);
         let (_, rec) = delta_compress(&base, &tuned, &calib, DeltaCompressConfig::starred(4));
-        let rec_acc =
-            dz_model::eval::task_accuracy(&rec, &SentimentTask, 200, &mut Rng::seeded(2));
+        let rec_acc = dz_model::eval::task_accuracy(&rec, &SentimentTask, 200, &mut Rng::seeded(2));
         assert!(
             rec_acc > fmt_acc - 0.15,
             "compressed acc {rec_acc} vs fmt {fmt_acc}"

@@ -1,0 +1,535 @@
+//! Explicit little-endian wire encoding for compressed artifacts.
+//!
+//! [`CompressedMatrix`] and [`CompressedDelta`] were in-memory-only structs;
+//! this module gives them a stable byte representation so deltas can be
+//! persisted in `.dza` containers (see the `dz-store` crate) and shipped
+//! between processes. All integers are little-endian; all decodes are
+//! bounds-checked and return typed errors — corrupt input must never panic
+//! or silently produce wrong tensors.
+//!
+//! Layout of one matrix record:
+//!
+//! ```text
+//! format u8 | bits u32 | group_size u64 | d_in u64 | d_out u64
+//! n_qwords u64 | qweight u32 x n_qwords
+//! n_index  u64 | indices u8 x n_index
+//! n_scales u64 | scales f32 x n_scales
+//! ```
+//!
+//! A delta record is a versioned header (config + size report) followed by
+//! name-keyed matrix records for the compressed linears and dense FP32
+//! records for the uncompressed rest.
+
+use crate::pack::{CompressedMatrix, MatrixFormat};
+use crate::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
+use crate::quant::QuantSpec;
+use dz_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// Current version of the delta record layout.
+pub const DELTA_WIRE_VERSION: u16 = 1;
+
+const FORMAT_DENSE: u8 = 0;
+const FORMAT_SPARSE24: u8 = 1;
+
+/// Errors raised while decoding wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the record did.
+    Truncated,
+    /// Unsupported record version.
+    BadVersion(u16),
+    /// An enum tag byte had no meaning.
+    BadTag(u8),
+    /// A declared length is inconsistent with the record's dimensions.
+    LengthMismatch(&'static str),
+    /// A name was not valid UTF-8.
+    BadName,
+    /// A numeric field held an invalid value (e.g. bits outside 2..=8).
+    BadField(&'static str),
+    /// Bytes remained after the record ended.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            WireError::LengthMismatch(what) => write!(f, "length mismatch in {what}"),
+            WireError::BadName => write!(f, "name is not valid utf-8"),
+            WireError::BadField(what) => write!(f, "invalid field value: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Bytes left to consume.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Rejects a declared element count whose payload cannot fit in the
+    /// remaining input — the guard that keeps hostile length fields from
+    /// driving huge allocations before the (inevitable) Truncated error.
+    pub fn check_payload(&self, elems: usize, elem_size: usize) -> Result<(), WireError> {
+        match elems.checked_mul(elem_size) {
+            Some(bytes) if bytes <= self.remaining() => Ok(()),
+            _ => Err(WireError::Truncated),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64` that must fit a `usize`.
+    pub fn len_u64(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::BadField("length exceeds usize"))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed (u16) UTF-8 string.
+    pub fn name(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadName)
+    }
+}
+
+/// Appends a u16-length-prefixed UTF-8 name (the counterpart of
+/// [`Reader::name`]).
+pub fn put_name(out: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "name too long for wire");
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends the wire form of one packed matrix.
+pub fn encode_matrix(cm: &CompressedMatrix, out: &mut Vec<u8>) {
+    out.push(match cm.format {
+        MatrixFormat::QuantDense => FORMAT_DENSE,
+        MatrixFormat::QuantSparse24 => FORMAT_SPARSE24,
+    });
+    out.extend_from_slice(&cm.spec.bits.to_le_bytes());
+    out.extend_from_slice(&(cm.spec.group_size as u64).to_le_bytes());
+    out.extend_from_slice(&(cm.d_in as u64).to_le_bytes());
+    out.extend_from_slice(&(cm.d_out as u64).to_le_bytes());
+    out.extend_from_slice(&(cm.qweight.len() as u64).to_le_bytes());
+    for w in &cm.qweight {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(cm.indices.len() as u64).to_le_bytes());
+    out.extend_from_slice(&cm.indices);
+    out.extend_from_slice(&(cm.scales.len() as u64).to_le_bytes());
+    for s in &cm.scales {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+}
+
+/// Expected `qweight` word count for the given dimensions and format.
+fn expected_qwords(d_in: usize, d_out: usize, bits: u32, format: MatrixFormat) -> Option<usize> {
+    let values = match format {
+        MatrixFormat::QuantDense => d_in.checked_mul(d_out)?,
+        MatrixFormat::QuantSparse24 => d_in.checked_mul(d_out)? / 2,
+    };
+    Some(values.checked_mul(bits as usize)?.div_ceil(32))
+}
+
+/// Decodes one packed matrix, consuming its bytes from the reader.
+pub fn decode_matrix(r: &mut Reader<'_>) -> Result<CompressedMatrix, WireError> {
+    let format = match r.u8()? {
+        FORMAT_DENSE => MatrixFormat::QuantDense,
+        FORMAT_SPARSE24 => MatrixFormat::QuantSparse24,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let bits = r.u32()?;
+    if !(2..=8).contains(&bits) {
+        return Err(WireError::BadField("bits outside 2..=8"));
+    }
+    let group_size = r.len_u64()?;
+    if group_size == 0 {
+        return Err(WireError::BadField("zero group size"));
+    }
+    let d_in = r.len_u64()?;
+    let d_out = r.len_u64()?;
+    if format == MatrixFormat::QuantSparse24 && d_in % 4 != 0 {
+        return Err(WireError::BadField("sparse24 d_in not divisible by 4"));
+    }
+    let n_qwords = r.len_u64()?;
+    match expected_qwords(d_in, d_out, bits, format) {
+        Some(want) if want == n_qwords => {}
+        _ => return Err(WireError::LengthMismatch("qweight words")),
+    }
+    r.check_payload(n_qwords, 4)?;
+    let mut qweight = Vec::with_capacity(n_qwords);
+    for _ in 0..n_qwords {
+        qweight.push(r.u32()?);
+    }
+    let n_index = r.len_u64()?;
+    let want_index = match format {
+        MatrixFormat::QuantDense => 0,
+        MatrixFormat::QuantSparse24 => (d_in * d_out / 2).div_ceil(4),
+    };
+    if n_index != want_index {
+        return Err(WireError::LengthMismatch("index bytes"));
+    }
+    r.check_payload(n_index, 1)?;
+    let mut indices = vec![0u8; n_index];
+    for b in indices.iter_mut() {
+        *b = r.u8()?;
+    }
+    let n_scales = r.len_u64()?;
+    if n_scales
+        != d_out
+            .checked_mul(d_in.div_ceil(group_size))
+            .ok_or(WireError::LengthMismatch("scales"))?
+    {
+        return Err(WireError::LengthMismatch("scales"));
+    }
+    r.check_payload(n_scales, 4)?;
+    let mut scales = Vec::with_capacity(n_scales);
+    for _ in 0..n_scales {
+        scales.push(r.f32()?);
+    }
+    Ok(CompressedMatrix {
+        d_in,
+        d_out,
+        spec: QuantSpec::new(bits, group_size),
+        format,
+        qweight,
+        indices,
+        scales,
+    })
+}
+
+/// Appends the wire form of a dense FP32 matrix.
+pub fn encode_dense(m: &Matrix, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+    for &v in m.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a dense FP32 matrix, consuming its bytes from the reader.
+pub fn decode_dense(r: &mut Reader<'_>) -> Result<Matrix, WireError> {
+    let rows = r.len_u64()?;
+    let cols = r.len_u64()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or(WireError::LengthMismatch("dense matrix size"))?;
+    r.check_payload(n, 4)?;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.f32()?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Appends the wire form of a [`DeltaCompressConfig`].
+pub fn encode_config(cfg: &DeltaCompressConfig, out: &mut Vec<u8>) {
+    out.extend_from_slice(&cfg.bits.to_le_bytes());
+    out.extend_from_slice(&(cfg.group_size as u64).to_le_bytes());
+    out.push(cfg.sparse24 as u8);
+    out.extend_from_slice(&cfg.damp.to_le_bytes());
+    out.push(cfg.lossless as u8);
+}
+
+fn decode_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Decodes a [`DeltaCompressConfig`], consuming its bytes.
+pub fn decode_config(r: &mut Reader<'_>) -> Result<DeltaCompressConfig, WireError> {
+    Ok(DeltaCompressConfig {
+        bits: r.u32()?,
+        group_size: r.len_u64()?,
+        sparse24: decode_bool(r)?,
+        damp: r.f32()?,
+        lossless: decode_bool(r)?,
+    })
+}
+
+/// Appends the wire form of a [`SizeReport`].
+pub fn encode_report(rep: &SizeReport, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(rep.compressed_linear_bytes as u64).to_le_bytes());
+    out.extend_from_slice(&(rep.uncompressed_rest_bytes as u64).to_le_bytes());
+    out.extend_from_slice(&(rep.full_fp16_bytes as u64).to_le_bytes());
+    match rep.lossless_linear_bytes {
+        Some(b) => {
+            out.push(1);
+            out.extend_from_slice(&(b as u64).to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Decodes a [`SizeReport`], consuming its bytes.
+pub fn decode_report(r: &mut Reader<'_>) -> Result<SizeReport, WireError> {
+    let compressed_linear_bytes = r.len_u64()?;
+    let uncompressed_rest_bytes = r.len_u64()?;
+    let full_fp16_bytes = r.len_u64()?;
+    let lossless_linear_bytes = if decode_bool(r)? {
+        Some(r.len_u64()?)
+    } else {
+        None
+    };
+    Ok(SizeReport {
+        compressed_linear_bytes,
+        uncompressed_rest_bytes,
+        full_fp16_bytes,
+        lossless_linear_bytes,
+    })
+}
+
+/// Serializes a whole compressed delta to wire bytes.
+pub fn encode_delta(cd: &CompressedDelta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&DELTA_WIRE_VERSION.to_le_bytes());
+    encode_config(&cd.config, &mut out);
+    encode_report(&cd.report, &mut out);
+    out.extend_from_slice(&(cd.layers.len() as u32).to_le_bytes());
+    for (name, cm) in &cd.layers {
+        put_name(&mut out, name);
+        encode_matrix(cm, &mut out);
+    }
+    out.extend_from_slice(&(cd.rest.len() as u32).to_le_bytes());
+    for (name, m) in &cd.rest {
+        put_name(&mut out, name);
+        encode_dense(m, &mut out);
+    }
+    out
+}
+
+/// Deserializes a compressed delta from wire bytes, requiring the record
+/// to span the input exactly.
+pub fn decode_delta(bytes: &[u8]) -> Result<CompressedDelta, WireError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u16()?;
+    if version != DELTA_WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let config = decode_config(&mut r)?;
+    let report = decode_report(&mut r)?;
+    let n_layers = r.u32()? as usize;
+    let mut layers = BTreeMap::new();
+    for _ in 0..n_layers {
+        let name = r.name()?;
+        let cm = decode_matrix(&mut r)?;
+        layers.insert(name, cm);
+    }
+    let n_rest = r.u32()? as usize;
+    let mut rest = BTreeMap::new();
+    for _ in 0..n_rest {
+        let name = r.name()?;
+        let m = decode_dense(&mut r)?;
+        rest.insert(name, m);
+    }
+    if !r.is_done() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(CompressedDelta {
+        layers,
+        rest,
+        config,
+        report,
+    })
+}
+
+/// Convenience: encodes one matrix as a standalone record.
+pub fn matrix_to_bytes(cm: &CompressedMatrix) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_matrix(cm, &mut out);
+    out
+}
+
+/// Convenience: decodes one standalone matrix record, requiring it to span
+/// the input exactly.
+pub fn matrix_from_bytes(bytes: &[u8]) -> Result<CompressedMatrix, WireError> {
+    let mut r = Reader::new(bytes);
+    let cm = decode_matrix(&mut r)?;
+    if !r.is_done() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_slice;
+    use dz_tensor::Rng;
+
+    fn dense_fixture(d_out: usize, d_in: usize, bits: u32, seed: u64) -> CompressedMatrix {
+        let mut rng = Rng::seeded(seed);
+        let spec = QuantSpec::new(bits, 8);
+        let wt = Matrix::randn(d_out, d_in, 0.05, &mut rng);
+        let mut levels = Vec::new();
+        let mut scales = Vec::new();
+        for r in 0..d_out {
+            let (l, s) = quantize_slice(wt.row(r), spec);
+            levels.extend(l);
+            scales.extend(s);
+        }
+        CompressedMatrix::from_dense(d_out, d_in, &levels, scales, spec)
+    }
+
+    fn sparse_fixture(d_out: usize, d_in: usize, bits: u32, seed: u64) -> CompressedMatrix {
+        let mut rng = Rng::seeded(seed);
+        let spec = QuantSpec::new(bits, 8);
+        let qmax = spec.qmax();
+        let mut levels = vec![0i32; d_out * d_in];
+        let mut mask = vec![false; d_out * d_in];
+        for r in 0..d_out {
+            for g in 0..d_in / 4 {
+                let first = rng.below(4);
+                let mut second = rng.below(4);
+                while second == first {
+                    second = rng.below(4);
+                }
+                for k in [first, second] {
+                    let i = r * d_in + g * 4 + k;
+                    mask[i] = true;
+                    levels[i] = rng.below((2 * qmax + 1) as usize) as i32 - qmax;
+                }
+            }
+        }
+        let scales = vec![0.07f32; d_out * d_in.div_ceil(8)];
+        CompressedMatrix::from_sparse24(d_out, d_in, &levels, &mask, scales, spec)
+    }
+
+    #[test]
+    fn matrix_round_trip_dense_and_sparse() {
+        for bits in [2u32, 3, 4, 8] {
+            let cm = dense_fixture(6, 16, bits, bits as u64);
+            let back = matrix_from_bytes(&matrix_to_bytes(&cm)).unwrap();
+            assert_eq!(back, cm, "dense bits={bits}");
+        }
+        for bits in [2u32, 4] {
+            let cm = sparse_fixture(5, 16, bits, bits as u64 + 7);
+            let back = matrix_from_bytes(&matrix_to_bytes(&cm)).unwrap();
+            assert_eq!(back, cm, "sparse bits={bits}");
+        }
+    }
+
+    #[test]
+    fn matrix_decode_rejects_truncation_everywhere() {
+        let bytes = matrix_to_bytes(&sparse_fixture(4, 16, 4, 3));
+        for cut in 0..bytes.len() {
+            assert!(
+                matrix_from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_decode_rejects_bad_tag_and_lengths() {
+        let mut bytes = matrix_to_bytes(&dense_fixture(3, 8, 4, 9));
+        bytes[0] = 9; // Unknown format tag.
+        assert_eq!(matrix_from_bytes(&bytes), Err(WireError::BadTag(9)));
+        let mut bytes = matrix_to_bytes(&dense_fixture(3, 8, 4, 9));
+        bytes[1] = 77; // bits = 77.
+        assert_eq!(
+            matrix_from_bytes(&bytes),
+            Err(WireError::BadField("bits outside 2..=8"))
+        );
+    }
+
+    #[test]
+    fn hostile_huge_lengths_fail_before_allocating() {
+        // A header declaring consistent but astronomical dimensions must
+        // be rejected by the remaining-input bound, not by attempting a
+        // terabyte allocation.
+        let mut bytes = Vec::new();
+        bytes.push(0u8); // dense
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // bits
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // group_size
+        let d: u64 = 1 << 20;
+        bytes.extend_from_slice(&d.to_le_bytes()); // d_in
+        bytes.extend_from_slice(&d.to_le_bytes()); // d_out
+        let n_qwords = (d * d * 2).div_ceil(32);
+        bytes.extend_from_slice(&n_qwords.to_le_bytes());
+        assert_eq!(matrix_from_bytes(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = matrix_to_bytes(&dense_fixture(3, 8, 4, 11));
+        bytes.push(0);
+        assert_eq!(matrix_from_bytes(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn dense_matrix_round_trip() {
+        let mut rng = Rng::seeded(5);
+        let m = Matrix::randn(7, 9, 1.0, &mut rng);
+        let mut out = Vec::new();
+        encode_dense(&m, &mut out);
+        let mut r = Reader::new(&out);
+        let back = decode_dense(&mut r).unwrap();
+        assert!(r.is_done());
+        assert_eq!(back, m);
+    }
+}

@@ -51,17 +51,18 @@
 
 pub mod manager;
 
-use dz_compress::pipeline::{delta_compress, CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::calib::calibration_set;
+use dz_compress::pipeline::{delta_compress, CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_kernels::decoupled::DecoupledBatch;
 use dz_kernels::{AdapterBatch, AdapterView};
 use dz_model::lora::LoraAdapter;
 use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
-use dz_serve::{CostModel, DeltaZipConfig, DeltaZipEngine, Engine, Metrics};
+use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine, Engine, Metrics};
+use dz_store::{ArtifactId, Registry};
 use dz_workload::Trace;
-pub use manager::{BaseId, ModelManager, VariantArtifact, VariantId, VariantInfo};
+pub use manager::{params_hash, BaseId, ModelManager, VariantArtifact, VariantId, VariantInfo};
 
 /// Errors surfaced by the public API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +80,8 @@ pub enum DzError {
     /// One batch mixed delta and adapter variants; the paper serves the
     /// two paths in separate batches (§8).
     MixedServingPaths,
+    /// The artifact store failed (I/O, corruption, or lineage mismatch).
+    Storage(String),
 }
 
 impl std::fmt::Display for DzError {
@@ -92,6 +95,7 @@ impl std::fmt::Display for DzError {
             DzError::MixedServingPaths => {
                 write!(f, "deltas and adapters must be served in separate batches")
             }
+            DzError::Storage(msg) => write!(f, "artifact store: {msg}"),
         }
     }
 }
@@ -235,7 +239,10 @@ impl DeltaZip {
         requests: &[(VariantId, Vec<usize>)],
         max_new: usize,
     ) -> Result<Vec<Vec<usize>>, DzError> {
-        let base = self.manager.base_params(base_id).ok_or(DzError::UnknownBase)?;
+        let base = self
+            .manager
+            .base_params(base_id)
+            .ok_or(DzError::UnknownBase)?;
         let mut deltas: Vec<&CompressedDelta> = Vec::new();
         let mut slot_of_variant: Vec<(VariantId, usize)> = Vec::new();
         for (vid, _) in requests {
@@ -274,7 +281,10 @@ impl DeltaZip {
         requests: &[(VariantId, Vec<usize>)],
         max_new: usize,
     ) -> Result<Vec<Vec<usize>>, DzError> {
-        let base = self.manager.base_params(base_id).ok_or(DzError::UnknownBase)?;
+        let base = self
+            .manager
+            .base_params(base_id)
+            .ok_or(DzError::UnknownBase)?;
         let mut views: Vec<AdapterView<'_>> = Vec::new();
         let mut slot_of_variant: Vec<(VariantId, usize)> = Vec::new();
         for (vid, _) in requests {
@@ -312,8 +322,14 @@ impl DeltaZip {
     /// Reconstructs the dense fine-tuned parameters of a delta variant
     /// (for accuracy evaluation).
     pub fn reconstruct(&self, variant: VariantId) -> Result<Params, DzError> {
-        let info = self.manager.variant(variant).ok_or(DzError::UnknownVariant)?;
-        let base = self.manager.base_params(info.base).ok_or(DzError::UnknownBase)?;
+        let info = self
+            .manager
+            .variant(variant)
+            .ok_or(DzError::UnknownVariant)?;
+        let base = self
+            .manager
+            .base_params(info.base)
+            .ok_or(DzError::UnknownBase)?;
         match &info.artifact {
             VariantArtifact::Delta(d) => Ok(d.reconstruct(base)),
             VariantArtifact::Lora(a) => Ok(a.merge(base)),
@@ -323,7 +339,10 @@ impl DeltaZip {
 
     /// Size accounting of a delta variant.
     pub fn size_report(&self, variant: VariantId) -> Result<SizeReport, DzError> {
-        let info = self.manager.variant(variant).ok_or(DzError::UnknownVariant)?;
+        let info = self
+            .manager
+            .variant(variant)
+            .ok_or(DzError::UnknownVariant)?;
         match &info.artifact {
             VariantArtifact::Delta(d) => Ok(d.report),
             VariantArtifact::Lora(_) | VariantArtifact::Rosa(_) => Err(DzError::NotADelta),
@@ -334,6 +353,45 @@ impl DeltaZip {
     /// DeltaZip engine (the paper's end-to-end serving path).
     pub fn simulate(&self, trace: &Trace, cost: CostModel, config: DeltaZipConfig) -> Metrics {
         DeltaZipEngine::new(cost, config).run(trace)
+    }
+
+    /// Persists a delta variant into the registry as a `.dza` artifact
+    /// stamped with its base's lineage hash.
+    pub fn persist_variant(
+        &self,
+        variant: VariantId,
+        registry: &Registry,
+    ) -> Result<ArtifactId, DzError> {
+        self.manager.persist_variant(variant, registry)
+    }
+
+    /// Registers a variant decoded from a stored `.dza` artifact after
+    /// verifying its lineage against `base`.
+    pub fn register_variant_from_artifact(
+        &mut self,
+        base: BaseId,
+        registry: &Registry,
+        id: &ArtifactId,
+    ) -> Result<VariantId, DzError> {
+        self.manager
+            .register_variant_from_artifact(base, registry, id)
+    }
+
+    /// Replays a trace with the engine bound to a tiered artifact store:
+    /// per-request load waits reflect each artifact's real compressed
+    /// bytes (host hit → PCIe only; miss → disk + PCIe). Returns the
+    /// binding so callers can inspect the store's load accounting.
+    pub fn simulate_with_store(
+        &self,
+        trace: &Trace,
+        cost: CostModel,
+        config: DeltaZipConfig,
+        binding: DeltaStoreBinding,
+    ) -> (Metrics, DeltaStoreBinding) {
+        let mut engine = DeltaZipEngine::new(cost, config).with_delta_store(binding);
+        let metrics = engine.run(trace);
+        let binding = engine.delta_store.take().expect("binding attached above");
+        (metrics, binding)
     }
 }
 
@@ -527,6 +585,84 @@ mod tests {
         // Adapter outputs equal dense merged-model serving.
         let merged = dz.reconstruct(v_lora).unwrap();
         assert_eq!(batch[0], dz_model::eval::greedy_generate(&merged, &p1, 3));
+    }
+
+    fn temp_registry(tag: &str) -> dz_store::Registry {
+        let dir =
+            std::env::temp_dir().join(format!("deltazip-core-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dz_store::Registry::open(&dir).expect("open registry")
+    }
+
+    #[test]
+    fn persist_and_reload_variant_through_registry() {
+        let (base, tuned) = trained();
+        let mut dz = DeltaZip::new();
+        let b = dz.register_base("base", base.clone()).unwrap();
+        let v = dz
+            .register_fmt_variant("sent", b, &tuned, DeltaCompressConfig::starred(4))
+            .unwrap();
+        let registry = temp_registry("roundtrip");
+        let id = dz.persist_variant(v, &registry).unwrap();
+        assert!(registry.contains(&id));
+        registry.verify(&id).expect("artifact integrity");
+        assert_eq!(registry.resolve("sent").unwrap(), id);
+
+        // A fresh system with the same base loads the variant from disk and
+        // serves identically.
+        let mut dz2 = DeltaZip::new();
+        let b2 = dz2.register_base("base", base).unwrap();
+        let v2 = dz2
+            .register_variant_from_artifact(b2, &registry, &id)
+            .unwrap();
+        assert_eq!(dz2.manager().variant(v2).unwrap().name, "sent");
+        let prompt = [1usize, 20, 21, 2];
+        assert_eq!(
+            dz2.generate(v2, &prompt, 3).unwrap(),
+            dz.generate(v, &prompt, 3).unwrap()
+        );
+        // Duplicate name on reload is still rejected.
+        assert_eq!(
+            dz2.register_variant_from_artifact(b2, &registry, &id),
+            Err(DzError::DuplicateName("sent".into()))
+        );
+        std::fs::remove_dir_all(registry.root()).ok();
+    }
+
+    #[test]
+    fn lineage_mismatch_is_rejected_on_reload() {
+        let (base, tuned) = trained();
+        let mut dz = DeltaZip::new();
+        let b = dz.register_base("base", base).unwrap();
+        let v = dz
+            .register_fmt_variant("sent", b, &tuned, DeltaCompressConfig::starred(4))
+            .unwrap();
+        let registry = temp_registry("lineage");
+        let id = dz.persist_variant(v, &registry).unwrap();
+
+        // A system whose base has different weights must refuse the delta.
+        let mut rng = Rng::seeded(77);
+        let other = Params::init(test_config(), &mut rng);
+        let mut dz2 = DeltaZip::new();
+        let b2 = dz2.register_base("other-base", other).unwrap();
+        match dz2.register_variant_from_artifact(b2, &registry, &id) {
+            Err(DzError::Storage(msg)) => assert!(msg.contains("lineage"), "{msg}"),
+            other => panic!("expected lineage error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(registry.root()).ok();
+    }
+
+    #[test]
+    fn adapters_cannot_be_persisted_as_deltas() {
+        let (base, _) = trained();
+        let mut dz = DeltaZip::new();
+        let b = dz.register_base("base", base.clone()).unwrap();
+        let mut rng = Rng::seeded(21);
+        let adapter = LoraAdapter::init(&base, LoraConfig::rank(2), &mut rng);
+        let l = dz.register_lora("adapter", b, adapter).unwrap();
+        let registry = temp_registry("adapter");
+        assert_eq!(dz.persist_variant(l, &registry), Err(DzError::NotADelta));
+        std::fs::remove_dir_all(registry.root()).ok();
     }
 
     #[test]

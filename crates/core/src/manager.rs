@@ -1,10 +1,12 @@
-//! The Model Manager: bases, variants, adapters, lineage, metadata.
+//! The Model Manager: bases, variants, adapters, lineage, metadata, and
+//! persistence of delta variants through the content-addressed registry.
 
 use crate::DzError;
 use dz_compress::pipeline::CompressedDelta;
 use dz_model::lora::LoraAdapter;
 use dz_model::rosa::RosaAdapter;
 use dz_model::transformer::Params;
+use dz_store::{ArtifactId, Digest, Registry, Sha256};
 
 /// Handle to a registered base model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,9 +51,27 @@ pub struct VariantInfo {
     pub artifact: VariantArtifact,
 }
 
+/// Content hash of a base model's parameters: every tensor's name, shape,
+/// and little-endian FP32 data, in the model's canonical tensor order.
+/// This is the lineage stamp recorded in `.dza` manifests.
+pub fn params_hash(params: &Params) -> Digest {
+    let mut h = Sha256::new();
+    params.for_each(|name, m| {
+        h.update(&(name.len() as u64).to_le_bytes());
+        h.update(name.as_bytes());
+        h.update(&(m.rows() as u64).to_le_bytes());
+        h.update(&(m.cols() as u64).to_le_bytes());
+        for &v in m.data() {
+            h.update(&v.to_le_bytes());
+        }
+    });
+    h.finalize()
+}
+
 struct BaseEntry {
     name: String,
     params: Params,
+    content_hash: Digest,
 }
 
 /// Registry of bases and variants.
@@ -67,9 +87,11 @@ impl ModelManager {
         if self.bases.iter().any(|b| b.name == name) {
             return Err(DzError::DuplicateName(name.to_string()));
         }
+        let content_hash = params_hash(&params);
         self.bases.push(BaseEntry {
             name: name.to_string(),
             params,
+            content_hash,
         });
         Ok(BaseId(self.bases.len() - 1))
     }
@@ -126,6 +148,55 @@ impl ModelManager {
             .filter(|(_, v)| v.base == base)
             .map(|(i, _)| VariantId(i))
             .collect()
+    }
+
+    /// Content hash of a base's parameters (its lineage identity).
+    pub fn base_hash(&self, id: BaseId) -> Option<Digest> {
+        self.bases.get(id.0).map(|b| b.content_hash)
+    }
+
+    /// Persists a delta variant into the registry as a `.dza` artifact
+    /// stamped with its base's content hash; returns the artifact id.
+    ///
+    /// Adapter variants have no delta artifact and return
+    /// [`DzError::NotADelta`].
+    pub fn persist_variant(
+        &self,
+        id: VariantId,
+        registry: &Registry,
+    ) -> Result<ArtifactId, DzError> {
+        let info = self.variant(id).ok_or(DzError::UnknownVariant)?;
+        let VariantArtifact::Delta(delta) = &info.artifact else {
+            return Err(DzError::NotADelta);
+        };
+        let base_hash = self.base_hash(info.base).ok_or(DzError::UnknownBase)?;
+        registry
+            .publish_delta(&info.name, base_hash, delta)
+            .map_err(|e| DzError::Storage(e.to_string()))
+    }
+
+    /// Registers a variant from a stored `.dza` artifact, decoding the
+    /// delta and verifying its recorded lineage against `base`'s content
+    /// hash. The variant takes the name recorded in the manifest.
+    pub fn register_variant_from_artifact(
+        &mut self,
+        base: BaseId,
+        registry: &Registry,
+        id: &ArtifactId,
+    ) -> Result<VariantId, DzError> {
+        let expected = self.base_hash(base).ok_or(DzError::UnknownBase)?;
+        let mut reader = registry
+            .open_artifact(id)
+            .map_err(|e| DzError::Storage(e.to_string()))?;
+        let manifest = reader.manifest();
+        manifest
+            .verify_base(&expected)
+            .map_err(|e| DzError::Storage(e.to_string()))?;
+        let name = manifest.name.clone();
+        let delta = reader
+            .read_delta()
+            .map_err(|e| DzError::Storage(e.to_string()))?;
+        self.add_variant(&name, base, VariantArtifact::Delta(Box::new(delta)))
     }
 
     /// Number of registered bases.

@@ -167,7 +167,8 @@ pub fn sbmm_time(
             .iter()
             .map(|&m| {
                 let desc = MatmulDesc { m, k, n, format };
-                let peak = spec.fp16_tflops * 1e12 * spec.efficiency * format.compute_multiplier(spec);
+                let peak =
+                    spec.fp16_tflops * 1e12 * spec.efficiency * format.compute_multiplier(spec);
                 let compute = desc.flops() / peak;
                 let memory = desc.bytes() * RANDOM_ACCESS_PENALTY / bw;
                 compute.max(memory) + launch
@@ -175,9 +176,7 @@ pub fn sbmm_time(
             .sum(),
         BatchedImpl::Sbmm => active
             .iter()
-            .map(|&m| {
-                matmul_time(spec, &MatmulDesc { m, k, n, format })
-            })
+            .map(|&m| matmul_time(spec, &MatmulDesc { m, k, n, format }))
             .sum(),
         BatchedImpl::SbmmPlus => {
             // Two launches total (config kernel + fused blocked matmul);
@@ -241,8 +240,14 @@ mod tests {
         };
         let bw = A800.hbm_bw_gbps * 1e9;
         let peak = A800.fp16_tflops * 1e12 * A800.efficiency;
-        assert!(decode.bytes() / bw > decode.flops() / peak, "decode should be memory bound");
-        assert!(prefill.flops() / peak > prefill.bytes() / bw, "prefill should be compute bound");
+        assert!(
+            decode.bytes() / bw > decode.flops() / peak,
+            "decode should be memory bound"
+        );
+        assert!(
+            prefill.flops() / peak > prefill.bytes() / bw,
+            "prefill should be compute bound"
+        );
     }
 
     #[test]
@@ -324,7 +329,7 @@ mod tests {
         let total_reqs = 64usize;
         let t_few = sbmm_time(
             &A800,
-            &vec![total_reqs / 4; 4],
+            &[total_reqs / 4; 4],
             2048,
             2048,
             INT4S,

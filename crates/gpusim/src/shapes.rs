@@ -124,7 +124,10 @@ mod tests {
         let b70 = ModelShape::llama70b().total_params() as f64 / 1e9;
         assert!((6.0..8.0).contains(&b7), "7b -> {b7}");
         assert!((11.5..14.5).contains(&b13), "13b -> {b13}");
-        assert!((60.0..80.0).contains(&b70), "70b -> {b70} (MHA approximation, no GQA)");
+        assert!(
+            (60.0..80.0).contains(&b70),
+            "70b -> {b70} (MHA approximation, no GQA)"
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ impl NodeSpec {
         }
         let n = self.n_gpus as f64;
         // 2(n-1)/n of the data crosses each link, 2(n-1) latency hops.
-        2.0 * (n - 1.0) / n * bytes / (self.link_gbps * 1e9)
-            + 2.0 * (n - 1.0) * self.link_latency_s
+        2.0 * (n - 1.0) / n * bytes / (self.link_gbps * 1e9) + 2.0 * (n - 1.0) * self.link_latency_s
     }
 
     /// Aggregate HBM capacity in bytes.
@@ -140,9 +139,12 @@ mod tests {
 
     #[test]
     fn datasheet_orderings_hold() {
-        assert!(A800.fp16_tflops > RTX3090.fp16_tflops);
-        assert!(A800.hbm_bw_gbps > RTX3090.hbm_bw_gbps);
-        assert!(A800.hbm_gb > RTX3090.hbm_gb);
+        // Spec structs are consts, but the orderings are datasheet claims
+        // worth keeping as runtime checks readable in test output.
+        let (a, r) = (A800, RTX3090);
+        assert!(a.fp16_tflops > r.fp16_tflops);
+        assert!(a.hbm_bw_gbps > r.hbm_bw_gbps);
+        assert!(a.hbm_gb > r.hbm_gb);
     }
 
     #[test]

@@ -72,8 +72,8 @@ impl<'a> DecoupledBatch<'a> {
         let idx = self.slots.len() - 1;
         // Prefill: feed all but the last prompt token (its logits appear at
         // the first decode step).
-        for t in 0..prompt.len() - 1 {
-            self.forward_one(idx, prompt[t]);
+        for &tok in &prompt[..prompt.len() - 1] {
+            self.forward_one(idx, tok);
         }
         idx
     }
@@ -158,8 +158,12 @@ impl<'a> DecoupledBatch<'a> {
             let mut h = Matrix::zeros(b, d);
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
-                let g = self.rest_param(variant, &format!("layer{li}.ln1_g")).clone();
-                let bb = self.rest_param(variant, &format!("layer{li}.ln1_b")).clone();
+                let g = self
+                    .rest_param(variant, &format!("layer{li}.ln1_g"))
+                    .clone();
+                let bb = self
+                    .rest_param(variant, &format!("layer{li}.ln1_b"))
+                    .clone();
                 let src: Vec<f32> = x.row(bi).to_vec();
                 layer_norm_row(&src, &g, &bb, h.row_mut(bi));
             }
@@ -171,7 +175,9 @@ impl<'a> DecoupledBatch<'a> {
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
                 for (name, m) in [("bq", &mut q), ("bk", &mut k), ("bv", &mut v)] {
-                    let bias = self.rest_param(variant, &format!("layer{li}.{name}")).clone();
+                    let bias = self
+                        .rest_param(variant, &format!("layer{li}.{name}"))
+                        .clone();
                     for (c, val) in m.row_mut(bi).iter_mut().enumerate() {
                         *val += bias.get(0, c);
                     }
@@ -196,8 +202,12 @@ impl<'a> DecoupledBatch<'a> {
             let mut h2 = Matrix::zeros(b, d);
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
-                let g = self.rest_param(variant, &format!("layer{li}.ln2_g")).clone();
-                let bb = self.rest_param(variant, &format!("layer{li}.ln2_b")).clone();
+                let g = self
+                    .rest_param(variant, &format!("layer{li}.ln2_g"))
+                    .clone();
+                let bb = self
+                    .rest_param(variant, &format!("layer{li}.ln2_b"))
+                    .clone();
                 let src: Vec<f32> = x.row(bi).to_vec();
                 layer_norm_row(&src, &g, &bb, h2.row_mut(bi));
             }

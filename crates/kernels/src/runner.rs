@@ -51,6 +51,7 @@ pub(crate) fn layer_norm_row(x: &[f32], g: &Matrix, b: &Matrix, out: &mut [f32])
 /// `q`/`k`/`v` hold the batch's projections; row `bi` belongs to this
 /// request. The layer's cache is extended with the new key/value row and
 /// the attention output is written to `out` row `bi`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn attention_one(
     q: &Matrix,
     k: &Matrix,

@@ -230,8 +230,8 @@ impl<'a> AdapterBatch<'a> {
         self.slots
             .push(Slot::new(adapter, self.base.config.n_layers, last));
         let idx = self.slots.len() - 1;
-        for t in 0..prompt.len() - 1 {
-            let _ = self.step_tokens(&[(idx, prompt[t])]);
+        for &tok in &prompt[..prompt.len() - 1] {
+            let _ = self.step_tokens(&[(idx, tok)]);
         }
         idx
     }
@@ -290,8 +290,7 @@ impl<'a> AdapterBatch<'a> {
         let cfg = &self.base.config;
         let d = cfg.d_model;
         let b = work.len();
-        let adapter_idx: Vec<usize> =
-            work.iter().map(|(s, _)| self.slots[*s].variant).collect();
+        let adapter_idx: Vec<usize> = work.iter().map(|(s, _)| self.slots[*s].variant).collect();
 
         let mut x = Matrix::zeros(b, d);
         for (bi, &(slot, token)) in work.iter().enumerate() {
@@ -393,8 +392,8 @@ mod tests {
         let mut y = vec![0.0f32; 5];
         coo.accumulate_row(&x, &mut y);
         let want = Matrix::from_rows(&[&x]).matmul(&masked);
-        for c in 0..5 {
-            assert!((y[c] - want.get(0, c)).abs() < 1e-5);
+        for (c, &yc) in y.iter().enumerate() {
+            assert!((yc - want.get(0, c)).abs() < 1e-5);
         }
     }
 
@@ -465,12 +464,7 @@ mod tests {
         let mut lora = dz_model::lora::LoraAdapter::init(&p, LoraConfig::rank(2), &mut rng);
         finetune_lora(&p, &mut lora, &SentimentTask, short_train());
         let mut rosa = RosaAdapter::init(&p, RosaConfig::new(2, 0.03), &mut rng);
-        finetune_rosa(
-            &p,
-            &mut rosa,
-            &dz_model::tasks::NliTask,
-            short_train(),
-        );
+        finetune_rosa(&p, &mut rosa, &dz_model::tasks::NliTask, short_train());
         let m1 = lora.merge(&p);
         let m2 = rosa.merge(&p);
         let p1 = vec![1usize, 20, 21, 2];

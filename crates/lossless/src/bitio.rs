@@ -27,7 +27,10 @@ impl BitWriter {
     /// Panics if `n > 32`.
     pub fn write_bits(&mut self, value: u32, n: u32) {
         assert!(n <= 32, "write_bits supports at most 32 bits");
-        debug_assert!(n == 32 || value < (1u32 << n), "value {value} wider than {n} bits");
+        debug_assert!(
+            n == 32 || value < (1u32 << n),
+            "value {value} wider than {n} bits"
+        );
         self.acc |= (value as u64) << self.nbits;
         self.nbits += n;
         while self.nbits >= 8 {

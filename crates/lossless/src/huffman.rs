@@ -21,7 +21,7 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// decodable. The result always satisfies the Kraft equality when two or
 /// more symbols are present.
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
-    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
     let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
     let mut lens = vec![0u32; freqs.len()];
     match active.len() {
@@ -62,8 +62,7 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
             .collect();
         // Plus packages carried from the previous level, paired up.
         let mut iter = level.into_iter();
-        loop {
-            let Some(a) = iter.next() else { break };
+        while let Some(a) = iter.next() {
             let Some(b) = iter.next() else { break };
             let mut syms = a.syms;
             syms.extend_from_slice(&b.syms);
@@ -210,7 +209,9 @@ impl Decoder {
     /// Builds a decoder from code lengths.
     pub fn from_lengths(lens: &[u32]) -> Self {
         let max_len = lens.iter().copied().max().unwrap_or(0);
-        let mut symbols: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+        let mut symbols: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens[s as usize] > 0)
+            .collect();
         symbols.sort_by_key(|&s| (lens[s as usize], s));
         let mut first_code = vec![0u32; (max_len + 2) as usize];
         let mut first_index = vec![0u32; (max_len + 2) as usize];
@@ -223,7 +224,13 @@ impl Decoder {
         let mut code = 0u32;
         let mut index = 0u32;
         for bits in 1..=max_len {
-            code = (code + if bits >= 1 { bl_count.get((bits - 1) as usize).copied().unwrap_or(0) } else { 0 }) << 1;
+            code = (code
+                + if bits >= 1 {
+                    bl_count.get((bits - 1) as usize).copied().unwrap_or(0)
+                } else {
+                    0
+                })
+                << 1;
             first_code[bits as usize] = code;
             first_index[bits as usize] = index;
             index += bl_count[bits as usize];

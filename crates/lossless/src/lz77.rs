@@ -166,7 +166,11 @@ mod tests {
         // "aaaa..." forces dist=1 matches with len > dist.
         let data = vec![b'a'; 1000];
         let tokens = tokenize(&data);
-        assert!(tokens.len() < 20, "run should compress to few tokens: {}", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "run should compress to few tokens: {}",
+            tokens.len()
+        );
         round_trip(&data);
     }
 
@@ -200,7 +204,7 @@ mod tests {
     fn distant_repeat_found_within_window() {
         let mut data = Vec::new();
         data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
-        data.extend(std::iter::repeat(b'.').take(1024));
+        data.extend(std::iter::repeat_n(b'.', 1024));
         data.extend_from_slice(b"the quick brown fox jumps over the lazy dog");
         let tokens = tokenize(&data);
         let matched: usize = tokens

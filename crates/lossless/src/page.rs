@@ -16,7 +16,7 @@
 //! and bound the memory of the matcher.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::huffman::{code_lengths, Decoder, DecodeError, Encoder, MAX_CODE_LEN};
+use crate::huffman::{code_lengths, DecodeError, Decoder, Encoder, MAX_CODE_LEN};
 use crate::lz77::{tokenize, Token, MAX_MATCH, MIN_MATCH};
 
 /// Default page size (64 KiB, as GDeflate uses).
@@ -36,25 +36,69 @@ const NUM_DIST: usize = 30;
 
 /// `(base_length, extra_bits)` for length codes 257..=285.
 const LEN_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// `(base_distance, extra_bits)` for distance codes 0..=29.
 const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1), (9, 2), (13, 2),
-    (17, 3), (25, 3), (33, 4), (49, 4),
-    (65, 5), (97, 5), (129, 6), (193, 6),
-    (257, 7), (385, 7), (513, 8), (769, 8),
-    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 /// Errors surfaced while decoding a compressed stream.
@@ -213,14 +257,16 @@ fn decompress_page(payload: &[u8], mode: u8, raw_len: usize) -> Result<Vec<u8>, 
                     }
                     let (base, extra) = LEN_TABLE[idx];
                     let len = base as usize
-                        + r.read_bits(extra as u32).map_err(|_| CodecError::Truncated)? as usize;
+                        + r.read_bits(extra as u32)
+                            .map_err(|_| CodecError::Truncated)? as usize;
                     let dsym = dist_dec.decode(&mut r)? as usize;
                     if dsym >= DIST_TABLE.len() {
                         return Err(CodecError::Corrupt("bad distance symbol"));
                     }
                     let (dbase, dextra) = DIST_TABLE[dsym];
                     let dist = dbase as usize
-                        + r.read_bits(dextra as u32).map_err(|_| CodecError::Truncated)? as usize;
+                        + r.read_bits(dextra as u32)
+                            .map_err(|_| CodecError::Truncated)? as usize;
                     if dist == 0 || dist > out.len() {
                         return Err(CodecError::Corrupt("distance before start"));
                     }
@@ -422,7 +468,7 @@ mod tests {
             let (base, eb) = LEN_TABLE[sym - 257];
             assert_eq!(eb, extra_bits);
             assert_eq!(base + extra_val, len);
-            assert!(extra_val < (1 << extra_bits.max(0)) || extra_bits == 0);
+            assert!(extra_val < (1 << extra_bits) || extra_bits == 0);
         }
     }
 

@@ -47,8 +47,7 @@ fn main() {
                 seed: 8,
             },
         );
-        let fmt_acc =
-            dz_model::eval::task_accuracy(&fmt, task.as_ref(), 300, &mut Rng::seeded(2));
+        let fmt_acc = dz_model::eval::task_accuracy(&fmt, task.as_ref(), 300, &mut Rng::seeded(2));
         let mut adapter = LoraAdapter::init(&base, LoraConfig::rank(8), &mut rng);
         finetune_lora(
             &base,

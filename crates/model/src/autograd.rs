@@ -50,7 +50,10 @@ enum Op {
         probs: Vec<Matrix>,
     },
     /// Row gather from an embedding table.
-    Gather { table: NodeId, ids: Vec<usize> },
+    Gather {
+        table: NodeId,
+        ids: Vec<usize>,
+    },
     /// Mean masked softmax cross-entropy; output is `1 x 1`.
     CrossEntropy {
         logits: NodeId,
@@ -244,8 +247,8 @@ impl Tape {
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let inv_std = 1.0 / (var + EPS).sqrt();
             row_stats.push((mean, inv_std));
-            for c in 0..cols {
-                let n = (row[c] - mean) * inv_std;
+            for (c, &v) in row.iter().enumerate() {
+                let n = (v - mean) * inv_std;
                 normed.set(r, c, n);
                 out.set(r, c, n * g.get(0, c) + b.get(0, c));
             }
@@ -270,7 +273,10 @@ impl Tape {
         let (t, d) = self.value(q).shape();
         assert_eq!(self.value(k).shape(), (t, d), "k shape mismatch");
         assert_eq!(self.value(v).shape(), (t, d), "v shape mismatch");
-        assert!(heads > 0 && d % heads == 0, "d={d} not divisible by heads={heads}");
+        assert!(
+            heads > 0 && d % heads == 0,
+            "d={d} not divisible by heads={heads}"
+        );
         let dh = d / heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let mut out = Matrix::zeros(t, d);
@@ -292,7 +298,16 @@ impl Tape {
             write_cols(&mut out, &oh, h * dh);
             probs.push(a);
         }
-        self.push(out, Op::Mha { q, k, v, heads, probs })
+        self.push(
+            out,
+            Op::Mha {
+                q,
+                k,
+                v,
+                heads,
+                probs,
+            },
+        )
     }
 
     /// Embedding gather node: row `i` of the output is `table[ids[i]]`.
@@ -330,7 +345,10 @@ impl Tape {
         assert_eq!(lv.rows(), weights.len(), "weight length mismatch");
         let probs = softmax_rows(lv);
         let weight_sum: f32 = weights.iter().sum();
-        assert!(weight_sum > 0.0, "cross_entropy needs at least one weighted position");
+        assert!(
+            weight_sum > 0.0,
+            "cross_entropy needs at least one weighted position"
+        );
         let mut loss = 0.0f64;
         for (r, (&t, &w)) in targets.iter().zip(weights.iter()).enumerate() {
             if w == 0.0 {
@@ -444,8 +462,7 @@ impl Tape {
                 let mut gx = Matrix::zeros(rows, cols);
                 let mut ggain = Matrix::zeros(1, cols);
                 let mut gbias = Matrix::zeros(1, cols);
-                for r in 0..rows {
-                    let (_, inv_std) = row_stats[r];
+                for (r, &(_, inv_std)) in row_stats.iter().enumerate() {
                     // dnorm = grad_out * gain.
                     let mut dnorm = vec![0.0f32; cols];
                     let go_row = grad_out.row(r);
@@ -471,18 +488,23 @@ impl Tape {
                 self.accumulate(*gain, ggain);
                 self.accumulate(*bias, gbias);
             }
-            Op::Mha { q, k, v, heads, probs } => {
+            Op::Mha {
+                q,
+                k,
+                v,
+                heads,
+                probs,
+            } => {
                 let (t, d) = self.value(*q).shape();
                 let dh = d / heads;
                 let scale = 1.0 / (dh as f32).sqrt();
                 let mut gq = Matrix::zeros(t, d);
                 let mut gk = Matrix::zeros(t, d);
                 let mut gv = Matrix::zeros(t, d);
-                for h in 0..*heads {
+                for (h, a) in probs.iter().enumerate() {
                     let qh = slice_cols(self.value(*q), h * dh, dh);
                     let kh = slice_cols(self.value(*k), h * dh, dh);
                     let vh = slice_cols(self.value(*v), h * dh, dh);
-                    let a = &probs[h];
                     let go_h = slice_cols(grad_out, h * dh, dh);
                     // dV = A^T dO.
                     let gvh = a.matmul_tn(&go_h);
@@ -843,7 +865,11 @@ mod tests {
         let k = Matrix::randn(3, 4, 1.0, &mut rng);
         let v = Matrix::randn(3, 4, 1.0, &mut rng);
         let mut tape = Tape::new();
-        let (qn, kn, vn) = (tape.leaf(q.clone()), tape.leaf(k.clone()), tape.leaf(v.clone()));
+        let (qn, kn, vn) = (
+            tape.leaf(q.clone()),
+            tape.leaf(k.clone()),
+            tape.leaf(v.clone()),
+        );
         let o1 = tape.mha_causal(qn, kn, vn, 2);
         let row0_before: Vec<f32> = tape.value(o1).row(0).to_vec();
 

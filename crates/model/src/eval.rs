@@ -160,7 +160,10 @@ mod tests {
         let corpus = Corpus::new(cfg.max_seq);
         let seqs: Vec<Vec<usize>> = (0..20).map(|_| corpus.sample(&mut rng)).collect();
         let ppl = perplexity(&p, &seqs);
-        assert!(ppl > cfg.vocab as f64 * 0.3 && ppl < cfg.vocab as f64 * 3.0, "ppl {ppl}");
+        assert!(
+            ppl > cfg.vocab as f64 * 0.3 && ppl < cfg.vocab as f64 * 3.0,
+            "ppl {ppl}"
+        );
     }
 
     #[test]
@@ -180,7 +183,11 @@ mod tests {
         let p = Params::init(cfg, &mut rng);
         let prompt: Vec<usize> = (0..cfg.max_seq - 2).map(|i| 1 + i % 10).collect();
         let out = greedy_generate(&p, &prompt, 100);
-        assert!(out.len() <= 2, "generated {} tokens past the limit", out.len());
+        assert!(
+            out.len() <= 2,
+            "generated {} tokens past the limit",
+            out.len()
+        );
     }
 
     #[test]

@@ -161,16 +161,14 @@ impl Galore {
     }
 
     fn is_projectable(&self, name: &str, shape: (usize, usize)) -> bool {
-        shape.0 > self.config.rank
-            && shape.1 > self.config.rank
-            && self.linear_names.contains(name)
+        shape.0 > self.config.rank && shape.1 > self.config.rank && self.linear_names.contains(name)
     }
 
     /// Applies one update step.
     pub fn step(&mut self, params: &mut Params, grads: &Params) {
         self.t += 1;
         let t = self.t;
-        let refresh = (t - 1) % self.config.refresh_every as u64 == 0;
+        let refresh = (t - 1).is_multiple_of(self.config.refresh_every as u64);
         let rank = self.config.rank;
         let lr = self.lr;
         let mut names: Vec<(String, (usize, usize))> = Vec::new();
@@ -180,15 +178,13 @@ impl Galore {
             if self.is_projectable(&name, shape) {
                 // Split borrows: the projector table and its RNG are
                 // disjoint fields.
-                let Galore {
-                    projected, rng, ..
-                } = &mut *self;
-                let state = projected.entry(name.clone()).or_insert_with(|| {
-                    ProjectedState {
+                let Galore { projected, rng, .. } = &mut *self;
+                let state = projected
+                    .entry(name.clone())
+                    .or_insert_with(|| ProjectedState {
                         p: Matrix::zeros(0, 0),
                         moments: MomentPair::zeros(rank, shape.1),
-                    }
-                });
+                    });
                 if refresh || state.p.is_empty() {
                     let seed = (!state.p.is_empty()).then(|| state.p.clone());
                     state.p = refresh_projector(g, rank, seed, rng);

@@ -216,8 +216,7 @@ fn forward_graph_lora(
         let b = tape.leaf(p.b.clone());
         pair_nodes.push((a, b));
     }
-    let find =
-        |name: &str| -> Option<usize> { adapter.pairs.iter().position(|p| p.name == name) };
+    let find = |name: &str| -> Option<usize> { adapter.pairs.iter().position(|p| p.name == name) };
     // A linear projection with optional adapter; base weights are frozen,
     // so backward skips their (dominant) gradient matmuls entirely.
     let logits = crate::adapted::adapted_forward(tape, base, ids, |tape, h, w, bias, name| {
@@ -246,11 +245,7 @@ pub fn finetune_lora(
     cfg: TrainConfig,
 ) -> Vec<f32> {
     let mut rng = Rng::seeded(cfg.seed);
-    let tensor_refs: Vec<&Matrix> = adapter
-        .pairs
-        .iter()
-        .flat_map(|p| [&p.a, &p.b])
-        .collect();
+    let tensor_refs: Vec<&Matrix> = adapter.pairs.iter().flat_map(|p| [&p.a, &p.b]).collect();
     let mut opt = FlatAdam::new(&tensor_refs, cfg.lr);
     drop(tensor_refs);
     let mut losses = Vec::with_capacity(cfg.steps);

@@ -175,8 +175,7 @@ fn forward_graph_rosa(
         let s = tape.leaf(sparse.values.clone());
         nodes.push((a, b, s));
     }
-    let find =
-        |name: &str| -> Option<usize> { adapter.pairs.iter().position(|p| p.name == name) };
+    let find = |name: &str| -> Option<usize> { adapter.pairs.iter().position(|p| p.name == name) };
     let logits = crate::adapted::adapted_forward(tape, base, ids, |tape, h, w, bias, name| {
         let wn = tape.leaf_no_grad(w.clone());
         let bn = tape.leaf_no_grad(bias.clone());

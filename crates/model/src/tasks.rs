@@ -80,7 +80,11 @@ impl Task for SentimentTask {
         // Draw 7 words (odd, so no ties) biased toward the label.
         for _ in 0..7 {
             let from_label = rng.bernoulli(0.75);
-            let is_pos = if from_label { positive_label } else { !positive_label };
+            let is_pos = if from_label {
+                positive_label
+            } else {
+                !positive_label
+            };
             let w = if is_pos {
                 word(rng.below(half))
             } else {
@@ -503,10 +507,7 @@ mod tests {
 
     impl dyn Task {
         fn answer_is_binary(&self) -> bool {
-            matches!(
-                self.name(),
-                "sentiment" | "palindrome" | "boolq" | "nli"
-            )
+            matches!(self.name(), "sentiment" | "palindrome" | "boolq" | "nli")
         }
     }
 }

@@ -331,8 +331,8 @@ impl Params {
         let mut out = vec![&self.tok_emb, &self.pos_emb];
         for l in &self.layers {
             out.extend([
-                &l.wq, &l.wk, &l.wv, &l.wo, &l.bq, &l.bk, &l.bv, &l.bo, &l.w1, &l.b1, &l.w2,
-                &l.b2, &l.ln1_g, &l.ln1_b, &l.ln2_g, &l.ln2_b,
+                &l.wq, &l.wk, &l.wv, &l.wo, &l.bq, &l.bk, &l.bv, &l.bo, &l.w1, &l.b1, &l.w2, &l.b2,
+                &l.ln1_g, &l.ln1_b, &l.ln2_g, &l.ln2_b,
             ]);
         }
         out.extend([&self.lnf_g, &self.lnf_b, &self.head]);
@@ -516,7 +516,12 @@ impl ParamNodes {
 /// # Panics
 ///
 /// Panics if `ids` is empty or longer than `config.max_seq`.
-pub fn forward_graph(tape: &mut Tape, nodes: &ParamNodes, config: &ModelConfig, ids: &[usize]) -> NodeId {
+pub fn forward_graph(
+    tape: &mut Tape,
+    nodes: &ParamNodes,
+    config: &ModelConfig,
+    ids: &[usize],
+) -> NodeId {
     assert!(!ids.is_empty(), "empty sequence");
     assert!(ids.len() <= config.max_seq, "sequence longer than max_seq");
     let t = ids.len();
@@ -589,8 +594,8 @@ fn layer_norm_infer(x: &Matrix, g: &Matrix, b: &Matrix) -> Matrix {
         let mean = row.iter().sum::<f32>() / x.cols() as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / x.cols() as f32;
         let inv = 1.0 / (var + EPS).sqrt();
-        for c in 0..x.cols() {
-            out.set(r, c, (row[c] - mean) * inv * g.get(0, c) + b.get(0, c));
+        for (c, &v) in row.iter().enumerate() {
+            out.set(r, c, (v - mean) * inv * g.get(0, c) + b.get(0, c));
         }
     }
     out

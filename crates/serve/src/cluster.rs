@@ -152,7 +152,10 @@ mod tests {
         let tr = trace();
         let one = run_partitioned(
             &BasePartition::round_robin(12, 1),
-            &[CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())],
+            &[CostModel::new(
+                NodeSpec::a800_node(4),
+                ModelShape::llama13b(),
+            )],
             DeltaZipConfig::default(),
             &tr,
         );
@@ -173,7 +176,10 @@ mod tests {
         let part = BasePartition::round_robin(12, 2);
         let _ = run_partitioned(
             &part,
-            &[CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())],
+            &[CostModel::new(
+                NodeSpec::a800_node(4),
+                ModelShape::llama13b(),
+            )],
             DeltaZipConfig::default(),
             &tr,
         );

@@ -165,12 +165,7 @@ impl CostModel {
     /// and a gather-SpMM that runs far below dense peak — unstructured
     /// sparsity has no tensor-core support, which is exactly why the paper
     /// compresses *deltas* with structured 2:4 instead (§4.1).
-    pub fn rosa_decode_iter(
-        &self,
-        reqs_per_adapter: &[usize],
-        rank: usize,
-        density: f64,
-    ) -> f64 {
+    pub fn rosa_decode_iter(&self, reqs_per_adapter: &[usize], rank: usize, density: f64) -> f64 {
         let mut t = self.lora_decode_iter(reqs_per_adapter, rank);
         if density <= 0.0 {
             return t;
@@ -225,9 +220,9 @@ impl CostModel {
             n: self.shape.vocab / tp,
             format: WeightFormat::Fp16,
         };
-        let kv_bytes = batch as f64 * self.avg_context_tokens as f64
-            * self.shape.kv_bytes_per_token()
-            / tp as f64;
+        let kv_bytes =
+            batch as f64 * self.avg_context_tokens as f64 * self.shape.kv_bytes_per_token()
+                / tp as f64;
         matmul_time(&self.node.gpu, &head) + kv_bytes / (self.node.gpu.hbm_bw_gbps * 1e9)
     }
 
@@ -269,9 +264,16 @@ impl CostModel {
         }
     }
 
-    /// Time to bring one compressed delta from host memory to the GPUs.
+    /// Time to bring one compressed delta from host memory to the GPUs,
+    /// sized by the shape-model estimate of a delta's bytes.
     pub fn delta_load_time(&self) -> f64 {
-        self.load_time(self.delta_bytes(), xfer::Tier::Host)
+        self.delta_load_time_bytes(self.delta_bytes())
+    }
+
+    /// Time to bring a compressed delta artifact of `bytes` from host
+    /// memory to the GPUs (PCIe hop only).
+    pub fn delta_load_time_bytes(&self, bytes: f64) -> f64 {
+        self.load_time(bytes, xfer::Tier::Host)
     }
 
     /// Time to swap one full FP16 model from host memory to the GPUs.
@@ -279,9 +281,16 @@ impl CostModel {
         self.load_time(self.model_bytes(), xfer::Tier::Host)
     }
 
-    /// Time to load a delta from cold storage (first touch).
+    /// Time to load a delta from cold storage (first touch), sized by the
+    /// shape-model estimate of a delta's bytes.
     pub fn delta_cold_load_time(&self) -> f64 {
-        self.load_time(self.delta_bytes(), xfer::Tier::Disk)
+        self.delta_cold_load_time_bytes(self.delta_bytes())
+    }
+
+    /// Time to load a compressed delta artifact of `bytes` from cold
+    /// storage (disk read plus the PCIe hop).
+    pub fn delta_cold_load_time_bytes(&self, bytes: f64) -> f64 {
+        self.load_time(bytes, xfer::Tier::Disk)
     }
 
     /// How many full FP16 models fit in the cluster HBM next to activations.
@@ -347,12 +356,41 @@ mod tests {
     }
 
     #[test]
+    fn byte_parameterized_loads_scale_and_order() {
+        let cm = model();
+        for bytes in [1e6, 1e8, 1e9] {
+            // A host hit (PCIe only) is strictly cheaper than a disk miss
+            // (disk read + PCIe) for the same artifact.
+            assert!(
+                cm.delta_load_time_bytes(bytes) < cm.delta_cold_load_time_bytes(bytes),
+                "host hit must beat disk miss at {bytes} bytes"
+            );
+        }
+        // More bytes cost more on both paths.
+        assert!(cm.delta_load_time_bytes(2e8) > cm.delta_load_time_bytes(1e8));
+        assert!(cm.delta_cold_load_time_bytes(2e8) > cm.delta_cold_load_time_bytes(1e8));
+        // The legacy single-size APIs are the byte APIs at the shape
+        // model's delta size.
+        assert_eq!(
+            cm.delta_load_time(),
+            cm.delta_load_time_bytes(cm.delta_bytes())
+        );
+        assert_eq!(
+            cm.delta_cold_load_time(),
+            cm.delta_cold_load_time_bytes(cm.delta_bytes())
+        );
+    }
+
+    #[test]
     fn capacities_are_sane() {
         let cm = model();
         let vllm_cap = cm.vllm_resident_capacity();
         let delta_cap = cm.delta_resident_capacity();
         assert!(vllm_cap >= 4, "vllm cap {vllm_cap}");
-        assert!(delta_cap > vllm_cap, "delta cap {delta_cap} must exceed {vllm_cap}");
+        assert!(
+            delta_cap > vllm_cap,
+            "delta cap {delta_cap} must exceed {vllm_cap}"
+        );
     }
 
     #[test]
@@ -378,15 +416,24 @@ mod tests {
         let lora = cm.lora_decode_iter(&reqs, 16);
         let rosa = cm.rosa_decode_iter(&reqs, 16, 0.01);
         let dz = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
-        assert!(rosa > lora, "rosa {rosa} must pay for the sparse part over {lora}");
-        assert!(rosa < dz, "rosa {rosa} should stay under full delta serving {dz}");
+        assert!(
+            rosa > lora,
+            "rosa {rosa} must pay for the sparse part over {lora}"
+        );
+        assert!(
+            rosa < dz,
+            "rosa {rosa} should stay under full delta serving {dz}"
+        );
     }
 
     #[test]
     fn rosa_with_zero_density_is_lora() {
         let cm = model();
         let reqs = vec![2usize; 4];
-        assert_eq!(cm.rosa_decode_iter(&reqs, 16, 0.0), cm.lora_decode_iter(&reqs, 16));
+        assert_eq!(
+            cm.rosa_decode_iter(&reqs, 16, 0.0),
+            cm.lora_decode_iter(&reqs, 16)
+        );
     }
 
     #[test]

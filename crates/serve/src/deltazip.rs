@@ -31,6 +31,7 @@ use crate::slo::SloPolicy;
 use crate::tuning::DynamicN;
 use crate::Engine;
 use dz_gpusim::kernel::BatchedImpl;
+use dz_store::{ArtifactId, FetchOutcome, FetchTier, TieredDeltaStore};
 use dz_workload::Trace;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -68,6 +69,56 @@ impl Default for DeltaZipConfig {
     }
 }
 
+/// Binds trace model ids to real artifacts in a [`TieredDeltaStore`], so
+/// the engine charges loads by each artifact's actual compressed bytes
+/// instead of a shape-model estimate.
+pub struct DeltaStoreBinding {
+    store: TieredDeltaStore,
+    /// `artifacts[model_id]` is the artifact serving that trace model.
+    artifacts: Vec<ArtifactId>,
+}
+
+impl DeltaStoreBinding {
+    /// Binds a store and the per-model artifact mapping.
+    pub fn new(store: TieredDeltaStore, artifacts: Vec<ArtifactId>) -> Self {
+        DeltaStoreBinding { store, artifacts }
+    }
+
+    /// The underlying store (load accounting lives here).
+    pub fn store(&self) -> &TieredDeltaStore {
+        &self.store
+    }
+
+    /// Unwraps the store.
+    pub fn into_store(self) -> TieredDeltaStore {
+        self.store
+    }
+
+    /// Keeps a model's artifact warm in the host cache while the delta is
+    /// consumed from GPU memory (no fetch, no load accounting).
+    fn touch_model(&mut self, model: usize) {
+        if let Some(id) = self.artifacts.get(model) {
+            self.store.touch(id);
+        }
+    }
+
+    /// Fetches the artifact backing a trace model id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no bound artifact or storage fails — a
+    /// mis-bound engine cannot produce meaningful metrics.
+    fn fetch_for_model(&mut self, model: usize) -> FetchOutcome {
+        let id = self
+            .artifacts
+            .get(model)
+            .unwrap_or_else(|| panic!("model {model} has no bound artifact"));
+        self.store
+            .fetch(id)
+            .unwrap_or_else(|e| panic!("artifact fetch for model {model} failed: {e}"))
+    }
+}
+
 /// The engine.
 pub struct DeltaZipEngine {
     /// Cost model (hardware + model shape + delta format).
@@ -82,6 +133,10 @@ pub struct DeltaZipEngine {
     /// Optional online `N` controller; overrides `max_concurrent_deltas`
     /// while set.
     pub dynamic_n: Option<DynamicN>,
+    /// Optional artifact-store binding. When set, delta load charges come
+    /// from real `.dza` byte sizes and the store's own disk→host tiering
+    /// replaces the synthetic `host_capacity_deltas` model.
+    pub delta_store: Option<DeltaStoreBinding>,
 }
 
 impl DeltaZipEngine {
@@ -94,7 +149,16 @@ impl DeltaZipEngine {
             estimator: LengthEstimator::default(),
             slo_policy: None,
             dynamic_n: None,
+            delta_store: None,
         }
+    }
+
+    /// Attaches an artifact store: loads are charged by the bound
+    /// artifacts' real compressed byte sizes (host hit pays the PCIe hop
+    /// only; a miss pays disk plus PCIe).
+    pub fn with_delta_store(mut self, binding: DeltaStoreBinding) -> Self {
+        self.delta_store = Some(binding);
+        self
     }
 
     /// Replaces the length estimator (for the §8 ablations).
@@ -146,8 +210,7 @@ impl Engine for DeltaZipEngine {
     fn run(&mut self, trace: &Trace) -> Metrics {
         let cfg = self.config;
         let cost = self.cost;
-        let mut states: Vec<ReqState> =
-            trace.requests.iter().cloned().map(ReqState::new).collect();
+        let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
         // Queue of request ids, FCFS == id order (trace is arrival-sorted).
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
@@ -245,36 +308,64 @@ impl Engine for DeltaZipEngine {
                         None => break, // Capacity >= N guarantees progress.
                     }
                 }
-                load_s += if warm.contains_key(&d) {
-                    cost.delta_load_time()
-                } else {
-                    cost.delta_cold_load_time()
-                };
-                warm.insert(d, t);
-                if let Some(host_cap) = cfg.host_capacity_deltas {
-                    while warm.len() > host_cap.max(1) {
-                        let victim = warm
-                            .iter()
-                            .filter(|(d, _)| !on_gpu.contains_key(*d) && !selected.contains(*d))
-                            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
-                            .map(|(&d, _)| d);
-                        match victim {
-                            Some(v) => {
-                                warm.remove(&v);
+                load_s += match self.delta_store.as_mut() {
+                    // Artifact-store path: the store decides the tier from
+                    // its byte-budget LRU and reports real artifact bytes.
+                    Some(binding) => {
+                        let outcome = binding.fetch_for_model(d);
+                        match outcome.tier {
+                            FetchTier::HostHit => cost.delta_load_time_bytes(outcome.bytes as f64),
+                            FetchTier::DiskMiss => {
+                                cost.delta_cold_load_time_bytes(outcome.bytes as f64)
                             }
-                            None => break, // Everything cached is in use.
                         }
                     }
-                }
+                    // Synthetic path: shape-model bytes, warm/cold decided
+                    // by the engine's own host-cache bookkeeping.
+                    None => {
+                        let charge = if warm.contains_key(&d) {
+                            cost.delta_load_time()
+                        } else {
+                            cost.delta_cold_load_time()
+                        };
+                        warm.insert(d, t);
+                        if let Some(host_cap) = cfg.host_capacity_deltas {
+                            while warm.len() > host_cap.max(1) {
+                                let victim = warm
+                                    .iter()
+                                    .filter(|(d, _)| {
+                                        !on_gpu.contains_key(*d) && !selected.contains(*d)
+                                    })
+                                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
+                                    .map(|(&d, _)| d);
+                                match victim {
+                                    Some(v) => {
+                                        warm.remove(&v);
+                                    }
+                                    None => break, // Everything cached is in use.
+                                }
+                            }
+                        }
+                        charge
+                    }
+                };
                 on_gpu.insert(d, t);
             }
-            // Touch LRU stamps of the deltas used this iteration.
+            // Touch LRU stamps of the deltas used this iteration — both
+            // the engine's own maps and, in store-backed mode, the host
+            // cache (a GPU-resident delta must not rot into the store's
+            // LRU victim while it is still hot).
             for d in &selected {
                 if let Some(stamp) = on_gpu.get_mut(d) {
                     *stamp = t;
                 }
                 if let Some(stamp) = warm.get_mut(d) {
                     *stamp = t;
+                }
+            }
+            if let Some(binding) = self.delta_store.as_mut() {
+                for d in &selected {
+                    binding.touch_model(*d);
                 }
             }
             if load_s > 0.0 {
@@ -356,10 +447,7 @@ impl Engine for DeltaZipEngine {
                 let mut preempted = Vec::new();
                 let mut spared = Vec::new();
                 running.retain(|&rid| {
-                    if !states[rid]
-                        .parent
-                        .is_some_and(|p| finished.contains(&p))
-                    {
+                    if !states[rid].parent.is_some_and(|p| finished.contains(&p)) {
                         return true;
                     }
                     if let PreemptionPolicy::LengthAware { spare_tokens } = cfg.preemption {
@@ -613,8 +701,10 @@ mod tests {
         let plain = engine(3).run(&trace);
         let prioritized = engine(3).with_slo_policy(policy.clone()).run(&trace);
         let inter = |m: &Metrics| {
-            m.subset("i".into(), |r| policy.class_of(r.model) == SloClass::Interactive)
-                .mean_ttft()
+            m.subset("i".into(), |r| {
+                policy.class_of(r.model) == SloClass::Interactive
+            })
+            .mean_ttft()
         };
         assert_eq!(prioritized.len(), trace.len());
         assert!(

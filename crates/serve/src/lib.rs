@@ -29,7 +29,7 @@ pub mod tuning;
 pub mod vllm_scb;
 
 pub use cost::CostModel;
-pub use deltazip::{DeltaZipConfig, DeltaZipEngine};
+pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 pub use lora::{LoraEngine, LoraServingConfig};
 pub use metrics::Metrics;
 pub use policy::{PreemptionPolicy, ResumePolicy};

@@ -68,7 +68,10 @@ impl LoraEngine {
 impl Engine for LoraEngine {
     fn label(&self) -> String {
         if self.config.sparse_density > 0.0 {
-            format!("RoSA(r={},d={})", self.config.rank, self.config.sparse_density)
+            format!(
+                "RoSA(r={},d={})",
+                self.config.rank, self.config.sparse_density
+            )
         } else {
             format!("LoRA(r={})", self.config.rank)
         }
@@ -76,8 +79,7 @@ impl Engine for LoraEngine {
 
     fn run(&mut self, trace: &Trace) -> Metrics {
         let cost = self.cost;
-        let mut states: Vec<ReqState> =
-            trace.requests.iter().cloned().map(ReqState::new).collect();
+        let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
@@ -96,7 +98,9 @@ impl Engine for LoraEngine {
             }
             // Admit FCFS up to the batch cap; all adapters are resident.
             while running.len() < self.config.max_batch {
-                let Some(&qid) = queue.iter().next() else { break };
+                let Some(&qid) = queue.iter().next() else {
+                    break;
+                };
                 queue.remove(&qid);
                 states[qid].admit(t);
                 running.push(qid);

@@ -254,7 +254,11 @@ mod tests {
 
     #[test]
     fn slo_attainment() {
-        let m = metrics(vec![record(1.0, 0.1, 1), record(5.0, 2.0, 1), record(9.0, 4.0, 1)]);
+        let m = metrics(vec![
+            record(1.0, 0.1, 1),
+            record(5.0, 2.0, 1),
+            record(9.0, 4.0, 1),
+        ]);
         assert!((m.slo_attainment_e2e(5.0) - 2.0 / 3.0).abs() < 1e-9);
         assert!((m.slo_attainment_ttft(0.5) - 1.0 / 3.0).abs() < 1e-9);
         let curve = m.slo_curve(&[1.0, 10.0], false);
@@ -263,7 +267,11 @@ mod tests {
 
     #[test]
     fn percentiles() {
-        let m = metrics((1..=100).map(|i| record(i as f64, i as f64 / 10.0, 1)).collect());
+        let m = metrics(
+            (1..=100)
+                .map(|i| record(i as f64, i as f64 / 10.0, 1))
+                .collect(),
+        );
         assert!((m.e2e_percentile(0.5) - 50.0).abs() <= 1.0);
         assert!(m.e2e_percentile(0.9) > m.e2e_percentile(0.5));
     }

@@ -200,12 +200,7 @@ mod tests {
     #[test]
     fn profiling_returns_a_candidate() {
         let cost = CostModel::new(NodeSpec::rtx3090_node(2), ModelShape::llama7b());
-        let profile = profile_best_n(
-            cost,
-            DeltaZipConfig::default(),
-            spec(3.0),
-            &[1, 2, 3, 4, 6],
-        );
+        let profile = profile_best_n(cost, DeltaZipConfig::default(), spec(3.0), &[1, 2, 3, 4, 6]);
         assert!(profile.candidates.len() == 5);
         assert!([1usize, 2, 3, 4, 6].contains(&profile.best_n));
         // All measurements are physical.
@@ -217,12 +212,7 @@ mod tests {
         // Figure 10's point: the profiled N stays near-optimal when the
         // arrival rate shifts.
         let cost = CostModel::new(NodeSpec::rtx3090_node(2), ModelShape::llama7b());
-        let profile = profile_best_n(
-            cost,
-            DeltaZipConfig::default(),
-            spec(3.0),
-            &[1, 2, 3, 4, 6],
-        );
+        let profile = profile_best_n(cost, DeltaZipConfig::default(), spec(3.0), &[1, 2, 3, 4, 6]);
         let mut shifted = spec(4.0);
         shifted.seed = 0x78;
         let at_shift = profile_best_n(cost, DeltaZipConfig::default(), shifted, &[1, 2, 3, 4, 6]);

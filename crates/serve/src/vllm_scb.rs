@@ -53,8 +53,7 @@ impl Engine for VllmScbEngine {
     fn run(&mut self, trace: &Trace) -> Metrics {
         let cost = self.cost;
         let capacity = cost.vllm_resident_capacity().max(1);
-        let mut states: Vec<ReqState> =
-            trace.requests.iter().cloned().map(ReqState::new).collect();
+        let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
@@ -259,8 +258,7 @@ mod tests {
         let tr = trace(0.3, 4, 3);
         let m = VllmScbEngine::new(cost(), VllmScbConfig::default()).run(&tr);
         let half = m.records.len() / 2;
-        let early: f64 =
-            m.records[..half].iter().map(|r| r.load_s).sum::<f64>() / half as f64;
+        let early: f64 = m.records[..half].iter().map(|r| r.load_s).sum::<f64>() / half as f64;
         let late: f64 = m.records[half..].iter().map(|r| r.load_s).sum::<f64>()
             / (m.records.len() - half) as f64;
         assert!(

@@ -1,0 +1,108 @@
+//! Typed errors for the artifact store.
+
+use dz_compress::wire::WireError;
+use dz_lossless::CodecError;
+
+/// Anything that can go wrong persisting or loading an artifact.
+///
+/// Corruption (flipped bytes, truncation, bad magic) is always surfaced as
+/// a typed error — never a panic, never silently wrong tensors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A lossless page failed to decode.
+    Codec(CodecError),
+    /// A tensor record failed to decode.
+    Wire(WireError),
+    /// The container does not start with the `.dza` magic.
+    BadMagic,
+    /// The container version is not supported.
+    BadVersion(u16),
+    /// The file is shorter than its framing claims.
+    Truncated,
+    /// A decompressed payload or the manifest failed its checksum.
+    ChecksumMismatch {
+        /// The tensor whose page failed, or `None` for the manifest.
+        tensor: Option<String>,
+    },
+    /// The manifest references no tensor with this name.
+    UnknownTensor(String),
+    /// The registry holds no artifact with this id or ref name.
+    UnknownArtifact(String),
+    /// The artifact's recorded base lineage does not match the expected
+    /// base model.
+    BaseMismatch {
+        /// Base hash the caller expected.
+        expected: String,
+        /// Base hash recorded in the manifest.
+        found: String,
+    },
+    /// A name is not storable (too long, or contains separators).
+    InvalidName(String),
+    /// Structural inconsistency not covered by the variants above.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Codec(e) => write!(f, "lossless codec error: {e}"),
+            StoreError::Wire(e) => write!(f, "tensor record error: {e}"),
+            StoreError::BadMagic => write!(f, "not a .dza container (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported .dza version {v}"),
+            StoreError::Truncated => write!(f, "container truncated"),
+            StoreError::ChecksumMismatch { tensor: Some(t) } => {
+                write!(f, "checksum mismatch in tensor `{t}`")
+            }
+            StoreError::ChecksumMismatch { tensor: None } => {
+                write!(f, "manifest checksum mismatch")
+            }
+            StoreError::UnknownTensor(t) => write!(f, "unknown tensor `{t}`"),
+            StoreError::UnknownArtifact(a) => write!(f, "unknown artifact `{a}`"),
+            StoreError::BaseMismatch { expected, found } => {
+                write!(
+                    f,
+                    "base lineage mismatch: expected {expected}, found {found}"
+                )
+            }
+            StoreError::InvalidName(n) => write!(f, "invalid name `{n}`"),
+            StoreError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        // Wire-level truncation inside the container means the container
+        // framing lied about a record's extent.
+        match e {
+            WireError::Truncated => StoreError::Truncated,
+            other => StoreError::Wire(other),
+        }
+    }
+}

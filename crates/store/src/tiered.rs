@@ -1,0 +1,204 @@
+//! Tiered delta storage: disk registry under a byte-budget host cache.
+//!
+//! The paper's hierarchical delta management (§5.4) keeps hot compressed
+//! deltas in host DRAM and spills cold ones to disk. [`TieredDeltaStore`]
+//! models exactly that: artifact bytes are fetched from the
+//! content-addressed [`Registry`] on a miss and cached in memory under a
+//! least-recently-used byte budget, with per-artifact load accounting so
+//! the serving engine can charge real transfer sizes.
+
+use crate::error::StoreError;
+use crate::registry::{ArtifactId, Registry};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which tier satisfied a fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchTier {
+    /// Served from the host DRAM cache: only the host→device hop remains.
+    HostHit,
+    /// Read from disk (and now cached): disk + host→device hops.
+    DiskMiss,
+}
+
+/// The result of one fetch.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// Which tier served the request.
+    pub tier: FetchTier,
+    /// Artifact size in bytes (what the interconnect moves).
+    pub bytes: u64,
+    /// The artifact's raw `.dza` bytes.
+    pub data: Arc<Vec<u8>>,
+}
+
+/// Per-artifact (and aggregate) load accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Fetches served from the host cache.
+    pub host_hits: u64,
+    /// Fetches that had to read disk.
+    pub disk_loads: u64,
+    /// Total bytes served from the host cache.
+    pub host_bytes: u64,
+    /// Total bytes read from disk.
+    pub disk_bytes: u64,
+}
+
+impl LoadStats {
+    fn record(&mut self, tier: FetchTier, bytes: u64) {
+        match tier {
+            FetchTier::HostHit => {
+                self.host_hits += 1;
+                self.host_bytes += bytes;
+            }
+            FetchTier::DiskMiss => {
+                self.disk_loads += 1;
+                self.disk_bytes += bytes;
+            }
+        }
+    }
+}
+
+struct Resident {
+    data: Arc<Vec<u8>>,
+    stamp: u64,
+}
+
+/// A disk→host tiered store with an LRU host cache bounded in bytes.
+pub struct TieredDeltaStore {
+    registry: Registry,
+    budget_bytes: u64,
+    resident: HashMap<ArtifactId, Resident>,
+    resident_bytes: u64,
+    clock: u64,
+    per_artifact: HashMap<ArtifactId, LoadStats>,
+    total: LoadStats,
+}
+
+impl TieredDeltaStore {
+    /// Wraps a registry with a host cache of `budget_bytes`.
+    pub fn new(registry: Registry, budget_bytes: u64) -> Self {
+        TieredDeltaStore {
+            registry,
+            budget_bytes,
+            resident: HashMap::new(),
+            resident_bytes: 0,
+            clock: 0,
+            per_artifact: HashMap::new(),
+            total: LoadStats::default(),
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The host cache budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident in the host cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Whether an artifact is currently host-resident.
+    pub fn is_resident(&self, id: &ArtifactId) -> bool {
+        self.resident.contains_key(id)
+    }
+
+    /// Fetches an artifact's bytes, reading disk only on a host miss.
+    pub fn fetch(&mut self, id: &ArtifactId) -> Result<FetchOutcome, StoreError> {
+        self.clock += 1;
+        if let Some(r) = self.resident.get_mut(id) {
+            r.stamp = self.clock;
+            let outcome = FetchOutcome {
+                tier: FetchTier::HostHit,
+                bytes: r.data.len() as u64,
+                data: Arc::clone(&r.data),
+            };
+            self.record(id, FetchTier::HostHit, outcome.bytes);
+            return Ok(outcome);
+        }
+        let data = Arc::new(self.registry.read_bytes(id)?);
+        let bytes = data.len() as u64;
+        self.admit(*id, Arc::clone(&data));
+        self.record(id, FetchTier::DiskMiss, bytes);
+        Ok(FetchOutcome {
+            tier: FetchTier::DiskMiss,
+            bytes,
+            data,
+        })
+    }
+
+    /// Refreshes an artifact's LRU stamp without fetching (used when the
+    /// artifact is consumed from a copy further up the hierarchy, e.g.
+    /// GPU-resident, and should stay warm in host memory too). Returns
+    /// whether the artifact was host-resident.
+    pub fn touch(&mut self, id: &ArtifactId) -> bool {
+        self.clock += 1;
+        match self.resident.get_mut(id) {
+            Some(r) => {
+                r.stamp = self.clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops one artifact from the host cache (it stays on disk).
+    pub fn evict(&mut self, id: &ArtifactId) {
+        if let Some(r) = self.resident.remove(id) {
+            self.resident_bytes -= r.data.len() as u64;
+        }
+    }
+
+    /// Load accounting for one artifact.
+    pub fn stats(&self, id: &ArtifactId) -> LoadStats {
+        self.per_artifact.get(id).copied().unwrap_or_default()
+    }
+
+    /// Aggregate load accounting.
+    pub fn total_stats(&self) -> LoadStats {
+        self.total
+    }
+
+    fn record(&mut self, id: &ArtifactId, tier: FetchTier, bytes: u64) {
+        self.per_artifact
+            .entry(*id)
+            .or_default()
+            .record(tier, bytes);
+        self.total.record(tier, bytes);
+    }
+
+    fn admit(&mut self, id: ArtifactId, data: Arc<Vec<u8>>) {
+        let len = data.len() as u64;
+        if len > self.budget_bytes {
+            // Larger than the whole cache: serve it uncached rather than
+            // flushing everything for one artifact.
+            return;
+        }
+        while self.resident_bytes + len > self.budget_bytes {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(_, r)| r.stamp)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(v) => self.evict(&v),
+                None => break,
+            }
+        }
+        self.resident_bytes += len;
+        self.resident.insert(
+            id,
+            Resident {
+                data,
+                stamp: self.clock,
+            },
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Deterministic tests of the `.dza` container, the content-addressed
+//! registry, and the tiered store.
+
+use dz_compress::pack::CompressedMatrix;
+use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
+use dz_compress::quant::{quantize_slice, QuantSpec};
+use dz_store::{
+    sha256, ArtifactReader, ArtifactWriter, FetchTier, Registry, StoreError, TensorKind,
+    TieredDeltaStore,
+};
+use dz_tensor::{Matrix, Rng};
+use std::collections::BTreeMap;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dz-store-test-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn packed_matrix(d_out: usize, d_in: usize, bits: u32, seed: u64) -> CompressedMatrix {
+    let mut rng = Rng::seeded(seed);
+    let spec = QuantSpec::new(bits, 8);
+    let wt = Matrix::randn(d_out, d_in, 0.05, &mut rng);
+    let mut levels = Vec::new();
+    let mut scales = Vec::new();
+    for r in 0..d_out {
+        let (l, s) = quantize_slice(wt.row(r), spec);
+        levels.extend(l);
+        scales.extend(s);
+    }
+    CompressedMatrix::from_dense(d_out, d_in, &levels, scales, spec)
+}
+
+fn fixture_delta(seed: u64) -> CompressedDelta {
+    let mut layers = BTreeMap::new();
+    layers.insert("layers.0.wq".to_string(), packed_matrix(8, 16, 4, seed));
+    layers.insert("layers.0.wk".to_string(), packed_matrix(8, 16, 2, seed ^ 1));
+    let mut rest = BTreeMap::new();
+    let mut rng = Rng::seeded(seed ^ 2);
+    rest.insert("tok_emb".to_string(), Matrix::randn(12, 8, 1.0, &mut rng));
+    rest.insert("ln.g".to_string(), Matrix::randn(1, 8, 0.1, &mut rng));
+    let compressed: usize = layers.values().map(|c| c.packed_bytes()).sum();
+    CompressedDelta {
+        layers,
+        rest,
+        config: DeltaCompressConfig::starred(4),
+        report: SizeReport {
+            compressed_linear_bytes: compressed,
+            uncompressed_rest_bytes: (12 * 8 + 8) * 2,
+            full_fp16_bytes: 4096,
+            lossless_linear_bytes: None,
+        },
+    }
+}
+
+fn container_bytes(delta: &CompressedDelta, name: &str) -> Vec<u8> {
+    let sink = Cursor::new(Vec::new());
+    let out = dz_store::dza::write_delta(sink, name, sha256(b"base"), delta).expect("write");
+    out.into_inner()
+}
+
+#[test]
+fn container_round_trips_a_delta() {
+    let delta = fixture_delta(1);
+    let bytes = container_bytes(&delta, "vicuna-tiny");
+    let mut reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open");
+    assert_eq!(reader.manifest().name, "vicuna-tiny");
+    assert_eq!(reader.manifest().base_hash, sha256(b"base"));
+    assert_eq!(reader.manifest().tensors.len(), 4);
+    let back = reader.read_delta().expect("read delta");
+    assert_eq!(back, delta);
+}
+
+#[test]
+fn single_tensors_are_randomly_accessible() {
+    let delta = fixture_delta(2);
+    let bytes = container_bytes(&delta, "v");
+    let mut reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open");
+    // Read in an order unrelated to file order.
+    let emb = reader.read_dense("tok_emb").expect("dense");
+    assert_eq!(&emb, &delta.rest["tok_emb"]);
+    let wk = reader.read_packed("layers.0.wk").expect("packed");
+    assert_eq!(&wk, &delta.layers["layers.0.wk"]);
+    // Kind confusion is rejected.
+    assert!(matches!(
+        reader.read_packed("tok_emb"),
+        Err(StoreError::Corrupt(_))
+    ));
+    assert!(matches!(
+        reader.read_dense("nope"),
+        Err(StoreError::UnknownTensor(_))
+    ));
+}
+
+#[test]
+fn streaming_writer_matches_write_delta() {
+    let delta = fixture_delta(3);
+    let mut w = ArtifactWriter::new(
+        Cursor::new(Vec::new()),
+        "v",
+        sha256(b"base"),
+        delta.config,
+        delta.report,
+    )
+    .expect("writer");
+    for (name, cm) in &delta.layers {
+        w.add_packed(name, cm).expect("add packed");
+    }
+    for (name, m) in &delta.rest {
+        w.add_dense(name, m).expect("add dense");
+    }
+    let streamed = w.finish().expect("finish").into_inner();
+    assert_eq!(streamed, container_bytes(&delta, "v"));
+}
+
+#[test]
+fn duplicate_tensor_names_rejected() {
+    let delta = fixture_delta(4);
+    let mut w = ArtifactWriter::new(
+        Cursor::new(Vec::new()),
+        "v",
+        sha256(b"base"),
+        delta.config,
+        delta.report,
+    )
+    .expect("writer");
+    w.add_packed("wq", &delta.layers["layers.0.wq"])
+        .expect("first");
+    assert!(matches!(
+        w.add_packed("wq", &delta.layers["layers.0.wq"]),
+        Err(StoreError::InvalidName(_))
+    ));
+}
+
+#[test]
+fn bad_magic_and_version_are_typed_errors() {
+    let bytes = container_bytes(&fixture_delta(5), "v");
+    let mut garbled = bytes.clone();
+    garbled[0] = b'X';
+    assert!(matches!(
+        ArtifactReader::open(Cursor::new(&garbled)),
+        Err(StoreError::BadMagic)
+    ));
+    let mut versioned = bytes.clone();
+    versioned[4] = 0xFF;
+    assert!(matches!(
+        ArtifactReader::open(Cursor::new(&versioned)),
+        Err(StoreError::BadVersion(_))
+    ));
+    assert!(ArtifactReader::open(Cursor::new(b"".as_slice())).is_err());
+}
+
+#[test]
+fn manifest_knows_payload_bytes() {
+    let delta = fixture_delta(6);
+    let bytes = container_bytes(&delta, "v");
+    let reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open");
+    let payload = reader.manifest().payload_bytes();
+    assert!(payload > 0 && payload < bytes.len() as u64);
+    for t in &reader.manifest().tensors {
+        assert!(matches!(
+            t.kind,
+            TensorKind::PackedLinear | TensorKind::DenseRest
+        ));
+    }
+}
+
+#[test]
+fn registry_publishes_content_addressed_and_deduplicates() {
+    let dir = temp_dir("registry");
+    let registry = Registry::open(&dir).expect("open");
+    let delta = fixture_delta(7);
+    let id1 = registry
+        .publish_delta("variant-a", sha256(b"base"), &delta)
+        .expect("publish");
+    // Re-publishing identical content under the same name is idempotent:
+    // the bytes hash to the same address and deduplicate on disk.
+    let id2 = registry
+        .publish_delta("variant-a", sha256(b"base"), &delta)
+        .expect("republish");
+    assert_eq!(id1, id2);
+    assert_eq!(registry.list().expect("list"), vec![id1]);
+    // A different name is a different artifact (the name is part of the
+    // manifest) with its own ref.
+    let id3 = registry
+        .publish_delta("variant-b", sha256(b"base"), &delta)
+        .expect("publish b");
+    assert_ne!(id1, id3);
+    let mut want = vec![id1, id3];
+    want.sort();
+    assert_eq!(registry.list().expect("list"), want);
+    assert_eq!(registry.resolve("variant-a").expect("ref a"), id1);
+    assert_eq!(registry.resolve("variant-b").expect("ref b"), id3);
+    assert!(registry.resolve("missing").is_err());
+    // The file name is the hash of the bytes.
+    registry.verify(&id1).expect("verify");
+    let loaded = registry.load_delta(&id1).expect("load");
+    assert_eq!(loaded, delta);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_publishes_do_not_collide() {
+    let dir = temp_dir("concurrent");
+    let registry = Registry::open(&dir).expect("open");
+    let ids: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    registry
+                        .publish_delta(
+                            &format!("thread-variant-{i}"),
+                            sha256(b"base"),
+                            &fixture_delta(40 + i),
+                        )
+                        .expect("publish")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    // Every artifact landed intact and every ref resolves.
+    for (i, id) in ids.iter().enumerate() {
+        registry.verify(id).expect("artifact integrity");
+        assert_eq!(
+            registry
+                .resolve(&format!("thread-variant-{i}"))
+                .expect("ref"),
+            *id
+        );
+    }
+    assert_eq!(registry.list().expect("list").len(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registry_verify_detects_tampering() {
+    let dir = temp_dir("tamper");
+    let registry = Registry::open(&dir).expect("open");
+    let id = registry
+        .publish_delta("v", sha256(b"base"), &fixture_delta(8))
+        .expect("publish");
+    let path = registry.path_of(&id);
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        registry.verify(&id),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_ref_names_rejected() {
+    let dir = temp_dir("names");
+    let registry = Registry::open(&dir).expect("open");
+    let delta = fixture_delta(9);
+    for bad in ["", "a\tb", "a/b", ".hidden", "a\nb"] {
+        assert!(
+            matches!(
+                registry.publish_delta(bad, sha256(b"base"), &delta),
+                Err(StoreError::InvalidName(_))
+            ),
+            "name {bad:?} must be rejected"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tiered_store_tracks_hits_misses_and_bytes() {
+    let dir = temp_dir("tiered");
+    let registry = Registry::open(&dir).expect("open");
+    let id = registry
+        .publish_delta("v", sha256(b"base"), &fixture_delta(10))
+        .expect("publish");
+    let size = registry.size_of(&id).expect("size");
+    let mut store = TieredDeltaStore::new(registry, 10 * size);
+    let first = store.fetch(&id).expect("first fetch");
+    assert_eq!(first.tier, FetchTier::DiskMiss);
+    assert_eq!(first.bytes, size);
+    let second = store.fetch(&id).expect("second fetch");
+    assert_eq!(second.tier, FetchTier::HostHit);
+    assert_eq!(second.bytes, size);
+    let stats = store.stats(&id);
+    assert_eq!(stats.disk_loads, 1);
+    assert_eq!(stats.host_hits, 1);
+    assert_eq!(stats.disk_bytes, size);
+    assert_eq!(stats.host_bytes, size);
+    assert_eq!(store.total_stats(), stats);
+    std::fs::remove_dir_all(store.registry().root()).ok();
+}
+
+#[test]
+fn tiered_store_evicts_lru_under_byte_budget() {
+    let dir = temp_dir("lru");
+    let registry = Registry::open(&dir).expect("open");
+    let ids: Vec<_> = (0..3)
+        .map(|i| {
+            registry
+                .publish_delta(&format!("v{i}"), sha256(b"base"), &fixture_delta(20 + i))
+                .expect("publish")
+        })
+        .collect();
+    let max_size = ids
+        .iter()
+        .map(|id| registry.size_of(id).expect("size"))
+        .max()
+        .expect("nonempty");
+    // Room for roughly two artifacts, never three.
+    let mut store = TieredDeltaStore::new(registry, 2 * max_size);
+    assert_eq!(store.fetch(&ids[0]).expect("a").tier, FetchTier::DiskMiss);
+    assert_eq!(store.fetch(&ids[1]).expect("b").tier, FetchTier::DiskMiss);
+    // Touch 0 so 1 becomes the LRU victim.
+    assert_eq!(store.fetch(&ids[0]).expect("c").tier, FetchTier::HostHit);
+    assert_eq!(store.fetch(&ids[2]).expect("d").tier, FetchTier::DiskMiss);
+    assert!(store.resident_bytes() <= store.budget_bytes());
+    assert!(store.is_resident(&ids[0]) || store.is_resident(&ids[2]));
+    assert!(!store.is_resident(&ids[1]), "LRU victim must be evicted");
+    // Re-fetching the victim is a miss again.
+    assert_eq!(store.fetch(&ids[1]).expect("e").tier, FetchTier::DiskMiss);
+    std::fs::remove_dir_all(store.registry().root()).ok();
+}
+
+#[test]
+fn oversized_artifacts_are_served_uncached() {
+    let dir = temp_dir("oversize");
+    let registry = Registry::open(&dir).expect("open");
+    let id = registry
+        .publish_delta("v", sha256(b"base"), &fixture_delta(30))
+        .expect("publish");
+    let size = registry.size_of(&id).expect("size");
+    let mut store = TieredDeltaStore::new(registry, size / 2);
+    assert_eq!(store.fetch(&id).expect("a").tier, FetchTier::DiskMiss);
+    assert_eq!(store.fetch(&id).expect("b").tier, FetchTier::DiskMiss);
+    assert_eq!(store.resident_bytes(), 0);
+    std::fs::remove_dir_all(store.registry().root()).ok();
+}

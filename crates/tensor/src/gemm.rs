@@ -2,9 +2,9 @@
 //!
 //! The inner kernel is a cache-blocked `i-k-j` loop over row-major data,
 //! which vectorizes well with the default compiler settings. For larger
-//! problems [`Matrix::matmul`] splits the output rows across a crossbeam
-//! scope; the split threshold was chosen so tiny (test-sized) matrices do not
-//! pay thread spawn costs.
+//! problems [`Matrix::matmul`] splits the output rows across a scoped
+//! thread pool; the split threshold was chosen so tiny (test-sized)
+//! matrices do not pay thread spawn costs.
 
 use crate::matrix::Matrix;
 
@@ -180,17 +180,16 @@ fn matmul_parallel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         .chunks_mut(rows_per * n)
         .enumerate()
         .collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (idx, c_chunk) in chunks {
             let r0 = idx * rows_per;
             let rows_here = c_chunk.len() / n;
             let a_chunk = &a_data[r0 * k..(r0 + rows_here) * k];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 matmul_block(a_chunk, b_data, c_chunk, rows_here, k, n);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -232,7 +231,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_odd_shapes() {
         let mut rng = Rng::seeded(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 31, 13), (64, 64, 64), (65, 129, 67)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 31, 13),
+            (64, 64, 64),
+            (65, 129, 67),
+        ] {
             let a = Matrix::randn(m, k, 1.0, &mut rng);
             let b = Matrix::randn(k, n, 1.0, &mut rng);
             let c = a.matmul(&b);

@@ -100,8 +100,8 @@ pub fn solve_lower_transpose(l: &Matrix, y: &[f32]) -> Vec<f32> {
     let mut x = vec![0.0f32; n];
     for i in (0..n).rev() {
         let mut s = y[i] as f64;
-        for k in (i + 1)..n {
-            s -= l.get(k, i) as f64 * x[k] as f64;
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) as f64 * xk as f64;
         }
         x[i] = (s / l.get(i, i) as f64) as f32;
     }
@@ -204,7 +204,11 @@ mod tests {
         let inv = inverse_psd(&a).unwrap();
         let id = a.matmul(&inv);
         let eye = Matrix::identity(10);
-        assert!(id.max_abs_diff(&eye) < 1e-2, "diff {}", id.max_abs_diff(&eye));
+        assert!(
+            id.max_abs_diff(&eye) < 1e-2,
+            "diff {}",
+            id.max_abs_diff(&eye)
+        );
     }
 
     #[test]

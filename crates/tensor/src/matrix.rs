@@ -287,7 +287,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frob_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Largest absolute element (0.0 for an empty matrix).
@@ -323,10 +327,15 @@ impl Matrix {
     ///
     /// Panics if the region exceeds the matrix bounds.
     pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "submatrix out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "submatrix out of bounds"
+        );
         let mut out = Matrix::zeros(h, w);
         for r in 0..h {
-            out.row_mut(r).copy_from_slice(&self.data[(r0 + r) * self.cols + c0..(r0 + r) * self.cols + c0 + w]);
+            out.row_mut(r).copy_from_slice(
+                &self.data[(r0 + r) * self.cols + c0..(r0 + r) * self.cols + c0 + w],
+            );
         }
         out
     }
@@ -371,7 +380,11 @@ impl Matrix {
 
     /// Maximum absolute difference between two matrices of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(other.data.iter())

@@ -24,9 +24,9 @@ impl LengthModel {
     /// (median prompt ~50 tokens with a heavy tail, outputs ~200).
     pub fn lmsys_like() -> Self {
         LengthModel {
-            prompt_mu: 4.0,  // median ~55 tokens
+            prompt_mu: 4.0, // median ~55 tokens
             prompt_sigma: 0.9,
-            output_mu: 5.1,  // median ~165 tokens
+            output_mu: 5.1, // median ~165 tokens
             output_sigma: 0.7,
             min_tokens: 4,
             max_tokens: 2048,

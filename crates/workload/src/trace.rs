@@ -63,7 +63,9 @@ impl Trace {
     pub fn generate(spec: TraceSpec) -> Trace {
         let mut rng = Rng::seeded(spec.seed);
         let arrivals = poisson_arrivals(spec.arrival_rate, spec.duration_s, &mut rng);
-        let model_picker = spec.popularity.sampler(spec.n_models, spec.duration_s, &mut rng);
+        let model_picker = spec
+            .popularity
+            .sampler(spec.n_models, spec.duration_s, &mut rng);
         let lengths = LengthModel::lmsys_like();
         let requests = arrivals
             .into_iter()
@@ -287,8 +289,7 @@ mod tests {
             }
             let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
             let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var =
-                gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
             cvs.push(var.sqrt() / mean);
         }
         assert!(

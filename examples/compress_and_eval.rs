@@ -8,9 +8,7 @@
 
 use dz_compress::baselines::{awq_quantize, sparsegpt_direct};
 use dz_compress::calib::calibration_set;
-use dz_compress::pipeline::{
-    delta_compress, delta_compress_no_reconstruct, DeltaCompressConfig,
-};
+use dz_compress::pipeline::{delta_compress, delta_compress_no_reconstruct, DeltaCompressConfig};
 use dz_model::eval::task_accuracy;
 use dz_model::tasks::{Corpus, NliTask, SentimentTask, Task};
 use dz_model::train::{pretrain, train, BatchItem, TrainConfig};
@@ -59,7 +57,11 @@ fn main() {
 
     eval("FP16 (uncompressed FMT)", &tuned, 1.0);
     let sgpt = sparsegpt_direct(&tuned, &calib, 4, 16);
-    eval("SparseGPT direct (4bit*)", &sgpt.params, sgpt.report.model_ratio());
+    eval(
+        "SparseGPT direct (4bit*)",
+        &sgpt.params,
+        sgpt.report.model_ratio(),
+    );
     let awq = awq_quantize(&tuned, &calib, 4, 16);
     eval("AWQ (4bit)", &awq.params, awq.report.model_ratio());
     for bits in [4u32, 2] {
@@ -71,12 +73,8 @@ fn main() {
         );
     }
     // Ablation: skip the per-layer weight reconstruction of Algorithm 1.
-    let (_, rec_no) = delta_compress_no_reconstruct(
-        &base,
-        &tuned,
-        &calib,
-        DeltaCompressConfig::starred(4),
-    );
+    let (_, rec_no) =
+        delta_compress_no_reconstruct(&base, &tuned, &calib, DeltaCompressConfig::starred(4));
     eval("  ablation: no reconstruct", &rec_no, 0.0);
     println!("\n(The ablation row shows why Line 6 of Algorithm 1 matters: without");
     println!(" re-adding the base, deeper layers calibrate on vanishing activations.)");

@@ -71,24 +71,44 @@ fn main() {
 
     // GPU performance model: the Figure 6 story.
     println!("\nGPU model (A800), normalized achieved FLOPs vs input size:");
-    println!("{:>8} {:>10} {:>10} {:>14}", "m", "FP16", "Int4", "SparseInt4");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14}",
+        "m", "FP16", "Int4", "SparseInt4"
+    );
     for exp in [0u32, 2, 4, 8, 12] {
         let m = 1usize << exp;
         let f = |format| {
-            normalized_achieved_flops(&A800, &MatmulDesc { m, k: 4096, n: 4096, format })
+            normalized_achieved_flops(
+                &A800,
+                &MatmulDesc {
+                    m,
+                    k: 4096,
+                    n: 4096,
+                    format,
+                },
+            )
         };
         println!(
             "{:>8} {:>10.3} {:>10.3} {:>14.3}",
             m,
             f(WeightFormat::Fp16),
-            f(WeightFormat::Int { bits: 4, sparse24: false }),
-            f(WeightFormat::Int { bits: 4, sparse24: true }),
+            f(WeightFormat::Int {
+                bits: 4,
+                sparse24: false
+            }),
+            f(WeightFormat::Int {
+                bits: 4,
+                sparse24: true
+            }),
         );
     }
 
     // And the Figure 7 story: kernel-launch amortization.
     let reqs = vec![1usize; 64];
-    let fmt = WeightFormat::Int { bits: 4, sparse24: true };
+    let fmt = WeightFormat::Int {
+        bits: 4,
+        sparse24: true,
+    };
     println!("\n64 single-request deltas, 4096^2 (GPU model):");
     for (name, strat) in [
         ("FP16 for-loop", BatchedImpl::Fp16ForLoop),

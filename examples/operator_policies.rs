@@ -150,8 +150,8 @@ fn main() {
         },
         4,
     );
-    let mut dynamic = DeltaZipEngine::new(cost_small, DeltaZipConfig::default())
-        .with_dynamic_n(controller);
+    let mut dynamic =
+        DeltaZipEngine::new(cost_small, DeltaZipConfig::default()).with_dynamic_n(controller);
     let m = dynamic.run(&shift);
     summarize("dynamic N (2..12)", &m);
     let final_n = dynamic

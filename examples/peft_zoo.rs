@@ -41,7 +41,11 @@ fn main() {
     println!("pre-training a tiny base...");
     let mut rng = Rng::seeded(1);
     let mut base = Params::init(cfg, &mut rng);
-    pretrain(&mut base, &Corpus::new(cfg.max_seq), TrainConfig::pretrain(300));
+    pretrain(
+        &mut base,
+        &Corpus::new(cfg.max_seq),
+        TrainConfig::pretrain(300),
+    );
 
     println!("fine-tuning four ways (LoRA / RoSA / GaLore / FMT)...");
     let mut lora = LoraAdapter::init(&base, LoraConfig::rank(rank), &mut rng);
@@ -54,30 +58,31 @@ fn main() {
     finetune_galore(
         &mut galore_model,
         &task,
-        TrainConfig {
-            lr: 3e-3,
-            ..train
-        },
+        TrainConfig { lr: 3e-3, ..train },
         GaloreConfig::rank(rank),
     );
 
     let mut fmt = base.clone();
-    finetune_fmt(
-        &mut fmt,
-        &task,
-        TrainConfig {
-            lr: 3e-3,
-            ..train
-        },
-    );
+    finetune_fmt(&mut fmt, &task, TrainConfig { lr: 3e-3, ..train });
 
     println!("registering everything with the DeltaZip facade...\n");
     let mut dz = DeltaZip::new();
-    let b = dz.register_base("tiny-base", base.clone()).expect("fresh name");
-    let v_lora = dz.register_lora("variant-lora", b, lora).expect("fresh name");
-    let v_rosa = dz.register_rosa("variant-rosa", b, rosa).expect("fresh name");
+    let b = dz
+        .register_base("tiny-base", base.clone())
+        .expect("fresh name");
+    let v_lora = dz
+        .register_lora("variant-lora", b, lora)
+        .expect("fresh name");
+    let v_rosa = dz
+        .register_rosa("variant-rosa", b, rosa)
+        .expect("fresh name");
     let v_galore = dz
-        .register_fmt_variant("variant-galore", b, &galore_model, DeltaCompressConfig::starred(4))
+        .register_fmt_variant(
+            "variant-galore",
+            b,
+            &galore_model,
+            DeltaCompressConfig::starred(4),
+        )
         .expect("fresh name");
     let v_fmt = dz
         .register_fmt_variant("variant-fmt", b, &fmt, DeltaCompressConfig::starred(4))
@@ -85,8 +90,8 @@ fn main() {
 
     let mut eval_rng = Rng::seeded(42);
     println!(
-        "{:<16} {:>9} {:>14} {:>10} {}",
-        "variant", "acc (%)", "swap bytes", "rank-res", "serving path"
+        "{:<16} {:>9} {:>14} {:>10} serving path",
+        "variant", "acc (%)", "swap bytes", "rank-res"
     );
     for (vid, name) in [
         (v_lora, "LoRA"),
@@ -112,9 +117,7 @@ fn main() {
             info.artifact.swap_bytes()
         );
     }
-    println!(
-        "\nrank-res = residual of the best rank-{rank} fit to the layer0.wq delta;"
-    );
+    println!("\nrank-res = residual of the best rank-{rank} fit to the layer0.wq delta;");
     println!("~0 means the update is low-rank (adapter-servable), large means it");
     println!("needs the full-model delta path that DeltaZip adds.");
 }

@@ -33,13 +33,17 @@ fn main() {
     // 2. Full-model fine-tune a sentiment variant.
     let mut tuned = base.clone();
     println!("fine-tuning variant on the sentiment task...");
-    finetune_fmt(&mut tuned, &SentimentTask, TrainConfig {
-        steps: 600,
-        batch: 8,
-        lr: 2e-3,
-        clip: 1.0,
-        seed: 11,
-    });
+    finetune_fmt(
+        &mut tuned,
+        &SentimentTask,
+        TrainConfig {
+            steps: 600,
+            batch: 8,
+            lr: 2e-3,
+            clip: 1.0,
+            seed: 11,
+        },
+    );
     let fmt_acc = task_accuracy(&tuned, &SentimentTask, 300, &mut Rng::seeded(1));
 
     // 3. Register with DeltaZip: the delta is extracted and ΔCompressed.
@@ -60,7 +64,11 @@ fn main() {
     // 4. Quality check: the compressed variant keeps its accuracy.
     let rec = dz.reconstruct(v).expect("reconstruct");
     let rec_acc = task_accuracy(&rec, &SentimentTask, 300, &mut Rng::seeded(1));
-    println!("accuracy: FMT {:.1}% -> ΔCompressed {:.1}%", fmt_acc * 100.0, rec_acc * 100.0);
+    println!(
+        "accuracy: FMT {:.1}% -> ΔCompressed {:.1}%",
+        fmt_acc * 100.0,
+        rec_acc * 100.0
+    );
 
     // 5. Serve: greedy generation through base GEMM + SBMM delta kernels.
     let ex = SentimentTask.sample(&mut Rng::seeded(5));

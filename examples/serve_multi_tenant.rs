@@ -31,7 +31,7 @@ fn main() {
         trace.len()
     );
     let matrix = invocation_matrix(&trace, 15.0);
-    println!("{}", render_heatmap(&matrix[..8.min(matrix.len())].to_vec()));
+    println!("{}", render_heatmap(&matrix[..8.min(matrix.len())]));
     println!(
         "... ({:.0}% of (model, window) cells idle)\n",
         idle_fraction(&matrix) * 100.0

@@ -61,7 +61,11 @@ fn register_compress_serve_quality_loop() {
         "model ratio too low: {}",
         report.model_ratio()
     );
-    assert!(report.delta_ratio() > 3.0, "delta ratio {}", report.delta_ratio());
+    assert!(
+        report.delta_ratio() > 3.0,
+        "delta ratio {}",
+        report.delta_ratio()
+    );
 
     // Claim 2: compression keeps accuracy close to FMT.
     let rec = dz.reconstruct(v).unwrap();
@@ -108,7 +112,13 @@ fn multi_variant_zoo_round_trip() {
 
     // Batched generation across both variants matches per-variant serving.
     let p1 = vec![vocab::BOS, vocab::word(1), vocab::word(2), vocab::SEP];
-    let p2 = vec![vocab::BOS, vocab::word(3), vocab::SEP, vocab::word(9), vocab::QUERY];
+    let p2 = vec![
+        vocab::BOS,
+        vocab::word(3),
+        vocab::SEP,
+        vocab::word(9),
+        vocab::QUERY,
+    ];
     let batch = dz
         .generate_batch(&[(v1, p1.clone()), (v2, p2.clone())], 4)
         .unwrap();
@@ -124,8 +134,12 @@ fn lossless_stage_round_trips_packed_deltas() {
     finetune_fmt(&mut tuned, &SentimentTask, TrainConfig::finetune(150));
     let corpus = Corpus::new(cfg.max_seq);
     let calib = dz_compress::calib::calibration_set(&corpus, 8, 1);
-    let (cd, _) =
-        dz_compress::pipeline::delta_compress(&base, &tuned, &calib, DeltaCompressConfig::starred(2));
+    let (cd, _) = dz_compress::pipeline::delta_compress(
+        &base,
+        &tuned,
+        &calib,
+        DeltaCompressConfig::starred(2),
+    );
     let payload = cd.to_bytes();
     let compressed = dz_lossless::compress(&payload);
     let restored = dz_lossless::decompress(&compressed).unwrap();

@@ -16,9 +16,7 @@ use dz_model::vocab;
 use dz_serve::predictor::LengthEstimator;
 use dz_serve::slo::SloPolicy;
 use dz_serve::tuning::{DynamicN, DynamicNConfig};
-use dz_serve::{
-    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, PreemptionPolicy, ResumePolicy,
-};
+use dz_serve::{CostModel, DeltaZipConfig, DeltaZipEngine, Engine, PreemptionPolicy, ResumePolicy};
 use dz_tensor::Rng;
 use dz_workload::{PopularityDist, Trace, TraceSpec};
 
@@ -37,7 +35,11 @@ fn train_base(seed: u64, steps: usize) -> Params {
     let cfg = tiny_cfg();
     let mut rng = Rng::seeded(seed);
     let mut base = Params::init(cfg, &mut rng);
-    pretrain(&mut base, &Corpus::new(cfg.max_seq), TrainConfig::pretrain(steps));
+    pretrain(
+        &mut base,
+        &Corpus::new(cfg.max_seq),
+        TrainConfig::pretrain(steps),
+    );
     base
 }
 
@@ -59,10 +61,7 @@ fn rosa_and_galore_through_the_facade() {
     finetune_galore(
         &mut galore_model,
         &SentimentTask,
-        TrainConfig {
-            lr: 3e-3,
-            ..train
-        },
+        TrainConfig { lr: 3e-3, ..train },
         GaloreConfig::rank(4),
     );
 
@@ -93,7 +92,11 @@ fn rosa_and_galore_through_the_facade() {
         .sub(base.get("layer0.wq").unwrap());
     assert!(low_rank_residual(&delta, 4, &mut eval_rng) > 0.05);
     let report = dz.size_report(v_galore).unwrap();
-    assert!(report.delta_ratio() > 3.0, "delta ratio {}", report.delta_ratio());
+    assert!(
+        report.delta_ratio() > 3.0,
+        "delta ratio {}",
+        report.delta_ratio()
+    );
 
     // RoSA rides the adapter path; its artifact undercuts both the full
     // model and a dense FP16 delta of the adapted projections (at real

@@ -24,13 +24,23 @@ fn trace(rate: f64, pop: PopularityDist, seed: u64) -> Trace {
 }
 
 fn check_conservation(trace: &Trace, m: &Metrics) {
-    assert_eq!(m.len(), trace.len(), "{}: lost/duplicated requests", m.engine);
+    assert_eq!(
+        m.len(),
+        trace.len(),
+        "{}: lost/duplicated requests",
+        m.engine
+    );
     let mut ids: Vec<usize> = m.records.iter().map(|r| r.id).collect();
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), trace.len(), "{}: duplicate records", m.engine);
     for r in &m.records {
-        assert!(r.ttft_s > 0.0 && r.ttft_s <= r.e2e_s + 1e-9, "{}: #{}", m.engine, r.id);
+        assert!(
+            r.ttft_s > 0.0 && r.ttft_s <= r.e2e_s + 1e-9,
+            "{}: #{}",
+            m.engine,
+            r.id
+        );
         assert!(r.e2e_s.is_finite());
     }
 }

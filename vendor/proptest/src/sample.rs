@@ -1,0 +1,18 @@
+//! Sampling helpers: an index into a collection of yet-unknown length.
+
+/// A position that resolves against a concrete collection length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps raw entropy.
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves to an index in `[0, len)`; panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

@@ -1,0 +1,240 @@
+//! Strategies: value generators composable with `prop_map` and unions.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of one type.
+///
+/// Object-safe: combinators carry a `Self: Sized` bound so boxed
+/// strategies (`prop_oneof!`) work.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous unions.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice over boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (self.start as f64, self.end as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                (lo + rng.unit_f64() * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let v = (5usize..9).sample(&mut rng);
+            assert!((5..9).contains(&v));
+            let w = (1u8..=255).sample(&mut rng);
+            assert!(w >= 1);
+            let f = (-2.0f64..3.0).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = TestRng::new(9);
+        let s = (1usize..=4, any::<u64>()).prop_map(|(n, seed)| (n * 2, seed));
+        for _ in 0..100 {
+            let (n, _) = s.sample(&mut rng);
+            assert!(n % 2 == 0 && (2..=8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![
+            boxed(Just(1u32)),
+            boxed(Just(2u32)),
+            boxed(Just(3u32)),
+        ]);
+        let mut rng = TestRng::new(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Serialization/deserialization error type.
+
+use crate::value::Value;
+
+/// Error raised while converting between values and Rust types, or while
+/// parsing/printing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a preformatted message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// A type-mismatch error: wanted `expected`, found `got`.
+    pub fn ty(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}

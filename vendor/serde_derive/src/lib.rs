@@ -1,0 +1,265 @@
+//! `#[derive(Serialize, Deserialize)]` for the shapes this workspace uses:
+//! non-generic structs with named fields and non-generic enums whose
+//! variants are unit or named-field (externally tagged representation,
+//! matching upstream serde's default).
+//!
+//! Implemented without `syn`/`quote`: the input item is walked as raw
+//! token trees to extract names, and the generated impl is built as a
+//! string and re-parsed into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What was derived on.
+enum Item {
+    /// Struct name + field names.
+    Struct(String, Vec<String>),
+    /// Enum name + (variant name, named fields if a struct variant).
+    Enum(String, Vec<(String, Option<Vec<String>>)>),
+}
+
+/// Consumes attributes (`#[...]`) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses `name: Type,` items out of a brace-group body, returning the
+/// field names in declaration order.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':' then the type; skip to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => panic!(
+            "serde derive on `{name}`: only braced (non-generic, non-tuple) items are supported"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_named_fields(&body)),
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                let Some(TokenTree::Ident(vname)) = body.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields =
+                            parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                        variants.push((vname, Some(fields)));
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("serde derive: tuple variant `{vname}` is not supported")
+                    }
+                    _ => variants.push((vname, None)),
+                }
+                if let Some(TokenTree::Punct(p)) = body.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+            }
+            Item::Enum(name, variants)
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{
+                        let mut fields: Vec<(String, ::serde::value::Value)> = Vec::new();
+                        {pushes}
+                        ::serde::value::Value::Object(fields)
+                    }}
+                }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    Some(fs) => {
+                        let binders = fs.join(", ");
+                        let mut pushes = String::new();
+                        for f in fs {
+                            pushes.push_str(&format!(
+                                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{
+                                let mut fields: Vec<(String, ::serde::value::Value)> = Vec::new();
+                                {pushes}
+                                ::serde::value::Value::Object(vec![(
+                                    \"{v}\".to_string(),
+                                    ::serde::value::Value::Object(fields),
+                                )])
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::value::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> Result<Self, ::serde::error::Error> {{
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in &variants {
+                match fields {
+                    None => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get_field(\"{f}\")?)?,\n"
+                            ));
+                        }
+                        tagged_arms
+                            .push_str(&format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::value::Value)
+                        -> Result<Self, ::serde::error::Error> {{
+                        match v {{
+                            ::serde::value::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::error::Error::msg(format!(
+                                    \"unknown {name} variant `{{other}}`\"
+                                ))),
+                            }},
+                            ::serde::value::Value::Object(pairs) if pairs.len() == 1 => {{
+                                let (tag, inner) = &pairs[0];
+                                let _ = inner;
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    other => Err(::serde::error::Error::msg(format!(
+                                        \"unknown {name} variant `{{other}}`\"
+                                    ))),
+                                }}
+                            }}
+                            other => Err(::serde::error::Error::ty(\"{name}\", other)),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}

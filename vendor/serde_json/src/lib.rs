@@ -1,0 +1,65 @@
+//! Minimal, vendored serde_json stand-in over the `serde` value model.
+
+pub use serde::error::Error;
+pub use serde::value::Value;
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = Value::parse_json(text)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        n: usize,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        Scaled { factor: f64, tag: u32 },
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point {
+            x: -1.25,
+            n: 42,
+            label: "hello \"world\"".into(),
+        };
+        let text = super::to_string(&p).unwrap();
+        assert_eq!(super::from_str::<Point>(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn enum_round_trip_externally_tagged() {
+        for s in [
+            Shape::Unit,
+            Shape::Scaled {
+                factor: 0.5,
+                tag: 7,
+            },
+        ] {
+            let text = super::to_string(&s).unwrap();
+            assert_eq!(super::from_str::<Shape>(&text).unwrap(), s);
+        }
+        assert_eq!(super::to_string(&Shape::Unit).unwrap(), "\"Unit\"");
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err = super::from_str::<Point>("{\"x\":1.0,\"n\":2}").unwrap_err();
+        assert!(err.to_string().contains("label"));
+    }
+}
