@@ -1,23 +1,15 @@
 //! Criterion benches for the GDeflate-substitute codec (Step 4 trade-off).
+//!
+//! The decode benches compare the retained serial tree-walk reference
+//! against the LUT fast path (single-threaded) and the page-parallel
+//! decoder, on both a packed-delta-like (repetitive) corpus and an
+//! incompressible one — the acceptance gate for the fast-path pipeline is
+//! ≥3× single-thread decode throughput over the reference on both.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dz_tensor::Rng;
-
-fn packed_delta_like(n: usize, seed: u64) -> Vec<u8> {
-    // Quantized deltas are low-entropy integer streams with runs of zero
-    // levels; synthesize the same flavor of data.
-    let mut rng = Rng::seeded(seed);
-    let mut out = Vec::with_capacity(n);
-    while out.len() < n {
-        if rng.bernoulli(0.6) {
-            let run = 1 + rng.below(24);
-            out.extend(std::iter::repeat_n(0u8, run.min(n - out.len())));
-        } else {
-            out.push(rng.below(256) as u8);
-        }
-    }
-    out
-}
+// One corpus definition shared with the `bench-lossless` experiment, so
+// these numbers and BENCH_lossless.json always measure the same data.
+use dz_bench::experiments::codec::{incompressible, packed_delta_like};
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("lossless");
@@ -35,5 +27,31 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec);
+fn bench_decode_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossless-decode");
+    let n = 4usize << 20;
+    for (corpus, data) in [
+        ("packed-delta", packed_delta_like(n, 7)),
+        ("incompressible", incompressible(n, 11)),
+    ] {
+        let compressed = dz_lossless::compress(&data);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reference", corpus),
+            &compressed,
+            |b, d| b.iter(|| dz_lossless::decompress_reference(d).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lut-1-thread", corpus),
+            &compressed,
+            |b, d| b.iter(|| dz_lossless::decompress_with_threads(d, 1).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("parallel", corpus), &compressed, |b, d| {
+            b.iter(|| dz_lossless::decompress(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_decode_paths);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! ```
 
 use dz_bench::experiments::{
-    ablations, extensions, kernels, quality, serving, workloads, Report, Scale,
+    ablations, codec, extensions, kernels, quality, serving, workloads, Report, Scale,
 };
 use std::io::Write;
 
@@ -43,6 +43,7 @@ fn available() -> Vec<&'static str> {
         "ablation-slo",
         "ablation-dynamic-n",
         "ext-scalability",
+        "bench-lossless",
     ]
 }
 
@@ -76,6 +77,7 @@ fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
         "ablation-slo" => extensions::ablation_slo(),
         "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
         "ext-scalability" => extensions::ext_scalability(),
+        "bench-lossless" => codec::bench_lossless(scale),
         _ => return None,
     })
 }

@@ -1,0 +1,229 @@
+//! Codec throughput experiment: the decode fast path measured end to end.
+//!
+//! `bench-lossless` times the three decode paths (serial tree-walk
+//! reference, single-threaded LUT, page-parallel) on a packed-delta-like
+//! corpus and an incompressible one, then drives a real `.dza` artifact
+//! through [`dz_store::TieredDeltaStore::fetch_decoded`] so the measured
+//! store-level decode throughput — the number the serving cost model now
+//! consumes — appears in the same report. Alongside the rendered markdown
+//! it emits a machine-readable `BENCH_lossless.json` next to the other
+//! experiment artifacts.
+
+use super::{md_table, Report, Scale};
+use dz_store::{sha256, Registry, TieredDeltaStore};
+use dz_tensor::Rng;
+use std::time::Instant;
+
+/// Packed-delta-like corpus: quantized deltas are low-entropy integer
+/// streams with runs of zero levels; synthesize the same flavor of data.
+/// Shared with the criterion `lossless-decode` bench so the acceptance
+/// gate and the experiment measure the same corpus.
+pub fn packed_delta_like(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seeded(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        if rng.bernoulli(0.6) {
+            let run = 1 + rng.below(24);
+            out.extend(std::iter::repeat_n(0u8, run.min(n - out.len())));
+        } else {
+            out.push(rng.below(256) as u8);
+        }
+    }
+    out
+}
+
+/// Incompressible corpus (uniform random bytes): exercises the stored-page
+/// and CRC path rather than the Huffman decoder.
+pub fn incompressible(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seeded(seed);
+    (0..n).map(|_| rng.below(256) as u8).collect()
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds.
+fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Measurement {
+    corpus: &'static str,
+    path: &'static str,
+    mb_s: f64,
+    speedup: f64,
+}
+
+/// The `bench-lossless` experiment.
+pub fn bench_lossless(scale: Scale) -> Report {
+    let n = match scale {
+        Scale::Full => 8usize << 20,
+        Scale::Quick => 2usize << 20,
+    };
+    let iters = match scale {
+        Scale::Full => 5,
+        Scale::Quick => 3,
+    };
+    let corpora = [
+        ("packed-delta", packed_delta_like(n, 7)),
+        ("incompressible", incompressible(n, 11)),
+    ];
+    type DecodeFn<'a> = Box<dyn Fn() + 'a>;
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (corpus, data) in &corpora {
+        let compressed = dz_lossless::compress(data);
+        let paths: [(&'static str, DecodeFn<'_>); 3] = [
+            (
+                "reference",
+                Box::new(|| {
+                    dz_lossless::decompress_reference(&compressed).expect("reference");
+                }),
+            ),
+            (
+                "lut-1-thread",
+                Box::new(|| {
+                    dz_lossless::decompress_with_threads(&compressed, 1).expect("lut");
+                }),
+            ),
+            (
+                "parallel",
+                Box::new(|| {
+                    dz_lossless::decompress(&compressed).expect("parallel");
+                }),
+            ),
+        ];
+        let mut reference_mb_s = 0.0;
+        for (path, f) in paths {
+            let best = best_of(iters, f);
+            let mb_s = data.len() as f64 / best / 1e6;
+            if path == "reference" {
+                reference_mb_s = mb_s;
+            }
+            measurements.push(Measurement {
+                corpus,
+                path,
+                mb_s,
+                speedup: mb_s / reference_mb_s,
+            });
+        }
+    }
+
+    // Store-level: one artifact through the pipelined decoded fetch.
+    let store_gbps = measure_store_decode();
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.corpus.to_string(),
+                m.path.to_string(),
+                format!("{:.1}", m.mb_s),
+                format!("{:.2}x", m.speedup),
+            ]
+        })
+        .collect();
+    let mut body = md_table(&["corpus", "decode path", "MB/s", "vs reference"], &rows);
+    match store_gbps {
+        Some(gbps) => body.push_str(&format!(
+            "\nstore fetch_decoded measured throughput: {:.3} GB/s (compressed)\n",
+            gbps
+        )),
+        None => body.push_str("\nstore fetch_decoded measurement unavailable\n"),
+    }
+    match write_json(&measurements, store_gbps, n) {
+        Ok(path) => body.push_str(&format!("json: {path}\n")),
+        Err(e) => body.push_str(&format!("json write failed: {e}\n")),
+    }
+    Report {
+        id: "bench-lossless",
+        title: "Decode pipeline throughput (LUT + parallel pages + pipelined store reads)",
+        body,
+    }
+}
+
+/// Publishes a synthetic multi-tensor delta into a temp registry and times
+/// a decoded fetch; returns the store's measured compressed GB/s.
+fn measure_store_decode() -> Option<f64> {
+    use dz_compress::pack::CompressedMatrix;
+    use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
+    use dz_compress::quant::{quantize_slice, QuantSpec};
+    use dz_tensor::Matrix;
+    use std::collections::BTreeMap;
+
+    let dir = std::env::temp_dir().join(format!("dz-bench-codec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).ok()?;
+    let mut rng = Rng::seeded(42);
+    let spec = QuantSpec::new(4, 8);
+    let mut layers = BTreeMap::new();
+    for i in 0..8 {
+        let d = 96;
+        let wt = Matrix::randn(d, d, 0.05, &mut rng);
+        let mut levels = Vec::new();
+        let mut scales = Vec::new();
+        for r in 0..d {
+            let (l, s) = quantize_slice(wt.row(r), spec);
+            levels.extend(l);
+            scales.extend(s);
+        }
+        layers.insert(
+            format!("layers.{i}.w"),
+            CompressedMatrix::from_dense(d, d, &levels, scales, spec),
+        );
+    }
+    let delta = CompressedDelta {
+        layers,
+        rest: BTreeMap::new(),
+        config: DeltaCompressConfig::starred(4),
+        report: SizeReport {
+            compressed_linear_bytes: 1,
+            uncompressed_rest_bytes: 0,
+            full_fp16_bytes: 1,
+            lossless_linear_bytes: None,
+        },
+    };
+    let id = registry
+        .publish_delta("bench-delta", sha256(b"base"), &delta)
+        .ok()?;
+    let mut store = TieredDeltaStore::new(registry, 1 << 30);
+    store.fetch_decoded(&id).ok()?;
+    let gbps = store.decode_throughput().effective_gbps();
+    std::fs::remove_dir_all(&dir).ok();
+    gbps
+}
+
+/// Hand-rolled JSON (no serde dependency in this crate): one object per
+/// measurement plus the store-level figure.
+fn write_json(
+    measurements: &[Measurement],
+    store_gbps: Option<f64>,
+    corpus_bytes: usize,
+) -> std::io::Result<String> {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let mut json = String::from("{\n  \"corpus_bytes\": ");
+    json.push_str(&corpus_bytes.to_string());
+    json.push_str(",\n  \"decode\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"corpus\": \"{}\", \"path\": \"{}\", \"mb_per_s\": {:.1}, \"speedup_vs_reference\": {:.3}}}{}\n",
+            m.corpus,
+            m.path,
+            m.mb_s,
+            m.speedup,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"store_fetch_decoded_gbps\": ");
+    match store_gbps {
+        Some(g) => json.push_str(&format!("{g:.4}\n")),
+        None => json.push_str("null\n"),
+    }
+    json.push_str("}\n");
+    let path = dir.join("BENCH_lossless.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}

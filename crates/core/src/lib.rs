@@ -59,8 +59,11 @@ use dz_model::lora::LoraAdapter;
 use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
-use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine, Engine, Metrics};
-use dz_store::{ArtifactId, Registry};
+pub use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, Metrics};
+use dz_serve::{DeltaZipEngine, Engine};
+pub use dz_store::{
+    ArtifactId, DecodeStats, DecodeThroughput, DecodedFetch, Registry, TieredDeltaStore,
+};
 use dz_workload::Trace;
 pub use manager::{params_hash, BaseId, ModelManager, VariantArtifact, VariantId, VariantInfo};
 

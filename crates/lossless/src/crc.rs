@@ -2,36 +2,85 @@
 //!
 //! The page container stores a checksum of the raw payload so corruption
 //! that still entropy-decodes (e.g. a flipped literal bit) is caught
-//! instead of silently producing wrong weights. Table-driven, one table
-//! built at first use.
+//! instead of silently producing wrong weights. Slicing-by-16: sixteen
+//! 256-entry tables (built at compile time) let the hot loop fold sixteen
+//! input bytes per iteration with no inter-byte dependency chain, which is
+//! what keeps CRC off the critical path of stored-page decodes.
 
-use std::sync::OnceLock;
+const POLY: u32 = 0xEDB8_8320;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
+/// Bytes folded per hot-loop iteration.
+const SLICES: usize = 16;
+
+/// `TABLES[k][b]` advances the CRC of byte `b` through `k` further zero
+/// bytes, so sixteen lane lookups XOR-combine into one 16-byte step.
+static TABLES: [[u32; 256]; SLICES] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; SLICES] {
+    let mut t = [[0u32; 256]; SLICES];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
         }
-        t
-    })
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < SLICES {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = t[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+}
+
+/// Byte-at-a-time CRC-32: the seed implementation, retained as the
+/// reference the slicing tables are tested against and as the faithful
+/// baseline for the reference decode path in benchmarks.
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 /// CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(SLICES);
+    for chunk in &mut chunks {
+        let w0 = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let w1 = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let w2 = u32::from_le_bytes(chunk[8..12].try_into().unwrap());
+        let w3 = u32::from_le_bytes(chunk[12..16].try_into().unwrap());
+        c = TABLES[15][(w0 & 0xFF) as usize]
+            ^ TABLES[14][((w0 >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((w0 >> 16) & 0xFF) as usize]
+            ^ TABLES[12][(w0 >> 24) as usize]
+            ^ TABLES[11][(w1 & 0xFF) as usize]
+            ^ TABLES[10][((w1 >> 8) & 0xFF) as usize]
+            ^ TABLES[9][((w1 >> 16) & 0xFF) as usize]
+            ^ TABLES[8][(w1 >> 24) as usize]
+            ^ TABLES[7][(w2 & 0xFF) as usize]
+            ^ TABLES[6][((w2 >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((w2 >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(w2 >> 24) as usize]
+            ^ TABLES[3][(w3 & 0xFF) as usize]
+            ^ TABLES[2][((w3 >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((w3 >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(w3 >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -64,5 +113,25 @@ mod tests {
     #[test]
     fn concatenation_differs_from_parts() {
         assert_ne!(crc32(b"ab"), crc32(b"a") ^ crc32(b"b"));
+    }
+
+    #[test]
+    fn slicing_matches_bytewise_at_every_alignment() {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        let data: Vec<u8> = (0..1024)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as u8
+            })
+            .collect();
+        // Lengths straddling the 16-byte fold boundary in both directions.
+        for n in 0..64 {
+            assert_eq!(crc32(&data[..n]), crc32_bytewise(&data[..n]), "len {n}");
+        }
+        for n in [65, 127, 128, 255, 512, 1000, 1024] {
+            assert_eq!(crc32(&data[..n]), crc32_bytewise(&data[..n]), "len {n}");
+        }
     }
 }

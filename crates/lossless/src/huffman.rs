@@ -277,6 +277,161 @@ impl Decoder {
     }
 }
 
+/// Width of the first-level lookup table, in bits. Codes no longer than
+/// this resolve with a single probe; longer codes take one extra probe
+/// into a compact per-prefix second-level table.
+pub const LUT_BITS: u32 = 10;
+
+/// Entry sentinel for "no code maps here".
+const LUT_INVALID: u32 = u32::MAX;
+/// Flag bit marking a first-level entry as a second-level pointer.
+const LUT_SUB: u32 = 0x8000_0000;
+
+/// Table-driven canonical Huffman decoder.
+///
+/// Decoding is a peek of up to [`MAX_CODE_LEN`] bits followed by one table
+/// probe (two for codes longer than [`LUT_BITS`]) and a single `consume` —
+/// no per-bit branching. Built from the same code-length array as
+/// [`Decoder`] and bit-exactly equivalent to it on every input; the
+/// tree-walk decoder is retained as the reference implementation.
+///
+/// Layout: `primary` has `2^min(max_len, LUT_BITS)` entries indexed by the
+/// next bits of the stream in read order (codes are emitted MSB-first into
+/// the LSB-first stream, so stream order *is* code order). A direct entry
+/// packs `(len << 16) | sym`; a pointer entry (flag [`LUT_SUB`]) packs the
+/// sub-table width in bits 24..31 and its offset into `secondary` in bits
+/// 0..24.
+#[derive(Debug, Clone)]
+pub struct LutDecoder {
+    primary: Vec<u32>,
+    secondary: Vec<u32>,
+    primary_bits: u32,
+    max_len: u32,
+}
+
+impl LutDecoder {
+    /// Builds the lookup tables from code lengths.
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let max_len = lens.iter().copied().max().unwrap_or(0);
+        let primary_bits = max_len.min(LUT_BITS);
+        let mut primary = vec![LUT_INVALID; 1usize << primary_bits];
+        let mut secondary = Vec::new();
+        if max_len == 0 {
+            return LutDecoder {
+                primary,
+                secondary,
+                primary_bits,
+                max_len,
+            };
+        }
+        let codes = canonical_codes(lens);
+        // Short codes fill every primary slot sharing their low bits; the
+        // stream carries the code bits reversed (MSB-first emission into an
+        // LSB-first stream), so the slot index's low `len` bits are the
+        // reversed canonical code.
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            if len == 0 || len > primary_bits {
+                continue;
+            }
+            let rev = (code.reverse_bits() >> (32 - len)) as usize;
+            let entry = (len << 16) | sym as u32;
+            let mut hi = 0usize;
+            while hi < (1usize << (primary_bits - len)) {
+                primary[rev | (hi << len)] = entry;
+                hi += 1;
+            }
+        }
+        // Long codes: group by their first `primary_bits` stream bits and
+        // build one compact sub-table per group, sized by the group's
+        // longest tail.
+        if max_len > primary_bits {
+            // tail_bits[p] = longest code tail behind primary prefix p.
+            let mut tail_bits = vec![0u32; 1usize << primary_bits];
+            for &(code, len) in &codes {
+                if len <= primary_bits {
+                    continue;
+                }
+                let rev = (code.reverse_bits() >> (32 - len)) as usize;
+                let prefix = rev & ((1 << primary_bits) - 1);
+                tail_bits[prefix] = tail_bits[prefix].max(len - primary_bits);
+            }
+            for (prefix, &tb) in tail_bits.iter().enumerate() {
+                if tb == 0 {
+                    continue;
+                }
+                let offset = secondary.len() as u32;
+                debug_assert!(offset < (1 << 24) && tb < (1 << 7));
+                primary[prefix] = LUT_SUB | (tb << 24) | offset;
+                secondary.resize(secondary.len() + (1usize << tb), LUT_INVALID);
+            }
+            for (sym, &(code, len)) in codes.iter().enumerate() {
+                if len <= primary_bits {
+                    continue;
+                }
+                let rev = (code.reverse_bits() >> (32 - len)) as usize;
+                let prefix = rev & ((1 << primary_bits) - 1);
+                let entry = primary[prefix];
+                debug_assert!(entry & LUT_SUB != 0);
+                let tb = (entry >> 24) & 0x7F;
+                let offset = (entry & 0x00FF_FFFF) as usize;
+                let tail = rev >> primary_bits;
+                let sub_entry = (len << 16) | sym as u32;
+                let tail_len = len - primary_bits;
+                let mut hi = 0usize;
+                while hi < (1usize << (tb - tail_len)) {
+                    secondary[offset + (tail | (hi << tail_len))] = sub_entry;
+                    hi += 1;
+                }
+            }
+        }
+        LutDecoder {
+            primary,
+            secondary,
+            primary_bits,
+            max_len,
+        }
+    }
+
+    /// Resolves a symbol from peeked stream bits **without consuming**.
+    ///
+    /// `peek` must hold at least [`MAX_CODE_LEN`] valid next bits of the
+    /// stream in its low bits (zero-padded near the end of input). Returns
+    /// `(symbol, code_len)`; the caller consumes `code_len` bits — possibly
+    /// folded with the following extra bits into one `consume`, which is
+    /// what the page decoder's hot loop does.
+    #[inline]
+    pub fn probe(&self, peek: u32) -> Result<(u32, u32), DecodeError> {
+        let entry = self.primary[(peek & ((1 << self.primary_bits) - 1)) as usize];
+        let hit = if entry == LUT_INVALID {
+            return Err(DecodeError::BadCode);
+        } else if entry & LUT_SUB != 0 {
+            let tb = (entry >> 24) & 0x7F;
+            let offset = (entry & 0x00FF_FFFF) as usize;
+            let tail = ((peek >> self.primary_bits) & ((1 << tb) - 1)) as usize;
+            let sub = self.secondary[offset + tail];
+            if sub == LUT_INVALID {
+                return Err(DecodeError::BadCode);
+            }
+            sub
+        } else {
+            entry
+        };
+        Ok((hit & 0xFFFF, hit >> 16))
+    }
+
+    /// Decodes one symbol from the reader.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, DecodeError> {
+        if self.max_len == 0 {
+            return Err(DecodeError::BadCode);
+        }
+        let peek = r.peek_bits(self.max_len);
+        let (sym, len) = self.probe(peek)?;
+        r.consume(len)?;
+        Ok(sym)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +440,7 @@ mod tests {
         let lens = code_lengths(freqs, MAX_CODE_LEN);
         let enc = Encoder::from_lengths(&lens);
         let dec = Decoder::from_lengths(&lens);
+        let lut = LutDecoder::from_lengths(&lens);
         let mut w = BitWriter::new();
         for &s in message {
             enc.encode(&mut w, s);
@@ -293,6 +449,11 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         for &s in message {
             assert_eq!(dec.decode(&mut r).unwrap(), s as u32);
+        }
+        // The LUT decoder must agree symbol for symbol.
+        let mut r = BitReader::new(&bytes);
+        for &s in message {
+            assert_eq!(lut.decode(&mut r).unwrap(), s as u32);
         }
     }
 
@@ -389,5 +550,80 @@ mod tests {
         let dec = Decoder::from_lengths(&lens);
         let mut r = BitReader::new(&[0xFF]);
         assert_eq!(dec.decode(&mut r), Err(DecodeError::BadCode));
+        let lut = LutDecoder::from_lengths(&lens);
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(lut.decode(&mut r), Err(DecodeError::BadCode));
+    }
+
+    #[test]
+    fn lut_uses_second_level_for_long_codes() {
+        // Fibonacci-like frequencies push codes past LUT_BITS, forcing the
+        // two-level path; every symbol must still round-trip.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        assert!(
+            lens.iter().any(|&l| l > LUT_BITS),
+            "need codes beyond the first level: {lens:?}"
+        );
+        round_trip(&freqs, &(0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lut_and_tree_walk_agree_on_garbage_streams() {
+        // On arbitrary byte streams both decoders must yield the same
+        // symbol sequence up to the first error, and then both must error.
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        let dec = Decoder::from_lengths(&lens);
+        let lut = LutDecoder::from_lengths(&lens);
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for trial in 0..50 {
+            let bytes: Vec<u8> = (0..17)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x >> 24) as u8
+                })
+                .collect();
+            let mut ra = BitReader::new(&bytes);
+            let mut rb = BitReader::new(&bytes);
+            loop {
+                let a = dec.decode(&mut ra);
+                let b = lut.decode(&mut rb);
+                match (a, b) {
+                    (Ok(sa), Ok(sb)) => assert_eq!(sa, sb, "trial {trial}"),
+                    (Err(_), Err(_)) => break,
+                    (a, b) => panic!("trial {trial}: tree-walk {a:?} vs lut {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut_truncation_errors_like_tree_walk_succeeds_or_errs() {
+        // A stream cut mid-code must error from both decoders, never panic.
+        let freqs = [1000u64, 10, 10, 10, 1, 1];
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        let enc = Encoder::from_lengths(&lens);
+        let lut = LutDecoder::from_lengths(&lens);
+        let mut w = BitWriter::new();
+        for s in [4usize, 5, 4] {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
+        let mut decoded = 0;
+        while lut.decode(&mut r).is_ok() {
+            decoded += 1;
+            assert!(decoded <= 3, "decoded past the truncation");
+        }
     }
 }

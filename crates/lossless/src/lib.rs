@@ -20,6 +20,15 @@
 //! stored verbatim rather than RLE-encoded) but the algorithmic content is
 //! the same, so compression ratios land in the same regime.
 //!
+//! Decoding is built for throughput: a word-filling bit reader
+//! (`peek`/`consume`, no per-bit branching), a two-level lookup-table
+//! Huffman decoder ([`huffman::LutDecoder`]; single probe for codes up to
+//! [`huffman::LUT_BITS`] bits), slicing-by-16 CRC32, and [`decompress`]
+//! fans independent pages out across scoped threads once the stream is
+//! large enough to amortize spawns. The original serial tree-walk path is
+//! retained as [`decompress_reference`] and property-tested against the
+//! fast path.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,7 +45,10 @@ pub mod huffman;
 pub mod lz77;
 pub mod page;
 
-pub use page::{compress, compress_with_page_size, decompress, CodecError, DEFAULT_PAGE_SIZE};
+pub use page::{
+    compress, compress_with_page_size, decompress, decompress_reference, decompress_with_threads,
+    CodecError, DEFAULT_PAGE_SIZE,
+};
 
 /// Compression statistics for reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]

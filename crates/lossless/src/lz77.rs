@@ -13,6 +13,11 @@ pub const MIN_MATCH: usize = 3;
 pub const MAX_MATCH: usize = 258;
 /// Maximum chain positions examined per match attempt.
 const MAX_CHAIN: usize = 64;
+/// "Good enough" match length: once a candidate reaches this, stop walking
+/// the chain (zlib's `nice_length`). Long-run inputs otherwise burn the
+/// whole chain budget polishing matches that are already near-optimal; the
+/// token stream may differ slightly but expansion is identical.
+const NICE_LEN: usize = 66;
 
 /// One LZ77 token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +76,7 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
                 if l > best_len {
                     best_len = l;
                     best_dist = i - pos;
-                    if l >= limit {
+                    if l >= limit || l >= NICE_LEN {
                         break;
                     }
                 }
@@ -215,6 +220,23 @@ mod tests {
             })
             .sum();
         assert!(matched > 1000, "matched only {matched} bytes");
+        round_trip(&data);
+    }
+
+    #[test]
+    fn nice_len_keeps_long_runs_compact() {
+        // A long run still collapses to few tokens even though chaining
+        // stops at the first NICE_LEN-byte candidate.
+        let data = vec![b'q'; 64 * 1024];
+        let tokens = tokenize(&data);
+        let matched: usize = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Match { len, .. } => *len as usize,
+                _ => 0,
+            })
+            .sum();
+        assert!(matched + 16 >= data.len(), "matched only {matched}");
         round_trip(&data);
     }
 

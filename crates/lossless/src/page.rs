@@ -16,11 +16,19 @@
 //! and bound the memory of the matcher.
 
 use crate::bitio::{BitReader, BitWriter};
-use crate::huffman::{code_lengths, DecodeError, Decoder, Encoder, MAX_CODE_LEN};
+use crate::huffman::{code_lengths, DecodeError, Decoder, Encoder, LutDecoder, MAX_CODE_LEN};
 use crate::lz77::{tokenize, Token, MAX_MATCH, MIN_MATCH};
 
 /// Default page size (64 KiB, as GDeflate uses).
 pub const DEFAULT_PAGE_SIZE: usize = 64 * 1024;
+
+/// Minimum raw bytes before page decoding goes multi-threaded; below this
+/// the thread spawn cost outweighs the decode work (same reasoning as the
+/// FLOP threshold in `dz-tensor`'s parallel GEMM).
+const PARALLEL_BYTE_THRESHOLD: usize = 256 * 1024;
+
+/// Maximum number of worker threads used by the parallel decode path.
+const MAX_DECODE_THREADS: usize = 8;
 
 const MAGIC: &[u8; 4] = b"DZLC";
 const VERSION: u8 = 2;
@@ -222,7 +230,13 @@ fn compress_page(raw: &[u8]) -> (u8, Vec<u8>) {
     }
 }
 
-fn decompress_page(payload: &[u8], mode: u8, raw_len: usize) -> Result<Vec<u8>, CodecError> {
+/// Reference page decoder: the original bit-at-a-time tree-walk path,
+/// retained as the correctness oracle for the LUT fast path.
+fn decompress_page_reference(
+    payload: &[u8],
+    mode: u8,
+    raw_len: usize,
+) -> Result<Vec<u8>, CodecError> {
     match mode {
         MODE_STORED => {
             if payload.len() != raw_len {
@@ -289,6 +303,105 @@ fn decompress_page(payload: &[u8], mode: u8, raw_len: usize) -> Result<Vec<u8>, 
     }
 }
 
+/// Fast-path page decoder: LUT Huffman decoding straight into the caller's
+/// output slice (whose length is the page's expected raw length), with
+/// `copy_within` for non-overlapping match copies.
+fn decompress_page_into(payload: &[u8], mode: u8, out: &mut [u8]) -> Result<(), CodecError> {
+    match mode {
+        MODE_STORED => {
+            if payload.len() != out.len() {
+                return Err(CodecError::Corrupt("stored page length mismatch"));
+            }
+            out.copy_from_slice(payload);
+            Ok(())
+        }
+        MODE_HUFFMAN => {
+            let mut r = BitReader::new(payload);
+            let mut lit_lens = vec![0u32; NUM_LITLEN];
+            for l in lit_lens.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| CodecError::Truncated)?;
+            }
+            let mut dist_lens = vec![0u32; NUM_DIST];
+            for l in dist_lens.iter_mut() {
+                *l = r.read_bits(4).map_err(|_| CodecError::Truncated)?;
+            }
+            let lit_dec = LutDecoder::from_lengths(&lit_lens);
+            let dist_dec = LutDecoder::from_lengths(&dist_lens);
+            let mut filled = 0usize;
+            loop {
+                // One 32-bit peek covers the longest code (15 bits) plus its
+                // extra bits, so each symbol costs a single probe and a
+                // single consume.
+                let peek = r.peek_bits(32);
+                let (sym, clen) = lit_dec.probe(peek)?;
+                let sym = sym as usize;
+                if sym == EOB {
+                    r.consume(clen).map_err(|_| CodecError::Truncated)?;
+                    break;
+                }
+                if sym < 256 {
+                    r.consume(clen).map_err(|_| CodecError::Truncated)?;
+                    if filled == out.len() {
+                        return Err(CodecError::Corrupt("page overflow"));
+                    }
+                    out[filled] = sym as u8;
+                    filled += 1;
+                } else {
+                    let idx = sym - 257;
+                    if idx >= LEN_TABLE.len() {
+                        return Err(CodecError::Corrupt("bad length symbol"));
+                    }
+                    let (base, extra) = LEN_TABLE[idx];
+                    let extra = extra as u32;
+                    let len = base as usize + ((peek >> clen) & ((1u32 << extra) - 1)) as usize;
+                    r.consume(clen + extra).map_err(|_| CodecError::Truncated)?;
+                    let dpeek = r.peek_bits(32);
+                    let (dsym, dclen) = dist_dec.probe(dpeek)?;
+                    let dsym = dsym as usize;
+                    if dsym >= DIST_TABLE.len() {
+                        return Err(CodecError::Corrupt("bad distance symbol"));
+                    }
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dextra = dextra as u32;
+                    let dist =
+                        dbase as usize + ((dpeek >> dclen) & ((1u32 << dextra) - 1)) as usize;
+                    r.consume(dclen + dextra)
+                        .map_err(|_| CodecError::Truncated)?;
+                    if dist == 0 || dist > filled {
+                        return Err(CodecError::Corrupt("distance before start"));
+                    }
+                    if len > out.len() - filled {
+                        return Err(CodecError::Corrupt("page overflow"));
+                    }
+                    let start = filled - dist;
+                    if dist >= len {
+                        out.copy_within(start..start + len, filled);
+                    } else {
+                        // Overlapping run (dist < len): the output repeats a
+                        // dist-byte pattern. Replicate it by doubling — each
+                        // copy's source ends where the previous one finished,
+                        // so every copy_within is non-overlapping and the
+                        // whole run costs O(log(len/dist)) memmoves instead
+                        // of len byte stores.
+                        let mut w = 0usize;
+                        while w < len {
+                            let chunk = (dist + w).min(len - w);
+                            out.copy_within(start..start + chunk, filled + w);
+                            w += chunk;
+                        }
+                    }
+                    filled += len;
+                }
+            }
+            if filled != out.len() {
+                return Err(CodecError::Corrupt("page length mismatch"));
+            }
+            Ok(())
+        }
+        _ => Err(CodecError::Corrupt("unknown page mode")),
+    }
+}
+
 /// Compresses `data` with the default page size.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     compress_with_page_size(data, DEFAULT_PAGE_SIZE)
@@ -323,8 +436,16 @@ pub fn compress_with_page_size(data: &[u8], page_size: usize) -> Vec<u8> {
     out
 }
 
-/// Decompresses a stream produced by [`compress`].
-pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+/// A parsed container: header fields plus per-page payload slices.
+struct ParsedStream<'a> {
+    page_size: usize,
+    raw_len: usize,
+    stored_crc: u32,
+    /// `(payload, mode)` per page, in order.
+    pages: Vec<(&'a [u8], u8)>,
+}
+
+fn parse_stream(stream: &[u8]) -> Result<ParsedStream<'_>, CodecError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], CodecError> {
         if *pos + n > stream.len() {
@@ -357,17 +478,111 @@ pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
         let mode = take(&mut pos, 1)?[0];
         table.push((len, mode));
     }
-    let mut out = Vec::with_capacity(raw_len);
-    for (i, (len, mode)) in table.iter().enumerate() {
-        let payload = take(&mut pos, *len)?;
-        let expected = if i + 1 == n_pages {
-            raw_len - page_size * (n_pages - 1)
-        } else {
-            page_size
-        };
-        out.extend(decompress_page(payload, *mode, expected)?);
+    let mut pages = Vec::with_capacity(n_pages);
+    for (len, mode) in table {
+        pages.push((take(&mut pos, len)?, mode));
     }
-    if crate::crc::crc32(&out) != stored_crc {
+    Ok(ParsedStream {
+        page_size,
+        raw_len,
+        stored_crc,
+        pages,
+    })
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// This is the fast path: LUT Huffman decoding per page, and pages fanned
+/// out across scoped threads once the stream is large enough to amortize
+/// spawn costs (pages carry independent Huffman tables, so decoding them
+/// concurrently is exactly the parallelism the page format was designed
+/// for).
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    decompress_with_threads(stream, MAX_DECODE_THREADS)
+}
+
+/// Decompresses with an explicit worker-thread cap (`1` forces the
+/// single-threaded LUT path; the cap is further limited by the page count
+/// and the machine's available parallelism).
+pub fn decompress_with_threads(stream: &[u8], max_threads: usize) -> Result<Vec<u8>, CodecError> {
+    let parsed = parse_stream(stream)?;
+    let mut out = vec![0u8; parsed.raw_len];
+    let threads = if parsed.raw_len >= PARALLEL_BYTE_THRESHOLD {
+        max_threads
+            .max(1)
+            .min(parsed.pages.len())
+            .min(std::thread::available_parallelism().map_or(1, |p| p.get()))
+    } else {
+        1
+    };
+    if threads <= 1 {
+        if parsed.raw_len > 0 {
+            for ((payload, mode), chunk) in parsed
+                .pages
+                .iter()
+                .zip(out.chunks_mut(parsed.page_size.max(1)))
+            {
+                decompress_page_into(payload, *mode, chunk)?;
+            }
+        }
+    } else {
+        // One decode job per page: payload, mode, destination chunk.
+        type PageJob<'p, 'o> = (&'p [u8], u8, &'o mut [u8]);
+        let mut jobs: Vec<PageJob<'_, '_>> = parsed
+            .pages
+            .iter()
+            .zip(out.chunks_mut(parsed.page_size))
+            .map(|(&(payload, mode), chunk)| (payload, mode, chunk))
+            .collect();
+        let per_thread = jobs.len().div_ceil(threads);
+        let mut groups: Vec<Vec<PageJob<'_, '_>>> = Vec::with_capacity(threads);
+        while !jobs.is_empty() {
+            let n = per_thread.min(jobs.len());
+            groups.push(jobs.drain(..n).collect());
+        }
+        std::thread::scope(|scope| -> Result<(), CodecError> {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || -> Result<(), CodecError> {
+                        for (payload, mode, chunk) in group {
+                            decompress_page_into(payload, mode, chunk)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            // First failing group (lowest page range) wins, matching the
+            // serial path's error order.
+            for h in handles {
+                h.join().expect("page decode worker panicked")?;
+            }
+            Ok(())
+        })?;
+    }
+    if crate::crc::crc32(&out) != parsed.stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+/// Decompresses through the retained serial reference path (bit-at-a-time
+/// tree-walk decoder, pages in order). Kept as the oracle the fast path is
+/// property-tested against; byte-identical to [`decompress`] on success and
+/// erring on every input the fast path rejects.
+pub fn decompress_reference(stream: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let parsed = parse_stream(stream)?;
+    let n_pages = parsed.pages.len();
+    let mut out = Vec::with_capacity(parsed.raw_len);
+    for (i, (payload, mode)) in parsed.pages.iter().enumerate() {
+        let expected = if i + 1 == n_pages {
+            parsed.raw_len - parsed.page_size * (n_pages - 1)
+        } else {
+            parsed.page_size
+        };
+        out.extend(decompress_page_reference(payload, *mode, expected)?);
+    }
+    if crate::crc::crc32_bytewise(&out) != parsed.stored_crc {
         return Err(CodecError::ChecksumMismatch);
     }
     Ok(out)
@@ -381,6 +596,9 @@ mod tests {
         let c = compress(data);
         let d = decompress(&c).expect("decompress");
         assert_eq!(d, data);
+        // The retained serial reference path must agree byte for byte.
+        let r = decompress_reference(&c).expect("reference decompress");
+        assert_eq!(r, data);
     }
 
     #[test]
@@ -432,6 +650,48 @@ mod tests {
         // Tiny pages stress the page table path.
         let c = compress_with_page_size(&data[..1000], 64);
         assert_eq!(decompress(&c).unwrap(), &data[..1000]);
+    }
+
+    #[test]
+    fn parallel_decode_crosses_thread_threshold() {
+        // Enough pages and raw bytes to actually fan out, with mixed
+        // Huffman and stored pages.
+        let mut data = b"multi page parallel decode ".repeat(40_000);
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        data.extend((0..PARALLEL_BYTE_THRESHOLD).map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        }));
+        assert!(data.len() > PARALLEL_BYTE_THRESHOLD * 2);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert_eq!(decompress_with_threads(&c, 1).unwrap(), data);
+        assert_eq!(decompress_with_threads(&c, 3).unwrap(), data);
+        assert_eq!(decompress_reference(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn parallel_decode_rejects_corruption_like_serial() {
+        let data = b"corruption must never pass ".repeat(40_000);
+        let c = compress(&data);
+        for pos in [8, c.len() / 2, c.len() - 3] {
+            let mut bad = c.clone();
+            bad[pos] ^= 0x40;
+            let fast = decompress(&bad);
+            let slow = decompress_reference(&bad);
+            // Either both recover the exact data (flip in dead padding) or
+            // both refuse; never silent corruption, never divergence.
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    assert_eq!(f, data);
+                    assert_eq!(s, data);
+                }
+                (Err(_), Err(_)) => {}
+                (f, s) => panic!("fast {f:?} vs reference {s:?} at byte {pos}"),
+            }
+        }
     }
 
     #[test]

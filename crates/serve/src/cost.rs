@@ -26,6 +26,9 @@ pub struct CostModel {
     /// Effective end-to-end model/delta load bandwidth, GB/s. Real systems
     /// are deserialization-bound well below raw PCIe (vLLM loads a 13B
     /// checkpoint in tens of seconds; cf. Figure 16's loading segments).
+    /// With a bound artifact store this static constant is only the
+    /// fallback before the first measured decode; see
+    /// [`delta_load_time_measured`](Self::delta_load_time_measured).
     pub effective_load_gbps: f64,
 }
 
@@ -254,6 +257,13 @@ impl CostModel {
     /// Load time through the deserialization-bound pipeline, floored by the
     /// physical transfer path. Cold (disk) loads pay the disk read *on top*
     /// of the deserialization pipeline: the read cannot fully overlap it.
+    ///
+    /// This is the synthetic model, used when no artifact store is bound.
+    /// The store-backed engine path uses [`load_time_measured`] instead:
+    /// the pipelined `.dza` read path really does overlap disk reads with
+    /// decode, so its cold charge is `max(disk, decode)`, not their sum.
+    ///
+    /// [`load_time_measured`]: Self::delta_load_time_measured
     fn load_time(&self, bytes: f64, tier: xfer::Tier) -> f64 {
         let physical =
             xfer::load_to_device_s(&self.node, tier, bytes / self.node.n_gpus.max(1) as f64);
@@ -262,6 +272,34 @@ impl CostModel {
             xfer::Tier::Disk => physical + pipeline,
             _ => physical.max(pipeline),
         }
+    }
+
+    /// Load time with a *measured* decode throughput (compressed GB/s from
+    /// the artifact store's pipelined reader). Reads, decode, and the PCIe
+    /// hop overlap in the fast-path pipeline, so the wait is the slower of
+    /// the physical transfer and the decode stage — `max(disk, decode)` —
+    /// with the static constant only as a fallback before the first
+    /// measurement.
+    fn load_time_measured(&self, bytes: f64, tier: xfer::Tier, decode_gbps: Option<f64>) -> f64 {
+        let physical =
+            xfer::load_to_device_s(&self.node, tier, bytes / self.node.n_gpus.max(1) as f64);
+        let gbps = decode_gbps
+            .filter(|g| g.is_finite() && *g > 0.0)
+            .unwrap_or(self.effective_load_gbps);
+        physical.max(bytes / (gbps * 1e9))
+    }
+
+    /// Host-tier delta load charge under measured decode throughput
+    /// (PCIe hop overlapped with decompression).
+    pub fn delta_load_time_measured(&self, bytes: f64, decode_gbps: Option<f64>) -> f64 {
+        self.load_time_measured(bytes, xfer::Tier::Host, decode_gbps)
+    }
+
+    /// Cold (disk) delta load charge under measured decode throughput:
+    /// the disk read overlaps decode in the pipelined reader, so the
+    /// charge is `max(disk + PCIe, decode)`.
+    pub fn delta_cold_load_time_measured(&self, bytes: f64, decode_gbps: Option<f64>) -> f64 {
+        self.load_time_measured(bytes, xfer::Tier::Disk, decode_gbps)
     }
 
     /// Time to bring one compressed delta from host memory to the GPUs,
@@ -379,6 +417,42 @@ mod tests {
             cm.delta_cold_load_time(),
             cm.delta_cold_load_time_bytes(cm.delta_bytes())
         );
+    }
+
+    #[test]
+    fn measured_loads_pipeline_disk_and_decode() {
+        let cm = model();
+        let bytes = 2e8;
+        // A fast measured decoder collapses the cold charge to the physical
+        // path: strictly below the synthetic disk+deserialize sum.
+        let fast = cm.delta_cold_load_time_measured(bytes, Some(1e6));
+        assert!(
+            fast < cm.delta_cold_load_time_bytes(bytes),
+            "pipelined cold load must beat the read-then-deserialize sum"
+        );
+        // A slow measured decoder dominates both tiers equally (decode is
+        // the bottleneck on the shared pipeline).
+        let slow_cold = cm.delta_cold_load_time_measured(bytes, Some(0.1));
+        let slow_host = cm.delta_load_time_measured(bytes, Some(0.1));
+        assert!(slow_cold >= bytes / (0.1 * 1e9) * 0.999);
+        assert!(slow_host >= bytes / (0.1 * 1e9) * 0.999);
+        // Cold still costs at least as much as a host hit.
+        for gbps in [0.05, 0.5, 5.0, 500.0] {
+            assert!(
+                cm.delta_cold_load_time_measured(bytes, Some(gbps))
+                    >= cm.delta_load_time_measured(bytes, Some(gbps)),
+                "cold >= warm at {gbps} GB/s"
+            );
+        }
+        // No measurement yet: falls back to the static constant under the
+        // max() pipeline model.
+        let fallback = cm.delta_load_time_measured(bytes, None);
+        assert_eq!(fallback, cm.delta_load_time_bytes(bytes));
+        // Degenerate measurements are ignored, not divided by.
+        assert!(cm.delta_load_time_measured(bytes, Some(0.0)).is_finite());
+        assert!(cm
+            .delta_load_time_measured(bytes, Some(f64::NAN))
+            .is_finite());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::slo::SloPolicy;
 use crate::tuning::DynamicN;
 use crate::Engine;
 use dz_gpusim::kernel::BatchedImpl;
-use dz_store::{ArtifactId, FetchOutcome, FetchTier, TieredDeltaStore};
+use dz_store::{ArtifactId, DecodedFetch, FetchTier, TieredDeltaStore};
 use dz_workload::Trace;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -102,19 +102,26 @@ impl DeltaStoreBinding {
         }
     }
 
-    /// Fetches the artifact backing a trace model id.
+    /// Measured decode throughput (compressed GB/s) across every load the
+    /// store's pipelined reader has timed; `None` before the first decode.
+    pub fn measured_decode_gbps(&self) -> Option<f64> {
+        self.store.decode_throughput().effective_gbps()
+    }
+
+    /// Fetches **and decodes** the artifact backing a trace model id,
+    /// updating the store's measured decode throughput.
     ///
     /// # Panics
     ///
     /// Panics if the model has no bound artifact or storage fails — a
     /// mis-bound engine cannot produce meaningful metrics.
-    fn fetch_for_model(&mut self, model: usize) -> FetchOutcome {
+    fn fetch_for_model(&mut self, model: usize) -> DecodedFetch {
         let id = self
             .artifacts
             .get(model)
             .unwrap_or_else(|| panic!("model {model} has no bound artifact"));
         self.store
-            .fetch(id)
+            .fetch_decoded(id)
             .unwrap_or_else(|e| panic!("artifact fetch for model {model} failed: {e}"))
     }
 }
@@ -310,13 +317,26 @@ impl Engine for DeltaZipEngine {
                 }
                 load_s += match self.delta_store.as_mut() {
                     // Artifact-store path: the store decides the tier from
-                    // its byte-budget LRU and reports real artifact bytes.
+                    // its byte-budget LRU, reports real artifact bytes, and
+                    // the fetch runs the pipelined decode — so the charge
+                    // uses the *measured* decode throughput (max(transfer,
+                    // decode), reads overlapped) instead of the static
+                    // deserialization constant.
                     Some(binding) => {
                         let outcome = binding.fetch_for_model(d);
+                        let gbps = binding.measured_decode_gbps();
                         match outcome.tier {
-                            FetchTier::HostHit => cost.delta_load_time_bytes(outcome.bytes as f64),
+                            // A host hit still pays the decode stage: the
+                            // delta crosses PCIe *compressed* and is
+                            // decompressed on swap-in whichever tier held
+                            // it (the store's cached decoded copy only
+                            // spares the simulator the CPU work, not the
+                            // modeled system the decode).
+                            FetchTier::HostHit => {
+                                cost.delta_load_time_measured(outcome.bytes as f64, gbps)
+                            }
                             FetchTier::DiskMiss => {
-                                cost.delta_cold_load_time_bytes(outcome.bytes as f64)
+                                cost.delta_cold_load_time_measured(outcome.bytes as f64, gbps)
                             }
                         }
                     }

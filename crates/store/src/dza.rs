@@ -39,6 +39,17 @@ use dz_lossless::crc::crc32;
 use dz_tensor::Matrix;
 use std::collections::BTreeMap;
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Maximum decode worker threads for the pipelined tensor read path.
+const MAX_DECODE_WORKERS: usize = 8;
+/// Minimum total compressed bytes before the read path spawns workers;
+/// below this the spawn cost outweighs the decode work (mirrors the
+/// thread-split thresholds in `dz-tensor`'s GEMM and `dz-lossless`'s page
+/// decoder).
+const PIPELINE_BYTE_THRESHOLD: u64 = 128 * 1024;
 
 /// Leading container magic.
 pub const DZA_MAGIC: &[u8; 4] = b"DZA1";
@@ -276,6 +287,95 @@ pub fn write_delta<W: Write>(
     w.finish()
 }
 
+/// Measured statistics of one pipelined delta load.
+///
+/// `wall_s` spans the whole read+decode pipeline, so
+/// [`effective_gbps`](Self::effective_gbps) is the end-to-end rate at
+/// which compressed artifact bytes became usable tensors — the number the
+/// serving cost model consumes in place of its static deserialization
+/// constant.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeStats {
+    /// Tensors decoded.
+    pub tensors: usize,
+    /// Compressed page bytes read from the source.
+    pub compressed_bytes: u64,
+    /// Decompressed wire bytes produced.
+    pub raw_bytes: u64,
+    /// Wall time spent reading pages from the source (main thread).
+    pub read_s: f64,
+    /// CPU time spent decoding, summed across workers.
+    pub decode_s: f64,
+    /// Wall time of the whole pipelined load.
+    pub wall_s: f64,
+    /// Decode worker threads used (1 = inline serial).
+    pub threads: usize,
+}
+
+impl DecodeStats {
+    /// End-to-end compressed-bytes-per-second of the load, in GB/s.
+    /// `None` when the load was too fast to time meaningfully.
+    pub fn effective_gbps(&self) -> Option<f64> {
+        (self.wall_s > 0.0 && self.compressed_bytes > 0)
+            .then(|| self.compressed_bytes as f64 / 1e9 / self.wall_s)
+    }
+
+    /// Decompression core rate: raw bytes produced per decode-CPU-second,
+    /// in GB/s (per-thread figure; independent of read overlap).
+    pub fn decode_core_gbps(&self) -> Option<f64> {
+        (self.decode_s > 0.0 && self.raw_bytes > 0)
+            .then(|| self.raw_bytes as f64 / 1e9 / self.decode_s)
+    }
+
+    /// Folds another load's stats into cumulative totals.
+    pub fn accumulate(&mut self, other: &DecodeStats) {
+        self.tensors += other.tensors;
+        self.compressed_bytes += other.compressed_bytes;
+        self.raw_bytes += other.raw_bytes;
+        self.read_s += other.read_s;
+        self.decode_s += other.decode_s;
+        self.wall_s += other.wall_s;
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
+/// One decoded tensor payload.
+enum DecodedTensor {
+    Packed(CompressedMatrix),
+    Dense(Matrix),
+}
+
+/// Decompresses, CRC-checks, and wire-decodes one tensor page. Workers
+/// decode single-threaded (parallelism comes from tensor fan-out); the
+/// inline path lets the page codec fan out itself.
+fn decode_tensor(
+    entry: &TensorEntry,
+    page: &[u8],
+    single_thread: bool,
+) -> Result<DecodedTensor, StoreError> {
+    let raw = if single_thread {
+        dz_lossless::decompress_with_threads(page, 1)?
+    } else {
+        dz_lossless::decompress(page)?
+    };
+    if raw.len() as u64 != entry.raw_len || crc32(&raw) != entry.crc32 {
+        return Err(StoreError::ChecksumMismatch {
+            tensor: Some(entry.name.clone()),
+        });
+    }
+    match entry.kind {
+        TensorKind::PackedLinear => Ok(DecodedTensor::Packed(wire::matrix_from_bytes(&raw)?)),
+        TensorKind::DenseRest => {
+            let mut r = WireReader::new(&raw);
+            let m = wire::decode_dense(&mut r)?;
+            if !r.is_done() {
+                return Err(StoreError::Corrupt("trailing bytes in dense tensor"));
+            }
+            Ok(DecodedTensor::Dense(m))
+        }
+    }
+}
+
 /// Random-access `.dza` reader over any `Read + Seek` source.
 pub struct ArtifactReader<R: Read + Seek> {
     source: R,
@@ -390,29 +490,122 @@ impl<R: Read + Seek> ArtifactReader<R> {
 
     /// Reassembles the whole [`CompressedDelta`].
     pub fn read_delta(&mut self) -> Result<CompressedDelta, StoreError> {
-        let names: Vec<(String, TensorKind)> = self
-            .manifest
-            .tensors
-            .iter()
-            .map(|t| (t.name.clone(), t.kind))
-            .collect();
+        self.read_delta_with_stats().map(|(delta, _)| delta)
+    }
+
+    /// Reassembles the whole [`CompressedDelta`] through the pipelined
+    /// fast path, reporting measured decode throughput.
+    ///
+    /// Large artifacts decode tensors concurrently on a small worker pool
+    /// while the main thread streams the *next* tensor's compressed pages
+    /// from the source — so disk reads overlap decompression and the load
+    /// wait is `max(read, decode)` rather than their sum. Small artifacts
+    /// decode inline (the page codec may still fan pages out for a single
+    /// large tensor). Output is byte-identical to the serial per-tensor
+    /// path either way.
+    pub fn read_delta_with_stats(&mut self) -> Result<(CompressedDelta, DecodeStats), StoreError> {
+        let t_start = Instant::now();
+        let entries: &[TensorEntry] = &self.manifest.tensors;
+        let total_comp: u64 = entries.iter().map(|t| t.comp_len).sum();
+        let workers = if total_comp >= PIPELINE_BYTE_THRESHOLD && entries.len() >= 2 {
+            MAX_DECODE_WORKERS
+                .min(entries.len())
+                .min(std::thread::available_parallelism().map_or(1, |p| p.get()))
+        } else {
+            0
+        };
+        let mut read_s = 0.0f64;
+        let decode_ns = AtomicU64::new(0);
+        let mut decoded: Vec<Option<Result<DecodedTensor, StoreError>>> =
+            (0..entries.len()).map(|_| None).collect();
+
+        if workers == 0 {
+            for (slot, entry) in decoded.iter_mut().zip(entries.iter()) {
+                let t0 = Instant::now();
+                self.source.seek(SeekFrom::Start(entry.offset))?;
+                let mut page = vec![0u8; entry.comp_len as usize];
+                self.source.read_exact(&mut page)?;
+                read_s += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let result = decode_tensor(entry, &page, false);
+                decode_ns.fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                *slot = Some(result);
+            }
+        } else {
+            let results: Mutex<Vec<(usize, Result<DecodedTensor, StoreError>)>> =
+                Mutex::new(Vec::with_capacity(entries.len()));
+            let source = &mut self.source;
+            std::thread::scope(|scope| -> Result<(), StoreError> {
+                // Bounded channel: at most ~one tensor in flight per worker,
+                // so the reader gets backpressure instead of buffering the
+                // whole artifact ahead of the decoders — that bound is what
+                // makes this a pipeline (read i+1 while decoding i) rather
+                // than a read-everything-then-decode pass.
+                let (tx, rx) = mpsc::sync_channel::<(usize, Vec<u8>)>(workers);
+                let rx = Arc::new(Mutex::new(rx));
+                for _ in 0..workers {
+                    let rx = Arc::clone(&rx);
+                    let results = &results;
+                    let decode_ns = &decode_ns;
+                    scope.spawn(move || loop {
+                        let job = rx.lock().expect("rx lock").recv();
+                        let Ok((i, page)) = job else { break };
+                        let t0 = Instant::now();
+                        let result = decode_tensor(&entries[i], &page, true);
+                        decode_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        results.lock().expect("results lock").push((i, result));
+                    });
+                }
+                // Main thread: stream tensor i+1's pages off the source
+                // while the workers are still decoding tensor i.
+                for (i, entry) in entries.iter().enumerate() {
+                    let t0 = Instant::now();
+                    source.seek(SeekFrom::Start(entry.offset))?;
+                    let mut page = vec![0u8; entry.comp_len as usize];
+                    source.read_exact(&mut page)?;
+                    read_s += t0.elapsed().as_secs_f64();
+                    tx.send((i, page)).expect("decode workers alive");
+                }
+                drop(tx);
+                Ok(())
+            })?;
+            for (i, result) in results.into_inner().expect("results lock") {
+                decoded[i] = Some(result);
+            }
+        }
+
         let mut layers = BTreeMap::new();
         let mut rest = BTreeMap::new();
-        for (name, kind) in names {
-            match kind {
-                TensorKind::PackedLinear => {
-                    layers.insert(name.clone(), self.read_packed(&name)?);
+        for (entry, slot) in entries.iter().zip(decoded) {
+            // Surface errors in tensor order so failures are deterministic
+            // regardless of worker interleaving.
+            match slot.expect("every tensor decoded or the read failed")? {
+                DecodedTensor::Packed(cm) => {
+                    layers.insert(entry.name.clone(), cm);
                 }
-                TensorKind::DenseRest => {
-                    rest.insert(name.clone(), self.read_dense(&name)?);
+                DecodedTensor::Dense(m) => {
+                    rest.insert(entry.name.clone(), m);
                 }
             }
         }
-        Ok(CompressedDelta {
-            layers,
-            rest,
-            config: self.manifest.config,
-            report: self.manifest.report,
-        })
+        let raw_bytes: u64 = entries.iter().map(|t| t.raw_len).sum();
+        let stats = DecodeStats {
+            tensors: entries.len(),
+            compressed_bytes: total_comp,
+            raw_bytes,
+            read_s,
+            decode_s: decode_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            wall_s: t_start.elapsed().as_secs_f64(),
+            threads: workers.max(1),
+        };
+        Ok((
+            CompressedDelta {
+                layers,
+                rest,
+                config: self.manifest.config,
+                report: self.manifest.report,
+            },
+            stats,
+        ))
     }
 }

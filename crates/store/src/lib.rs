@@ -9,7 +9,10 @@
 //!   (name, base-model lineage hash, quantization recipe, per-tensor
 //!   index) over per-tensor pages compressed with the `dz-lossless` paged
 //!   codec and double-checksummed (page CRC + manifest CRC of the raw
-//!   bytes). Written streaming, read with random access per tensor.
+//!   bytes). Written streaming, read with random access per tensor; whole
+//!   deltas load through a pipelined path that decodes tensors
+//!   concurrently while the next tensor streams off the source, and
+//!   reports measured throughput ([`DecodeStats`]).
 //! * [`registry`] — a content-addressed on-disk zoo: artifacts live under
 //!   `<root>/<sha256>.dza`, identical deltas deduplicate, named refs map
 //!   variant names to hashes, and any file can be integrity-audited.
@@ -40,8 +43,10 @@ pub mod hash;
 pub mod registry;
 pub mod tiered;
 
-pub use dza::{ArtifactReader, ArtifactWriter, Manifest, TensorEntry, TensorKind};
+pub use dza::{ArtifactReader, ArtifactWriter, DecodeStats, Manifest, TensorEntry, TensorKind};
 pub use error::StoreError;
 pub use hash::{sha256, Digest, Sha256};
 pub use registry::{ArtifactId, Registry};
-pub use tiered::{FetchOutcome, FetchTier, LoadStats, TieredDeltaStore};
+pub use tiered::{
+    DecodeThroughput, DecodedFetch, FetchOutcome, FetchTier, LoadStats, TieredDeltaStore,
+};

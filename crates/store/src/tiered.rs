@@ -7,9 +7,12 @@
 //! least-recently-used byte budget, with per-artifact load accounting so
 //! the serving engine can charge real transfer sizes.
 
+use crate::dza::{ArtifactReader, DecodeStats};
 use crate::error::StoreError;
 use crate::registry::{ArtifactId, Registry};
+use dz_compress::pipeline::CompressedDelta;
 use std::collections::HashMap;
+use std::io::Cursor;
 use std::sync::Arc;
 
 /// Which tier satisfied a fetch.
@@ -60,9 +63,58 @@ impl LoadStats {
     }
 }
 
+/// The result of one decoded fetch: tier and bytes as in [`FetchOutcome`],
+/// plus the reassembled delta and — when this fetch actually ran the
+/// decode pipeline — its measured statistics.
+#[derive(Debug, Clone)]
+pub struct DecodedFetch {
+    /// Which tier served the request.
+    pub tier: FetchTier,
+    /// Artifact size in bytes (what the interconnect moves).
+    pub bytes: u64,
+    /// The decoded delta.
+    pub delta: Arc<CompressedDelta>,
+    /// Measured pipeline statistics; `None` when the decoded delta was
+    /// already host-resident and no decode ran.
+    pub decode: Option<DecodeStats>,
+}
+
+/// Cumulative measured decode throughput across every load that ran the
+/// pipeline. This is what replaces the serving cost model's static
+/// bytes-per-second deserialization constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecodeThroughput {
+    /// Loads that ran the decode pipeline.
+    pub loads: u64,
+    /// Cumulative per-load statistics.
+    pub stats: DecodeStats,
+}
+
+impl DecodeThroughput {
+    /// Measured end-to-end compressed GB/s across all loads; `None` until
+    /// the first decode has been timed.
+    pub fn effective_gbps(&self) -> Option<f64> {
+        (self.loads > 0)
+            .then_some(())
+            .and(self.stats.effective_gbps())
+    }
+}
+
 struct Resident {
     data: Arc<Vec<u8>>,
+    /// Decoded form, populated lazily by [`TieredDeltaStore::fetch_decoded`]
+    /// and dropped with the entry on eviction.
+    decoded: Option<Arc<CompressedDelta>>,
+    /// Raw (decompressed) bytes held by `decoded`, charged against the
+    /// host byte budget alongside the compressed bytes.
+    decoded_bytes: u64,
     stamp: u64,
+}
+
+impl Resident {
+    fn footprint(&self) -> u64 {
+        self.data.len() as u64 + self.decoded_bytes
+    }
 }
 
 /// A disk→host tiered store with an LRU host cache bounded in bytes.
@@ -74,6 +126,7 @@ pub struct TieredDeltaStore {
     clock: u64,
     per_artifact: HashMap<ArtifactId, LoadStats>,
     total: LoadStats,
+    decode: DecodeThroughput,
 }
 
 impl TieredDeltaStore {
@@ -87,6 +140,7 @@ impl TieredDeltaStore {
             clock: 0,
             per_artifact: HashMap::new(),
             total: LoadStats::default(),
+            decode: DecodeThroughput::default(),
         }
     }
 
@@ -100,7 +154,8 @@ impl TieredDeltaStore {
         self.budget_bytes
     }
 
-    /// Bytes currently resident in the host cache.
+    /// Bytes currently resident in the host cache: compressed artifact
+    /// bytes plus any decoded copies cached beside them.
     pub fn resident_bytes(&self) -> u64 {
         self.resident_bytes
     }
@@ -134,6 +189,70 @@ impl TieredDeltaStore {
         })
     }
 
+    /// Fetches an artifact **decoded**: the compressed bytes move through
+    /// the usual tiering (disk on a miss, host cache on a hit), then the
+    /// pipelined `.dza` read path reassembles the delta — tensors decoded
+    /// concurrently, reads overlapped with decode — and the measured
+    /// throughput is folded into [`decode_throughput`](Self::decode_throughput).
+    /// A host hit whose decoded delta is still resident skips the decode
+    /// entirely (`decode: None`). The decoded copy's raw bytes count
+    /// against the host byte budget alongside the compressed bytes, with
+    /// LRU eviction restoring the bound.
+    pub fn fetch_decoded(&mut self, id: &ArtifactId) -> Result<DecodedFetch, StoreError> {
+        let outcome = self.fetch(id)?;
+        if let Some(resident) = self.resident.get(id) {
+            if let Some(delta) = &resident.decoded {
+                return Ok(DecodedFetch {
+                    tier: outcome.tier,
+                    bytes: outcome.bytes,
+                    delta: Arc::clone(delta),
+                    decode: None,
+                });
+            }
+        }
+        let mut reader = ArtifactReader::open(Cursor::new(&outcome.data[..]))?;
+        let (delta, stats) = reader.read_delta_with_stats()?;
+        let delta = Arc::new(delta);
+        if let Some(resident) = self.resident.get_mut(id) {
+            resident.decoded = Some(Arc::clone(&delta));
+            resident.decoded_bytes = stats.raw_bytes;
+            self.resident_bytes += stats.raw_bytes;
+            // The decoded copy counts against the host budget too; shed
+            // LRU entries (never the one just fetched) until it fits.
+            while self.resident_bytes > self.budget_bytes {
+                let victim = self
+                    .resident
+                    .iter()
+                    .filter(|(v, _)| *v != id)
+                    .min_by_key(|(_, r)| r.stamp)
+                    .map(|(&v, _)| v);
+                match victim {
+                    Some(v) => self.evict(&v),
+                    None => break,
+                }
+            }
+            // Compressed + decoded alone overflow the whole cache: serve
+            // this load uncached rather than pinning an over-budget entry
+            // (mirrors `admit`'s oversized-artifact rule).
+            if self.resident_bytes > self.budget_bytes {
+                self.evict(id);
+            }
+        }
+        self.decode.loads += 1;
+        self.decode.stats.accumulate(&stats);
+        Ok(DecodedFetch {
+            tier: outcome.tier,
+            bytes: outcome.bytes,
+            delta,
+            decode: Some(stats),
+        })
+    }
+
+    /// Cumulative measured decode throughput across decoded loads.
+    pub fn decode_throughput(&self) -> DecodeThroughput {
+        self.decode
+    }
+
     /// Refreshes an artifact's LRU stamp without fetching (used when the
     /// artifact is consumed from a copy further up the hierarchy, e.g.
     /// GPU-resident, and should stay warm in host memory too). Returns
@@ -152,7 +271,7 @@ impl TieredDeltaStore {
     /// Drops one artifact from the host cache (it stays on disk).
     pub fn evict(&mut self, id: &ArtifactId) {
         if let Some(r) = self.resident.remove(id) {
-            self.resident_bytes -= r.data.len() as u64;
+            self.resident_bytes -= r.footprint();
         }
     }
 
@@ -197,6 +316,8 @@ impl TieredDeltaStore {
             id,
             Resident {
                 data,
+                decoded: None,
+                decoded_bytes: 0,
                 stamp: self.clock,
             },
         );

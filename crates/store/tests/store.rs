@@ -335,6 +335,120 @@ fn tiered_store_evicts_lru_under_byte_budget() {
 }
 
 #[test]
+fn pipelined_read_matches_serial_and_reports_stats() {
+    // A wide artifact (many tensors) crosses the pipeline threshold and
+    // must decode identically to the per-tensor serial path.
+    let mut layers = BTreeMap::new();
+    for i in 0..12 {
+        layers.insert(format!("layers.{i}.w"), packed_matrix(48, 64, 4, 60 + i));
+    }
+    let mut rng = Rng::seeded(77);
+    let mut rest = BTreeMap::new();
+    rest.insert("tok_emb".to_string(), Matrix::randn(64, 48, 1.0, &mut rng));
+    let delta = CompressedDelta {
+        layers,
+        rest,
+        config: DeltaCompressConfig::starred(4),
+        report: SizeReport {
+            compressed_linear_bytes: 1,
+            uncompressed_rest_bytes: 1,
+            full_fp16_bytes: 1,
+            lossless_linear_bytes: None,
+        },
+    };
+    let bytes = container_bytes(&delta, "wide");
+    let mut reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open");
+    let (fast, stats) = reader.read_delta_with_stats().expect("pipelined read");
+    assert_eq!(fast, delta);
+    assert_eq!(stats.tensors, 13);
+    assert_eq!(
+        stats.compressed_bytes,
+        reader.manifest().payload_bytes(),
+        "stats must account every compressed byte"
+    );
+    let raw: u64 = reader.manifest().tensors.iter().map(|t| t.raw_len).sum();
+    assert_eq!(stats.raw_bytes, raw);
+    assert!(stats.wall_s > 0.0);
+    assert!(stats.threads >= 1);
+    // Serial per-tensor reads agree tensor for tensor.
+    let mut reader2 = ArtifactReader::open(Cursor::new(&bytes)).expect("open2");
+    let slow = reader2.read_delta().expect("read");
+    assert_eq!(slow, fast);
+}
+
+#[test]
+fn fetch_decoded_measures_then_reuses_resident_delta() {
+    let dir = temp_dir("decoded");
+    let registry = Registry::open(&dir).expect("open");
+    let delta = fixture_delta(55);
+    let id = registry
+        .publish_delta("v", sha256(b"base"), &delta)
+        .expect("publish");
+    let size = registry.size_of(&id).expect("size");
+    let mut store = TieredDeltaStore::new(registry, 10 * size);
+    // Miss: decode runs and is measured.
+    let first = store.fetch_decoded(&id).expect("miss");
+    assert_eq!(first.tier, FetchTier::DiskMiss);
+    assert_eq!(first.bytes, size);
+    assert_eq!(*first.delta, delta);
+    let stats = first.decode.expect("decode measured on miss");
+    assert!(stats.wall_s > 0.0 && stats.compressed_bytes > 0);
+    assert_eq!(store.decode_throughput().loads, 1);
+    assert!(store.decode_throughput().effective_gbps().is_some());
+    // Hit: the decoded delta is resident, no decode runs.
+    let second = store.fetch_decoded(&id).expect("hit");
+    assert_eq!(second.tier, FetchTier::HostHit);
+    assert!(second.decode.is_none(), "host hit must not re-decode");
+    assert_eq!(*second.delta, delta);
+    assert_eq!(store.decode_throughput().loads, 1);
+    // Eviction drops the decoded copy; a re-fetch re-measures.
+    store.evict(&id);
+    let third = store.fetch_decoded(&id).expect("recold");
+    assert_eq!(third.tier, FetchTier::DiskMiss);
+    assert!(third.decode.is_some());
+    assert_eq!(store.decode_throughput().loads, 2);
+    std::fs::remove_dir_all(store.registry().root()).ok();
+}
+
+#[test]
+fn decoded_copies_count_against_the_byte_budget() {
+    let dir = temp_dir("decoded-budget");
+    let registry = Registry::open(&dir).expect("open");
+    let ids: Vec<_> = (0..3)
+        .map(|i| {
+            registry
+                .publish_delta(&format!("v{i}"), sha256(b"base"), &fixture_delta(80 + i))
+                .expect("publish")
+        })
+        .collect();
+    let comp_max = ids
+        .iter()
+        .map(|id| registry.size_of(id).expect("size"))
+        .max()
+        .expect("nonempty");
+    // Generous for compressed bytes alone, tight once raw decoded copies
+    // ride along: the budget must still hold.
+    let budget = 4 * comp_max;
+    let mut store = TieredDeltaStore::new(registry, budget);
+    for id in &ids {
+        store.fetch_decoded(id).expect("decoded fetch");
+        assert!(
+            store.resident_bytes() <= store.budget_bytes(),
+            "resident {} exceeds budget {} after decoded fetch",
+            store.resident_bytes(),
+            store.budget_bytes()
+        );
+    }
+    // A budget smaller than one artifact's compressed+decoded footprint
+    // serves decodes uncached instead of pinning an over-budget entry.
+    let registry2 = Registry::open(&dir).expect("reopen");
+    let mut tiny = TieredDeltaStore::new(registry2, comp_max + comp_max / 4);
+    tiny.fetch_decoded(&ids[0]).expect("oversize decode");
+    assert!(tiny.resident_bytes() <= tiny.budget_bytes());
+    std::fs::remove_dir_all(store.registry().root()).ok();
+}
+
+#[test]
 fn oversized_artifacts_are_served_uncached() {
     let dir = temp_dir("oversize");
     let registry = Registry::open(&dir).expect("open");
