@@ -9,7 +9,7 @@
 //! ```
 
 use dz_bench::experiments::{
-    ablations, codec, extensions, kernels, quality, serving, workloads, Report, Scale,
+    ablations, cluster, codec, extensions, kernels, quality, serving, workloads, Report, Scale,
 };
 use std::io::Write;
 
@@ -44,6 +44,7 @@ fn available() -> Vec<&'static str> {
         "ablation-dynamic-n",
         "ext-scalability",
         "bench-lossless",
+        "bench-cluster",
     ]
 }
 
@@ -78,6 +79,7 @@ fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
         "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
         "ext-scalability" => extensions::ext_scalability(),
         "bench-lossless" => codec::bench_lossless(scale),
+        "bench-cluster" => cluster::bench_cluster(scale),
         _ => return None,
     })
 }

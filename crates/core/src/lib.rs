@@ -59,7 +59,10 @@ use dz_model::lora::LoraAdapter;
 use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
-pub use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, Metrics};
+pub use dz_serve::{
+    ClusterConfig, ClusterReport, ClusterSim, CostModel, DeltaStoreBinding, DeltaZipConfig,
+    LeastLoadedRouter, Metrics, PlacementAwareRouter, PlacementPlan, RoundRobinRouter, Router,
+};
 use dz_serve::{DeltaZipEngine, Engine};
 pub use dz_store::{
     ArtifactId, DecodeStats, DecodeThroughput, DecodedFetch, Registry, TieredDeltaStore,
@@ -380,6 +383,21 @@ impl DeltaZip {
             .register_variant_from_artifact(base, registry, id)
     }
 
+    /// Replays a trace across a multi-replica cluster behind a pluggable
+    /// routing policy (round-robin, least-loaded, or placement-aware) —
+    /// the fleet-scale serving path. See
+    /// [`dz_serve::cluster`] for routers, placement plans, and SLO-aware
+    /// admission control.
+    pub fn simulate_cluster(
+        &self,
+        trace: &Trace,
+        costs: Vec<CostModel>,
+        config: ClusterConfig,
+        router: Box<dyn Router>,
+    ) -> ClusterReport {
+        ClusterSim::new(costs, config, router).run(trace)
+    }
+
     /// Replays a trace with the engine bound to a tiered artifact store:
     /// per-request load waits reflect each artifact's real compressed
     /// bytes (host hit → PCIe only; miss → disk + PCIe). Returns the
@@ -416,6 +434,32 @@ mod tests {
         let mut tuned = base.clone();
         finetune_fmt(&mut tuned, &SentimentTask, TrainConfig::finetune(30));
         (base, tuned)
+    }
+
+    #[test]
+    fn simulate_cluster_through_facade() {
+        use dz_gpusim::shapes::ModelShape;
+        use dz_gpusim::spec::NodeSpec;
+        use dz_workload::{PopularityDist, TraceSpec};
+
+        let dz = DeltaZip::new();
+        let trace = Trace::generate(TraceSpec {
+            n_models: 6,
+            arrival_rate: 1.0,
+            duration_s: 20.0,
+            popularity: PopularityDist::Zipf { alpha: 1.5 },
+            seed: 5,
+        });
+        let costs = vec![CostModel::new(NodeSpec::a800_node(2), ModelShape::llama13b()); 2];
+        let plan = PlacementPlan::from_popularity(trace.spec.popularity, 6, 2);
+        let report = dz.simulate_cluster(
+            &trace,
+            costs,
+            ClusterConfig::replicas(2),
+            Box::new(PlacementAwareRouter::new(plan)),
+        );
+        assert_eq!(report.merged.len(), trace.len());
+        assert_eq!(report.goodput(), 1.0);
     }
 
     #[test]

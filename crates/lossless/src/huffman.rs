@@ -298,7 +298,7 @@ const LUT_SUB: u32 = 0x8000_0000;
 /// Layout: `primary` has `2^min(max_len, LUT_BITS)` entries indexed by the
 /// next bits of the stream in read order (codes are emitted MSB-first into
 /// the LSB-first stream, so stream order *is* code order). A direct entry
-/// packs `(len << 16) | sym`; a pointer entry (flag [`LUT_SUB`]) packs the
+/// packs `(len << 16) | sym`; a pointer entry (flag `LUT_SUB`) packs the
 /// sub-table width in bits 24..31 and its offset into `secondary` in bits
 /// 0..24.
 #[derive(Debug, Clone)]

@@ -1,18 +1,961 @@
-//! Multi-base-model cluster partitioning (§5.1).
+//! Cluster-scale serving: placement-aware multi-replica scheduling.
 //!
-//! DeltaZip batches across variants *of one base*. With `M` distinct base
-//! models, the paper dedicates one GPU group per base (the same assumption
-//! LoRA serving systems make). This module implements that split: variants
-//! are routed to their base's group, each group runs an independent engine
-//! over its sub-trace, and the results merge back into one metrics object.
+//! The paper's serving story (§6) is ultimately about a *fleet*: many
+//! base-model replicas, each holding a subset of deltas warm, with
+//! requests routed to where their delta already lives. This module is
+//! that layer:
+//!
+//! * [`ClusterSim`] owns `R` replicas — each an independent
+//!   [`DeltaZipEngine`] with its own cost model, its own warm set, and
+//!   (optionally) its own [`TieredDeltaStore`](dz_store::TieredDeltaStore)
+//!   budget via a [`DeltaStoreBinding`] — and replays a trace through a
+//!   front-end router,
+//! * [`Router`] is the pluggable routing policy; three are provided:
+//!   [`RoundRobinRouter`] (baseline), [`LeastLoadedRouter`] (queue-depth
+//!   only), and [`PlacementAwareRouter`] (scores replicas by delta warmth
+//!   — a host-cache hit beats a disk miss — combined with backlog),
+//! * [`PlacementPlan`] turns popularity skew
+//!   ([`dz_workload::PopularityDist`]) into delta replication decisions:
+//!   hot deltas get homes on several replicas, cold deltas get exactly
+//!   one; the placement-aware router can re-derive the plan online from
+//!   observed traffic (delta migration),
+//! * [`AdmissionConfig`] adds SLO-aware admission control: when every
+//!   replica is saturated, `Batch`-class requests (per [`SloPolicy`]) are
+//!   deferred and ultimately shed instead of poisoning the tail,
+//! * [`ClusterReport`] aggregates per-replica [`Metrics`] into
+//!   cluster-level percentile latency, goodput, and cache-hit accounting.
+//!
+//! The router sees the fleet the way a real front-end does: through an
+//! *estimated* queue depth and a *predicted* warm set per replica (updated
+//! at every routing decision), not through the replicas' exact state. The
+//! replicas themselves then replay their assigned sub-traces with the full
+//! engine, so reported latencies include the true cold/warm load charges
+//! their routed request mix produced.
+//!
+//! The multi-*base* partitioning of §5.1 (one GPU group per base model) is
+//! retained: [`BasePartition`] splits variants across bases and
+//! [`run_partitioned`] is now a thin compatibility shim that runs one
+//! single-replica [`ClusterSim`] per base group.
 
 use crate::cost::CostModel;
-use crate::deltazip::{DeltaZipConfig, DeltaZipEngine};
-use crate::metrics::Metrics;
+use crate::deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
+use crate::metrics::{Metrics, RequestRecord};
+use crate::slo::{SloClass, SloPolicy};
 use crate::Engine;
-use dz_workload::{Request, Trace, TraceSpec};
+use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Router-visible replica state.
+// ---------------------------------------------------------------------------
+
+/// What the front-end router knows about one replica when it routes a
+/// request: estimates maintained by [`ClusterSim`], not ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaView {
+    /// Replica id (`0..n_replicas`).
+    pub id: usize,
+    /// Estimated requests queued or running on the replica right now.
+    pub queue_depth: usize,
+    /// Estimated seconds of work outstanding on the replica.
+    pub backlog_s: f64,
+    /// Whether the routed request's delta is predicted warm (host-cache
+    /// resident) on this replica.
+    pub warm: bool,
+    /// Estimated extra seconds a cold (disk-tier) delta load would cost on
+    /// this replica — what routing to a non-warm replica risks paying.
+    pub cold_load_s: f64,
+}
+
+/// A pluggable routing policy: given a request and a view of every
+/// replica, pick the replica to serve it.
+///
+/// The view for a request `r` has `warm` evaluated for `r.model` on each
+/// replica. Implementations may keep internal state (round-robin cursors,
+/// observed popularity counts); [`ClusterSim`] calls `route` exactly once
+/// per admitted request, in arrival order.
+///
+/// # Examples
+///
+/// A custom router that always picks the replica with the shortest
+/// backlog, ignoring warmth:
+///
+/// ```
+/// use dz_serve::cluster::{ReplicaView, Router};
+/// use dz_workload::Request;
+///
+/// struct ShortestBacklog;
+/// impl Router for ShortestBacklog {
+///     fn name(&self) -> String {
+///         "shortest-backlog".into()
+///     }
+///     fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
+///         views
+///             .iter()
+///             .min_by(|a, b| a.backlog_s.total_cmp(&b.backlog_s))
+///             .expect("at least one replica")
+///             .id
+///     }
+/// }
+/// ```
+pub trait Router {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+    /// Chooses a replica id (must be `< views.len()`) for the request.
+    fn route(&mut self, req: &Request, views: &[ReplicaView]) -> usize;
+}
+
+/// The baseline: requests cycle over replicas regardless of load or
+/// placement (what the seed `run_partitioned` did across variants).
+#[derive(Debug, Default)]
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl RoundRobinRouter {
+    /// Creates a cursor starting at replica 0.
+    pub fn new() -> Self {
+        RoundRobinRouter::default()
+    }
+}
+
+impl Router for RoundRobinRouter {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
+        let r = self.next % views.len();
+        self.next = self.next.wrapping_add(1);
+        r
+    }
+}
+
+/// Pure load balancing: route to the replica with the fewest estimated
+/// outstanding requests (ties broken by backlog seconds, then id).
+#[derive(Debug, Default)]
+pub struct LeastLoadedRouter;
+
+impl LeastLoadedRouter {
+    /// Creates the (stateless) policy.
+    pub fn new() -> Self {
+        LeastLoadedRouter
+    }
+}
+
+impl Router for LeastLoadedRouter {
+    fn name(&self) -> String {
+        "least-loaded".into()
+    }
+
+    fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
+        views
+            .iter()
+            .min_by(|a, b| {
+                a.queue_depth
+                    .cmp(&b.queue_depth)
+                    .then(a.backlog_s.total_cmp(&b.backlog_s))
+                    .then(a.id.cmp(&b.id))
+            })
+            .expect("at least one replica")
+            .id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Popularity-driven placement.
+// ---------------------------------------------------------------------------
+
+/// Which replicas hold (a copy of) each model's delta: the cluster's
+/// replication decisions, derived from popularity skew.
+///
+/// Every model gets at least one *home* replica; models whose traffic
+/// share exceeds `1/R` get proportionally more copies, so the head of a
+/// Zipf distribution can be load-balanced while the tail stays pinned to
+/// a single host cache (maximizing aggregate warm capacity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// `homes[model]` = sorted replica ids holding the model's delta.
+    homes: Vec<Vec<usize>>,
+    n_replicas: usize,
+}
+
+impl PlacementPlan {
+    /// Builds a plan from per-model popularity weights (any non-negative
+    /// scale). Models are placed hottest-first onto the least-loaded
+    /// replicas; a model with traffic share `s` gets `ceil(s * R)` copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas == 0`.
+    pub fn from_weights(weights: &[f64], n_replicas: usize) -> Self {
+        assert!(n_replicas > 0, "need at least one replica");
+        let total: f64 = weights.iter().filter(|w| w.is_finite()).sum();
+        let share = |w: f64| {
+            if total > 0.0 && w.is_finite() {
+                (w / total).max(0.0)
+            } else if weights.is_empty() {
+                0.0
+            } else {
+                1.0 / weights.len() as f64
+            }
+        };
+        // Hottest first; ties broken by model id for determinism.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            share(weights[b])
+                .total_cmp(&share(weights[a]))
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0.0f64; n_replicas];
+        let mut homes = vec![Vec::new(); weights.len()];
+        for m in order {
+            let s = share(weights[m]);
+            let copies = ((s * n_replicas as f64).ceil() as usize).clamp(1, n_replicas);
+            for _ in 0..copies {
+                let r = (0..n_replicas)
+                    .filter(|r| !homes[m].contains(r))
+                    .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
+                    .expect("copies <= n_replicas");
+                load[r] += s / copies as f64;
+                homes[m].push(r);
+            }
+            homes[m].sort_unstable();
+        }
+        PlacementPlan { homes, n_replicas }
+    }
+
+    /// Builds a plan from a popularity distribution's static weights (the
+    /// skew the operator provisioned for).
+    pub fn from_popularity(dist: PopularityDist, n_models: usize, n_replicas: usize) -> Self {
+        Self::from_weights(&dist.weights(n_models), n_replicas)
+    }
+
+    /// Builds a plan from observed per-model request counts of a trace.
+    pub fn from_trace(trace: &Trace, n_replicas: usize) -> Self {
+        let counts: Vec<f64> = trace
+            .per_model_counts()
+            .into_iter()
+            .map(|c| c as f64)
+            .collect();
+        Self::from_weights(&counts, n_replicas)
+    }
+
+    /// Home replicas of a model. Models beyond the plan (unknown at
+    /// planning time) report no homes; routers treat them as
+    /// place-anywhere.
+    pub fn homes(&self, model: usize) -> &[usize] {
+        self.homes.get(model).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of replicas the plan was built for.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// How many copies of a model's delta the plan keeps.
+    pub fn replication_factor(&self, model: usize) -> usize {
+        self.homes(model).len()
+    }
+
+    /// How many models' home sets differ between `self` and `other` — the
+    /// number of delta migrations a rebalance would trigger.
+    pub fn migrations_from(&self, other: &PlacementPlan) -> usize {
+        let n = self.homes.len().max(other.homes.len());
+        (0..n).filter(|&m| self.homes(m) != other.homes(m)).count()
+    }
+}
+
+/// Placement-aware routing: prefer a replica where the delta is warm,
+/// fall back to the plan's home replicas, and spill to the globally best
+/// replica only when the homes are badly backlogged.
+///
+/// Score of a replica = estimated backlog seconds + the cold-load penalty
+/// if the delta is not warm there, so "host-cache hit beats disk miss"
+/// and queue depth both count. With `rebalance_every = Some(k)`, the plan
+/// is re-derived from observed traffic every `k` routed requests —
+/// popularity drift migrates deltas to new homes.
+#[derive(Debug)]
+pub struct PlacementAwareRouter {
+    plan: PlacementPlan,
+    /// Extra backlog (s) a home replica may carry before the router
+    /// spills the request to the globally cheapest replica.
+    pub spill_margin_s: f64,
+    /// Re-derive the plan from observed counts every this many requests;
+    /// `None` keeps the initial plan for the whole run.
+    pub rebalance_every: Option<usize>,
+    /// Delta migrations (home-set changes) rebalancing has triggered.
+    pub migrations: usize,
+    counts: Vec<u64>,
+    routed: usize,
+}
+
+impl PlacementAwareRouter {
+    /// Creates the router from an initial placement plan.
+    pub fn new(plan: PlacementPlan) -> Self {
+        let counts = vec![0; plan.homes.len()];
+        PlacementAwareRouter {
+            plan,
+            spill_margin_s: 1.0,
+            rebalance_every: Some(512),
+            migrations: 0,
+            counts,
+            routed: 0,
+        }
+    }
+
+    /// Disables online rebalancing (the plan stays fixed).
+    pub fn pinned(mut self) -> Self {
+        self.rebalance_every = None;
+        self
+    }
+
+    /// The current placement plan (after any rebalances).
+    pub fn plan(&self) -> &PlacementPlan {
+        &self.plan
+    }
+
+    fn score(v: &ReplicaView) -> f64 {
+        v.backlog_s + if v.warm { 0.0 } else { v.cold_load_s }
+    }
+}
+
+impl Router for PlacementAwareRouter {
+    fn name(&self) -> String {
+        "placement-aware".into()
+    }
+
+    fn route(&mut self, req: &Request, views: &[ReplicaView]) -> usize {
+        if req.model >= self.counts.len() {
+            self.counts.resize(req.model + 1, 0);
+        }
+        self.counts[req.model] += 1;
+        self.routed += 1;
+        if let Some(every) = self.rebalance_every {
+            if every > 0 && self.routed.is_multiple_of(every) {
+                let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+                let next = PlacementPlan::from_weights(&weights, views.len());
+                self.migrations += next.migrations_from(&self.plan);
+                self.plan = next;
+            }
+        }
+        let best = |ids: &mut dyn Iterator<Item = &ReplicaView>| {
+            ids.min_by(|a, b| {
+                Self::score(a)
+                    .total_cmp(&Self::score(b))
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|v| (v.id, Self::score(v)))
+        };
+        let overall = best(&mut views.iter()).expect("at least one replica");
+        let homes = self.plan.homes(req.model);
+        let home = best(&mut views.iter().filter(|v| homes.contains(&v.id)));
+        match home {
+            // Stay home unless the homes are badly backlogged vs the rest.
+            Some((id, score)) if score <= overall.1 + self.spill_margin_s => id,
+            _ => overall.0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+/// SLO-aware admission control: defer or shed `Batch`-class load when the
+/// whole fleet is saturated, instead of letting it poison the tail.
+///
+/// Interactive and Standard requests are always admitted. A Batch
+/// request (re)arriving when every replica's estimated queue depth is at
+/// least `defer_depth` is pushed back by `defer_s` seconds while it has
+/// defer budget (`max_defers` attempts). Once the budget is spent, it is
+/// shed — reported in [`ClusterReport::shed`] — if every depth is still
+/// at least `shed_depth`, and admitted otherwise. (With `shed_depth`
+/// below `defer_depth` an over-`shed_depth` arrival is shed without
+/// consuming defer budget first.)
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Per-model SLO classes (also enables SLO-priority queue scanning in
+    /// every replica engine).
+    pub slo: SloPolicy,
+    /// Minimum per-replica queue depth (across all replicas) at which
+    /// Batch requests start deferring.
+    pub defer_depth: usize,
+    /// Seconds a deferred request is pushed back per attempt.
+    pub defer_s: f64,
+    /// Defer attempts before a Batch request must be admitted or shed.
+    pub max_defers: usize,
+    /// Minimum per-replica queue depth at which a Batch request out of
+    /// defer budget is shed.
+    pub shed_depth: usize,
+}
+
+impl AdmissionConfig {
+    /// Defaults tuned for the bench traces: defer at depth 32, shed at 96.
+    pub fn new(slo: SloPolicy) -> Self {
+        AdmissionConfig {
+            slo,
+            defer_depth: 32,
+            defer_s: 5.0,
+            max_defers: 8,
+            shed_depth: 96,
+        }
+    }
+}
+
+/// A request the admission controller refused to serve.
+#[derive(Debug, Clone)]
+pub struct ShedRecord {
+    /// Global request id.
+    pub id: usize,
+    /// Model variant the request targeted.
+    pub model: usize,
+    /// Original arrival time (s).
+    pub arrival: f64,
+    /// SLO class the request was shed under (always a sheddable class).
+    pub class: SloClass,
+}
+
+// ---------------------------------------------------------------------------
+// The cluster simulator.
+// ---------------------------------------------------------------------------
+
+/// Cluster-wide configuration shared by every replica.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of base-model replicas.
+    pub n_replicas: usize,
+    /// Per-replica engine configuration.
+    pub engine: DeltaZipConfig,
+    /// Optional SLO-aware admission control (also gives every replica
+    /// engine the SLO-priority queue scan).
+    pub admission: Option<AdmissionConfig>,
+    /// Capacity (in deltas) of the router's predicted warm set per
+    /// replica. Defaults to the engine's `host_capacity_deltas`; for
+    /// store-bound replicas it is derived from each store's byte budget.
+    pub router_warm_deltas: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_replicas: 1,
+            engine: DeltaZipConfig::default(),
+            admission: None,
+            router_warm_deltas: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `n_replicas` replicas and default engine settings.
+    pub fn replicas(n_replicas: usize) -> Self {
+        ClusterConfig {
+            n_replicas,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// Routing-side accounting of one cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingStats {
+    /// Requests routed to each replica.
+    pub per_replica_requests: Vec<usize>,
+    /// Requests routed to a replica predicted warm for their delta.
+    pub warm_routed: usize,
+    /// Requests routed to a replica predicted cold for their delta.
+    pub cold_routed: usize,
+    /// Cold routings while some *other* replica was predicted warm — the
+    /// placement opportunities the policy left on the table.
+    pub placement_misses: usize,
+    /// Defer events (one request deferred twice counts twice).
+    pub defer_events: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+}
+
+impl RoutingStats {
+    /// Fraction of admitted requests routed onto a warm replica.
+    pub fn warm_fraction(&self) -> f64 {
+        let total = self.warm_routed + self.cold_routed;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_routed as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// All served requests with global ids (deferral waits included in
+    /// their latency), mergeable with any single-engine [`Metrics`].
+    pub merged: Metrics,
+    /// Per-replica metrics (replica-local view, deferral waits excluded).
+    pub per_replica: Vec<Metrics>,
+    /// Requests shed by admission control.
+    pub shed: Vec<ShedRecord>,
+    /// Router-side accounting.
+    pub routing: RoutingStats,
+    /// Per-replica artifact-store load stats for **this run only** when
+    /// replicas are store-bound (`None` in synthetic mode). The stores
+    /// themselves keep cumulative totals across runs — query the
+    /// bindings via [`ClusterSim::bindings`] for those.
+    pub store_stats: Option<Vec<dz_store::LoadStats>>,
+}
+
+impl ClusterReport {
+    /// Served requests / offered requests (1.0 when nothing was shed).
+    pub fn goodput(&self) -> f64 {
+        let offered = self.merged.len() + self.shed.len();
+        if offered == 0 {
+            1.0
+        } else {
+            self.merged.len() as f64 / offered as f64
+        }
+    }
+
+    /// Aggregate host-cache hit rate across replica stores, when
+    /// store-bound: host hits / (host hits + disk loads).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let stats = self.store_stats.as_ref()?;
+        let (hits, loads) = stats.iter().fold((0u64, 0u64), |(h, l), s| {
+            (h + s.host_hits, l + s.host_hits + s.disk_loads)
+        });
+        Some(if loads == 0 {
+            1.0
+        } else {
+            hits as f64 / loads as f64
+        })
+    }
+}
+
+/// Estimated-state bookkeeping for one replica, maintained by the
+/// front-end as it routes.
+struct ReplicaFrontendState {
+    /// Predicted host-cache contents: model -> LRU stamp.
+    warm: HashMap<usize, u64>,
+    warm_cap: usize,
+    clock: u64,
+    /// Estimated time the replica drains everything routed to it.
+    busy_until: f64,
+    /// Estimated finish times of outstanding requests (monotone).
+    finishes: std::collections::VecDeque<f64>,
+    /// Requests assigned to this replica: (request-at-admission, global
+    /// id, defer delay).
+    assigned: Vec<(Request, usize, f64)>,
+    /// Cost-model-derived estimates.
+    per_token_s: f64,
+    cold_load_s: f64,
+}
+
+impl ReplicaFrontendState {
+    fn prune(&mut self, now: f64) {
+        while self.finishes.front().is_some_and(|&f| f <= now) {
+            self.finishes.pop_front();
+        }
+    }
+
+    fn view(&self, id: usize, now: f64, model: usize) -> ReplicaView {
+        ReplicaView {
+            id,
+            queue_depth: self.finishes.len(),
+            backlog_s: (self.busy_until - now).max(0.0),
+            warm: self.warm.contains_key(&model),
+            cold_load_s: self.cold_load_s,
+        }
+    }
+
+    fn touch_warm(&mut self, model: usize) {
+        self.clock += 1;
+        self.warm.insert(model, self.clock);
+        while self.warm.len() > self.warm_cap.max(1) {
+            let victim = self
+                .warm
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&m, _)| m);
+            match victim {
+                Some(v) => {
+                    self.warm.remove(&v);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn charge(&mut self, now: f64, est_service_s: f64) {
+        self.busy_until = self.busy_until.max(now) + est_service_s;
+        self.finishes.push_back(self.busy_until);
+    }
+}
+
+/// One pending request in the front-end's time-ordered queue.
+struct Pending {
+    req: Request,
+    delay: f64,
+    defers: usize,
+    seq: u64,
+}
+
+impl Pending {
+    fn arrival(&self) -> f64 {
+        self.req.arrival + self.delay
+    }
+    /// Heap key: earliest arrival first, then original order. Arrivals are
+    /// non-negative, so the IEEE-754 bit pattern orders them correctly.
+    fn key(&self) -> (u64, u64) {
+        (self.arrival().to_bits(), self.seq)
+    }
+}
+
+/// The cluster: `R` replica engines behind a pluggable router.
+///
+/// # Examples
+///
+/// ```
+/// use dz_gpusim::shapes::ModelShape;
+/// use dz_gpusim::spec::NodeSpec;
+/// use dz_serve::cluster::{ClusterConfig, ClusterSim, PlacementAwareRouter, PlacementPlan};
+/// use dz_serve::CostModel;
+/// use dz_workload::{PopularityDist, Trace, TraceSpec};
+///
+/// let popularity = PopularityDist::Zipf { alpha: 1.5 };
+/// let trace = Trace::generate(TraceSpec {
+///     n_models: 8,
+///     arrival_rate: 1.0,
+///     duration_s: 20.0,
+///     popularity,
+///     seed: 1,
+/// });
+/// let costs = vec![CostModel::new(NodeSpec::a800_node(2), ModelShape::llama13b()); 2];
+/// let plan = PlacementPlan::from_popularity(popularity, 8, 2);
+/// let mut sim = ClusterSim::new(
+///     costs,
+///     ClusterConfig::replicas(2),
+///     Box::new(PlacementAwareRouter::new(plan)),
+/// );
+/// let report = sim.run(&trace);
+/// assert_eq!(report.merged.len(), trace.len());
+/// assert!(report.goodput() == 1.0); // no admission control configured
+/// ```
+pub struct ClusterSim {
+    costs: Vec<CostModel>,
+    config: ClusterConfig,
+    router: Box<dyn Router>,
+    /// Per-replica artifact stores (store-bound mode); retrieved back into
+    /// place after every run so warm state carries across runs.
+    bindings: Option<Vec<DeltaStoreBinding>>,
+    /// Router warm-set capacities derived from the store budgets, computed
+    /// once at [`with_stores`](Self::with_stores) time (the sizes need a
+    /// disk stat per artifact).
+    store_warm_caps: Vec<usize>,
+}
+
+impl ClusterSim {
+    /// Creates a cluster of `costs.len()` replicas (which must match
+    /// `config.n_replicas`) behind `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_replicas == 0` or the cost-model count differs.
+    pub fn new(costs: Vec<CostModel>, config: ClusterConfig, router: Box<dyn Router>) -> Self {
+        assert!(config.n_replicas > 0, "need at least one replica");
+        assert_eq!(costs.len(), config.n_replicas, "one cost model per replica");
+        ClusterSim {
+            costs,
+            config,
+            router,
+            bindings: None,
+            store_warm_caps: Vec::new(),
+        }
+    }
+
+    /// Binds one [`TieredDeltaStore`](dz_store::TieredDeltaStore) per
+    /// replica: each replica's engine charges loads by real artifact
+    /// bytes from its own host-cache budget, and the router's predicted
+    /// warm sets are seeded from (and sized by) the stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding count differs from the replica count.
+    pub fn with_stores(mut self, bindings: Vec<DeltaStoreBinding>) -> Self {
+        assert_eq!(
+            bindings.len(),
+            self.config.n_replicas,
+            "one store binding per replica"
+        );
+        // Derive each replica's router warm-set capacity from its store's
+        // byte budget and mean artifact size, once — sizing needs a disk
+        // stat per artifact and the bindings are fixed from here on.
+        self.store_warm_caps = bindings
+            .iter()
+            .map(|binding| {
+                let sizes: Vec<u64> = binding
+                    .artifacts()
+                    .iter()
+                    .filter_map(|id| binding.store().registry().size_of(id).ok())
+                    .collect();
+                if sizes.is_empty() {
+                    usize::MAX
+                } else {
+                    let mean = (sizes.iter().sum::<u64>() / sizes.len() as u64).max(1);
+                    ((binding.store().budget_bytes() / mean) as usize).max(1)
+                }
+            })
+            .collect();
+        self.bindings = Some(bindings);
+        self
+    }
+
+    /// The router (e.g. to read a [`PlacementAwareRouter`]'s migration
+    /// count after a run).
+    pub fn router(&self) -> &dyn Router {
+        self.router.as_ref()
+    }
+
+    /// Per-replica store bindings, when store-bound.
+    pub fn bindings(&self) -> Option<&[DeltaStoreBinding]> {
+        self.bindings.as_deref()
+    }
+
+    /// Router warm-set capacity (in deltas) for replica `r`.
+    fn warm_capacity(&self, r: usize) -> usize {
+        if let Some(cap) = self.config.router_warm_deltas {
+            return cap.max(1);
+        }
+        if let Some(&cap) = self.store_warm_caps.get(r) {
+            if cap != usize::MAX {
+                return cap;
+            }
+        }
+        self.config
+            .engine
+            .host_capacity_deltas
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Replays the trace through the router and the replica engines.
+    pub fn run(&mut self, trace: &Trace) -> ClusterReport {
+        let n = self.config.n_replicas;
+        let mut states: Vec<ReplicaFrontendState> = (0..n)
+            .map(|r| {
+                let cost = &self.costs[r];
+                let mut state = ReplicaFrontendState {
+                    warm: HashMap::new(),
+                    warm_cap: self.warm_capacity(r),
+                    clock: 0,
+                    busy_until: 0.0,
+                    finishes: std::collections::VecDeque::new(),
+                    assigned: Vec::new(),
+                    // Amortized over a representative batch: the replica
+                    // engine batches concurrent requests, so charging the
+                    // batch-1 iteration per request would inflate backlog
+                    // estimates until they drown the warmth signal.
+                    per_token_s: {
+                        let batch = (self.config.engine.max_batch / 4).max(1);
+                        let deltas = self.config.engine.max_concurrent_deltas.clamp(1, batch);
+                        let reqs = vec![batch.div_ceil(deltas); deltas];
+                        let total: usize = reqs.iter().sum();
+                        cost.deltazip_decode_iter(&reqs, self.config.engine.strategy) / total as f64
+                    },
+                    cold_load_s: cost.delta_cold_load_time(),
+                };
+                // Seed the predicted warm set from real store residency.
+                if let Some(bindings) = &self.bindings {
+                    for model in 0..trace.spec.n_models {
+                        if bindings[r].is_model_warm(model) {
+                            state.touch_warm(model);
+                        }
+                    }
+                }
+                state
+            })
+            .collect();
+
+        // Front-end loop: requests in time order, deferred ones re-queued.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut pending: HashMap<u64, Pending> = HashMap::new();
+        for (seq, req) in trace.requests.iter().enumerate() {
+            let p = Pending {
+                req: req.clone(),
+                delay: 0.0,
+                defers: 0,
+                seq: seq as u64,
+            };
+            heap.push(std::cmp::Reverse(p.key()));
+            pending.insert(seq as u64, p);
+        }
+        let mut next_seq = trace.len() as u64;
+        let mut routing = RoutingStats {
+            per_replica_requests: vec![0; n],
+            ..RoutingStats::default()
+        };
+        let mut shed: Vec<ShedRecord> = Vec::new();
+
+        while let Some(std::cmp::Reverse((_, seq))) = heap.pop() {
+            let p = match pending.remove(&seq) {
+                Some(p) => p,
+                None => continue,
+            };
+            let now = p.arrival();
+            for state in &mut states {
+                state.prune(now);
+            }
+            let views: Vec<ReplicaView> = states
+                .iter()
+                .enumerate()
+                .map(|(r, s)| s.view(r, now, p.req.model))
+                .collect();
+
+            // SLO-aware admission: Batch requests defer, then shed, when
+            // even the least-loaded replica is saturated.
+            if let Some(adm) = &self.config.admission {
+                if adm.slo.class_of(p.req.model) == SloClass::Batch {
+                    let min_depth = views
+                        .iter()
+                        .map(|v| v.queue_depth)
+                        .min()
+                        .expect("at least one replica");
+                    if min_depth >= adm.defer_depth && p.defers < adm.max_defers {
+                        routing.defer_events += 1;
+                        let deferred = Pending {
+                            delay: p.delay + adm.defer_s,
+                            defers: p.defers + 1,
+                            seq: next_seq,
+                            req: p.req,
+                        };
+                        next_seq += 1;
+                        heap.push(std::cmp::Reverse(deferred.key()));
+                        pending.insert(deferred.seq, deferred);
+                        continue;
+                    }
+                    if min_depth >= adm.shed_depth {
+                        routing.shed += 1;
+                        shed.push(ShedRecord {
+                            id: p.req.id,
+                            model: p.req.model,
+                            arrival: p.req.arrival,
+                            class: SloClass::Batch,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            let r = self.router.route(&p.req, &views);
+            assert!(r < n, "router returned replica {r} of {n}");
+            let warm = views[r].warm;
+            if warm {
+                routing.warm_routed += 1;
+            } else {
+                routing.cold_routed += 1;
+                if views.iter().any(|v| v.warm) {
+                    routing.placement_misses += 1;
+                }
+            }
+            routing.per_replica_requests[r] += 1;
+            let state = &mut states[r];
+            let est = self.costs[r].prefill_time(p.req.prompt_tokens)
+                + p.req.output_tokens as f64 * state.per_token_s
+                + if warm { 0.0 } else { state.cold_load_s };
+            state.touch_warm(p.req.model);
+            state.charge(now, est);
+            let mut admitted = p.req.clone();
+            admitted.arrival = now;
+            state.assigned.push((admitted, p.req.id, p.delay));
+        }
+
+        // Replay each replica's assignment on its own engine.
+        let mut per_replica: Vec<Metrics> = Vec::with_capacity(n);
+        let mut records: Vec<RequestRecord> = Vec::new();
+        let mut makespan = 0.0f64;
+        let mut store_stats: Option<Vec<dz_store::LoadStats>> =
+            self.bindings.as_ref().map(|_| Vec::new());
+        let mut bindings = self.bindings.take();
+        for (r, state) in states.iter_mut().enumerate() {
+            let mut ids = Vec::with_capacity(state.assigned.len());
+            let mut delays = Vec::with_capacity(state.assigned.len());
+            let mut requests = Vec::with_capacity(state.assigned.len());
+            for (dense, (req, global_id, delay)) in state.assigned.drain(..).enumerate() {
+                ids.push(global_id);
+                delays.push(delay);
+                requests.push(Request { id: dense, ..req });
+            }
+            let sub = Trace {
+                spec: TraceSpec {
+                    n_models: trace.spec.n_models.max(1),
+                    ..trace.spec
+                },
+                requests,
+            };
+            let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
+            if let Some(adm) = &self.config.admission {
+                engine = engine.with_slo_policy(adm.slo.clone());
+            }
+            let mut stats_before = None;
+            if let Some(b) = bindings
+                .as_mut()
+                .and_then(|b| (!b.is_empty()).then(|| b.remove(0)))
+            {
+                // Snapshot the store's cumulative counters so the report
+                // carries this run's loads only (bindings persist across
+                // runs to keep the caches warm).
+                stats_before = Some(b.store().total_stats());
+                engine = engine.with_delta_store(b);
+            }
+            let m = engine.run(&sub);
+            makespan = makespan.max(m.makespan_s);
+            for rec in &m.records {
+                let global = ids[rec.id];
+                let delay = delays[rec.id];
+                records.push(RequestRecord {
+                    id: global,
+                    arrival: rec.arrival - delay,
+                    e2e_s: rec.e2e_s + delay,
+                    ttft_s: rec.ttft_s + delay,
+                    queue_s: rec.queue_s + delay,
+                    ..rec.clone()
+                });
+            }
+            per_replica.push(m);
+            if let Some(binding) = engine.delta_store.take() {
+                if let Some(stats) = store_stats.as_mut() {
+                    let before = stats_before.unwrap_or_default();
+                    stats.push(binding.store().total_stats().since(&before));
+                }
+                self.bindings.get_or_insert_with(Vec::new).push(binding);
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        let merged = Metrics {
+            engine: format!("Cluster[{}x {}]", n, self.router.name()),
+            records,
+            makespan_s: makespan,
+        };
+        ClusterReport {
+            merged,
+            per_replica,
+            shed,
+            routing,
+            store_stats,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-base partitioning (§5.1) — compatibility layer.
+// ---------------------------------------------------------------------------
 
 /// Assignment of variants to base models.
+///
+/// DeltaZip batches across variants *of one base*. With `M` distinct base
+/// models, the paper dedicates one GPU group per base (the same
+/// assumption LoRA serving systems make). Variants are routed to their
+/// base's group and each group runs independently over its sub-trace.
 #[derive(Debug, Clone)]
 pub struct BasePartition {
     /// `base_of[variant] = base index` (bases are `0..n_bases`).
@@ -66,10 +1009,16 @@ impl BasePartition {
     }
 }
 
-/// Runs one DeltaZip engine per base group and merges the metrics.
+/// Runs one single-replica [`ClusterSim`] per base group and merges the
+/// metrics — the §5.1 setup, kept as a thin shim over the cluster layer.
 ///
-/// Each group gets its own `cost` (its own GPUs); groups run independently,
-/// exactly like the paper's `M` disjoint GPU sets.
+/// Each group gets its own `cost` (its own GPUs); groups run
+/// independently, exactly like the paper's `M` disjoint GPU sets.
+///
+/// # Panics
+///
+/// Panics if the cost-model count differs from the partition's base
+/// count.
 pub fn run_partitioned(
     partition: &BasePartition,
     costs: &[CostModel],
@@ -88,9 +1037,18 @@ pub fn run_partitioned(
         if sub.requests.is_empty() {
             continue;
         }
-        let m = DeltaZipEngine::new(costs[b], config).run(&sub);
-        makespan = makespan.max(m.makespan_s);
-        records.extend(m.records);
+        let mut sim = ClusterSim::new(
+            vec![costs[b]],
+            ClusterConfig {
+                n_replicas: 1,
+                engine: config,
+                ..ClusterConfig::default()
+            },
+            Box::new(RoundRobinRouter::new()),
+        );
+        let report = sim.run(&sub);
+        makespan = makespan.max(report.merged.makespan_s);
+        records.extend(report.merged.records);
     }
     records.sort_by_key(|r| r.id);
     Metrics {
@@ -116,6 +1074,32 @@ mod tests {
             seed: 3,
         })
     }
+
+    fn cost() -> CostModel {
+        CostModel::new(NodeSpec::a800_node(2), ModelShape::llama13b())
+    }
+
+    fn view(id: usize, depth: usize, backlog: f64, warm: bool) -> ReplicaView {
+        ReplicaView {
+            id,
+            queue_depth: depth,
+            backlog_s: backlog,
+            warm,
+            cold_load_s: 2.0,
+        }
+    }
+
+    fn req(model: usize) -> Request {
+        Request {
+            id: 0,
+            model,
+            arrival: 0.0,
+            prompt_tokens: 16,
+            output_tokens: 16,
+        }
+    }
+
+    // -- base-partition compatibility ------------------------------------
 
     #[test]
     fn split_conserves_requests_and_remaps_ids() {
@@ -182,6 +1166,300 @@ mod tests {
             )],
             DeltaZipConfig::default(),
             &tr,
+        );
+    }
+
+    // -- routers ----------------------------------------------------------
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = RoundRobinRouter::new();
+        let views = vec![view(0, 0, 0.0, false), view(1, 0, 0.0, false)];
+        let picks: Vec<usize> = (0..4).map(|_| r.route(&req(0), &views)).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_shallow_queue() {
+        let mut r = LeastLoadedRouter::new();
+        let views = vec![view(0, 5, 10.0, true), view(1, 2, 4.0, false)];
+        assert_eq!(r.route(&req(0), &views), 1);
+    }
+
+    #[test]
+    fn warm_placement_routes_to_the_caching_replica() {
+        // Replica 1 holds the delta warm; replica 0 is slightly less
+        // loaded but cold. The cold-load penalty must dominate a small
+        // backlog difference.
+        let plan = PlacementPlan::from_weights(&[1.0; 4], 2);
+        let mut r = PlacementAwareRouter::new(plan).pinned();
+        let views = vec![view(0, 1, 0.5, false), view(1, 2, 1.0, true)];
+        assert_eq!(r.route(&req(2), &views), 1);
+        // With no warm copy anywhere, lower backlog wins.
+        let views = vec![view(0, 1, 0.5, false), view(1, 2, 1.0, false)];
+        assert_eq!(r.route(&req(2), &views), 0);
+    }
+
+    #[test]
+    fn placement_spills_when_homes_are_saturated() {
+        // Two equal-share models get one home each. Model 0's only home
+        // is hours behind while the other replica idles: the router must
+        // spill off the home.
+        let plan = PlacementPlan::from_weights(&[1.0, 1.0], 2);
+        let homes = plan.homes(0).to_vec();
+        assert_eq!(homes.len(), 1, "equal shares pin one copy each");
+        let spare = (0..2).find(|r| !homes.contains(r)).expect("one non-home");
+        let mut r = PlacementAwareRouter::new(plan).pinned();
+        let mut views = vec![view(0, 64, 3600.0, false), view(1, 64, 3600.0, false)];
+        views[homes[0]].warm = true;
+        views[spare].backlog_s = 0.0;
+        views[spare].queue_depth = 0;
+        assert_eq!(r.route(&req(0), &views), spare);
+    }
+
+    // -- placement plan ---------------------------------------------------
+
+    #[test]
+    fn plan_replicates_hot_models_and_pins_cold_ones() {
+        let weights = PopularityDist::Zipf { alpha: 1.5 }.weights(12);
+        let plan = PlacementPlan::from_weights(&weights, 4);
+        // The Zipf-1.5 head holds >60% of traffic: it must be replicated.
+        assert!(plan.replication_factor(0) >= 2, "{:?}", plan.homes(0));
+        // Everyone has at least one home, tail models exactly one.
+        for m in 0..12 {
+            assert!(plan.replication_factor(m) >= 1);
+            assert!(plan.homes(m).iter().all(|&r| r < 4));
+        }
+        assert_eq!(plan.replication_factor(11), 1);
+        // Uniform popularity spreads single copies evenly.
+        let uniform = PlacementPlan::from_weights(&[1.0; 8], 4);
+        let mut per_replica = vec![0usize; 4];
+        for m in 0..8 {
+            assert_eq!(uniform.replication_factor(m), 1);
+            per_replica[uniform.homes(m)[0]] += 1;
+        }
+        assert_eq!(per_replica, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn plan_handles_degenerate_weights() {
+        let zeros = PlacementPlan::from_weights(&[0.0; 6], 3);
+        for m in 0..6 {
+            assert_eq!(zeros.replication_factor(m), 1);
+        }
+        let empty = PlacementPlan::from_weights(&[], 2);
+        assert_eq!(empty.homes(5), &[] as &[usize]);
+        assert_eq!(empty.migrations_from(&zeros), 6);
+    }
+
+    #[test]
+    fn rebalancing_migrates_deltas_on_popularity_drift() {
+        // Plan for a head-heavy skew, then route uniform traffic: after a
+        // rebalance window the plan must change (migrations counted).
+        let plan = PlacementPlan::from_popularity(PopularityDist::Zipf { alpha: 3.0 }, 8, 4);
+        let mut r = PlacementAwareRouter::new(plan);
+        r.rebalance_every = Some(64);
+        let views: Vec<ReplicaView> = (0..4).map(|i| view(i, 0, 0.0, false)).collect();
+        for i in 0..256 {
+            let _ = r.route(&req(i % 8), &views);
+        }
+        assert!(r.migrations > 0, "uniform drift must migrate deltas");
+    }
+
+    // -- cluster sim ------------------------------------------------------
+
+    #[test]
+    fn cluster_serves_every_request_exactly_once() {
+        let tr = trace();
+        for router in [
+            Box::new(RoundRobinRouter::new()) as Box<dyn Router>,
+            Box::new(LeastLoadedRouter::new()),
+            Box::new(PlacementAwareRouter::new(PlacementPlan::from_popularity(
+                tr.spec.popularity,
+                12,
+                3,
+            ))),
+        ] {
+            let mut sim = ClusterSim::new(vec![cost(); 3], ClusterConfig::replicas(3), router);
+            let report = sim.run(&tr);
+            let mut ids: Vec<usize> = report.merged.records.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..tr.len()).collect::<Vec<_>>());
+            assert_eq!(report.shed.len(), 0);
+            assert_eq!(report.goodput(), 1.0);
+            assert_eq!(
+                report.routing.per_replica_requests.iter().sum::<usize>(),
+                tr.len()
+            );
+            assert_eq!(report.per_replica.len(), 3);
+        }
+    }
+
+    #[test]
+    fn placement_beats_round_robin_on_skewed_traces() {
+        // The satellite acceptance test: under Zipf popularity with a
+        // bounded per-replica host cache, keeping each delta's traffic on
+        // its home replicas must not lose to spraying it everywhere.
+        let tr = Trace::generate(TraceSpec {
+            n_models: 24,
+            arrival_rate: 4.0,
+            duration_s: 60.0,
+            popularity: PopularityDist::Zipf { alpha: 1.5 },
+            seed: 17,
+        });
+        let engine = DeltaZipConfig {
+            host_capacity_deltas: Some(6),
+            ..DeltaZipConfig::default()
+        };
+        let config = ClusterConfig {
+            n_replicas: 4,
+            engine,
+            ..ClusterConfig::default()
+        };
+        let run = |router: Box<dyn Router>| {
+            ClusterSim::new(vec![cost(); 4], config.clone(), router).run(&tr)
+        };
+        let rr = run(Box::new(RoundRobinRouter::new()));
+        let pa = run(Box::new(PlacementAwareRouter::new(
+            PlacementPlan::from_popularity(tr.spec.popularity, 24, 4),
+        )));
+        assert_eq!(pa.merged.len(), tr.len());
+        assert!(
+            pa.merged.mean_e2e() <= rr.merged.mean_e2e(),
+            "placement-aware {} must not lose to round-robin {}",
+            pa.merged.mean_e2e(),
+            rr.merged.mean_e2e()
+        );
+        assert!(
+            pa.routing.warm_fraction() > rr.routing.warm_fraction(),
+            "placement-aware must route more warm hits: {} vs {}",
+            pa.routing.warm_fraction(),
+            rr.routing.warm_fraction()
+        );
+    }
+
+    #[test]
+    fn admission_sheds_only_batch_class_under_overload() {
+        // Overdrive a small cluster so depth explodes; Interactive
+        // requests must all be served, Batch overflow shed or deferred.
+        let tr = Trace::generate(TraceSpec {
+            n_models: 8,
+            arrival_rate: 12.0,
+            duration_s: 40.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 23,
+        });
+        let slo = SloPolicy::tiered(8, 2);
+        let admission = AdmissionConfig {
+            defer_depth: 8,
+            defer_s: 5.0,
+            max_defers: 2,
+            shed_depth: 12,
+            slo: slo.clone(),
+        };
+        let config = ClusterConfig {
+            n_replicas: 2,
+            admission: Some(admission),
+            ..ClusterConfig::replicas(2)
+        };
+        let mut sim = ClusterSim::new(vec![cost(); 2], config, Box::new(LeastLoadedRouter::new()));
+        let report = sim.run(&tr);
+        assert!(!report.shed.is_empty(), "overload must shed something");
+        assert!(report.shed.iter().all(|s| s.class == SloClass::Batch));
+        assert!(
+            report
+                .shed
+                .iter()
+                .all(|s| slo.class_of(s.model) == SloClass::Batch),
+            "only Batch-class models may be shed"
+        );
+        assert_eq!(report.merged.len() + report.shed.len(), tr.len());
+        assert!(report.goodput() < 1.0);
+        // Every Interactive request was served.
+        let interactive_offered = tr
+            .requests
+            .iter()
+            .filter(|r| slo.class_of(r.model) == SloClass::Interactive)
+            .count();
+        let interactive_served = report
+            .merged
+            .records
+            .iter()
+            .filter(|r| slo.class_of(r.model) == SloClass::Interactive)
+            .count();
+        assert_eq!(interactive_served, interactive_offered);
+    }
+
+    #[test]
+    fn deferral_waits_count_toward_merged_latency() {
+        // A deferred-then-served request's e2e must include the deferral.
+        let tr = Trace::generate(TraceSpec {
+            n_models: 8,
+            arrival_rate: 10.0,
+            duration_s: 30.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 29,
+        });
+        let admission = AdmissionConfig {
+            defer_depth: 4,
+            defer_s: 7.0,
+            max_defers: 4,
+            shed_depth: usize::MAX, // defer but never shed
+            slo: SloPolicy::tiered(8, 2),
+        };
+        let config = ClusterConfig {
+            n_replicas: 2,
+            admission: Some(admission),
+            ..ClusterConfig::replicas(2)
+        };
+        let mut sim = ClusterSim::new(vec![cost(); 2], config, Box::new(LeastLoadedRouter::new()));
+        let report = sim.run(&tr);
+        assert_eq!(report.merged.len(), tr.len(), "nothing may be shed");
+        assert!(report.routing.defer_events > 0, "overload must defer");
+        // Deferred requests waited at least one defer_s in queue.
+        let max_queue = report
+            .merged
+            .records
+            .iter()
+            .map(|r| r.queue_s)
+            .fold(0.0f64, f64::max);
+        assert!(max_queue >= 7.0, "deferral must show up in queue_s");
+        for r in &report.merged.records {
+            assert!(r.ttft_s <= r.e2e_s + 1e-9);
+            assert!(r.queue_s <= r.e2e_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let tr = Trace {
+            spec: TraceSpec {
+                n_models: 4,
+                arrival_rate: 1.0,
+                duration_s: 0.0,
+                popularity: PopularityDist::Uniform,
+                seed: 0,
+            },
+            requests: vec![],
+        };
+        let mut sim = ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig::replicas(2),
+            Box::new(RoundRobinRouter::new()),
+        );
+        let report = sim.run(&tr);
+        assert!(report.merged.is_empty());
+        assert_eq!(report.goodput(), 1.0);
+        assert_eq!(report.cache_hit_rate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost model per replica")]
+    fn replica_count_must_match_costs() {
+        let _ = ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig::replicas(3),
+            Box::new(RoundRobinRouter::new()),
         );
     }
 }

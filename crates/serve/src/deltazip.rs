@@ -89,9 +89,34 @@ impl DeltaStoreBinding {
         &self.store
     }
 
+    /// Mutable access to the underlying store, so callers (e.g. a
+    /// [`ClusterSim`](crate::cluster::ClusterSim) replica) can record
+    /// loads, evict, or pre-warm artifacts without dismantling the
+    /// binding via [`into_store`](Self::into_store).
+    pub fn store_mut(&mut self) -> &mut TieredDeltaStore {
+        &mut self.store
+    }
+
     /// Unwraps the store.
     pub fn into_store(self) -> TieredDeltaStore {
         self.store
+    }
+
+    /// The per-model artifact mapping (`artifacts[model_id]`).
+    pub fn artifacts(&self) -> &[ArtifactId] {
+        &self.artifacts
+    }
+
+    /// The artifact backing a trace model id, if the model is bound.
+    pub fn artifact_of(&self, model: usize) -> Option<&ArtifactId> {
+        self.artifacts.get(model)
+    }
+
+    /// Whether a model's artifact is currently warm (host-resident) in
+    /// the store — the per-replica warmth signal cluster routers score.
+    pub fn is_model_warm(&self, model: usize) -> bool {
+        self.artifact_of(model)
+            .is_some_and(|id| self.store.is_resident(id))
     }
 
     /// Keeps a model's artifact warm in the host cache while the delta is

@@ -15,6 +15,14 @@
 //!
 //! All engines consume the same [`dz_workload::Trace`]s and emit the same
 //! [`metrics::Metrics`], so every figure is an apples-to-apples sweep.
+//!
+//! Above the single-node engines, [`cluster`] scales the system out:
+//! [`cluster::ClusterSim`] replays a trace across many replicas behind a
+//! pluggable [`cluster::Router`] (round-robin, least-loaded, or
+//! placement-aware routing over each replica's delta warm set), with
+//! popularity-driven delta replication and SLO-aware admission control.
+
+#![warn(missing_docs)]
 
 pub mod cluster;
 pub mod cost;
@@ -28,6 +36,11 @@ pub mod slo;
 pub mod tuning;
 pub mod vllm_scb;
 
+pub use cluster::{
+    AdmissionConfig, BasePartition, ClusterConfig, ClusterReport, ClusterSim, LeastLoadedRouter,
+    PlacementAwareRouter, PlacementPlan, ReplicaView, RoundRobinRouter, Router, RoutingStats,
+    ShedRecord,
+};
 pub use cost::CostModel;
 pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 pub use lora::{LoraEngine, LoraServingConfig};

@@ -37,6 +37,8 @@
 //! # Ok(()) }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dza;
 pub mod error;
 pub mod hash;

@@ -49,6 +49,18 @@ pub struct LoadStats {
 }
 
 impl LoadStats {
+    /// The accounting accumulated since an `earlier` snapshot of the same
+    /// counters (field-wise saturating difference) — turns the store's
+    /// cumulative totals into per-interval stats.
+    pub fn since(&self, earlier: &LoadStats) -> LoadStats {
+        LoadStats {
+            host_hits: self.host_hits.saturating_sub(earlier.host_hits),
+            disk_loads: self.disk_loads.saturating_sub(earlier.disk_loads),
+            host_bytes: self.host_bytes.saturating_sub(earlier.host_bytes),
+            disk_bytes: self.disk_bytes.saturating_sub(earlier.disk_bytes),
+        }
+    }
+
     fn record(&mut self, tier: FetchTier, bytes: u64) {
         match tier {
             FetchTier::HostHit => {
@@ -118,6 +130,22 @@ impl Resident {
 }
 
 /// A disk→host tiered store with an LRU host cache bounded in bytes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dz_store::{FetchTier, Registry, TieredDeltaStore};
+/// # fn demo() -> Result<(), dz_store::StoreError> {
+/// let registry = Registry::open("zoo")?;
+/// let id = registry.resolve("my-variant")?;
+/// let mut store = TieredDeltaStore::new(registry, 512 << 20);
+/// assert_eq!(store.warmth(&id), FetchTier::DiskMiss); // nothing cached yet
+/// let first = store.fetch(&id)?; // reads disk, admits into the host cache
+/// assert_eq!(first.tier, FetchTier::DiskMiss);
+/// assert_eq!(store.warmth(&id), FetchTier::HostHit); // now host-resident
+/// assert!(store.occupancy() > 0.0 && store.resident_count() == 1);
+/// # Ok(()) }
+/// ```
 pub struct TieredDeltaStore {
     registry: Registry,
     budget_bytes: u64,
@@ -163,6 +191,40 @@ impl TieredDeltaStore {
     /// Whether an artifact is currently host-resident.
     pub fn is_resident(&self, id: &ArtifactId) -> bool {
         self.resident.contains_key(id)
+    }
+
+    /// The tier a fetch of `id` would be served from *right now* — the
+    /// warmth query a cluster router uses to score replicas (a
+    /// [`FetchTier::HostHit`] beats a [`FetchTier::DiskMiss`]). Unlike
+    /// [`fetch`](Self::fetch) this neither moves bytes nor touches LRU
+    /// stamps or load accounting.
+    pub fn warmth(&self, id: &ArtifactId) -> FetchTier {
+        if self.is_resident(id) {
+            FetchTier::HostHit
+        } else {
+            FetchTier::DiskMiss
+        }
+    }
+
+    /// Number of artifacts currently host-resident.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Ids of the host-resident artifacts (arbitrary order) — lets a
+    /// router seed its predicted warm set from real residency.
+    pub fn resident_ids(&self) -> impl Iterator<Item = &ArtifactId> {
+        self.resident.keys()
+    }
+
+    /// Fraction of the host byte budget in use (`0.0` when the budget is
+    /// zero): the occupancy signal for placement decisions.
+    pub fn occupancy(&self) -> f64 {
+        if self.budget_bytes == 0 {
+            0.0
+        } else {
+            self.resident_bytes as f64 / self.budget_bytes as f64
+        }
     }
 
     /// Fetches an artifact's bytes, reading disk only on a host miss.

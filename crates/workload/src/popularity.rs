@@ -38,28 +38,35 @@ enum PickerKind {
 }
 
 impl PopularityDist {
+    /// Static per-model traffic weights (unnormalized) of the
+    /// distribution: what a cluster placement layer provisions for. For
+    /// [`PopularityDist::AzureLike`] these are the heavy-tailed base
+    /// weights; the ON/OFF burst schedule only exists in the sampler.
+    pub fn weights(&self, n_models: usize) -> Vec<f64> {
+        match self {
+            PopularityDist::Uniform => vec![1.0; n_models],
+            PopularityDist::Zipf { alpha } => (0..n_models)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(*alpha))
+                .collect(),
+            PopularityDist::AzureLike => (0..n_models)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(1.2))
+                .collect(),
+        }
+    }
+
     /// Builds a sampler for `n_models` over a trace of `duration_s`.
     pub fn sampler(self, n_models: usize, duration_s: f64, rng: &mut Rng) -> ModelPicker {
         assert!(n_models > 0, "need at least one model");
         match self {
-            PopularityDist::Uniform => ModelPicker {
+            PopularityDist::Uniform | PopularityDist::Zipf { .. } => ModelPicker {
                 kind: PickerKind::Static {
-                    weights: vec![1.0; n_models],
-                },
-            },
-            PopularityDist::Zipf { alpha } => ModelPicker {
-                kind: PickerKind::Static {
-                    weights: (0..n_models)
-                        .map(|i| 1.0 / ((i + 1) as f64).powf(alpha))
-                        .collect(),
+                    weights: self.weights(n_models),
                 },
             },
             PopularityDist::AzureLike => {
                 // Heavy-tailed base popularity (Zipf-1.2) plus ON/OFF phases:
                 // mean ON 20 s, mean OFF 60 s, head models mostly ON.
-                let weights: Vec<f64> = (0..n_models)
-                    .map(|i| 1.0 / ((i + 1) as f64).powf(1.2))
-                    .collect();
+                let weights = self.weights(n_models);
                 let schedules = (0..n_models)
                     .map(|i| {
                         let mut phases = Vec::new();
@@ -129,6 +136,16 @@ fn is_on(schedule: &[(f64, bool)], t: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weights_expose_the_static_skew() {
+        let w = PopularityDist::Zipf { alpha: 2.0 }.weights(4);
+        assert!(w[0] > w[1] && w[1] > w[3]);
+        assert_eq!(PopularityDist::Uniform.weights(3), vec![1.0; 3]);
+        let azure = PopularityDist::AzureLike.weights(5);
+        assert_eq!(azure.len(), 5);
+        assert!(azure[0] > azure[4], "azure base weights are heavy-tailed");
+    }
 
     #[test]
     fn uniform_is_roughly_even() {
