@@ -2,6 +2,7 @@
 //! publish, and tiered-cache fetch paths.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dz_compress::codec::{CodecId, PackedLayer};
 use dz_compress::pack::CompressedMatrix;
 use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::quant::{quantize_slice, QuantSpec};
@@ -26,13 +27,14 @@ fn fixture_delta(d: usize, seed: u64) -> CompressedDelta {
         }
         layers.insert(
             format!("layers.{layer}.w"),
-            CompressedMatrix::from_dense(d, d, &levels, scales, spec),
+            PackedLayer::Quant(CompressedMatrix::from_dense(d, d, &levels, scales, spec)),
         );
     }
     let compressed: usize = layers.values().map(|c| c.packed_bytes()).sum();
     CompressedDelta {
         layers,
         rest: BTreeMap::new(),
+        codec: CodecId::SparseGptStar,
         config: DeltaCompressConfig::starred(4),
         report: SizeReport {
             compressed_linear_bytes: compressed,

@@ -3,15 +3,24 @@
 //! Usage:
 //!
 //! ```text
-//! exp [--quick] all            # every artifact, archived to target/experiments/
-//! exp [--quick] <id> [<id>..]  # e.g. exp table1 fig11
-//! exp --list                   # show available ids
+//! exp [--quick] all              # every artifact, archived to --out
+//! exp [--quick] <id> [<id>..]    # e.g. exp table1 fig11
+//! exp --list                     # show available ids
+//! exp --out <dir>                # output directory (default target/experiments)
+//! exp bench-smoke --check <file> # compare against a perf baseline; exits
+//!                                # nonzero on any regression (the CI gate)
 //! ```
+//!
+//! Unknown experiment ids exit nonzero and print the valid ids; all
+//! output-directory write errors propagate as nonzero exits instead of
+//! panicking.
 
 use dz_bench::experiments::{
-    ablations, cluster, codec, extensions, kernels, quality, serving, workloads, Report, Scale,
+    ablations, cluster, codec, compress, extensions, kernels, quality, serving, smoke, workloads,
+    Report, Scale,
 };
 use std::io::Write;
+use std::path::{Path, PathBuf};
 
 fn available() -> Vec<&'static str> {
     vec![
@@ -45,11 +54,20 @@ fn available() -> Vec<&'static str> {
         "ext-scalability",
         "bench-lossless",
         "bench-cluster",
+        "bench-compress",
+        "bench-smoke",
     ]
 }
 
-fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
-    Some(match id {
+/// Runs one experiment; `bench-smoke` additionally returns its metrics so
+/// the `--check` gate can compare them against a baseline.
+fn run_one(
+    id: &str,
+    zoo: &mut quality::Zoo,
+    scale: Scale,
+    out_dir: &Path,
+) -> Option<(Report, Option<smoke::SmokeMetrics>)> {
+    let report = match id {
         "fig1" => workloads::fig1(),
         "fig2" => quality::fig2(zoo),
         "fig3" => quality::fig3(zoo),
@@ -78,10 +96,25 @@ fn run_one(id: &str, zoo: &mut quality::Zoo, scale: Scale) -> Option<Report> {
         "ablation-slo" => extensions::ablation_slo(),
         "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
         "ext-scalability" => extensions::ext_scalability(),
-        "bench-lossless" => codec::bench_lossless(scale),
-        "bench-cluster" => cluster::bench_cluster(scale),
+        "bench-lossless" => codec::bench_lossless(scale, out_dir),
+        "bench-cluster" => cluster::bench_cluster(scale, out_dir),
+        "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
+        "bench-smoke" => {
+            let (report, metrics) = smoke::bench_smoke(out_dir);
+            return Some((report, Some(metrics)));
+        }
         _ => return None,
-    })
+    };
+    Some((report, None))
+}
+
+fn unknown_id_exit(id: &str) -> ! {
+    eprintln!("unknown experiment id: {id}");
+    eprintln!("valid experiments:");
+    for known in available() {
+        eprintln!("  {known}");
+    }
+    std::process::exit(2);
 }
 
 fn main() -> std::io::Result<()> {
@@ -94,9 +127,37 @@ fn main() -> std::io::Result<()> {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    // Flags with values: --out <dir>, --check <baseline.json>.
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check requires a baseline file argument");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
     if ids.is_empty() {
-        eprintln!("usage: exp [--quick] (all | <id>...); see --list");
+        eprintln!("usage: exp [--quick] [--out <dir>] (all | <id>...); see --list");
         std::process::exit(2);
     }
     let targets: Vec<&str> = if ids.iter().any(|i| i == "all") {
@@ -105,8 +166,7 @@ fn main() -> std::io::Result<()> {
         let known = available();
         for id in &ids {
             if !known.contains(&id.as_str()) {
-                eprintln!("unknown experiment id: {id} (see --list)");
-                std::process::exit(2);
+                unknown_id_exit(id);
             }
         }
         known
@@ -115,13 +175,35 @@ fn main() -> std::io::Result<()> {
             .collect()
     };
 
-    let out_dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(out_dir)?;
+    // Fail fast on gate misuse: the gate needs fresh smoke metrics and a
+    // readable baseline, so validate both before any (potentially
+    // multi-minute) experiment runs.
+    let baseline: Option<String> = match &baseline_path {
+        Some(path) => {
+            if !targets.contains(&"bench-smoke") {
+                eprintln!("--check requires bench-smoke among the requested experiments");
+                std::process::exit(2);
+            }
+            match std::fs::read_to_string(path) {
+                Ok(contents) => Some(contents),
+                Err(e) => {
+                    eprintln!("--check cannot read {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
+    std::fs::create_dir_all(&out_dir)?;
     let mut zoo = quality::Zoo::new(scale);
     let mut combined = String::new();
+    let mut smoke_metrics: Option<smoke::SmokeMetrics> = None;
     for id in targets {
         let start = std::time::Instant::now();
-        let report = run_one(id, &mut zoo, scale).expect("id validated above");
+        let (report, metrics) = run_one(id, &mut zoo, scale, &out_dir).expect("id validated above");
+        if let Some(m) = metrics {
+            smoke_metrics = Some(m);
+        }
         let rendered = report.render();
         println!("{rendered}");
         println!("[{} done in {:.1?}]\n", report.id, start.elapsed());
@@ -133,5 +215,27 @@ fn main() -> std::io::Result<()> {
     }
     let mut f = std::fs::File::create(out_dir.join("all.md"))?;
     f.write_all(combined.as_bytes())?;
+
+    // The perf gate: compare fresh smoke metrics against the baseline.
+    if let Some(baseline) = baseline {
+        let path = baseline_path.expect("baseline read implies a path");
+        let metrics = smoke_metrics.expect("bench-smoke presence validated pre-flight");
+        match smoke::check_baseline(&metrics, &baseline) {
+            Ok(failures) if failures.is_empty() => {
+                println!("perf gate: all metrics within {} bounds", path.display());
+            }
+            Ok(failures) => {
+                eprintln!("perf gate FAILED against {}:", path.display());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("perf gate error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     Ok(())
 }

@@ -43,7 +43,8 @@ fn engine_config() -> DeltaZipConfig {
     }
 }
 
-fn run_cluster(
+/// Runs one cluster cell (also reused by the `bench-smoke` perf gate).
+pub fn run_cluster(
     policy: &str,
     n_replicas: usize,
     alpha: f64,
@@ -100,7 +101,7 @@ struct OverloadRow {
 }
 
 /// The `bench-cluster` experiment.
-pub fn bench_cluster(scale: Scale) -> Report {
+pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
     let duration_s = match scale {
         Scale::Full => 150.0,
         Scale::Quick => 60.0,
@@ -213,7 +214,7 @@ pub fn bench_cluster(scale: Scale) -> Report {
             })
             .collect::<Vec<_>>(),
     ));
-    match write_json(&sweep, &overload) {
+    match write_json(&sweep, &overload, out_dir) {
         Ok(path) => body.push_str(&format!("\njson: {path}\n")),
         Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
     }
@@ -225,8 +226,11 @@ pub fn bench_cluster(scale: Scale) -> Report {
 }
 
 /// Hand-rolled JSON (no serde dependency in this crate).
-fn write_json(sweep: &[SweepRow], overload: &[OverloadRow]) -> std::io::Result<String> {
-    let dir = std::path::Path::new("target/experiments");
+fn write_json(
+    sweep: &[SweepRow],
+    overload: &[OverloadRow],
+    dir: &std::path::Path,
+) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
     let mut json = String::from("{\n  \"sweep\": [\n");
     for (i, r) in sweep.iter().enumerate() {

@@ -58,7 +58,7 @@ struct Measurement {
 }
 
 /// The `bench-lossless` experiment.
-pub fn bench_lossless(scale: Scale) -> Report {
+pub fn bench_lossless(scale: Scale, out_dir: &std::path::Path) -> Report {
     let n = match scale {
         Scale::Full => 8usize << 20,
         Scale::Quick => 2usize << 20,
@@ -133,7 +133,7 @@ pub fn bench_lossless(scale: Scale) -> Report {
         )),
         None => body.push_str("\nstore fetch_decoded measurement unavailable\n"),
     }
-    match write_json(&measurements, store_gbps, n) {
+    match write_json(&measurements, store_gbps, n, out_dir) {
         Ok(path) => body.push_str(&format!("json: {path}\n")),
         Err(e) => body.push_str(&format!("json write failed: {e}\n")),
     }
@@ -147,6 +147,7 @@ pub fn bench_lossless(scale: Scale) -> Report {
 /// Publishes a synthetic multi-tensor delta into a temp registry and times
 /// a decoded fetch; returns the store's measured compressed GB/s.
 fn measure_store_decode() -> Option<f64> {
+    use dz_compress::codec::{CodecId, PackedLayer};
     use dz_compress::pack::CompressedMatrix;
     use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
     use dz_compress::quant::{quantize_slice, QuantSpec};
@@ -171,12 +172,13 @@ fn measure_store_decode() -> Option<f64> {
         }
         layers.insert(
             format!("layers.{i}.w"),
-            CompressedMatrix::from_dense(d, d, &levels, scales, spec),
+            PackedLayer::Quant(CompressedMatrix::from_dense(d, d, &levels, scales, spec)),
         );
     }
     let delta = CompressedDelta {
         layers,
         rest: BTreeMap::new(),
+        codec: CodecId::SparseGptStar,
         config: DeltaCompressConfig::starred(4),
         report: SizeReport {
             compressed_linear_bytes: 1,
@@ -201,8 +203,8 @@ fn write_json(
     measurements: &[Measurement],
     store_gbps: Option<f64>,
     corpus_bytes: usize,
+    dir: &std::path::Path,
 ) -> std::io::Result<String> {
-    let dir = std::path::Path::new("target/experiments");
     std::fs::create_dir_all(dir)?;
     let mut json = String::from("{\n  \"corpus_bytes\": ");
     json.push_str(&corpus_bytes.to_string());

@@ -9,10 +9,12 @@
 pub mod ablations;
 pub mod cluster;
 pub mod codec;
+pub mod compress;
 pub mod extensions;
 pub mod kernels;
 pub mod quality;
 pub mod serving;
+pub mod smoke;
 pub mod workloads;
 
 /// A rendered experiment artifact.

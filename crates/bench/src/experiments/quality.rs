@@ -21,7 +21,7 @@ use dz_tensor::Rng;
 use std::collections::HashMap;
 
 /// Evaluation tasks per model family (paper-task analogs).
-fn family_tasks(preset_name: &str) -> Vec<Box<dyn Task>> {
+pub(crate) fn family_tasks(preset_name: &str) -> Vec<Box<dyn Task>> {
     if preset_name.starts_with("pythia") {
         // Amazon Review / Synthetic Palindrome / Yes-No Question.
         vec![

@@ -1,0 +1,250 @@
+//! The CI perf-regression smoke run: small, seeded, fast (<60 s).
+//!
+//! `bench-smoke` measures one representative number from each
+//! performance-critical subsystem:
+//!
+//! * `decode_mb_s` — single-threaded LUT decode throughput on the shared
+//!   packed-delta corpus (wall-clock; the baseline bound is generous to
+//!   absorb runner variance),
+//! * `cluster_p99_e2e_s` — placement-aware cluster p99 on a fixed-seed
+//!   trace (simulated time: bit-for-bit deterministic),
+//! * `*_packed_ratio` — delta-only packed compression ratio of each
+//!   method-zoo codec on a fixed-seed synthetic model pair (pure
+//!   arithmetic: deterministic).
+//!
+//! It emits `BENCH_smoke.json`, and `exp bench-smoke --check
+//! ci/perf-baseline.json` compares the fresh numbers against the
+//! checked-in per-metric bounds, exiting nonzero on any regression — the
+//! CI perf gate.
+
+use super::cluster::run_cluster;
+use super::codec::packed_delta_like;
+use super::{md_table, Report};
+use dz_compress::codec::{BitDeltaCodec, DeltaCodec, DeltaComeCodec, SparseGptCodec};
+use dz_model::tasks::Corpus;
+use dz_model::transformer::{test_config, Params};
+use dz_tensor::{Matrix, Rng};
+use serde::value::Value;
+use std::path::Path;
+use std::time::Instant;
+
+/// The smoke run's measurements, in report order.
+pub struct SmokeMetrics {
+    /// `(name, value)` pairs.
+    pub entries: Vec<(&'static str, f64)>,
+}
+
+impl SmokeMetrics {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Fixed-seed synthetic `(base, finetuned)` pair: an initialized tiny
+/// transformer plus a small delta-like perturbation. No training — the
+/// ratio metrics depend only on tensor shapes and value distributions, so
+/// this keeps the smoke run fast and bit-deterministic.
+fn synthetic_pair() -> (Params, Params) {
+    let cfg = test_config();
+    let mut rng = Rng::seeded(0x50_0E);
+    let base = Params::init(cfg, &mut rng);
+    let mut tuned = base.clone();
+    for m in tuned.tensors_mut() {
+        let bump = Matrix::randn(m.rows(), m.cols(), 0.005, &mut rng);
+        m.add_assign(&bump);
+    }
+    (base, tuned)
+}
+
+/// Runs the smoke measurements.
+pub fn measure() -> SmokeMetrics {
+    // 1. Decode throughput: 2 MiB packed-delta corpus, LUT single-thread,
+    //    best of 3.
+    let corpus = packed_delta_like(2 << 20, 7);
+    let compressed = dz_lossless::compress(&corpus);
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        dz_lossless::decompress_with_threads(&compressed, 1).expect("decode");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let decode_mb_s = corpus.len() as f64 / best / 1e6;
+
+    // 2. Cluster tail latency: one placement-aware cell, fixed seed.
+    let report = run_cluster("placement-aware", 2, 1.5, 0.6, 40.0, None);
+    let cluster_p99 = report.merged.e2e_percentile(0.99);
+
+    // 3. Codec packed ratios on the synthetic pair.
+    let (base, tuned) = synthetic_pair();
+    let calib = dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
+    let ratio_of = |codec: &dyn DeltaCodec| -> f64 {
+        let (cd, _) = codec.compress(&base, &tuned, &calib);
+        cd.report.delta_ratio()
+    };
+    let sgpt4 = ratio_of(&SparseGptCodec::starred(4));
+    let bitdelta = ratio_of(&BitDeltaCodec::per_row());
+    let deltacome = ratio_of(&DeltaComeCodec::low_budget());
+
+    SmokeMetrics {
+        entries: vec![
+            ("decode_mb_s", decode_mb_s),
+            ("cluster_p99_e2e_s", cluster_p99),
+            ("sparsegpt4_packed_ratio", sgpt4),
+            ("bitdelta_packed_ratio", bitdelta),
+            ("deltacome_packed_ratio", deltacome),
+        ],
+    }
+}
+
+/// The `bench-smoke` experiment: measures, renders, and writes
+/// `BENCH_smoke.json`.
+pub fn bench_smoke(out_dir: &Path) -> (Report, SmokeMetrics) {
+    let metrics = measure();
+    let rows: Vec<Vec<String>> = metrics
+        .entries
+        .iter()
+        .map(|(n, v)| vec![n.to_string(), format!("{v:.3}")])
+        .collect();
+    let mut body = md_table(&["metric", "value"], &rows);
+    match write_json(&metrics, out_dir) {
+        Ok(path) => body.push_str(&format!("\njson: {path}\n")),
+        Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
+    }
+    (
+        Report {
+            id: "bench-smoke",
+            title: "CI perf smoke: decode throughput, cluster p99, codec ratios",
+            body,
+        },
+        metrics,
+    )
+}
+
+fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut json = String::from("{\n");
+    for (i, (name, value)) in metrics.entries.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{name}\": {value:.4}{}\n",
+            if i + 1 == metrics.entries.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("}\n");
+    let path = dir.join("BENCH_smoke.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// Compares measured metrics against a checked-in baseline file.
+///
+/// The baseline is a JSON object `{"metrics": {"<name>": {"min": x?,
+/// "max": y?}, ...}}`: a metric regresses when it falls below its `min`
+/// (throughput/ratio-style metrics) or above its `max` (latency-style
+/// metrics). Returns the list of violations (empty = gate passes).
+pub fn check_baseline(metrics: &SmokeMetrics, baseline_json: &str) -> Result<Vec<String>, String> {
+    let root = Value::parse_json(baseline_json).map_err(|e| format!("baseline parse: {e}"))?;
+    let Some(Value::Object(entries)) = root.get("metrics") else {
+        return Err("baseline has no `metrics` object".into());
+    };
+    let mut failures = Vec::new();
+    for (name, bounds) in entries {
+        let Some(measured) = metrics.get(name) else {
+            failures.push(format!("metric `{name}` missing from smoke run"));
+            continue;
+        };
+        let min = bounds.get("min").and_then(Value::as_f64);
+        let max = bounds.get("max").and_then(Value::as_f64);
+        if min.is_none() && max.is_none() {
+            return Err(format!("baseline metric `{name}` has neither min nor max"));
+        }
+        if let Some(lo) = min {
+            if measured < lo {
+                failures.push(format!("{name}: {measured:.3} below baseline min {lo:.3}"));
+            }
+        }
+        if let Some(hi) = max {
+            if measured > hi {
+                failures.push(format!("{name}: {measured:.3} above baseline max {hi:.3}"));
+            }
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_metrics() -> SmokeMetrics {
+        SmokeMetrics {
+            entries: vec![("decode_mb_s", 100.0), ("cluster_p99_e2e_s", 50.0)],
+        }
+    }
+
+    #[test]
+    fn baseline_within_bounds_passes() {
+        let baseline = r#"{"metrics": {
+            "decode_mb_s": {"min": 50.0},
+            "cluster_p99_e2e_s": {"max": 60.0}
+        }}"#;
+        assert!(check_baseline(&fixed_metrics(), baseline)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn regressions_are_reported_per_metric() {
+        let baseline = r#"{"metrics": {
+            "decode_mb_s": {"min": 200.0},
+            "cluster_p99_e2e_s": {"max": 10.0},
+            "missing_metric": {"min": 1.0}
+        }}"#;
+        let failures = check_baseline(&fixed_metrics(), baseline).unwrap();
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("below baseline min")));
+        assert!(failures.iter().any(|f| f.contains("above baseline max")));
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("missing from smoke run")));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error_not_a_pass() {
+        assert!(check_baseline(&fixed_metrics(), "not json").is_err());
+        assert!(check_baseline(&fixed_metrics(), r#"{"no_metrics": 1}"#).is_err());
+        let no_bounds = r#"{"metrics": {"decode_mb_s": {}}}"#;
+        assert!(check_baseline(&fixed_metrics(), no_bounds).is_err());
+    }
+
+    #[test]
+    fn synthetic_ratio_metrics_are_deterministic() {
+        // The gate only works if re-running produces identical ratios.
+        let a = measure_ratios_only();
+        let b = measure_ratios_only();
+        assert_eq!(a, b);
+        // And the ratios are in sane ranges.
+        assert!(a.iter().all(|&r| r > 2.0 && r < 64.0), "{a:?}");
+    }
+
+    fn measure_ratios_only() -> Vec<f64> {
+        let (base, tuned) = synthetic_pair();
+        let calib =
+            dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
+        [
+            &SparseGptCodec::starred(4) as &dyn DeltaCodec,
+            &BitDeltaCodec::per_row(),
+            &DeltaComeCodec::low_budget(),
+        ]
+        .into_iter()
+        .map(|c| c.compress(&base, &tuned, &calib).0.report.delta_ratio())
+        .collect()
+    }
+}

@@ -14,16 +14,24 @@
 //!   extraction, compression, weight reconstruction and activation
 //!   propagation, plus the optional lossless stage,
 //! * [`baselines`] — SparseGPT-direct and AWQ applied to the fine-tuned
-//!   weights, the paper's comparison points.
+//!   weights, the paper's comparison points,
+//! * [`codec`] — the delta-compression **method zoo**: the [`DeltaCodec`]
+//!   trait plus BitDelta-style 1-bit sign/scale and Delta-CoMe-style
+//!   mixed-precision low-rank codecs alongside the starred pipeline.
 
 pub mod baselines;
 pub mod calib;
+pub mod codec;
 pub mod obs;
 pub mod pack;
 pub mod pipeline;
 pub mod quant;
 pub mod wire;
 
+pub use codec::{
+    codec_zoo, BitDeltaCodec, CodecId, DeltaCodec, DeltaComeCodec, LowRankMatrix, PackedLayer,
+    SignMatrix, SignScope, SparseGptCodec,
+};
 pub use pack::{CompressedMatrix, MatrixFormat};
 pub use pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 pub use wire::WireError;

@@ -14,8 +14,8 @@
 //! reproduces that effect.
 
 use crate::calib::inputs_for;
+use crate::codec::{CodecId, PackedLayer};
 use crate::obs::{compress_matrix, hessian_from_inputs, ObsConfig};
-use crate::pack::CompressedMatrix;
 use crate::quant::QuantSpec;
 use dz_model::transformer::Params;
 use std::collections::BTreeMap;
@@ -101,10 +101,15 @@ impl SizeReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedDelta {
     /// Packed delta per linear layer, keyed by stable parameter name.
-    pub layers: BTreeMap<String, CompressedMatrix>,
+    /// The layer format varies with the codec (see
+    /// [`PackedLayer`]).
+    pub layers: BTreeMap<String, PackedLayer>,
     /// FP16 parameters outside the compressed set, keyed by stable name.
     pub rest: BTreeMap<String, dz_tensor::Matrix>,
-    /// The configuration that produced it.
+    /// The method-zoo codec that produced the delta.
+    pub codec: CodecId,
+    /// The configuration that produced it (only fully meaningful for the
+    /// OBS pipeline; other codecs record nominal values).
     pub config: DeltaCompressConfig,
     /// Byte accounting.
     pub report: SizeReport,
@@ -143,10 +148,11 @@ impl CompressedDelta {
     }
 }
 
-/// Collects the FP16 parameters that ride along uncompressed.
-fn collect_rest(
+/// Collects the FP16 parameters that ride along uncompressed; shared by
+/// every method-zoo codec.
+pub(crate) fn collect_rest(
     finetuned: &Params,
-    compressed: &BTreeMap<String, CompressedMatrix>,
+    compressed: &BTreeMap<String, PackedLayer>,
 ) -> BTreeMap<String, dz_tensor::Matrix> {
     let mut rest = BTreeMap::new();
     finetuned.for_each(|name, m| {
@@ -157,9 +163,11 @@ fn collect_rest(
     rest
 }
 
-fn size_report(
+/// Byte accounting for a set of packed layers against a base model;
+/// shared by every method-zoo codec.
+pub(crate) fn size_report_for(
     base: &Params,
-    layers: &BTreeMap<String, CompressedMatrix>,
+    layers: &BTreeMap<String, PackedLayer>,
     lossless: bool,
 ) -> SizeReport {
     let full = base.fp16_bytes();
@@ -212,14 +220,15 @@ pub fn delta_compress(
         // activations.
         let w_hat = w_b.add(&res.reconstructed);
         work.set(&name, w_hat);
-        layers.insert(name, res.packed);
+        layers.insert(name, PackedLayer::Quant(res.packed));
     }
-    let report = size_report(base, &layers, config.lossless);
+    let report = size_report_for(base, &layers, config.lossless);
     let rest = collect_rest(finetuned, &layers);
     (
         CompressedDelta {
             layers,
             rest,
+            codec: CodecId::SparseGptStar,
             config,
             report,
         },
@@ -257,14 +266,15 @@ pub fn delta_compress_no_reconstruct(
         let res = compress_matrix(&delta, &h, &obs_cfg);
         let w_hat = w_b.add(&res.reconstructed);
         reconstructed.set(&name, w_hat);
-        layers.insert(name, res.packed);
+        layers.insert(name, PackedLayer::Quant(res.packed));
     }
-    let report = size_report(base, &layers, config.lossless);
+    let report = size_report_for(base, &layers, config.lossless);
     let rest = collect_rest(finetuned, &layers);
     (
         CompressedDelta {
             layers,
             rest,
+            codec: CodecId::SparseGptStar,
             config,
             report,
         },

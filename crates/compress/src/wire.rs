@@ -20,17 +20,26 @@
 //! name-keyed matrix records for the compressed linears and dense FP32
 //! records for the uncompressed rest.
 
+use crate::codec::{
+    CodecId, LowRankBand, LowRankMatrix, PackedLayer, SignMatrix, SignScope, MAX_BANDS,
+};
 use crate::pack::{CompressedMatrix, MatrixFormat};
 use crate::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use crate::quant::QuantSpec;
 use dz_tensor::Matrix;
 use std::collections::BTreeMap;
 
-/// Current version of the delta record layout.
-pub const DELTA_WIRE_VERSION: u16 = 1;
+/// Current version of the delta record layout. Version 2 added the
+/// method-zoo codec id and the sign / low-rank layer records; version-1
+/// records (quantized layers only) still decode.
+pub const DELTA_WIRE_VERSION: u16 = 2;
 
 const FORMAT_DENSE: u8 = 0;
 const FORMAT_SPARSE24: u8 = 1;
+/// BitDelta-style sign/scale layer record.
+const FORMAT_SIGN: u8 = 2;
+/// Delta-CoMe-style mixed-precision low-rank layer record.
+const FORMAT_LOWRANK: u8 = 3;
 
 /// Errors raised while decoding wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,6 +208,14 @@ pub fn decode_matrix(r: &mut Reader<'_>) -> Result<CompressedMatrix, WireError> 
         FORMAT_SPARSE24 => MatrixFormat::QuantSparse24,
         t => return Err(WireError::BadTag(t)),
     };
+    decode_matrix_body(r, format)
+}
+
+/// Decodes a packed matrix whose format tag has already been consumed.
+fn decode_matrix_body(
+    r: &mut Reader<'_>,
+    format: MatrixFormat,
+) -> Result<CompressedMatrix, WireError> {
     let bits = r.u32()?;
     if !(2..=8).contains(&bits) {
         return Err(WireError::BadField("bits outside 2..=8"));
@@ -257,6 +274,138 @@ pub fn decode_matrix(r: &mut Reader<'_>) -> Result<CompressedMatrix, WireError> 
         indices,
         scales,
     })
+}
+
+/// Appends the wire form of one sign/scale (BitDelta) matrix.
+fn encode_sign(sm: &SignMatrix, out: &mut Vec<u8>) {
+    out.push(FORMAT_SIGN);
+    out.push(match sm.scope {
+        SignScope::PerMatrix => 0,
+        SignScope::PerRow => 1,
+    });
+    out.extend_from_slice(&(sm.d_in as u64).to_le_bytes());
+    out.extend_from_slice(&(sm.d_out as u64).to_le_bytes());
+    out.extend_from_slice(&(sm.signs.len() as u64).to_le_bytes());
+    for w in &sm.signs {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(sm.scales.len() as u64).to_le_bytes());
+    for s in &sm.scales {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+}
+
+/// Decodes a sign/scale matrix whose format tag has already been consumed.
+fn decode_sign_body(r: &mut Reader<'_>) -> Result<SignMatrix, WireError> {
+    let scope = match r.u8()? {
+        0 => SignScope::PerMatrix,
+        1 => SignScope::PerRow,
+        t => return Err(WireError::BadTag(t)),
+    };
+    let d_in = r.len_u64()?;
+    let d_out = r.len_u64()?;
+    let n_words = r.len_u64()?;
+    let want_words = d_in
+        .checked_mul(d_out)
+        .map(|n| n.div_ceil(32))
+        .ok_or(WireError::LengthMismatch("sign words"))?;
+    if n_words != want_words {
+        return Err(WireError::LengthMismatch("sign words"));
+    }
+    r.check_payload(n_words, 4)?;
+    let mut signs = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        signs.push(r.u32()?);
+    }
+    let n_scales = r.len_u64()?;
+    let want_scales = match scope {
+        SignScope::PerMatrix => 1,
+        SignScope::PerRow => d_out,
+    };
+    if n_scales != want_scales {
+        return Err(WireError::LengthMismatch("sign scales"));
+    }
+    r.check_payload(n_scales, 4)?;
+    let mut scales = Vec::with_capacity(n_scales);
+    for _ in 0..n_scales {
+        scales.push(r.f32()?);
+    }
+    Ok(SignMatrix {
+        d_in,
+        d_out,
+        scope,
+        scales,
+        signs,
+    })
+}
+
+/// Appends the wire form of one mixed-precision low-rank matrix.
+///
+/// The band cap is enforced at construction, so encoding is infallible;
+/// the assert keeps a hand-built over-limit value from producing bytes
+/// the decoder would refuse.
+fn encode_lowrank(lr: &LowRankMatrix, out: &mut Vec<u8>) {
+    assert!(
+        lr.bands.len() <= MAX_BANDS,
+        "at most {MAX_BANDS} low-rank bands per layer"
+    );
+    out.push(FORMAT_LOWRANK);
+    out.extend_from_slice(&(lr.d_in as u64).to_le_bytes());
+    out.extend_from_slice(&(lr.d_out as u64).to_le_bytes());
+    out.extend_from_slice(&(lr.bands.len() as u16).to_le_bytes());
+    for band in &lr.bands {
+        encode_matrix(&band.p, out);
+        encode_matrix(&band.q, out);
+    }
+}
+
+/// Decodes a low-rank matrix whose format tag has already been consumed.
+fn decode_lowrank_body(r: &mut Reader<'_>) -> Result<LowRankMatrix, WireError> {
+    let d_in = r.len_u64()?;
+    let d_out = r.len_u64()?;
+    let n_bands = r.u16()? as usize;
+    if n_bands > MAX_BANDS {
+        return Err(WireError::BadField("too many low-rank bands"));
+    }
+    let mut bands = Vec::with_capacity(n_bands);
+    for _ in 0..n_bands {
+        let p = decode_matrix(r)?;
+        let q = decode_matrix(r)?;
+        // Factor rows are singular directions: p is (rank x d_in), q is
+        // (rank x d_out) in stored orientation.
+        if p.d_in != d_in || q.d_in != d_out || p.d_out != q.d_out {
+            return Err(WireError::LengthMismatch("low-rank band dims"));
+        }
+        bands.push(LowRankBand { p, q });
+    }
+    Ok(LowRankMatrix { d_in, d_out, bands })
+}
+
+/// Appends the wire form of one packed layer (any method-zoo format).
+pub fn encode_layer(layer: &PackedLayer, out: &mut Vec<u8>) {
+    match layer {
+        PackedLayer::Quant(cm) => encode_matrix(cm, out),
+        PackedLayer::Sign(sm) => encode_sign(sm, out),
+        PackedLayer::LowRank(lr) => encode_lowrank(lr, out),
+    }
+}
+
+/// Decodes one packed layer, consuming its bytes from the reader. Accepts
+/// every format tag, including the version-1 quantized records.
+pub fn decode_layer(r: &mut Reader<'_>) -> Result<PackedLayer, WireError> {
+    match r.u8()? {
+        FORMAT_DENSE => Ok(PackedLayer::Quant(decode_matrix_body(
+            r,
+            MatrixFormat::QuantDense,
+        )?)),
+        FORMAT_SPARSE24 => Ok(PackedLayer::Quant(decode_matrix_body(
+            r,
+            MatrixFormat::QuantSparse24,
+        )?)),
+        FORMAT_SIGN => Ok(PackedLayer::Sign(decode_sign_body(r)?)),
+        FORMAT_LOWRANK => Ok(PackedLayer::LowRank(decode_lowrank_body(r)?)),
+        t => Err(WireError::BadTag(t)),
+    }
 }
 
 /// Appends the wire form of a dense FP32 matrix.
@@ -343,16 +492,17 @@ pub fn decode_report(r: &mut Reader<'_>) -> Result<SizeReport, WireError> {
     })
 }
 
-/// Serializes a whole compressed delta to wire bytes.
+/// Serializes a whole compressed delta to wire bytes (current version).
 pub fn encode_delta(cd: &CompressedDelta) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&DELTA_WIRE_VERSION.to_le_bytes());
+    out.push(cd.codec.as_u8());
     encode_config(&cd.config, &mut out);
     encode_report(&cd.report, &mut out);
     out.extend_from_slice(&(cd.layers.len() as u32).to_le_bytes());
-    for (name, cm) in &cd.layers {
+    for (name, layer) in &cd.layers {
         put_name(&mut out, name);
-        encode_matrix(cm, &mut out);
+        encode_layer(layer, &mut out);
     }
     out.extend_from_slice(&(cd.rest.len() as u32).to_le_bytes());
     for (name, m) in &cd.rest {
@@ -363,21 +513,29 @@ pub fn encode_delta(cd: &CompressedDelta) -> Vec<u8> {
 }
 
 /// Deserializes a compressed delta from wire bytes, requiring the record
-/// to span the input exactly.
+/// to span the input exactly. Both version-2 records and pre-method-zoo
+/// version-1 records (no codec byte; quantized layers only) decode; v1
+/// deltas report [`CodecId::SparseGptStar`].
 pub fn decode_delta(bytes: &[u8]) -> Result<CompressedDelta, WireError> {
     let mut r = Reader::new(bytes);
     let version = r.u16()?;
-    if version != DELTA_WIRE_VERSION {
-        return Err(WireError::BadVersion(version));
-    }
+    let codec = match version {
+        1 => CodecId::SparseGptStar,
+        2 => CodecId::from_u8(r.u8()?).ok_or(WireError::BadField("unknown codec id"))?,
+        v => return Err(WireError::BadVersion(v)),
+    };
     let config = decode_config(&mut r)?;
     let report = decode_report(&mut r)?;
     let n_layers = r.u32()? as usize;
     let mut layers = BTreeMap::new();
     for _ in 0..n_layers {
         let name = r.name()?;
-        let cm = decode_matrix(&mut r)?;
-        layers.insert(name, cm);
+        let layer = if version == 1 {
+            PackedLayer::Quant(decode_matrix(&mut r)?)
+        } else {
+            decode_layer(&mut r)?
+        };
+        layers.insert(name, layer);
     }
     let n_rest = r.u32()? as usize;
     let mut rest = BTreeMap::new();
@@ -392,6 +550,7 @@ pub fn decode_delta(bytes: &[u8]) -> Result<CompressedDelta, WireError> {
     Ok(CompressedDelta {
         layers,
         rest,
+        codec,
         config,
         report,
     })
@@ -413,6 +572,24 @@ pub fn matrix_from_bytes(bytes: &[u8]) -> Result<CompressedMatrix, WireError> {
         return Err(WireError::TrailingBytes);
     }
     Ok(cm)
+}
+
+/// Convenience: encodes one packed layer as a standalone record.
+pub fn layer_to_bytes(layer: &PackedLayer) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_layer(layer, &mut out);
+    out
+}
+
+/// Convenience: decodes one standalone packed-layer record, requiring it
+/// to span the input exactly.
+pub fn layer_from_bytes(bytes: &[u8]) -> Result<PackedLayer, WireError> {
+    let mut r = Reader::new(bytes);
+    let layer = decode_layer(&mut r)?;
+    if !r.is_done() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(layer)
 }
 
 #[cfg(test)]
@@ -531,5 +708,65 @@ mod tests {
         let back = decode_dense(&mut r).unwrap();
         assert!(r.is_done());
         assert_eq!(back, m);
+    }
+
+    fn sign_layer(seed: u64, scope: SignScope) -> PackedLayer {
+        let mut rng = Rng::seeded(seed);
+        let delta = Matrix::randn(20, 12, 0.01, &mut rng);
+        PackedLayer::Sign(SignMatrix::from_delta(&delta, scope))
+    }
+
+    fn lowrank_layer(seed: u64) -> PackedLayer {
+        let mut rng = Rng::seeded(seed);
+        let delta = Matrix::randn(24, 16, 0.01, &mut rng);
+        PackedLayer::LowRank(LowRankMatrix::from_delta(&delta, &[(8, 2), (2, 4)]))
+    }
+
+    #[test]
+    fn codec_layers_round_trip() {
+        for layer in [
+            sign_layer(31, SignScope::PerMatrix),
+            sign_layer(32, SignScope::PerRow),
+            lowrank_layer(33),
+            PackedLayer::Quant(dense_fixture(5, 12, 4, 34)),
+        ] {
+            let back = layer_from_bytes(&layer_to_bytes(&layer)).unwrap();
+            assert_eq!(back, layer);
+        }
+    }
+
+    #[test]
+    fn codec_layers_reject_truncation_everywhere() {
+        for layer in [sign_layer(41, SignScope::PerRow), lowrank_layer(42)] {
+            let bytes = layer_to_bytes(&layer);
+            for cut in 0..bytes.len() {
+                assert!(
+                    layer_from_bytes(&bytes[..cut]).is_err(),
+                    "cut at {cut} must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lowrank_rejects_inconsistent_band_dims() {
+        let PackedLayer::LowRank(mut lr) = lowrank_layer(43) else {
+            unreachable!()
+        };
+        // Corrupt a band: swap p and q so rows no longer match d_in/d_out.
+        let band = &mut lr.bands[0];
+        std::mem::swap(&mut band.p, &mut band.q);
+        let bytes = layer_to_bytes(&PackedLayer::LowRank(lr));
+        assert_eq!(
+            layer_from_bytes(&bytes),
+            Err(WireError::LengthMismatch("low-rank band dims"))
+        );
+    }
+
+    #[test]
+    fn layer_decode_rejects_unknown_tag() {
+        let mut bytes = layer_to_bytes(&sign_layer(44, SignScope::PerRow));
+        bytes[0] = 99;
+        assert_eq!(layer_from_bytes(&bytes), Err(WireError::BadTag(99)));
     }
 }

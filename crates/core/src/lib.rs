@@ -52,6 +52,9 @@
 pub mod manager;
 
 use dz_compress::calib::calibration_set;
+pub use dz_compress::codec::{
+    codec_zoo, BitDeltaCodec, CodecId, DeltaCodec, DeltaComeCodec, SparseGptCodec,
+};
 use dz_compress::pipeline::{delta_compress, CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_kernels::decoupled::DecoupledBatch;
 use dz_kernels::{AdapterBatch, AdapterView};
@@ -163,6 +166,31 @@ impl DeltaZip {
         let corpus = Corpus::new(base_params.config.max_seq);
         let calib = calibration_set(&corpus, self.calib_size, self.calib_seed);
         let (delta, _) = delta_compress(base_params, finetuned, &calib, config);
+        self.manager
+            .add_variant(name, base, VariantArtifact::Delta(Box::new(delta)))
+    }
+
+    /// Registers a full-model-tuned variant compressed with any method-zoo
+    /// codec (BitDelta, Delta-CoMe, or the starred pipeline behind the
+    /// [`DeltaCodec`] trait). The resulting artifact persists, serves, and
+    /// simulates exactly like a [`register_fmt_variant`] delta — only the
+    /// packed format (and therefore the swap-in bytes) differs.
+    ///
+    /// [`register_fmt_variant`]: Self::register_fmt_variant
+    pub fn register_fmt_variant_with(
+        &mut self,
+        name: &str,
+        base: BaseId,
+        finetuned: &Params,
+        codec: &dyn DeltaCodec,
+    ) -> Result<VariantId, DzError> {
+        let base_params = self.manager.base_params(base).ok_or(DzError::UnknownBase)?;
+        if base_params.config != finetuned.config {
+            return Err(DzError::ShapeMismatch);
+        }
+        let corpus = Corpus::new(base_params.config.max_seq);
+        let calib = calibration_set(&corpus, self.calib_size, self.calib_seed);
+        let (delta, _) = codec.compress(base_params, finetuned, &calib);
         self.manager
             .add_variant(name, base, VariantArtifact::Delta(Box::new(delta)))
     }
@@ -557,6 +585,51 @@ mod tests {
         // Per-variant outputs must match single-variant serving.
         let solo = dz.generate(v2, &[1, 25, 2, 30, 4], 3).unwrap();
         assert_eq!(outs[1], solo);
+    }
+
+    #[test]
+    fn codec_variants_register_serve_and_persist() {
+        let (base, tuned) = trained();
+        let mut dz = DeltaZip::new();
+        let b = dz.register_base("base", base.clone()).unwrap();
+        let v_bit = dz
+            .register_fmt_variant_with("bit", b, &tuned, &BitDeltaCodec::per_row())
+            .unwrap();
+        let v_dc = dz
+            .register_fmt_variant_with("dc", b, &tuned, &DeltaComeCodec::low_budget())
+            .unwrap();
+        // BitDelta packs far tighter than any multi-bit config.
+        let bit_report = dz.size_report(v_bit).unwrap();
+        assert!(
+            bit_report.delta_ratio() >= 8.0,
+            "{}",
+            bit_report.delta_ratio()
+        );
+        // Serving a codec variant equals serving its reconstructed model.
+        let prompt = [1usize, 20, 21, 2];
+        for v in [v_bit, v_dc] {
+            let out = dz.generate(v, &prompt, 3).unwrap();
+            let rec = dz.reconstruct(v).unwrap();
+            assert_eq!(out, dz_model::eval::greedy_generate(&rec, &prompt, 3));
+        }
+        // The codec id survives the registry round-trip.
+        let registry = temp_registry("codec");
+        let id = dz.persist_variant(v_bit, &registry).unwrap();
+        let mut dz2 = DeltaZip::new();
+        let b2 = dz2.register_base("base", base).unwrap();
+        let v2 = dz2
+            .register_variant_from_artifact(b2, &registry, &id)
+            .unwrap();
+        let info = dz2.manager().variant(v2).unwrap();
+        let VariantArtifact::Delta(d) = &info.artifact else {
+            panic!("expected delta artifact");
+        };
+        assert_eq!(d.codec, CodecId::BitDelta);
+        assert_eq!(
+            dz2.generate(v2, &prompt, 3).unwrap(),
+            dz.generate(v_bit, &prompt, 3).unwrap()
+        );
+        std::fs::remove_dir_all(registry.root()).ok();
     }
 
     #[test]

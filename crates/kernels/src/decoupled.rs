@@ -13,7 +13,7 @@
 //! and per-variant uncompressed parameters (biases, norms, embeddings) taken
 //! from each variant's delta artifact.
 
-use crate::qgemm::dense_gemm;
+use crate::qgemm::{dense_gemm, quant_gemm};
 use crate::runner::{argmax, attention_one, gelu_assign, layer_norm_row, Slot};
 use crate::sbmm::sbmm_grouped;
 use dz_compress::pack::CompressedMatrix;
@@ -44,15 +44,34 @@ pub fn decoupled_linear(
 pub struct DecoupledBatch<'a> {
     base: &'a Params,
     variants: Vec<&'a CompressedDelta>,
+    /// Dense delta copies for the variants (and only the variants) that
+    /// use a non-quantized method-zoo codec (BitDelta / Delta-CoMe):
+    /// those formats have no SBMM kernel, so their layers are dequantized
+    /// once here and applied as dense per-request products. Quantized
+    /// variants keep the packed SBMM path, also in mixed batches.
+    dense_layers: Vec<Option<std::collections::BTreeMap<String, Matrix>>>,
     slots: Vec<Slot>,
 }
 
 impl<'a> DecoupledBatch<'a> {
     /// Creates a runner over `base` and the given variant deltas.
     pub fn new(base: &'a Params, variants: Vec<&'a CompressedDelta>) -> Self {
+        let dense_layers = variants
+            .iter()
+            .map(|v| {
+                let all_quant = v.layers.values().all(|l| l.as_quant().is_some());
+                (!all_quant).then(|| {
+                    v.layers
+                        .iter()
+                        .map(|(name, l)| (name.clone(), l.dequantize()))
+                        .collect()
+                })
+            })
+            .collect();
         DecoupledBatch {
             base,
             variants,
+            dense_layers,
             slots: Vec::new(),
         }
     }
@@ -144,15 +163,68 @@ impl<'a> DecoupledBatch<'a> {
 
         let heads = cfg.n_heads;
         for li in 0..cfg.n_layers {
-            let deltas_for = |field: &str| -> Vec<&CompressedMatrix> {
-                self.variants
-                    .iter()
-                    .map(|v| {
-                        v.layers
-                            .get(&format!("layer{li}.{field}"))
-                            .expect("delta layer exists")
-                    })
-                    .collect()
+            let variants = &self.variants;
+            let dense_layers = &self.dense_layers;
+            // Shared base GEMM + per-variant delta product. All-quant
+            // batches take the grouped SBMM path outright; in mixed
+            // batches, requests for quantized variants still run packed
+            // SBMM (naive per-row) and only the non-quant variants use
+            // their cached dense copies.
+            let linear = move |x: &Matrix, w_base: &Matrix, idx: &[usize], field: &str| {
+                let name = format!("layer{li}.{field}");
+                if dense_layers.iter().all(Option::is_none) {
+                    let deltas: Vec<&CompressedMatrix> = variants
+                        .iter()
+                        .map(|v| {
+                            v.layers
+                                .get(&name)
+                                .expect("delta layer exists")
+                                .as_quant()
+                                .expect("all-quant batch")
+                        })
+                        .collect();
+                    return decoupled_linear(x, w_base, idx, &deltas);
+                }
+                let mut y = dense_gemm(x, w_base);
+                for (bi, &v) in idx.iter().enumerate() {
+                    let xr = x.row(bi);
+                    let yr = y.row_mut(bi);
+                    match &dense_layers[v] {
+                        // Non-quant variant: dense row product against the
+                        // copy dequantized at construction.
+                        Some(dense) => {
+                            let d = dense.get(&name).expect("delta layer exists");
+                            for (k, &xv) in xr.iter().enumerate() {
+                                if xv == 0.0 {
+                                    continue;
+                                }
+                                let drow = d.row(k);
+                                for (j, yv) in yr.iter_mut().enumerate() {
+                                    *yv += xv * drow[j];
+                                }
+                            }
+                        }
+                        // Quantized variant: the same fused quant_gemm the
+                        // grouped SBMM path runs, on this request's row —
+                        // per-row accumulation order is identical, so a
+                        // quant variant's output is bit-identical whether
+                        // or not non-quant variants share the batch.
+                        None => {
+                            let cm = variants[v]
+                                .layers
+                                .get(&name)
+                                .expect("delta layer exists")
+                                .as_quant()
+                                .expect("variant without dense copy is quant");
+                            let xi = Matrix::from_vec(1, xr.len(), xr.to_vec());
+                            let yi = quant_gemm(&xi, cm);
+                            for (j, yv) in yr.iter_mut().enumerate() {
+                                *yv += yi.get(0, j);
+                            }
+                        }
+                    }
+                }
+                y
             };
             // Pre-attention LayerNorm, per request (variant gains/biases).
             let mut h = Matrix::zeros(b, d);
@@ -169,9 +241,9 @@ impl<'a> DecoupledBatch<'a> {
             }
             // Decoupled projections + per-variant biases.
             let base_l = &self.base.layers[li];
-            let mut q = decoupled_linear(&h, &base_l.wq, &delta_idx, &deltas_for("wq"));
-            let mut k = decoupled_linear(&h, &base_l.wk, &delta_idx, &deltas_for("wk"));
-            let mut v = decoupled_linear(&h, &base_l.wv, &delta_idx, &deltas_for("wv"));
+            let mut q = linear(&h, &base_l.wq, &delta_idx, "wq");
+            let mut k = linear(&h, &base_l.wk, &delta_idx, "wk");
+            let mut v = linear(&h, &base_l.wv, &delta_idx, "wv");
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
                 for (name, m) in [("bq", &mut q), ("bk", &mut k), ("bv", &mut v)] {
@@ -189,7 +261,7 @@ impl<'a> DecoupledBatch<'a> {
                 let cache = &mut self.slots[slot].cache;
                 attention_one(&q, &k, &v, bi, cache, li, heads, &mut attn);
             }
-            let mut proj = decoupled_linear(&attn, &base_l.wo, &delta_idx, &deltas_for("wo"));
+            let mut proj = linear(&attn, &base_l.wo, &delta_idx, "wo");
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
                 let bias = self.rest_param(variant, &format!("layer{li}.bo")).clone();
@@ -211,7 +283,7 @@ impl<'a> DecoupledBatch<'a> {
                 let src: Vec<f32> = x.row(bi).to_vec();
                 layer_norm_row(&src, &g, &bb, h2.row_mut(bi));
             }
-            let mut up = decoupled_linear(&h2, &base_l.w1, &delta_idx, &deltas_for("w1"));
+            let mut up = linear(&h2, &base_l.w1, &delta_idx, "w1");
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
                 let bias = self.rest_param(variant, &format!("layer{li}.b1")).clone();
@@ -220,7 +292,7 @@ impl<'a> DecoupledBatch<'a> {
                 }
             }
             gelu_assign(&mut up);
-            let mut down = decoupled_linear(&up, &base_l.w2, &delta_idx, &deltas_for("w2"));
+            let mut down = linear(&up, &base_l.w2, &delta_idx, "w2");
             for (bi, &(slot, _)) in work.iter().enumerate() {
                 let variant = self.slots[slot].variant;
                 let bias = self.rest_param(variant, &format!("layer{li}.b2")).clone();
@@ -282,7 +354,7 @@ mod tests {
         let (base, cd, _) = setup();
         let name = "layer0.wq";
         let w_base = base.get(name).unwrap();
-        let delta = cd.layers.get(name).unwrap();
+        let delta = cd.layers.get(name).unwrap().as_quant().unwrap();
         let fused = w_base.add(&delta.dequantize());
         let mut rng = Rng::seeded(2);
         let x = Matrix::randn(5, w_base.rows(), 1.0, &mut rng);
@@ -338,5 +410,45 @@ mod tests {
         }
         assert_eq!(batch.generated(s1), &w1[..], "variant 0 output diverged");
         assert_eq!(batch.generated(s2), &w2[..], "variant 1 output diverged");
+    }
+
+    #[test]
+    fn non_quant_codec_variants_serve_through_dense_fallback() {
+        use dz_compress::codec::{BitDeltaCodec, DeltaCodec};
+
+        let (base, cd_quant, _) = setup();
+        let cfg = base.config;
+        let corpus = Corpus::new(cfg.max_seq);
+        let mut tuned2 = base.clone();
+        finetune_fmt(
+            &mut tuned2,
+            &dz_model::tasks::NliTask,
+            TrainConfig::finetune(40),
+        );
+        let calib = calibration_set(&corpus, 4, 9);
+        // A BitDelta (sign/scale) variant has no SBMM kernel: the batch
+        // must fall back to dense delta products and still match the
+        // reconstructed model exactly — even mixed with a quantized one.
+        let (cd_sign, rec_sign) = BitDeltaCodec::per_row().compress(&base, &tuned2, &calib);
+        let p1 = vec![1usize, 20, 21, 2];
+        let p2 = vec![1usize, 25, 2, 30, 4];
+        let want_quant = {
+            let mut solo = DecoupledBatch::new(&base, vec![&cd_quant]);
+            let s = solo.admit(0, &p1);
+            for _ in 0..3 {
+                solo.decode_step();
+            }
+            solo.generated(s).to_vec()
+        };
+        let want_sign = dz_model::eval::greedy_generate(&rec_sign, &p2, 3);
+
+        let mut batch = DecoupledBatch::new(&base, vec![&cd_quant, &cd_sign]);
+        let s1 = batch.admit(0, &p1);
+        let s2 = batch.admit(1, &p2);
+        for _ in 0..3 {
+            batch.decode_step();
+        }
+        assert_eq!(batch.generated(s1), &want_quant[..]);
+        assert_eq!(batch.generated(s2), &want_sign[..]);
     }
 }

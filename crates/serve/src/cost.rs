@@ -30,6 +30,13 @@ pub struct CostModel {
     /// fallback before the first measured decode; see
     /// [`delta_load_time_measured`](Self::delta_load_time_measured).
     pub effective_load_gbps: f64,
+    /// Optional measured artifact size overriding the shape-model delta
+    /// estimate. This is how the delta-compression method zoo couples into
+    /// serving cost without a bound store: `exp bench-compress` measures a
+    /// codec's packed ratio at zoo scale, projects it to this node's model
+    /// shape, and sets the override — every swap-in charge then scales
+    /// with the codec's real bytes.
+    pub delta_bytes_override: Option<f64>,
 }
 
 impl CostModel {
@@ -44,11 +51,27 @@ impl CostModel {
             },
             avg_context_tokens: 256,
             effective_load_gbps: 2.0,
+            delta_bytes_override: None,
         }
     }
 
-    /// Bytes of one compressed delta.
+    /// Overrides the per-delta artifact size with a measured byte count
+    /// (e.g. a method-zoo codec's packed size projected to this shape).
+    pub fn with_delta_bytes(mut self, bytes: f64) -> Self {
+        assert!(
+            bytes > 0.0 && bytes.is_finite(),
+            "delta bytes must be positive"
+        );
+        self.delta_bytes_override = Some(bytes);
+        self
+    }
+
+    /// Bytes of one compressed delta: the measured override when set,
+    /// otherwise the shape-model estimate for `delta_format`.
     pub fn delta_bytes(&self) -> f64 {
+        if let Some(bytes) = self.delta_bytes_override {
+            return bytes;
+        }
         match self.delta_format {
             WeightFormat::Fp16 => self.shape.fp16_bytes(),
             WeightFormat::Int { bits, sparse24 } => self.shape.delta_bytes(bits, sparse24),
@@ -453,6 +476,21 @@ mod tests {
         assert!(cm
             .delta_load_time_measured(bytes, Some(f64::NAN))
             .is_finite());
+    }
+
+    #[test]
+    fn delta_bytes_override_scales_every_load_charge() {
+        let cm = model();
+        let shrunk = cm.delta_bytes() / 8.0;
+        let small =
+            CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b()).with_delta_bytes(shrunk);
+        assert_eq!(small.delta_bytes(), shrunk);
+        // An 8x smaller artifact (e.g. BitDelta vs 4-bit*) must cut both
+        // the warm and cold swap-in charges.
+        assert!(small.delta_load_time() < cm.delta_load_time());
+        assert!(small.delta_cold_load_time() < cm.delta_cold_load_time());
+        // And it enlarges residency: more deltas fit beside the base.
+        assert!(small.delta_resident_capacity() > cm.delta_resident_capacity());
     }
 
     #[test]

@@ -158,6 +158,13 @@ impl Metrics {
         percentile(self.records.iter().map(|r| r.ttft_s).collect(), q)
     }
 
+    /// Percentile of per-request model/delta load waits (what swap-in
+    /// cost looks like from a request's point of view; the tail is the
+    /// cold-load figure `exp bench-compress` sweeps per codec).
+    pub fn load_percentile(&self, q: f64) -> f64 {
+        percentile(self.records.iter().map(|r| r.load_s).collect(), q)
+    }
+
     /// A filtered view of the records (e.g. one SLO class, one model),
     /// keeping the makespan of the full replay.
     pub fn subset(&self, engine: String, keep: impl Fn(&RequestRecord) -> bool) -> Metrics {

@@ -2,6 +2,7 @@
 //! come from actual `.dza` byte sizes, with host hits strictly cheaper
 //! than disk misses.
 
+use dz_compress::codec::{CodecId, PackedLayer};
 use dz_compress::pack::CompressedMatrix;
 use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::quant::{quantize_slice, QuantSpec};
@@ -35,10 +36,11 @@ fn tiny_delta(seed: u64, d: usize) -> CompressedDelta {
     let cm = CompressedMatrix::from_dense(d, d, &levels, scales, spec);
     let packed = cm.packed_bytes();
     let mut layers = BTreeMap::new();
-    layers.insert("w".to_string(), cm);
+    layers.insert("w".to_string(), PackedLayer::Quant(cm));
     CompressedDelta {
         layers,
         rest: BTreeMap::new(),
+        codec: CodecId::SparseGptStar,
         config: DeltaCompressConfig::starred(4),
         report: SizeReport {
             compressed_linear_bytes: packed,

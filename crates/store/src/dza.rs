@@ -32,9 +32,9 @@
 
 use crate::error::StoreError;
 use crate::hash::Digest;
+use dz_compress::codec::{CodecId, PackedLayer};
 use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::wire::{self, put_name, Reader as WireReader};
-use dz_compress::CompressedMatrix;
 use dz_lossless::crc::crc32;
 use dz_tensor::Matrix;
 use std::collections::BTreeMap;
@@ -53,8 +53,15 @@ const PIPELINE_BYTE_THRESHOLD: u64 = 128 * 1024;
 
 /// Leading container magic.
 pub const DZA_MAGIC: &[u8; 4] = b"DZA1";
-/// Container format version.
-pub const DZA_VERSION: u16 = 1;
+/// Container format version written by [`ArtifactWriter`]. Version 2
+/// added method-zoo codec ids to the manifest and every tensor header;
+/// version-1 containers (pre-method-zoo, implicitly SparseGPT-starred)
+/// still open and read.
+pub const DZA_VERSION: u16 = 2;
+/// Oldest container version [`ArtifactReader`] still accepts.
+pub const DZA_MIN_VERSION: u16 = 1;
+/// Tensor-header codec byte meaning "no codec" (dense rest tensors).
+const CODEC_NONE: u8 = 0xFF;
 /// Trailing footer magic.
 const FOOTER_MAGIC: &[u8; 4] = b"DZAE";
 /// Head size: magic + version.
@@ -65,7 +72,8 @@ const FOOTER_LEN: u64 = 24;
 /// What a tensor page decodes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TensorKind {
-    /// A ΔCompressed linear layer ([`CompressedMatrix`] wire record).
+    /// A compressed linear-layer delta ([`PackedLayer`] wire record —
+    /// any method-zoo format).
     PackedLinear,
     /// An uncompressed FP32 rest tensor (dense wire record).
     DenseRest,
@@ -78,6 +86,10 @@ pub struct TensorEntry {
     pub name: String,
     /// Page payload type.
     pub kind: TensorKind,
+    /// Method-zoo codec that produced the page payload (`None` for dense
+    /// rest tensors; version-1 containers report
+    /// [`CodecId::SparseGptStar`] for packed linears).
+    pub codec: Option<CodecId>,
     /// Byte offset of the page within the file.
     pub offset: u64,
     /// Compressed page length in bytes.
@@ -95,6 +107,8 @@ pub struct Manifest {
     pub name: String,
     /// Content hash of the base model this delta patches.
     pub base_hash: Digest,
+    /// The method-zoo codec that produced the delta.
+    pub codec: CodecId,
     /// The ΔCompress configuration that produced the delta.
     pub config: DeltaCompressConfig,
     /// Byte accounting of the compressed delta.
@@ -130,6 +144,7 @@ impl Manifest {
         let mut out = Vec::new();
         put_name(&mut out, &self.name);
         out.extend_from_slice(&self.base_hash.0);
+        out.push(self.codec.as_u8());
         wire::encode_config(&self.config, &mut out);
         wire::encode_report(&self.report, &mut out);
         out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
@@ -139,6 +154,7 @@ impl Manifest {
                 TensorKind::PackedLinear => 0,
                 TensorKind::DenseRest => 1,
             });
+            out.push(t.codec.map_or(CODEC_NONE, CodecId::as_u8));
             out.extend_from_slice(&t.offset.to_le_bytes());
             out.extend_from_slice(&t.comp_len.to_le_bytes());
             out.extend_from_slice(&t.raw_len.to_le_bytes());
@@ -147,13 +163,21 @@ impl Manifest {
         out
     }
 
-    fn decode(bytes: &[u8]) -> Result<Manifest, StoreError> {
+    /// Decodes a manifest of the given container version. Version-1
+    /// manifests carry no codec bytes; their packed linears are implicitly
+    /// SparseGPT-starred.
+    fn decode(bytes: &[u8], version: u16) -> Result<Manifest, StoreError> {
         let mut r = WireReader::new(bytes);
         let name = r.name()?;
         let mut hash = [0u8; 32];
         for b in hash.iter_mut() {
             *b = r.u8()?;
         }
+        let codec = if version >= 2 {
+            CodecId::from_u8(r.u8()?).ok_or(StoreError::Corrupt("unknown manifest codec id"))?
+        } else {
+            CodecId::SparseGptStar
+        };
         let config = wire::decode_config(&mut r)?;
         let report = wire::decode_report(&mut r)?;
         let n = r.u32()? as usize;
@@ -165,9 +189,24 @@ impl Manifest {
                 1 => TensorKind::DenseRest,
                 _ => return Err(StoreError::Corrupt("unknown tensor kind")),
             };
+            let tensor_codec = if version >= 2 {
+                match r.u8()? {
+                    CODEC_NONE => None,
+                    v => Some(
+                        CodecId::from_u8(v)
+                            .ok_or(StoreError::Corrupt("unknown tensor codec id"))?,
+                    ),
+                }
+            } else {
+                match kind {
+                    TensorKind::PackedLinear => Some(CodecId::SparseGptStar),
+                    TensorKind::DenseRest => None,
+                }
+            };
             tensors.push(TensorEntry {
                 name: tname,
                 kind,
+                codec: tensor_codec,
                 offset: r.u64()?,
                 comp_len: r.u64()?,
                 raw_len: r.u64()?,
@@ -180,6 +219,7 @@ impl Manifest {
         Ok(Manifest {
             name,
             base_hash: Digest(hash),
+            codec,
             config,
             report,
             tensors,
@@ -195,11 +235,13 @@ pub struct ArtifactWriter<W: Write> {
 }
 
 impl<W: Write> ArtifactWriter<W> {
-    /// Starts a container: writes the head and records lineage + recipe.
+    /// Starts a container: writes the head and records lineage + recipe
+    /// (including which method-zoo codec produced the delta).
     pub fn new(
         mut sink: W,
         name: &str,
         base_hash: Digest,
+        codec: CodecId,
         config: DeltaCompressConfig,
         report: SizeReport,
     ) -> Result<Self, StoreError> {
@@ -214,6 +256,7 @@ impl<W: Write> ArtifactWriter<W> {
             manifest: Manifest {
                 name: name.to_string(),
                 base_hash,
+                codec,
                 config,
                 report,
                 tensors: Vec::new(),
@@ -221,7 +264,13 @@ impl<W: Write> ArtifactWriter<W> {
         })
     }
 
-    fn add_page(&mut self, name: &str, kind: TensorKind, raw: &[u8]) -> Result<(), StoreError> {
+    fn add_page(
+        &mut self,
+        name: &str,
+        kind: TensorKind,
+        codec: Option<CodecId>,
+        raw: &[u8],
+    ) -> Result<(), StoreError> {
         if name.len() > u16::MAX as usize {
             return Err(StoreError::InvalidName(name.to_string()));
         }
@@ -235,6 +284,7 @@ impl<W: Write> ArtifactWriter<W> {
         self.manifest.tensors.push(TensorEntry {
             name: name.to_string(),
             kind,
+            codec,
             offset: self.offset,
             comp_len: page.len() as u64,
             raw_len: raw.len() as u64,
@@ -244,16 +294,23 @@ impl<W: Write> ArtifactWriter<W> {
         Ok(())
     }
 
-    /// Appends one ΔCompressed linear layer.
-    pub fn add_packed(&mut self, name: &str, cm: &CompressedMatrix) -> Result<(), StoreError> {
-        self.add_page(name, TensorKind::PackedLinear, &wire::matrix_to_bytes(cm))
+    /// Appends one packed linear-layer delta (any method-zoo format). The
+    /// tensor header records the codec family of the layer's own format,
+    /// so mixed-format artifacts stay inspectable per tensor.
+    pub fn add_packed(&mut self, name: &str, layer: &PackedLayer) -> Result<(), StoreError> {
+        self.add_page(
+            name,
+            TensorKind::PackedLinear,
+            Some(layer.codec_id()),
+            &wire::layer_to_bytes(layer),
+        )
     }
 
     /// Appends one uncompressed FP32 rest tensor.
     pub fn add_dense(&mut self, name: &str, m: &Matrix) -> Result<(), StoreError> {
         let mut raw = Vec::new();
         wire::encode_dense(m, &mut raw);
-        self.add_page(name, TensorKind::DenseRest, &raw)
+        self.add_page(name, TensorKind::DenseRest, None, &raw)
     }
 
     /// Writes the manifest and footer, returning the sink.
@@ -277,7 +334,14 @@ pub fn write_delta<W: Write>(
     base_hash: Digest,
     delta: &CompressedDelta,
 ) -> Result<W, StoreError> {
-    let mut w = ArtifactWriter::new(sink, name, base_hash, delta.config, delta.report)?;
+    let mut w = ArtifactWriter::new(
+        sink,
+        name,
+        base_hash,
+        delta.codec,
+        delta.config,
+        delta.report,
+    )?;
     for (tensor, cm) in &delta.layers {
         w.add_packed(tensor, cm)?;
     }
@@ -341,7 +405,7 @@ impl DecodeStats {
 
 /// One decoded tensor payload.
 enum DecodedTensor {
-    Packed(CompressedMatrix),
+    Packed(PackedLayer),
     Dense(Matrix),
 }
 
@@ -364,7 +428,7 @@ fn decode_tensor(
         });
     }
     match entry.kind {
-        TensorKind::PackedLinear => Ok(DecodedTensor::Packed(wire::matrix_from_bytes(&raw)?)),
+        TensorKind::PackedLinear => Ok(DecodedTensor::Packed(wire::layer_from_bytes(&raw)?)),
         TensorKind::DenseRest => {
             let mut r = WireReader::new(&raw);
             let m = wire::decode_dense(&mut r)?;
@@ -396,7 +460,7 @@ impl<R: Read + Seek> ArtifactReader<R> {
             return Err(StoreError::BadMagic);
         }
         let version = u16::from_le_bytes([head[4], head[5]]);
-        if version != DZA_VERSION {
+        if !(DZA_MIN_VERSION..=DZA_VERSION).contains(&version) {
             return Err(StoreError::BadVersion(version));
         }
         source.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
@@ -420,7 +484,7 @@ impl<R: Read + Seek> ArtifactReader<R> {
         if crc32(&manifest_bytes) != manifest_crc {
             return Err(StoreError::ChecksumMismatch { tensor: None });
         }
-        let manifest = Manifest::decode(&manifest_bytes)?;
+        let manifest = Manifest::decode(&manifest_bytes, version)?;
         for t in &manifest.tensors {
             let end = t
                 .offset
@@ -457,8 +521,8 @@ impl<R: Read + Seek> ArtifactReader<R> {
         Ok(raw)
     }
 
-    /// Reads one ΔCompressed linear layer.
-    pub fn read_packed(&mut self, name: &str) -> Result<CompressedMatrix, StoreError> {
+    /// Reads one packed linear-layer delta (any method-zoo format).
+    pub fn read_packed(&mut self, name: &str) -> Result<PackedLayer, StoreError> {
         let entry = self
             .manifest
             .entry(name)
@@ -467,7 +531,7 @@ impl<R: Read + Seek> ArtifactReader<R> {
             return Err(StoreError::Corrupt("tensor is not a packed linear"));
         }
         let raw = self.read_tensor_bytes(name)?;
-        Ok(wire::matrix_from_bytes(&raw)?)
+        Ok(wire::layer_from_bytes(&raw)?)
     }
 
     /// Reads one dense FP32 rest tensor.
@@ -602,6 +666,7 @@ impl<R: Read + Seek> ArtifactReader<R> {
             CompressedDelta {
                 layers,
                 rest,
+                codec: self.manifest.codec,
                 config: self.manifest.config,
                 report: self.manifest.report,
             },

@@ -2,6 +2,7 @@
 //! dense and 2:4-sparse payloads, and corrupted or truncated containers
 //! produce typed errors — never a panic, never silently wrong data.
 
+use dz_compress::codec::{CodecId, LowRankMatrix, PackedLayer, SignMatrix, SignScope};
 use dz_compress::pack::CompressedMatrix;
 use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::quant::{quantize_slice, QuantSpec};
@@ -59,21 +60,42 @@ fn arb_delta(
 ) -> CompressedDelta {
     let d_in = blocks * 8;
     let mut layers = BTreeMap::new();
-    layers.insert("dense".to_string(), dense_matrix(d_out, d_in, bits, seed));
+    layers.insert(
+        "dense".to_string(),
+        PackedLayer::Quant(dense_matrix(d_out, d_in, bits, seed)),
+    );
     layers.insert(
         "sparse".to_string(),
-        sparse_matrix(d_out, d_in, bits, seed ^ 0xABC),
+        PackedLayer::Quant(sparse_matrix(d_out, d_in, bits, seed ^ 0xABC)),
+    );
+    // Method-zoo layers ride in the same container: a BitDelta sign/scale
+    // layer and a Delta-CoMe mixed-precision low-rank layer.
+    let mut rng = Rng::seeded(seed ^ 0xDEF);
+    let raw = Matrix::randn(d_in, d_out, 0.01, &mut rng);
+    layers.insert(
+        "sign".to_string(),
+        PackedLayer::Sign(SignMatrix::from_delta(&raw, SignScope::PerRow)),
+    );
+    layers.insert(
+        "lowrank".to_string(),
+        PackedLayer::LowRank(LowRankMatrix::from_delta(&raw, &[(8, 1), (2, 2)])),
     );
     let mut rest = BTreeMap::new();
-    let mut rng = Rng::seeded(seed ^ 0xDEF);
     rest.insert(
         "emb".to_string(),
         Matrix::randn(rest_dim, d_out, 1.0, &mut rng),
     );
     let compressed: usize = layers.values().map(|c| c.packed_bytes()).sum();
+    // Sweep the manifest codec id too: `.dza` round-trips must preserve it.
+    let codec = match seed % 3 {
+        0 => CodecId::SparseGptStar,
+        1 => CodecId::BitDelta,
+        _ => CodecId::DeltaCome,
+    };
     CompressedDelta {
         layers,
         rest,
+        codec,
         config: DeltaCompressConfig::starred(bits),
         report: SizeReport {
             compressed_linear_bytes: compressed,

@@ -1,6 +1,7 @@
 //! Deterministic tests of the `.dza` container, the content-addressed
 //! registry, and the tiered store.
 
+use dz_compress::codec::{CodecId, PackedLayer, SignMatrix, SignScope};
 use dz_compress::pack::CompressedMatrix;
 use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::quant::{quantize_slice, QuantSpec};
@@ -39,8 +40,14 @@ fn packed_matrix(d_out: usize, d_in: usize, bits: u32, seed: u64) -> CompressedM
 
 fn fixture_delta(seed: u64) -> CompressedDelta {
     let mut layers = BTreeMap::new();
-    layers.insert("layers.0.wq".to_string(), packed_matrix(8, 16, 4, seed));
-    layers.insert("layers.0.wk".to_string(), packed_matrix(8, 16, 2, seed ^ 1));
+    layers.insert(
+        "layers.0.wq".to_string(),
+        PackedLayer::Quant(packed_matrix(8, 16, 4, seed)),
+    );
+    layers.insert(
+        "layers.0.wk".to_string(),
+        PackedLayer::Quant(packed_matrix(8, 16, 2, seed ^ 1)),
+    );
     let mut rest = BTreeMap::new();
     let mut rng = Rng::seeded(seed ^ 2);
     rest.insert("tok_emb".to_string(), Matrix::randn(12, 8, 1.0, &mut rng));
@@ -49,6 +56,7 @@ fn fixture_delta(seed: u64) -> CompressedDelta {
     CompressedDelta {
         layers,
         rest,
+        codec: CodecId::SparseGptStar,
         config: DeltaCompressConfig::starred(4),
         report: SizeReport {
             compressed_linear_bytes: compressed,
@@ -105,6 +113,7 @@ fn streaming_writer_matches_write_delta() {
         Cursor::new(Vec::new()),
         "v",
         sha256(b"base"),
+        delta.codec,
         delta.config,
         delta.report,
     )
@@ -126,6 +135,7 @@ fn duplicate_tensor_names_rejected() {
         Cursor::new(Vec::new()),
         "v",
         sha256(b"base"),
+        delta.codec,
         delta.config,
         delta.report,
     )
@@ -340,7 +350,10 @@ fn pipelined_read_matches_serial_and_reports_stats() {
     // must decode identically to the per-tensor serial path.
     let mut layers = BTreeMap::new();
     for i in 0..12 {
-        layers.insert(format!("layers.{i}.w"), packed_matrix(48, 64, 4, 60 + i));
+        layers.insert(
+            format!("layers.{i}.w"),
+            PackedLayer::Quant(packed_matrix(48, 64, 4, 60 + i)),
+        );
     }
     let mut rng = Rng::seeded(77);
     let mut rest = BTreeMap::new();
@@ -348,6 +361,7 @@ fn pipelined_read_matches_serial_and_reports_stats() {
     let delta = CompressedDelta {
         layers,
         rest,
+        codec: CodecId::SparseGptStar,
         config: DeltaCompressConfig::starred(4),
         report: SizeReport {
             compressed_linear_bytes: 1,
@@ -461,4 +475,117 @@ fn oversized_artifacts_are_served_uncached() {
     assert_eq!(store.fetch(&id).expect("b").tier, FetchTier::DiskMiss);
     assert_eq!(store.resident_bytes(), 0);
     std::fs::remove_dir_all(store.registry().root()).ok();
+}
+
+#[test]
+fn manifest_records_codec_ids_per_tensor() {
+    let mut delta = fixture_delta(90);
+    // A BitDelta-style artifact: sign/scale layers, BitDelta codec id.
+    let mut rng = Rng::seeded(91);
+    let sign = SignMatrix::from_delta(&Matrix::randn(16, 8, 0.01, &mut rng), SignScope::PerRow);
+    delta
+        .layers
+        .insert("layers.0.wv".to_string(), PackedLayer::Sign(sign));
+    delta.codec = CodecId::BitDelta;
+    let bytes = container_bytes(&delta, "bitdelta-variant");
+    let mut reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open");
+    assert_eq!(reader.manifest().codec, CodecId::BitDelta);
+    // Tensor headers record each layer's own format family, so the mixed
+    // artifact is inspectable per tensor without decoding pages.
+    for t in &reader.manifest().tensors {
+        let want = match (t.kind, t.name.as_str()) {
+            (TensorKind::DenseRest, _) => None,
+            (TensorKind::PackedLinear, "layers.0.wv") => Some(CodecId::BitDelta),
+            (TensorKind::PackedLinear, _) => Some(CodecId::SparseGptStar),
+        };
+        assert_eq!(t.codec, want, "tensor {}", t.name);
+    }
+    // The whole delta (mixed quant + sign layers) round-trips.
+    let back = reader.read_delta().expect("read");
+    assert_eq!(back, delta);
+    // And the sign layer is randomly accessible on its own.
+    let wv = reader.read_packed("layers.0.wv").expect("packed");
+    assert_eq!(&wv, &delta.layers["layers.0.wv"]);
+}
+
+/// Hand-writes a pre-method-zoo version-1 container (no codec bytes in
+/// the manifest or tensor headers) using the public wire primitives.
+fn v1_container_bytes(delta: &CompressedDelta, name: &str) -> Vec<u8> {
+    use dz_compress::wire;
+    use dz_lossless::crc::crc32;
+
+    let mut out = Vec::new();
+    out.extend_from_slice(b"DZA1");
+    out.extend_from_slice(&1u16.to_le_bytes());
+    // kind, offset, comp_len, raw_len, crc32 per tensor, in file order.
+    let mut entries: Vec<(String, u8, u64, u64, u64, u32)> = Vec::new();
+    for (tname, layer) in &delta.layers {
+        let raw = wire::matrix_to_bytes(layer.as_quant().expect("v1 holds quant layers"));
+        let page = dz_lossless::compress(&raw);
+        entries.push((
+            tname.clone(),
+            0,
+            out.len() as u64,
+            page.len() as u64,
+            raw.len() as u64,
+            crc32(&raw),
+        ));
+        out.extend_from_slice(&page);
+    }
+    for (tname, m) in &delta.rest {
+        let mut raw = Vec::new();
+        wire::encode_dense(m, &mut raw);
+        let page = dz_lossless::compress(&raw);
+        entries.push((
+            tname.clone(),
+            1,
+            out.len() as u64,
+            page.len() as u64,
+            raw.len() as u64,
+            crc32(&raw),
+        ));
+        out.extend_from_slice(&page);
+    }
+    let manifest_offset = out.len() as u64;
+    let mut manifest = Vec::new();
+    wire::put_name(&mut manifest, name);
+    manifest.extend_from_slice(&sha256(b"base").0);
+    wire::encode_config(&delta.config, &mut manifest);
+    wire::encode_report(&delta.report, &mut manifest);
+    manifest.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (tname, kind, offset, comp_len, raw_len, crc) in &entries {
+        wire::put_name(&mut manifest, tname);
+        manifest.push(*kind);
+        manifest.extend_from_slice(&offset.to_le_bytes());
+        manifest.extend_from_slice(&comp_len.to_le_bytes());
+        manifest.extend_from_slice(&raw_len.to_le_bytes());
+        manifest.extend_from_slice(&crc.to_le_bytes());
+    }
+    out.extend_from_slice(&manifest);
+    out.extend_from_slice(&manifest_offset.to_le_bytes());
+    out.extend_from_slice(&(manifest.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&manifest).to_le_bytes());
+    out.extend_from_slice(b"DZAE");
+    out
+}
+
+#[test]
+fn version_1_containers_still_read() {
+    let delta = fixture_delta(95);
+    let bytes = v1_container_bytes(&delta, "legacy");
+    let mut reader = ArtifactReader::open(Cursor::new(&bytes)).expect("open v1");
+    // Pre-method-zoo artifacts are implicitly SparseGPT-starred.
+    assert_eq!(reader.manifest().codec, CodecId::SparseGptStar);
+    for t in &reader.manifest().tensors {
+        match t.kind {
+            TensorKind::PackedLinear => assert_eq!(t.codec, Some(CodecId::SparseGptStar)),
+            TensorKind::DenseRest => assert_eq!(t.codec, None),
+        }
+    }
+    let back = reader.read_delta().expect("read v1 delta");
+    assert_eq!(back, delta);
+    // Single-tensor random access works on v1 containers too.
+    let mut reader2 = ArtifactReader::open(Cursor::new(&bytes)).expect("reopen");
+    let wq = reader2.read_packed("layers.0.wq").expect("packed");
+    assert_eq!(&wq, &delta.layers["layers.0.wq"]);
 }

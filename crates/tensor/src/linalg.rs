@@ -141,6 +141,158 @@ pub fn cholesky_inverse_upper(a: &Matrix) -> Result<Matrix, LinalgError> {
     Ok(l.transpose())
 }
 
+/// A thin singular value decomposition `A = U diag(S) V^T`.
+///
+/// For an `(m, n)` input with `k = min(m, n)`: `u` is `(m, k)`, `s` holds
+/// `k` non-negative singular values in descending order, and `vt` is
+/// `(k, n)`. Columns of `u` belonging to (numerically) zero singular
+/// values are zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `(m, k)`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f32>,
+    /// Right singular vectors transposed, `(k, n)`.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Rank of the decomposition (`min(m, n)`).
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstructs the best rank-`r` approximation `U_r diag(S_r) V_r^T`.
+    ///
+    /// `r` is clamped to the decomposition rank.
+    pub fn reconstruct_rank(&self, r: usize) -> Matrix {
+        let r = r.min(self.rank());
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut out = Matrix::zeros(m, n);
+        for j in 0..r {
+            let sj = self.s[j];
+            if sj == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let uij = self.u.get(i, j) * sj;
+                if uij == 0.0 {
+                    continue;
+                }
+                let row = out.row_mut(i);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += uij * self.vt.get(j, c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Thin SVD of a tall-or-square matrix (`m >= n`) via one-sided Jacobi:
+/// column pairs of a working copy are rotated until mutually orthogonal;
+/// column norms become the singular values and the accumulated rotations
+/// form `V`. Deterministic, `O(n^2 m)` per sweep — ample for the layer
+/// widths in this reproduction.
+fn svd_tall(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    let mut w = a.clone(); // Columns will be orthogonalized in place.
+    let mut v = Matrix::identity(n);
+    let eps = 1e-7f64;
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries of columns p and q, in f64 for stability.
+                let (mut alpha, mut beta, mut gamma) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let wp = w.get(i, p) as f64;
+                    let wq = w.get(i, q) as f64;
+                    alpha += wp * wp;
+                    beta += wq * wq;
+                    gamma += wp * wq;
+                }
+                let scale = (alpha * beta).sqrt();
+                if scale == 0.0 || gamma.abs() <= eps * scale {
+                    continue;
+                }
+                off = off.max(gamma.abs() / scale);
+                // Jacobi rotation zeroing the (p, q) Gram entry.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w.get(i, p) as f64;
+                    let wq = w.get(i, q) as f64;
+                    w.set(i, p, (c * wp - s * wq) as f32);
+                    w.set(i, q, (s * wp + c * wq) as f32);
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p) as f64;
+                    let vq = v.get(i, q) as f64;
+                    v.set(i, p, (c * vp - s * vq) as f32);
+                    v.set(i, q, (s * vp + c * vq) as f32);
+                }
+            }
+        }
+        if off < eps {
+            break;
+        }
+    }
+    // Column norms are the singular values; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| {
+            (0..m)
+                .map(|i| {
+                    let x = w.get(i, j) as f64;
+                    x * x
+                })
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite norms"));
+    let mut u = Matrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vt = Matrix::zeros(n, n);
+    for (out_j, &j) in order.iter().enumerate() {
+        let sigma = norms[j];
+        s.push(sigma as f32);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set(i, out_j, (w.get(i, j) as f64 / sigma) as f32);
+            }
+        }
+        for i in 0..n {
+            vt.set(out_j, i, v.get(i, j));
+        }
+    }
+    Svd { u, s, vt }
+}
+
+/// Thin SVD of any matrix (see [`Svd`] for shapes).
+///
+/// Wide inputs are handled by decomposing the transpose and swapping the
+/// factors: `A^T = U' S V'^T  =>  A = V' S U'^T`.
+pub fn svd_thin(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    if m >= n {
+        svd_tall(a)
+    } else {
+        let t = svd_tall(&a.transpose());
+        Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +380,77 @@ mod tests {
     fn identity_inverse_is_identity() {
         let inv = inverse_psd(&Matrix::identity(5)).unwrap();
         assert!(inv.max_abs_diff(&Matrix::identity(5)) < 1e-6);
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_square_and_wide() {
+        for (m, n, seed) in [(12usize, 7usize, 1u64), (9, 9, 2), (6, 14, 3)] {
+            let mut rng = Rng::seeded(seed);
+            let a = Matrix::randn(m, n, 1.0, &mut rng);
+            let svd = svd_thin(&a);
+            let k = m.min(n);
+            assert_eq!(svd.u.shape(), (m, k));
+            assert_eq!(svd.s.len(), k);
+            assert_eq!(svd.vt.shape(), (k, n));
+            let rec = svd.reconstruct_rank(k);
+            assert!(
+                a.max_abs_diff(&rec) < 1e-3,
+                "{m}x{n}: diff {}",
+                a.max_abs_diff(&rec)
+            );
+        }
+    }
+
+    #[test]
+    fn singular_values_descend_and_factors_are_orthonormal() {
+        let mut rng = Rng::seeded(4);
+        let a = Matrix::randn(10, 6, 0.5, &mut rng);
+        let svd = svd_thin(&a);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6, "not descending: {:?}", svd.s);
+        }
+        assert!(svd.s.iter().all(|&v| v >= 0.0));
+        // U^T U = I and V V^T (= vt vt^T here) = I.
+        let utu = svd.u.matmul_tn(&svd.u);
+        assert!(utu.max_abs_diff(&Matrix::identity(6)) < 1e-3);
+        let vvt = svd.vt.matmul_nt(&svd.vt);
+        assert!(vvt.max_abs_diff(&Matrix::identity(6)) < 1e-3);
+    }
+
+    #[test]
+    fn truncated_svd_beats_larger_truncation_never() {
+        // Frobenius error of the rank-r approximation is non-increasing
+        // in r — the spectral foundation of mixed-precision band codecs.
+        let mut rng = Rng::seeded(5);
+        let a = Matrix::randn(8, 8, 1.0, &mut rng);
+        let svd = svd_thin(&a);
+        let mut prev = f32::MAX;
+        for r in 1..=8 {
+            let err = a.sub(&svd.reconstruct_rank(r)).frob_norm();
+            assert!(err <= prev + 1e-4, "rank {r}: {err} > {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn svd_of_low_rank_matrix_finds_the_rank() {
+        let mut rng = Rng::seeded(6);
+        // Rank-2 outer-product matrix.
+        let u = Matrix::randn(9, 2, 1.0, &mut rng);
+        let v = Matrix::randn(2, 7, 1.0, &mut rng);
+        let a = u.matmul(&v);
+        let svd = svd_thin(&a);
+        assert!(svd.s[1] > 1e-4);
+        assert!(svd.s[2] < 1e-3, "third sv should vanish: {:?}", svd.s);
+        let rec = svd.reconstruct_rank(2);
+        assert!(a.max_abs_diff(&rec) < 1e-3);
+    }
+
+    #[test]
+    fn svd_of_zero_matrix_is_all_zero() {
+        let a = Matrix::zeros(5, 3);
+        let svd = svd_thin(&a);
+        assert!(svd.s.iter().all(|&v| v == 0.0));
+        assert_eq!(svd.reconstruct_rank(3), a);
     }
 }
