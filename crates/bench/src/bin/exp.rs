@@ -16,8 +16,8 @@
 //! panicking.
 
 use dz_bench::experiments::{
-    ablations, cluster, codec, compress, extensions, kernels, quality, serving, smoke, workloads,
-    Report, Scale,
+    ablations, cluster, codec, compress, extensions, kernels, quality, serving, smoke, swap,
+    workloads, Report, Scale,
 };
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -55,6 +55,7 @@ fn available() -> Vec<&'static str> {
         "bench-lossless",
         "bench-cluster",
         "bench-compress",
+        "bench-swap",
         "bench-smoke",
     ]
 }
@@ -99,6 +100,7 @@ fn run_one(
         "bench-lossless" => codec::bench_lossless(scale, out_dir),
         "bench-cluster" => cluster::bench_cluster(scale, out_dir),
         "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
+        "bench-swap" => swap::bench_swap(scale, out_dir),
         "bench-smoke" => {
             let (report, metrics) = smoke::bench_smoke(out_dir);
             return Some((report, Some(metrics)));

@@ -69,7 +69,7 @@ pub fn run_cluster(
         n_replicas,
         engine: engine_config(),
         admission,
-        router_warm_deltas: None,
+        ..ClusterConfig::default()
     };
     let mut sim = ClusterSim::new(
         vec![cost; n_replicas],

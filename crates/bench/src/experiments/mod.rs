@@ -15,6 +15,7 @@ pub mod kernels;
 pub mod quality;
 pub mod serving;
 pub mod smoke;
+pub mod swap;
 pub mod workloads;
 
 /// A rendered experiment artifact.

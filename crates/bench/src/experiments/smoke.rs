@@ -8,6 +8,11 @@
 //!   absorb runner variance),
 //! * `cluster_p99_e2e_s` — placement-aware cluster p99 on a fixed-seed
 //!   trace (simulated time: bit-for-bit deterministic),
+//! * `swap_overlap_frac`, `swap_warm_ttft_p99_s`, `swap_stall_ratio` —
+//!   the overlapped-swap pipeline on a fixed-seed churn trace: how much
+//!   load time hides behind decode, the warm-request TTFT tail, and the
+//!   overlapped-vs-serialized total-stall ratio (simulated:
+//!   deterministic),
 //! * `*_packed_ratio` — delta-only packed compression ratio of each
 //!   method-zoo codec on a fixed-seed synthetic model pair (pure
 //!   arithmetic: deterministic).
@@ -19,6 +24,7 @@
 
 use super::cluster::run_cluster;
 use super::codec::packed_delta_like;
+use super::swap::{run_swap, warm_ttft_p99};
 use super::{md_table, Report};
 use dz_compress::codec::{BitDeltaCodec, DeltaCodec, DeltaComeCodec, SparseGptCodec};
 use dz_model::tasks::Corpus;
@@ -78,7 +84,19 @@ pub fn measure() -> SmokeMetrics {
     let report = run_cluster("placement-aware", 2, 1.5, 0.6, 40.0, None);
     let cluster_p99 = report.merged.e2e_percentile(0.99);
 
-    // 3. Codec packed ratios on the synthetic pair.
+    // 3. Swap pipeline: overlapped vs serialized on the fixed-seed churn
+    //    trace (simulated time: deterministic).
+    let overlapped = run_swap("overlapped", 40.0);
+    let serialized = run_swap("serialized", 40.0);
+    let swap_overlap_frac = overlapped.swap.overlap_fraction();
+    let swap_warm_ttft = warm_ttft_p99(&overlapped);
+    let swap_stall_ratio = if serialized.swap.stall_s > 0.0 {
+        overlapped.swap.stall_s / serialized.swap.stall_s
+    } else {
+        0.0
+    };
+
+    // 4. Codec packed ratios on the synthetic pair.
     let (base, tuned) = synthetic_pair();
     let calib = dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
     let ratio_of = |codec: &dyn DeltaCodec| -> f64 {
@@ -93,6 +111,9 @@ pub fn measure() -> SmokeMetrics {
         entries: vec![
             ("decode_mb_s", decode_mb_s),
             ("cluster_p99_e2e_s", cluster_p99),
+            ("swap_overlap_frac", swap_overlap_frac),
+            ("swap_warm_ttft_p99_s", swap_warm_ttft),
+            ("swap_stall_ratio", swap_stall_ratio),
             ("sparsegpt4_packed_ratio", sgpt4),
             ("bitdelta_packed_ratio", bitdelta),
             ("deltacome_packed_ratio", deltacome),

@@ -63,12 +63,15 @@ use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
 pub use dz_serve::{
-    ClusterConfig, ClusterReport, ClusterSim, CostModel, DeltaStoreBinding, DeltaZipConfig,
-    LeastLoadedRouter, Metrics, PlacementAwareRouter, PlacementPlan, RoundRobinRouter, Router,
+    ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim, CostModel, DeltaStoreBinding,
+    DeltaZipConfig, LeastLoadedRouter, LoadProfile, Metrics, PlacementAwareRouter, PlacementPlan,
+    PopularityPrefetch, PrefetchConfig, PrefetchHint, PrefetchPolicy, Prefetcher, QueueLookahead,
+    RoundRobinRouter, Router, SwapStats, TransferTimeline,
 };
 use dz_serve::{DeltaZipEngine, Engine};
 pub use dz_store::{
-    ArtifactId, DecodeStats, DecodeThroughput, DecodedFetch, Registry, TieredDeltaStore,
+    ArtifactId, DecodeStats, DecodeThroughput, DecodedFetch, PrefetchOutcome, Registry,
+    TieredDeltaStore, Warmth,
 };
 use dz_workload::Trace;
 pub use manager::{params_hash, BaseId, ModelManager, VariantArtifact, VariantId, VariantInfo};

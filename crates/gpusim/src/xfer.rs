@@ -15,12 +15,26 @@ pub enum Tier {
 
 /// Time to read `bytes` from storage into host memory.
 pub fn disk_to_host_s(storage: StorageKind, bytes: f64) -> f64 {
-    storage.latency_s() + bytes / (storage.read_gbps() * 1e9)
+    storage.latency_s() + disk_channel_s(storage, bytes)
+}
+
+/// Solo seconds of disk-channel work for `bytes` (no latency head): the
+/// unit a bandwidth-shared transfer timeline divides among concurrent
+/// loads on the disk link.
+pub fn disk_channel_s(storage: StorageKind, bytes: f64) -> f64 {
+    bytes / (storage.read_gbps() * 1e9)
+}
+
+/// Solo seconds of PCIe-channel work for `bytes` (no setup head): the
+/// unit a bandwidth-shared transfer timeline divides among concurrent
+/// loads on the host→device link.
+pub fn pcie_channel_s(node: &NodeSpec, bytes: f64) -> f64 {
+    bytes / (node.gpu.pcie_gbps * 1e9)
 }
 
 /// Time to copy `bytes` from host memory to one GPU.
 pub fn host_to_device_s(node: &NodeSpec, bytes: f64) -> f64 {
-    20e-6 + bytes / (node.gpu.pcie_gbps * 1e9)
+    20e-6 + pcie_channel_s(node, bytes)
 }
 
 /// Time to bring `bytes` from `from` to GPU memory (pipelining the two hops
@@ -95,6 +109,20 @@ mod tests {
         let plain = load_to_device_s(&node, Tier::Disk, raw);
         let compressed = load_compressed_s(&node, raw, raw * 0.9, 2.0);
         assert!(compressed > plain, "{compressed} vs {plain}");
+    }
+
+    #[test]
+    fn channel_work_decomposes_the_pipelined_disk_load() {
+        // The pipelined disk→device path is the latency heads plus the
+        // slower of the two channel-work terms — the decomposition the
+        // swap timeline's bandwidth sharing operates on.
+        let node = NodeSpec::a800_node(2);
+        let bytes = 3e9;
+        let want = node.storage.latency_s()
+            + 20e-6
+            + disk_channel_s(node.storage, bytes).max(pcie_channel_s(&node, bytes));
+        let got = load_to_device_s(&node, Tier::Disk, bytes);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
     }
 
     #[test]

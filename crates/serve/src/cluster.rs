@@ -39,11 +39,12 @@
 
 use crate::cost::CostModel;
 use crate::deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
-use crate::metrics::{Metrics, RequestRecord};
+use crate::metrics::{Metrics, RequestRecord, SwapStats};
 use crate::slo::{SloClass, SloPolicy};
+use crate::swap::PrefetchPolicy;
 use crate::Engine;
 use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 // ---------------------------------------------------------------------------
 // Router-visible replica state.
@@ -62,9 +63,16 @@ pub struct ReplicaView {
     /// Whether the routed request's delta is predicted warm (host-cache
     /// resident) on this replica.
     pub warm: bool,
+    /// Whether the delta's **decoded** copy is predicted resident on this
+    /// replica — a decode-free hit, cheaper than a plain warm hit
+    /// (implies `warm`).
+    pub decoded: bool,
     /// Estimated extra seconds a cold (disk-tier) delta load would cost on
     /// this replica — what routing to a non-warm replica risks paying.
     pub cold_load_s: f64,
+    /// Estimated extra seconds a warm-but-not-decoded load would cost
+    /// (the decode pipeline a decode-free hit skips).
+    pub warm_load_s: f64,
 }
 
 /// A pluggable routing policy: given a request and a view of every
@@ -103,6 +111,29 @@ pub trait Router {
     fn name(&self) -> String;
     /// Chooses a replica id (must be `< views.len()`) for the request.
     fn route(&mut self, req: &Request, views: &[ReplicaView]) -> usize;
+    /// Prefetch hints to emit alongside this routing decision: replicas
+    /// that should prewarm a delta disk→host because the policy expects
+    /// traffic for it there soon. Called by [`ClusterSim`] right after
+    /// [`route`](Self::route) (with the chosen replica) when cluster
+    /// prefetch is enabled; the default emits none.
+    fn prefetch_hints(
+        &mut self,
+        _req: &Request,
+        _views: &[ReplicaView],
+        _routed: usize,
+    ) -> Vec<PrefetchHint> {
+        Vec::new()
+    }
+}
+
+/// One routing-time prefetch hint: "replica `replica` should prewarm
+/// model `model`'s delta".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchHint {
+    /// Target replica id.
+    pub replica: usize,
+    /// Model whose delta should be prewarmed.
+    pub model: usize,
 }
 
 /// The baseline: requests cycle over replicas regardless of load or
@@ -316,7 +347,15 @@ impl PlacementAwareRouter {
     }
 
     fn score(v: &ReplicaView) -> f64 {
-        v.backlog_s + if v.warm { 0.0 } else { v.cold_load_s }
+        // Decode-free hit beats a plain warm hit beats a disk miss.
+        v.backlog_s
+            + if !v.warm {
+                v.cold_load_s
+            } else if !v.decoded {
+                v.warm_load_s
+            } else {
+                0.0
+            }
     }
 }
 
@@ -355,6 +394,28 @@ impl Router for PlacementAwareRouter {
             Some((id, score)) if score <= overall.1 + self.spill_margin_s => id,
             _ => overall.0,
         }
+    }
+
+    fn prefetch_hints(
+        &mut self,
+        req: &Request,
+        views: &[ReplicaView],
+        routed: usize,
+    ) -> Vec<PrefetchHint> {
+        // The model just saw traffic: prewarm its *other* home replicas
+        // that are still cold, so the next request for it (hot models see
+        // many) finds a warm copy wherever the plan may route it.
+        self.plan
+            .homes(req.model)
+            .iter()
+            .copied()
+            .filter(|&h| h != routed && h < views.len() && !views[h].warm)
+            .take(2)
+            .map(|replica| PrefetchHint {
+                replica,
+                model: req.model,
+            })
+            .collect()
     }
 }
 
@@ -420,6 +481,26 @@ pub struct ShedRecord {
 // The cluster simulator.
 // ---------------------------------------------------------------------------
 
+/// Routing-time prefetch configuration: how [`ClusterSim`] applies the
+/// router's [`PrefetchHint`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterPrefetch {
+    /// Maximum hints applied per routing decision.
+    pub max_hints_per_decision: usize,
+    /// Byte budget per applied hint when replicas are store-bound
+    /// (forwarded to [`TieredDeltaStore::prefetch`](dz_store::TieredDeltaStore::prefetch)).
+    pub budget_bytes: u64,
+}
+
+impl Default for ClusterPrefetch {
+    fn default() -> Self {
+        ClusterPrefetch {
+            max_hints_per_decision: 2,
+            budget_bytes: u64::MAX,
+        }
+    }
+}
+
 /// Cluster-wide configuration shared by every replica.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -434,6 +515,14 @@ pub struct ClusterConfig {
     /// replica. Defaults to the engine's `host_capacity_deltas`; for
     /// store-bound replicas it is derived from each store's byte budget.
     pub router_warm_deltas: Option<usize>,
+    /// Routing-time prefetch: when set, the router's
+    /// [`PrefetchHint`]s are applied to the target replicas' (predicted
+    /// and, when store-bound, real) host caches. `None` disables hints.
+    pub prefetch: Option<ClusterPrefetch>,
+    /// Per-replica engine-level predictive prefetch policy (built per
+    /// replica from the trace's popularity for
+    /// [`PrefetchPolicy::Popularity`]). `None` disables it.
+    pub prefetch_policy: Option<PrefetchPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -443,6 +532,8 @@ impl Default for ClusterConfig {
             engine: DeltaZipConfig::default(),
             admission: None,
             router_warm_deltas: None,
+            prefetch: None,
+            prefetch_policy: None,
         }
     }
 }
@@ -473,6 +564,13 @@ pub struct RoutingStats {
     pub defer_events: usize,
     /// Requests shed by admission control.
     pub shed: usize,
+    /// Prefetch hints emitted by the router (pre-application).
+    pub prefetch_hints: usize,
+    /// Hints that actually prewarmed a cold predicted entry.
+    pub prefetch_issued: usize,
+    /// Requests routed warm onto an entry a prefetch hint prewarmed
+    /// (each prewarmed entry counts at most once).
+    pub prefetch_hits: usize,
 }
 
 impl RoutingStats {
@@ -483,6 +581,16 @@ impl RoutingStats {
             0.0
         } else {
             self.warm_routed as f64 / total as f64
+        }
+    }
+
+    /// Fraction of applied prefetch hints later rewarded by a warm-routed
+    /// request (`0.0` when no hints were applied).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_issued as f64
         }
     }
 }
@@ -537,6 +645,12 @@ impl ClusterReport {
 struct ReplicaFrontendState {
     /// Predicted host-cache contents: model -> LRU stamp.
     warm: HashMap<usize, u64>,
+    /// Models whose *decoded* copy is predicted resident (subset of
+    /// `warm`): a demand use decodes and caches, a prefetch does not.
+    decoded: HashSet<usize>,
+    /// Warm entries established by a prefetch hint and not yet rewarded
+    /// by a warm-routed request.
+    prefetched: HashSet<usize>,
     warm_cap: usize,
     clock: u64,
     /// Estimated time the replica drains everything routed to it.
@@ -549,6 +663,7 @@ struct ReplicaFrontendState {
     /// Cost-model-derived estimates.
     per_token_s: f64,
     cold_load_s: f64,
+    warm_load_s: f64,
 }
 
 impl ReplicaFrontendState {
@@ -559,12 +674,15 @@ impl ReplicaFrontendState {
     }
 
     fn view(&self, id: usize, now: f64, model: usize) -> ReplicaView {
+        let warm = self.warm.contains_key(&model);
         ReplicaView {
             id,
             queue_depth: self.finishes.len(),
             backlog_s: (self.busy_until - now).max(0.0),
-            warm: self.warm.contains_key(&model),
+            warm,
+            decoded: warm && self.decoded.contains(&model),
             cold_load_s: self.cold_load_s,
+            warm_load_s: self.warm_load_s,
         }
     }
 
@@ -580,10 +698,30 @@ impl ReplicaFrontendState {
             match victim {
                 Some(v) => {
                     self.warm.remove(&v);
+                    self.decoded.remove(&v);
+                    self.prefetched.remove(&v);
                 }
                 None => break,
             }
         }
+    }
+
+    /// A demand use: warm *and* decoded (the engine caches the decoded
+    /// copy beside the bytes after first use).
+    fn touch_used(&mut self, model: usize) {
+        self.touch_warm(model);
+        self.decoded.insert(model);
+    }
+
+    /// A prefetch hint landed: warm (compressed bytes only) — returns
+    /// whether the entry was newly prewarmed.
+    fn prefetch_warm(&mut self, model: usize) -> bool {
+        if self.warm.contains_key(&model) {
+            return false;
+        }
+        self.touch_warm(model);
+        self.prefetched.insert(model);
+        true
     }
 
     fn charge(&mut self, now: f64, est_service_s: f64) {
@@ -745,6 +883,8 @@ impl ClusterSim {
                 let cost = &self.costs[r];
                 let mut state = ReplicaFrontendState {
                     warm: HashMap::new(),
+                    decoded: HashSet::new(),
+                    prefetched: HashSet::new(),
                     warm_cap: self.warm_capacity(r),
                     clock: 0,
                     busy_until: 0.0,
@@ -762,12 +902,18 @@ impl ClusterSim {
                         cost.deltazip_decode_iter(&reqs, self.config.engine.strategy) / total as f64
                     },
                     cold_load_s: cost.delta_cold_load_time(),
+                    warm_load_s: cost.delta_load_time(),
                 };
-                // Seed the predicted warm set from real store residency.
+                // Seed the predicted warm (and decoded) sets from real
+                // store residency.
                 if let Some(bindings) = &self.bindings {
                     for model in 0..trace.spec.n_models {
                         if bindings[r].is_model_warm(model) {
-                            state.touch_warm(model);
+                            if bindings[r].is_model_decoded(model) {
+                                state.touch_used(model);
+                            } else {
+                                state.touch_warm(model);
+                            }
                         }
                     }
                 }
@@ -851,6 +997,11 @@ impl ClusterSim {
             let warm = views[r].warm;
             if warm {
                 routing.warm_routed += 1;
+                // A warm hit on a prewarmed entry rewards the hint that
+                // placed it (counted once per prewarm).
+                if states[r].prefetched.remove(&p.req.model) {
+                    routing.prefetch_hits += 1;
+                }
             } else {
                 routing.cold_routed += 1;
                 if views.iter().any(|v| v.warm) {
@@ -858,11 +1009,35 @@ impl ClusterSim {
                 }
             }
             routing.per_replica_requests[r] += 1;
+            // Apply the router's prefetch hints: prewarm the predicted
+            // caches and, when store-bound, the real ones (budgeted).
+            if let Some(pf) = self.config.prefetch {
+                for hint in self
+                    .router
+                    .prefetch_hints(&p.req, &views, r)
+                    .into_iter()
+                    .take(pf.max_hints_per_decision)
+                {
+                    if hint.replica >= n {
+                        continue;
+                    }
+                    routing.prefetch_hints += 1;
+                    if states[hint.replica].prefetch_warm(hint.model) {
+                        routing.prefetch_issued += 1;
+                        if let Some(bindings) = self.bindings.as_mut() {
+                            let binding = &mut bindings[hint.replica];
+                            if let Some(id) = binding.artifact_of(hint.model).copied() {
+                                let _ = binding.store_mut().prefetch(&[id], pf.budget_bytes);
+                            }
+                        }
+                    }
+                }
+            }
             let state = &mut states[r];
             let est = self.costs[r].prefill_time(p.req.prompt_tokens)
                 + p.req.output_tokens as f64 * state.per_token_s
                 + if warm { 0.0 } else { state.cold_load_s };
-            state.touch_warm(p.req.model);
+            state.touch_used(p.req.model);
             state.charge(now, est);
             let mut admitted = p.req.clone();
             admitted.arrival = now;
@@ -895,6 +1070,10 @@ impl ClusterSim {
             let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
             if let Some(adm) = &self.config.admission {
                 engine = engine.with_slo_policy(adm.slo.clone());
+            }
+            if let Some(policy) = self.config.prefetch_policy {
+                engine = engine
+                    .with_prefetcher(policy.build(trace.spec.popularity, trace.spec.n_models));
             }
             let mut stats_before = None;
             if let Some(b) = bindings
@@ -931,10 +1110,15 @@ impl ClusterSim {
             }
         }
         records.sort_by_key(|r| r.id);
+        let mut cluster_swap = SwapStats::default();
+        for m in &per_replica {
+            cluster_swap.merge(&m.swap);
+        }
         let merged = Metrics {
             engine: format!("Cluster[{}x {}]", n, self.router.name()),
             records,
             makespan_s: makespan,
+            swap: cluster_swap,
         };
         ClusterReport {
             merged,
@@ -1055,6 +1239,7 @@ pub fn run_partitioned(
         engine: format!("DeltaZip[{} bases]", partition.n_bases),
         records,
         makespan_s: makespan,
+        swap: SwapStats::default(),
     }
 }
 
@@ -1085,7 +1270,9 @@ mod tests {
             queue_depth: depth,
             backlog_s: backlog,
             warm,
+            decoded: warm,
             cold_load_s: 2.0,
+            warm_load_s: 0.5,
         }
     }
 
@@ -1198,6 +1385,110 @@ mod tests {
         // With no warm copy anywhere, lower backlog wins.
         let views = vec![view(0, 1, 0.5, false), view(1, 2, 1.0, false)];
         assert_eq!(r.route(&req(2), &views), 0);
+    }
+
+    #[test]
+    fn placement_router_prefers_decode_free_replicas() {
+        // Both replicas hold the delta warm, but only replica 1 holds the
+        // decoded copy: at equal backlog the decode-free hit must win.
+        // Model 2 is beyond the plan (place-anywhere), so the pure score
+        // decides: decode-free beats warm-but-undecoded.
+        let plan = PlacementPlan::from_weights(&[1.0; 2], 2);
+        let mut r = PlacementAwareRouter::new(plan).pinned();
+        let mut views = vec![view(0, 1, 1.0, true), view(1, 1, 1.0, true)];
+        views[0].decoded = false;
+        views[1].decoded = true;
+        assert_eq!(r.route(&req(2), &views), 1);
+        // ...and a large-enough backlog gap still outweighs the decode.
+        views[1].backlog_s = views[0].backlog_s + views[0].warm_load_s + 1.0;
+        assert_eq!(r.route(&req(2), &views), 0);
+    }
+
+    #[test]
+    fn prefetch_hints_prewarm_home_replicas_and_score_hits() {
+        // Skewed traffic through the placement-aware router with
+        // routing-time prefetch: hints must prewarm cold home replicas
+        // and later warm-routed requests must reward them.
+        let tr = Trace::generate(TraceSpec {
+            n_models: 24,
+            arrival_rate: 4.0,
+            duration_s: 60.0,
+            popularity: PopularityDist::Zipf { alpha: 1.5 },
+            seed: 19,
+        });
+        let config = ClusterConfig {
+            n_replicas: 4,
+            engine: DeltaZipConfig {
+                host_capacity_deltas: Some(6),
+                ..DeltaZipConfig::default()
+            },
+            prefetch: Some(ClusterPrefetch::default()),
+            ..ClusterConfig::default()
+        };
+        let plan = PlacementPlan::from_popularity(tr.spec.popularity, 24, 4);
+        let mut sim = ClusterSim::new(
+            vec![cost(); 4],
+            config.clone(),
+            Box::new(PlacementAwareRouter::new(plan.clone())),
+        );
+        let report = sim.run(&tr);
+        assert_eq!(report.merged.len(), tr.len());
+        assert!(report.routing.prefetch_hints > 0, "hints must be emitted");
+        assert!(report.routing.prefetch_issued > 0, "hints must prewarm");
+        assert!(report.routing.prefetch_hits > 0, "prewarms must pay off");
+        let rate = report.routing.prefetch_hit_rate();
+        assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "rate {rate}");
+        // Hints must not make warm routing worse than no-prefetch.
+        let mut plain = ClusterSim::new(
+            vec![cost(); 4],
+            ClusterConfig {
+                prefetch: None,
+                ..config
+            },
+            Box::new(PlacementAwareRouter::new(plan)),
+        );
+        let base = plain.run(&tr);
+        assert!(
+            report.routing.warm_fraction() >= base.routing.warm_fraction(),
+            "prefetch hints must not lower warm routing: {} vs {}",
+            report.routing.warm_fraction(),
+            base.routing.warm_fraction()
+        );
+    }
+
+    #[test]
+    fn engine_prefetch_policy_reaches_replicas() {
+        // A cluster-configured engine-level prefetch policy must show up
+        // in the merged swap stats.
+        let tr = Trace::generate(TraceSpec {
+            n_models: 16,
+            arrival_rate: 2.0,
+            duration_s: 40.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 37,
+        });
+        let config = ClusterConfig {
+            n_replicas: 2,
+            engine: DeltaZipConfig {
+                max_concurrent_deltas: 2,
+                host_capacity_deltas: Some(4),
+                ..DeltaZipConfig::default()
+            },
+            prefetch_policy: Some(crate::swap::PrefetchPolicy::QueueLookahead { depth: 4 }),
+            ..ClusterConfig::default()
+        };
+        let small = CostModel::new(
+            dz_gpusim::spec::NodeSpec::rtx3090_node(1),
+            ModelShape::llama7b(),
+        );
+        let mut sim = ClusterSim::new(vec![small; 2], config, Box::new(LeastLoadedRouter::new()));
+        let report = sim.run(&tr);
+        assert_eq!(report.merged.len(), tr.len());
+        assert!(
+            report.merged.swap.prefetch_issued > 0,
+            "replica engines must prefetch"
+        );
+        assert!(report.merged.swap.demand_loads > 0);
     }
 
     #[test]

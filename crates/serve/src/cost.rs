@@ -7,6 +7,7 @@
 //! tensor parallelism adds all-reduce costs per layer.
 
 use crate::policy::ResumePolicy;
+use crate::swap::LoadProfile;
 use dz_gpusim::kernel::{matmul_time, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
@@ -354,6 +355,120 @@ impl CostModel {
         self.load_time(bytes, xfer::Tier::Disk)
     }
 
+    /// Time to swap in a host-resident **decoded** delta copy of
+    /// `raw_bytes`: a pure PCIe transfer of the raw bytes, with no decode
+    /// stage (the store's cached decoded copy skips the pipeline).
+    pub fn decoded_load_time_bytes(&self, raw_bytes: f64) -> f64 {
+        xfer::load_to_device_s(
+            &self.node,
+            xfer::Tier::Host,
+            raw_bytes / self.node.n_gpus.max(1) as f64,
+        )
+    }
+
+    // ---- stage-decomposed load profiles for the swap timeline ----------
+    //
+    // Each constructor mirrors one scalar charge above: an uncontended
+    // load on the `swap::TransferTimeline` completes in exactly
+    // `profile.solo_s() == <the scalar charge>`, so single-load timing is
+    // calibration-identical to the legacy serialized path and only
+    // *concurrent* loads behave differently (they share channels).
+
+    fn per_gpu_bytes(&self, bytes: f64) -> f64 {
+        bytes / self.node.n_gpus.max(1) as f64
+    }
+
+    fn disk_stage_s(&self, bytes: f64) -> f64 {
+        xfer::disk_channel_s(self.node.storage, self.per_gpu_bytes(bytes))
+    }
+
+    fn pcie_stage_s(&self, bytes: f64) -> f64 {
+        xfer::pcie_channel_s(&self.node, self.per_gpu_bytes(bytes))
+    }
+
+    /// Profile of a synthetic host-tier load: PCIe hop pipelined against
+    /// the static deserialization stage (`solo_s == delta_load_time_bytes`).
+    pub fn delta_load_profile_bytes(&self, bytes: f64) -> LoadProfile {
+        LoadProfile {
+            head_s: 20e-6,
+            disk_s: 0.0,
+            pcie_s: self.pcie_stage_s(bytes),
+            tail_s: 0.0,
+            floor_s: bytes / (self.effective_load_gbps * 1e9),
+        }
+    }
+
+    /// Profile of a synthetic cold (disk) load: disk and PCIe stages
+    /// pipelined, then the serial deserialization tail
+    /// (`solo_s == delta_cold_load_time_bytes`).
+    pub fn delta_cold_load_profile_bytes(&self, bytes: f64) -> LoadProfile {
+        LoadProfile {
+            head_s: self.node.storage.latency_s() + 20e-6,
+            disk_s: self.disk_stage_s(bytes),
+            pcie_s: self.pcie_stage_s(bytes),
+            tail_s: bytes / (self.effective_load_gbps * 1e9),
+            floor_s: 0.0,
+        }
+    }
+
+    /// Profile of a measured host-tier load
+    /// (`solo_s == delta_load_time_measured`).
+    pub fn delta_load_profile_measured(&self, bytes: f64, decode_gbps: Option<f64>) -> LoadProfile {
+        let gbps = decode_gbps
+            .filter(|g| g.is_finite() && *g > 0.0)
+            .unwrap_or(self.effective_load_gbps);
+        LoadProfile {
+            head_s: 20e-6,
+            disk_s: 0.0,
+            pcie_s: self.pcie_stage_s(bytes),
+            tail_s: 0.0,
+            floor_s: bytes / (gbps * 1e9),
+        }
+    }
+
+    /// Profile of a measured cold (disk) load: disk, PCIe, and decode all
+    /// pipelined (`solo_s == delta_cold_load_time_measured`).
+    pub fn delta_cold_load_profile_measured(
+        &self,
+        bytes: f64,
+        decode_gbps: Option<f64>,
+    ) -> LoadProfile {
+        let gbps = decode_gbps
+            .filter(|g| g.is_finite() && *g > 0.0)
+            .unwrap_or(self.effective_load_gbps);
+        LoadProfile {
+            head_s: self.node.storage.latency_s() + 20e-6,
+            disk_s: self.disk_stage_s(bytes),
+            pcie_s: self.pcie_stage_s(bytes),
+            tail_s: 0.0,
+            floor_s: bytes / (gbps * 1e9),
+        }
+    }
+
+    /// Profile of a decode-free swap-in of a host-resident decoded copy
+    /// (`solo_s == decoded_load_time_bytes(raw_bytes)`).
+    pub fn decoded_load_profile_bytes(&self, raw_bytes: f64) -> LoadProfile {
+        LoadProfile {
+            head_s: 20e-6,
+            disk_s: 0.0,
+            pcie_s: self.pcie_stage_s(raw_bytes),
+            tail_s: 0.0,
+            floor_s: 0.0,
+        }
+    }
+
+    /// Profile of a predictive disk→host prewarm: disk channel only (the
+    /// bytes stop in host DRAM; PCIe and decode are paid at swap-in).
+    pub fn prefetch_profile_bytes(&self, bytes: f64) -> LoadProfile {
+        LoadProfile {
+            head_s: self.node.storage.latency_s(),
+            disk_s: self.disk_stage_s(bytes),
+            pcie_s: 0.0,
+            tail_s: 0.0,
+            floor_s: 0.0,
+        }
+    }
+
     /// How many full FP16 models fit in the cluster HBM next to activations.
     pub fn vllm_resident_capacity(&self) -> usize {
         // Reserve 15% of HBM for KV cache and activations.
@@ -476,6 +591,70 @@ mod tests {
         assert!(cm
             .delta_load_time_measured(bytes, Some(f64::NAN))
             .is_finite());
+    }
+
+    #[test]
+    fn load_profiles_solo_times_match_the_scalar_charges() {
+        // The swap timeline's calibration contract: an uncontended load
+        // completes in exactly the legacy serialized charge, for every
+        // charge flavor.
+        for node in [NodeSpec::a800_node(4), NodeSpec::rtx3090_node(1)] {
+            let cm = CostModel::new(node, ModelShape::llama7b());
+            for bytes in [1e6, 1e8, 2e9] {
+                assert!(
+                    (cm.delta_load_profile_bytes(bytes).solo_s() - cm.delta_load_time_bytes(bytes))
+                        .abs()
+                        < 1e-12
+                );
+                assert!(
+                    (cm.delta_cold_load_profile_bytes(bytes).solo_s()
+                        - cm.delta_cold_load_time_bytes(bytes))
+                    .abs()
+                        < 1e-12
+                );
+                for gbps in [None, Some(0.1), Some(5.0), Some(f64::NAN)] {
+                    assert!(
+                        (cm.delta_load_profile_measured(bytes, gbps).solo_s()
+                            - cm.delta_load_time_measured(bytes, gbps))
+                        .abs()
+                            < 1e-12
+                    );
+                    assert!(
+                        (cm.delta_cold_load_profile_measured(bytes, gbps).solo_s()
+                            - cm.delta_cold_load_time_measured(bytes, gbps))
+                        .abs()
+                            < 1e-12
+                    );
+                }
+                assert!(
+                    (cm.decoded_load_profile_bytes(bytes).solo_s()
+                        - cm.decoded_load_time_bytes(bytes))
+                    .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_profile_is_disk_only() {
+        let cm = model();
+        let p = cm.prefetch_profile_bytes(1e8);
+        assert!(p.disk_s > 0.0);
+        assert_eq!(p.pcie_s, 0.0);
+        assert_eq!(p.tail_s, 0.0);
+        assert_eq!(p.floor_s, 0.0);
+        // Prewarming costs strictly less than the full cold demand load.
+        assert!(p.solo_s() < cm.delta_cold_load_time_bytes(1e8));
+    }
+
+    #[test]
+    fn decoded_swap_in_skips_the_decode_stage() {
+        // At equal byte counts a decode-free swap-in is pure PCIe, which
+        // beats the deserialization-bound host-hit charge.
+        let cm = model();
+        let bytes = 1e9;
+        assert!(cm.decoded_load_time_bytes(bytes) < cm.delta_load_time_bytes(bytes));
     }
 
     #[test]

@@ -8,8 +8,15 @@
 //!    selecting up to `N` distinct deltas; any queued request whose delta is
 //!    already selected may **skip the line** (it becomes a *child* of the
 //!    request that caused the delta's selection),
-//! 3. load any missing deltas (host -> device; first touch comes from
-//!    disk), charging the wait to the affected requests,
+//! 3. start loads for missing deltas on the shared
+//!    [`swap::TransferTimeline`](crate::swap::TransferTimeline): decode
+//!    continues for the resident sub-batch while loads progress in the
+//!    background, and each admitted request stalls only until *its own*
+//!    delta lands (§5's overlap of swap-in with ongoing computation).
+//!    With [`DeltaZipConfig::overlap_swaps`] disabled, the legacy
+//!    serialized behavior is retained: every load is charged up front and
+//!    the whole batch stalls on the sum. A [`Prefetcher`] may additionally
+//!    prewarm deltas disk→host ahead of demand under a bandwidth budget,
 //! 4. batch-prefill newly admitted prompts and restore preempted requests
 //!    per the [`ResumePolicy`],
 //! 5. run one decode iteration: shared base GEMM over the whole batch plus
@@ -23,11 +30,14 @@
 //! "dynamic tuning").
 
 use crate::cost::CostModel;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SwapStats};
 use crate::policy::{PreemptionPolicy, ResumePolicy};
 use crate::predictor::LengthEstimator;
 use crate::request::{Phase, ReqState};
 use crate::slo::SloPolicy;
+use crate::swap::{
+    Completion, LoadKind, LoadToken, PrefetchConfig, PrefetchContext, Prefetcher, TransferTimeline,
+};
 use crate::tuning::DynamicN;
 use crate::Engine;
 use dz_gpusim::kernel::BatchedImpl;
@@ -52,7 +62,20 @@ pub struct DeltaZipConfig {
     pub skip_the_line: bool,
     /// Host-DRAM delta cache capacity (deltas evicted from it fall back to
     /// disk, §5.4's hierarchical management). `None` = unbounded host cache.
+    ///
+    /// Deltas selected for the current batch are exempt from eviction, so
+    /// a cap below `max_concurrent_deltas` could never bind; the engine
+    /// therefore **clamps the cap up to `max_concurrent_deltas`** (at both
+    /// construction and run time) instead of silently carrying an
+    /// unenforceable value.
     pub host_capacity_deltas: Option<usize>,
+    /// Overlap delta swap-in with decode (the §5 behavior): loads progress
+    /// on a bandwidth-shared transfer timeline while the resident
+    /// sub-batch keeps decoding, and each request stalls only until its
+    /// own delta lands. `false` restores the legacy serialized model —
+    /// every missing delta is charged up front and the *whole batch*
+    /// stalls on the sum (the baseline `exp bench-swap` compares against).
+    pub overlap_swaps: bool,
 }
 
 impl Default for DeltaZipConfig {
@@ -65,7 +88,22 @@ impl Default for DeltaZipConfig {
             resume: ResumePolicy::SwapToHost,
             skip_the_line: true,
             host_capacity_deltas: None,
+            overlap_swaps: true,
         }
+    }
+}
+
+impl DeltaZipConfig {
+    /// Normalizes the config: clamps `host_capacity_deltas` up to the
+    /// concurrency floor it could otherwise never enforce (see the field
+    /// docs). Applied by [`DeltaZipEngine::new`] and again at run time
+    /// (the fields are public and may be mutated in between).
+    pub fn validated(mut self) -> Self {
+        let floor = self.max_concurrent_deltas.max(1);
+        if let Some(cap) = self.host_capacity_deltas {
+            self.host_capacity_deltas = Some(cap.max(floor));
+        }
+        self
     }
 }
 
@@ -119,6 +157,29 @@ impl DeltaStoreBinding {
             .is_some_and(|id| self.store.is_resident(id))
     }
 
+    /// Whether a model's **decoded** delta is host-resident — a fetch
+    /// would be a decode-free hit ([`dz_store::Warmth::HostDecoded`]),
+    /// the signal that lets a placement router distinguish a replica that
+    /// can swap the delta in without running the decode pipeline.
+    pub fn is_model_decoded(&self, model: usize) -> bool {
+        self.artifact_of(model)
+            .is_some_and(|id| self.store.is_decoded_resident(id))
+    }
+
+    /// Compressed byte size of a model's artifact on disk, if bound.
+    fn artifact_bytes(&self, model: usize) -> Option<u64> {
+        self.artifact_of(model)
+            .and_then(|id| self.store.registry().size_of(id).ok())
+    }
+
+    /// Prewarms a model's artifact disk→host through the store's
+    /// bandwidth-budgeted [`TieredDeltaStore::prefetch`] API.
+    fn prefetch_model(&mut self, model: usize) {
+        if let Some(id) = self.artifacts.get(model).copied() {
+            let _ = self.store.prefetch(&[id], u64::MAX);
+        }
+    }
+
     /// Keeps a model's artifact warm in the host cache while the delta is
     /// consumed from GPU memory (no fetch, no load accounting).
     fn touch_model(&mut self, model: usize) {
@@ -169,20 +230,37 @@ pub struct DeltaZipEngine {
     /// from real `.dza` byte sizes and the store's own disk→host tiering
     /// replaces the synthetic `host_capacity_deltas` model.
     pub delta_store: Option<DeltaStoreBinding>,
+    /// Optional predictive prefetcher: prewarms deltas disk→host ahead of
+    /// demand (only active with [`DeltaZipConfig::overlap_swaps`]).
+    pub prefetcher: Option<Box<dyn Prefetcher>>,
+    /// Bandwidth budget for the prefetcher.
+    pub prefetch_config: PrefetchConfig,
 }
 
 impl DeltaZipEngine {
     /// Creates an engine with the paper's defaults (FCFS scan, static `N`,
-    /// online-mean length estimates).
+    /// online-mean length estimates). The config is
+    /// [validated](DeltaZipConfig::validated) — in particular an
+    /// unenforceable `host_capacity_deltas` is clamped up to
+    /// `max_concurrent_deltas`.
     pub fn new(cost: CostModel, config: DeltaZipConfig) -> Self {
         DeltaZipEngine {
             cost,
-            config,
+            config: config.validated(),
             estimator: LengthEstimator::default(),
             slo_policy: None,
             dynamic_n: None,
             delta_store: None,
+            prefetcher: None,
+            prefetch_config: PrefetchConfig::default(),
         }
+    }
+
+    /// Enables predictive disk→host prefetch under the default bandwidth
+    /// budget (tune via the public `prefetch_config` field).
+    pub fn with_prefetcher(mut self, prefetcher: Box<dyn Prefetcher>) -> Self {
+        self.prefetcher = Some(prefetcher);
+        self
     }
 
     /// Attaches an artifact store: loads are charged by the bound
@@ -240,12 +318,20 @@ impl Engine for DeltaZipEngine {
     }
 
     fn run(&mut self, trace: &Trace) -> Metrics {
-        let cfg = self.config;
+        // Re-validate: the config fields are public and may have been
+        // mutated after construction.
+        let cfg = self.config.validated();
         let cost = self.cost;
         let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
         // Queue of request ids, FCFS == id order (trace is arrival-sorted).
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
+        // Admitted requests whose delta is still in flight: each holds a
+        // batch slot but stalls only until *its own* load lands
+        // (`blocked_at` marks when the stall began). Only used with
+        // `overlap_swaps`.
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut blocked_at: HashMap<usize, f64> = HashMap::new();
         let mut next_arrival = 0usize;
         let mut t = 0.0f64;
         // Delta residency: deltas stay on GPU (LRU) up to the memory
@@ -259,6 +345,15 @@ impl Engine for DeltaZipEngine {
         let mut warm: HashMap<usize, f64> = HashMap::new();
         // The parent request per selected delta.
         let mut parent_of_delta: HashMap<usize, usize> = HashMap::new();
+        // The shared-channel transfer timeline and its in-flight index.
+        let mut timeline = TransferTimeline::new();
+        let mut loading: HashMap<usize, LoadToken> = HashMap::new();
+        let mut load_is_prefetch: HashSet<usize> = HashSet::new();
+        // Deltas whose host warmth came from a completed prefetch (the
+        // prefetch-hit accounting).
+        let mut prefetched_warm: HashSet<usize> = HashSet::new();
+        let mut prefetch_bucket = self.prefetch_config.burst_s;
+        let mut swap = SwapStats::default();
 
         loop {
             // Step 1: admit arrivals up to the current time.
@@ -266,15 +361,39 @@ impl Engine for DeltaZipEngine {
                 queue.insert(next_arrival);
                 next_arrival += 1;
             }
-            if running.is_empty() && queue.is_empty() {
+            if running.is_empty() && queue.is_empty() && waiting.is_empty() {
                 if next_arrival >= states.len() {
                     break;
                 }
-                t = states[next_arrival].req.arrival;
+                // Idle gap: only prefetches can be in flight; let them
+                // progress to the next arrival.
+                let t_next = states[next_arrival].req.arrival;
+                let adv = timeline.advance_to(t_next);
+                swap.load_busy_s += adv.busy_s;
+                prefetch_bucket = (prefetch_bucket + (t_next - t) * self.prefetch_config.rate)
+                    .min(self.prefetch_config.burst_s);
+                t = t_next;
+                apply_swap_completions(
+                    adv.completions,
+                    &cfg,
+                    &mut states,
+                    &mut waiting,
+                    &mut running,
+                    &mut blocked_at,
+                    &mut on_gpu,
+                    &mut warm,
+                    &mut loading,
+                    &mut load_is_prefetch,
+                    &mut prefetched_warm,
+                    &BTreeSet::new(),
+                    &mut self.delta_store,
+                    &mut swap,
+                );
                 continue;
             }
 
-            // Step 2: scheduling. Running requests keep their deltas.
+            // Step 2: scheduling. Running and waiting requests keep their
+            // delta claims.
             let n_cap = match self.dynamic_n.as_mut() {
                 Some(ctl) => {
                     let distinct: HashSet<usize> =
@@ -283,10 +402,13 @@ impl Engine for DeltaZipEngine {
                 }
                 None => cfg.max_concurrent_deltas,
             };
-            let mut selected: BTreeSet<usize> =
-                running.iter().map(|&i| states[i].req.model).collect();
+            let mut selected: BTreeSet<usize> = running
+                .iter()
+                .chain(waiting.iter())
+                .map(|&i| states[i].req.model)
+                .collect();
             parent_of_delta.retain(|d, _| selected.contains(d));
-            let mut batch_size = running.len();
+            let mut batch_size = running.len() + waiting.len();
             let mut admitted: Vec<usize> = Vec::new();
             for qid in self.scan_order(&queue, &states, t) {
                 if batch_size >= cfg.max_batch {
@@ -315,87 +437,210 @@ impl Engine for DeltaZipEngine {
                     .filter(|&p| p != qid);
                 states[qid].parent = parent;
                 states[qid].admit(t);
-                running.push(qid);
+                if cfg.overlap_swaps && !on_gpu.contains_key(&states[qid].req.model) {
+                    // Overlapped mode: hold a batch slot but wait for this
+                    // delta's own load; the resident sub-batch decodes on.
+                    blocked_at.insert(qid, t);
+                    waiting.push(qid);
+                } else {
+                    running.push(qid);
+                }
             }
 
-            // Step 3: load deltas that are not yet on GPU, evicting the
-            // least-recently-used non-selected deltas under memory pressure.
-            let mut load_s = 0.0;
+            // Step 3: bring selected deltas that are not yet on GPU,
+            // evicting the least-recently-used non-selected deltas under
+            // memory pressure.
             let needed: Vec<usize> = selected
                 .iter()
                 .copied()
                 .filter(|d| !on_gpu.contains_key(d))
                 .collect();
-            for d in needed {
-                while on_gpu.len() >= capacity {
-                    let victim = on_gpu
-                        .iter()
-                        .filter(|(d, _)| !selected.contains(*d))
-                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
-                        .map(|(&d, _)| d);
-                    match victim {
-                        Some(v) => {
-                            on_gpu.remove(&v);
+            if cfg.overlap_swaps {
+                for d in needed {
+                    if let Some(&tok) = loading.get(&d) {
+                        if load_is_prefetch.contains(&d) {
+                            // A prewarm for this delta is already in
+                            // flight: graft the host→device stages onto it
+                            // instead of paying the disk bytes twice. The
+                            // promoted load needs a GPU slot like any
+                            // demand load (count it *before* clearing the
+                            // prefetch marker so the loop reserves room
+                            // for it).
+                            let demand_inflight = loading.len() - load_is_prefetch.len();
+                            evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                            load_is_prefetch.remove(&d);
+                            // The prewarm's disk bytes finish into the
+                            // host tier and the demand path fetches from
+                            // there — keep the host-cache bookkeeping in
+                            // sync so a later re-load of this delta is
+                            // warm, and count the (mid-flight) hit.
+                            let extra = match self.delta_store.as_mut() {
+                                Some(binding) => {
+                                    binding.prefetch_model(d);
+                                    let outcome = binding.fetch_for_model(d);
+                                    let gbps = binding.measured_decode_gbps();
+                                    cost.delta_load_profile_measured(outcome.bytes as f64, gbps)
+                                }
+                                None => {
+                                    warm.insert(d, t);
+                                    enforce_host_cap(&cfg, &mut warm, &selected);
+                                    cost.delta_load_profile_bytes(cost.delta_bytes())
+                                }
+                            };
+                            swap.prefetch_hits += 1;
+                            timeline.promote(tok, extra);
+                            swap.demand_loads += 1;
+                            swap.serialized_stall_s += extra.solo_s();
                         }
-                        None => break, // Capacity >= N guarantees progress.
+                        continue;
                     }
+                    let demand_inflight = loading.len() - load_is_prefetch.len();
+                    evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                    let was_prefetched = prefetched_warm.remove(&d);
+                    let profile = match self.delta_store.as_mut() {
+                        // Artifact-store path: the store decides the tier
+                        // from its byte-budget LRU, reports real artifact
+                        // bytes, and the stage profile uses the *measured*
+                        // decode throughput.
+                        Some(binding) => {
+                            let outcome = binding.fetch_for_model(d);
+                            let gbps = binding.measured_decode_gbps();
+                            if was_prefetched && outcome.tier == FetchTier::HostHit {
+                                swap.prefetch_hits += 1;
+                            }
+                            match outcome.tier {
+                                // Decode-free hit: the store still held the
+                                // decoded copy, which streams raw over PCIe
+                                // with no decompression stage.
+                                FetchTier::HostHit if outcome.decode.is_none() => {
+                                    cost.decoded_load_profile_bytes(outcome.raw_bytes as f64)
+                                }
+                                FetchTier::HostHit => {
+                                    cost.delta_load_profile_measured(outcome.bytes as f64, gbps)
+                                }
+                                FetchTier::DiskMiss => cost
+                                    .delta_cold_load_profile_measured(outcome.bytes as f64, gbps),
+                            }
+                        }
+                        // Synthetic path: shape-model bytes, warm/cold
+                        // decided by the engine's own host-cache bookkeeping.
+                        None => {
+                            let warm_hit = warm.contains_key(&d);
+                            if warm_hit && was_prefetched {
+                                swap.prefetch_hits += 1;
+                            }
+                            let p = if warm_hit {
+                                cost.delta_load_profile_bytes(cost.delta_bytes())
+                            } else {
+                                cost.delta_cold_load_profile_bytes(cost.delta_bytes())
+                            };
+                            warm.insert(d, t);
+                            enforce_host_cap(&cfg, &mut warm, &selected);
+                            p
+                        }
+                    };
+                    let tok = timeline.start(profile, LoadKind::Demand { delta: d });
+                    loading.insert(d, tok);
+                    swap.demand_loads += 1;
+                    swap.serialized_stall_s += profile.solo_s();
                 }
-                load_s += match self.delta_store.as_mut() {
-                    // Artifact-store path: the store decides the tier from
-                    // its byte-budget LRU, reports real artifact bytes, and
-                    // the fetch runs the pipelined decode — so the charge
-                    // uses the *measured* decode throughput (max(transfer,
-                    // decode), reads overlapped) instead of the static
-                    // deserialization constant.
-                    Some(binding) => {
-                        let outcome = binding.fetch_for_model(d);
-                        let gbps = binding.measured_decode_gbps();
-                        match outcome.tier {
-                            // A host hit still pays the decode stage: the
-                            // delta crosses PCIe *compressed* and is
-                            // decompressed on swap-in whichever tier held
-                            // it (the store's cached decoded copy only
-                            // spares the simulator the CPU work, not the
-                            // modeled system the decode).
-                            FetchTier::HostHit => {
-                                cost.delta_load_time_measured(outcome.bytes as f64, gbps)
-                            }
-                            FetchTier::DiskMiss => {
-                                cost.delta_cold_load_time_measured(outcome.bytes as f64, gbps)
-                            }
-                        }
-                    }
-                    // Synthetic path: shape-model bytes, warm/cold decided
-                    // by the engine's own host-cache bookkeeping.
-                    None => {
-                        let charge = if warm.contains_key(&d) {
-                            cost.delta_load_time()
-                        } else {
-                            cost.delta_cold_load_time()
-                        };
-                        warm.insert(d, t);
-                        if let Some(host_cap) = cfg.host_capacity_deltas {
-                            while warm.len() > host_cap.max(1) {
-                                let victim = warm
-                                    .iter()
-                                    .filter(|(d, _)| {
-                                        !on_gpu.contains_key(*d) && !selected.contains(*d)
-                                    })
-                                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
-                                    .map(|(&d, _)| d);
-                                match victim {
-                                    Some(v) => {
-                                        warm.remove(&v);
-                                    }
-                                    None => break, // Everything cached is in use.
+            } else {
+                // Legacy serialized path (the `bench-swap` baseline):
+                // charge every load up front and stall the whole batch on
+                // the sum — including requests whose delta was already
+                // resident.
+                let mut load_s = 0.0;
+                for d in needed {
+                    evict_gpu_lru(&mut on_gpu, &selected, capacity, 0);
+                    let charge = match self.delta_store.as_mut() {
+                        Some(binding) => {
+                            let outcome = binding.fetch_for_model(d);
+                            let gbps = binding.measured_decode_gbps();
+                            match outcome.tier {
+                                FetchTier::HostHit => {
+                                    cost.delta_load_time_measured(outcome.bytes as f64, gbps)
+                                }
+                                FetchTier::DiskMiss => {
+                                    cost.delta_cold_load_time_measured(outcome.bytes as f64, gbps)
                                 }
                             }
                         }
-                        charge
+                        None => {
+                            let charge = if warm.contains_key(&d) {
+                                cost.delta_load_time()
+                            } else {
+                                cost.delta_cold_load_time()
+                            };
+                            warm.insert(d, t);
+                            enforce_host_cap(&cfg, &mut warm, &selected);
+                            charge
+                        }
+                    };
+                    load_s += charge;
+                    swap.demand_loads += 1;
+                    swap.serialized_stall_s += charge;
+                    on_gpu.insert(d, t);
+                }
+                if load_s > 0.0 {
+                    t += load_s;
+                    swap.load_busy_s += load_s;
+                    swap.blocked_s += load_s;
+                    for &rid in &running {
+                        states[rid].load_wait_s += load_s;
+                        swap.stall_s += load_s;
                     }
-                };
-                on_gpu.insert(d, t);
+                }
             }
+
+            // Step 3b: predictive prefetch under the bandwidth budget.
+            if cfg.overlap_swaps && self.prefetcher.is_some() {
+                let pcfg = self.prefetch_config;
+                let queued_models: Vec<usize> = self
+                    .scan_order(&queue, &states, t)
+                    .into_iter()
+                    .map(|qid| states[qid].req.model)
+                    .collect();
+                let ctx = PrefetchContext {
+                    queued_models: &queued_models,
+                    selected: &selected,
+                };
+                let candidates = match self.prefetcher.as_mut() {
+                    Some(pf) => pf.candidates(&ctx),
+                    None => Vec::new(),
+                };
+                for d in candidates {
+                    if timeline.in_flight_prefetches() >= pcfg.max_inflight {
+                        break;
+                    }
+                    if selected.contains(&d) || on_gpu.contains_key(&d) || loading.contains_key(&d)
+                    {
+                        continue;
+                    }
+                    let (already_warm, bytes) = match self.delta_store.as_ref() {
+                        Some(binding) => (
+                            binding.is_model_warm(d),
+                            binding
+                                .artifact_bytes(d)
+                                .map(|b| b as f64)
+                                .unwrap_or_else(|| cost.delta_bytes()),
+                        ),
+                        None => (warm.contains_key(&d), cost.delta_bytes()),
+                    };
+                    if already_warm {
+                        continue;
+                    }
+                    let profile = cost.prefetch_profile_bytes(bytes);
+                    if profile.disk_s > prefetch_bucket {
+                        continue;
+                    }
+                    prefetch_bucket -= profile.disk_s;
+                    let tok = timeline.start(profile, LoadKind::Prefetch { delta: d });
+                    loading.insert(d, tok);
+                    load_is_prefetch.insert(d);
+                    swap.prefetch_issued += 1;
+                }
+            }
+
             // Touch LRU stamps of the deltas used this iteration — both
             // the engine's own maps and, in store-backed mode, the host
             // cache (a GPU-resident delta must not rot into the store's
@@ -413,15 +658,47 @@ impl Engine for DeltaZipEngine {
                     binding.touch_model(*d);
                 }
             }
-            if load_s > 0.0 {
-                t += load_s;
-                for &rid in &running {
-                    states[rid].load_wait_s += load_s;
+
+            if running.is_empty() {
+                // Everything admitted is stalled on its own load: jump to
+                // the earliest in-flight completion (or the next arrival,
+                // whichever lets the engine make progress first).
+                let next_c = timeline
+                    .next_completion_at()
+                    .expect("waiting requests imply in-flight loads");
+                let mut target = next_c;
+                if next_arrival < states.len() {
+                    target = target.min(states[next_arrival].req.arrival);
                 }
+                let target = target.max(t);
+                let adv = timeline.advance_to(target);
+                swap.load_busy_s += adv.busy_s;
+                swap.blocked_s += adv.busy_s;
+                prefetch_bucket = (prefetch_bucket + (target - t) * self.prefetch_config.rate)
+                    .min(self.prefetch_config.burst_s);
+                t = target;
+                apply_swap_completions(
+                    adv.completions,
+                    &cfg,
+                    &mut states,
+                    &mut waiting,
+                    &mut running,
+                    &mut blocked_at,
+                    &mut on_gpu,
+                    &mut warm,
+                    &mut loading,
+                    &mut load_is_prefetch,
+                    &mut prefetched_warm,
+                    &selected,
+                    &mut self.delta_store,
+                    &mut swap,
+                );
+                continue;
             }
 
             // Step 4: batched prefill for newly admitted requests, plus
             // state restoration for resumed (previously preempted) ones.
+            let t_before = t;
             let mut prompt_tokens = 0usize;
             let mut restore_s = 0.0;
             for &rid in &running {
@@ -450,14 +727,18 @@ impl Engine for DeltaZipEngine {
                 }
             }
 
-            // Step 5: one decode iteration over the whole batch.
-            let delta_ids: Vec<usize> = selected.iter().copied().collect();
+            // Step 5: one decode iteration over the resident sub-batch.
+            let delta_ids: Vec<usize> = selected
+                .iter()
+                .copied()
+                .filter(|d| on_gpu.contains_key(d))
+                .collect();
             let mut reqs_per_delta = vec![0usize; delta_ids.len()];
             for &rid in &running {
                 let di = delta_ids
                     .iter()
                     .position(|&d| d == states[rid].req.model)
-                    .expect("running request's delta is selected");
+                    .expect("running request's delta is resident");
                 reqs_per_delta[di] += 1;
             }
             t += cost.deltazip_decode_iter(&reqs_per_delta, cfg.strategy);
@@ -479,6 +760,31 @@ impl Engine for DeltaZipEngine {
                 self.estimator
                     .observe(states[rid].req.model, states[rid].req.output_tokens);
             }
+
+            // The iteration consumed wall time: in-flight loads progressed
+            // underneath it (the overlap), and any that landed wake their
+            // own requests — charged only their own stall.
+            let adv = timeline.advance_to(t);
+            swap.load_busy_s += adv.busy_s;
+            swap.overlapped_s += adv.busy_s;
+            prefetch_bucket = (prefetch_bucket + (t - t_before) * self.prefetch_config.rate)
+                .min(self.prefetch_config.burst_s);
+            apply_swap_completions(
+                adv.completions,
+                &cfg,
+                &mut states,
+                &mut waiting,
+                &mut running,
+                &mut blocked_at,
+                &mut on_gpu,
+                &mut warm,
+                &mut loading,
+                &mut load_is_prefetch,
+                &mut prefetched_warm,
+                &selected,
+                &mut self.delta_store,
+                &mut swap,
+            );
 
             // Step 6: starvation avoidance — preempt children of finished
             // parents back to their original queue slots. Only kick children
@@ -527,7 +833,121 @@ impl Engine for DeltaZipEngine {
             }
         }
 
-        Metrics::from_states(self.label(), &states, t)
+        Metrics::from_states(self.label(), &states, t).with_swap(swap)
+    }
+}
+
+/// Evicts least-recently-used non-selected deltas from GPU memory until
+/// there is room for one more landing delta (in-flight demand loads also
+/// reserve slots). Capacity >= N guarantees progress; if every resident
+/// delta is selected the loop stops.
+fn evict_gpu_lru(
+    on_gpu: &mut HashMap<usize, f64>,
+    selected: &BTreeSet<usize>,
+    capacity: usize,
+    reserved_inflight: usize,
+) {
+    while on_gpu.len() + reserved_inflight >= capacity {
+        let victim = on_gpu
+            .iter()
+            .filter(|(d, _)| !selected.contains(*d))
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
+            .map(|(&d, _)| d);
+        match victim {
+            Some(v) => {
+                on_gpu.remove(&v);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Enforces the synthetic host-cache cap: evict LRU warm entries beyond
+/// the (validated) cap. Only deltas selected for the current batch are
+/// exempt — GPU-resident deltas no longer are, so the cap actually binds
+/// (the cap is clamped to `max_concurrent_deltas`, which bounds the
+/// exempt set, so the loop always restores `warm.len() <= cap`).
+fn enforce_host_cap(
+    cfg: &DeltaZipConfig,
+    warm: &mut HashMap<usize, f64>,
+    selected: &BTreeSet<usize>,
+) {
+    let Some(host_cap) = cfg.host_capacity_deltas else {
+        return;
+    };
+    while warm.len() > host_cap.max(1) {
+        let victim = warm
+            .iter()
+            .filter(|(d, _)| !selected.contains(*d))
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite time"))
+            .map(|(&d, _)| d);
+        match victim {
+            Some(v) => {
+                warm.remove(&v);
+            }
+            None => break, // Everything cached is selected right now.
+        }
+    }
+}
+
+/// Applies a batch of transfer-timeline completions to the engine state:
+/// a finished **demand** load makes its delta GPU-resident and wakes
+/// every request stalled on it (charging each request only its own wait);
+/// a finished **prefetch** makes its delta host-warm.
+#[allow(clippy::too_many_arguments)]
+fn apply_swap_completions(
+    completions: Vec<Completion>,
+    cfg: &DeltaZipConfig,
+    states: &mut [ReqState],
+    waiting: &mut Vec<usize>,
+    running: &mut Vec<usize>,
+    blocked_at: &mut HashMap<usize, f64>,
+    on_gpu: &mut HashMap<usize, f64>,
+    warm: &mut HashMap<usize, f64>,
+    loading: &mut HashMap<usize, LoadToken>,
+    load_is_prefetch: &mut HashSet<usize>,
+    prefetched_warm: &mut HashSet<usize>,
+    protected: &BTreeSet<usize>,
+    delta_store: &mut Option<DeltaStoreBinding>,
+    swap: &mut SwapStats,
+) {
+    for c in completions {
+        let d = c.kind.delta();
+        loading.remove(&d);
+        load_is_prefetch.remove(&d);
+        match c.kind {
+            LoadKind::Demand { .. } => {
+                on_gpu.insert(d, c.at);
+                let mut i = 0;
+                while i < waiting.len() {
+                    let qid = waiting[i];
+                    if states[qid].req.model == d {
+                        if let Some(b) = blocked_at.remove(&qid) {
+                            let stall = (c.at - b).max(0.0);
+                            states[qid].load_wait_s += stall;
+                            swap.stall_s += stall;
+                        }
+                        running.push(qid);
+                        waiting.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            LoadKind::Prefetch { .. } => {
+                swap.prefetch_completed += 1;
+                prefetched_warm.insert(d);
+                match delta_store.as_mut() {
+                    // Store-backed: the bytes actually move into the
+                    // store's host cache (budgeted at issue time).
+                    Some(binding) => binding.prefetch_model(d),
+                    None => {
+                        warm.insert(d, c.at);
+                        enforce_host_cap(cfg, warm, protected);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -535,10 +955,11 @@ impl Engine for DeltaZipEngine {
 mod tests {
     use super::*;
     use crate::slo::{SloClass, SloPolicy};
+    use crate::swap::{PopularityPrefetch, QueueLookahead};
     use crate::tuning::{DynamicN, DynamicNConfig};
     use dz_gpusim::shapes::ModelShape;
     use dz_gpusim::spec::NodeSpec;
-    use dz_workload::{PopularityDist, Trace, TraceSpec};
+    use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
 
     fn small_trace(rate: f64, pop: PopularityDist, seed: u64) -> Trace {
         Trace::generate(TraceSpec {
@@ -758,6 +1179,216 @@ mod tests {
             inter(&prioritized),
             inter(&plain)
         );
+    }
+
+    fn manual_trace(n_models: usize, requests: Vec<Request>) -> Trace {
+        Trace {
+            spec: TraceSpec {
+                n_models,
+                arrival_rate: 1.0,
+                duration_s: 10.0,
+                popularity: PopularityDist::Uniform,
+                seed: 0,
+            },
+            requests,
+        }
+    }
+
+    fn req(id: usize, model: usize, arrival: f64) -> Request {
+        Request {
+            id,
+            model,
+            arrival,
+            prompt_tokens: 16,
+            output_tokens: 8,
+        }
+    }
+
+    #[test]
+    fn warm_request_ttft_unaffected_by_cold_cobatched_delta() {
+        // The batch-stall regression test: request 1 targets a delta that
+        // is already GPU-resident; a cold delta entering the batch at the
+        // same instant must not inflate request 1's TTFT (it used to be
+        // charged the other model's whole swap-in wait).
+        let warm_only = manual_trace(2, vec![req(0, 0, 0.0), req(1, 0, 5.0)]);
+        let with_cold = manual_trace(2, vec![req(0, 0, 0.0), req(1, 0, 5.0), req(2, 1, 5.0)]);
+        let run = |overlap: bool, trace: &Trace| {
+            let mut e = engine(4);
+            e.config.overlap_swaps = overlap;
+            e.run(trace)
+        };
+        let ttft1 = |m: &Metrics| m.records.iter().find(|r| r.id == 1).unwrap().ttft_s;
+        let solo = ttft1(&run(true, &warm_only));
+        let overlapped_m = run(true, &with_cold);
+        let overlapped = ttft1(&overlapped_m);
+        let serialized = ttft1(&run(false, &with_cold));
+        assert!(
+            (overlapped - solo).abs() < 1e-9,
+            "warm TTFT must be unaffected by the cold co-batched delta: {overlapped} vs {solo}"
+        );
+        assert!(
+            serialized > overlapped + 0.1,
+            "the legacy serialized mode must show the whole-batch stall: \
+             {serialized} vs {overlapped}"
+        );
+        // Stall accounting is per-request: the warm request carries no
+        // load wait, the cold one carries (only) its own.
+        let rec = |m: &Metrics, id: usize| m.records.iter().find(|r| r.id == id).cloned().unwrap();
+        assert_eq!(rec(&overlapped_m, 1).load_s, 0.0);
+        assert!(rec(&overlapped_m, 2).load_s > 0.1);
+        assert!(overlapped_m.swap.demand_loads >= 2);
+        assert!(overlapped_m.swap.overlap_fraction() > 0.0);
+    }
+
+    #[test]
+    fn overlapped_mode_matches_serialized_results_and_conserves() {
+        // Same trace through both modes: both drain, and overlapping never
+        // makes the mean worse.
+        let trace = small_trace(2.0, PopularityDist::Zipf { alpha: 1.5 }, 21);
+        let mut over = engine(4);
+        let mut serial = engine(4);
+        serial.config.overlap_swaps = false;
+        let mo = over.run(&trace);
+        let ms = serial.run(&trace);
+        assert_eq!(mo.len(), trace.len());
+        assert_eq!(ms.len(), trace.len());
+        assert!(
+            mo.mean_ttft() <= ms.mean_ttft() * 1.01,
+            "overlap must not hurt mean TTFT: {} vs {}",
+            mo.mean_ttft(),
+            ms.mean_ttft()
+        );
+        assert!(
+            mo.swap.stall_s <= ms.swap.stall_s + 1e-9,
+            "per-request stalls {} must not exceed the whole-batch stalls {}",
+            mo.swap.stall_s,
+            ms.swap.stall_s
+        );
+        // Serialized mode hides nothing; overlapped mode reports the
+        // fraction it hid behind decode.
+        assert_eq!(ms.swap.overlapped_s, 0.0);
+    }
+
+    #[test]
+    fn host_cap_below_n_is_clamped() {
+        let cost = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
+        let e = DeltaZipEngine::new(
+            cost,
+            DeltaZipConfig {
+                max_concurrent_deltas: 4,
+                host_capacity_deltas: Some(1),
+                ..DeltaZipConfig::default()
+            },
+        );
+        assert_eq!(e.config.host_capacity_deltas, Some(4));
+        // Above-floor caps pass through untouched; None stays None.
+        let cfg = DeltaZipConfig {
+            max_concurrent_deltas: 4,
+            host_capacity_deltas: Some(9),
+            ..DeltaZipConfig::default()
+        }
+        .validated();
+        assert_eq!(cfg.host_capacity_deltas, Some(9));
+        assert_eq!(
+            DeltaZipConfig::default().validated().host_capacity_deltas,
+            None
+        );
+    }
+
+    #[test]
+    fn host_cap_actually_binds_once_clamped() {
+        // A small node whose GPU tier churns (rtx3090 + 7B): the host
+        // cache decides warm vs cold re-loads. A tight cap — clamped up to
+        // N — must force strictly more load time than an unbounded cache
+        // (the old eviction rule exempted GPU-resident deltas, so the cap
+        // silently never bound).
+        let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
+        let trace = Trace::generate(TraceSpec {
+            n_models: 12,
+            arrival_rate: 1.5,
+            duration_s: 60.0,
+            popularity: PopularityDist::Uniform,
+            seed: 31,
+        });
+        let run = |host_cap: Option<usize>| {
+            let mut e = DeltaZipEngine::new(
+                cost,
+                DeltaZipConfig {
+                    max_concurrent_deltas: 2,
+                    host_capacity_deltas: host_cap,
+                    ..DeltaZipConfig::default()
+                },
+            );
+            let m = e.run(&trace);
+            assert_eq!(m.len(), trace.len());
+            m.records.iter().map(|r| r.load_s).sum::<f64>()
+        };
+        let unbounded = run(None);
+        let tight = run(Some(1)); // clamps to 2
+        assert!(
+            tight > unbounded,
+            "clamped host cap must bind: tight {tight} vs unbounded {unbounded}"
+        );
+    }
+
+    #[test]
+    fn queue_lookahead_prefetch_cuts_stalls_under_churn() {
+        // Many models on a bounded host cache: looking ahead in the queue
+        // prewarms upcoming deltas, so demand loads hit host instead of
+        // disk. Prefetch must score hits and not lose on mean TTFT.
+        let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
+        let trace = Trace::generate(TraceSpec {
+            n_models: 16,
+            arrival_rate: 1.2,
+            duration_s: 80.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 41,
+        });
+        let config = DeltaZipConfig {
+            max_concurrent_deltas: 2,
+            host_capacity_deltas: Some(6),
+            ..DeltaZipConfig::default()
+        };
+        let base = DeltaZipEngine::new(cost, config).run(&trace);
+        let mut pf =
+            DeltaZipEngine::new(cost, config).with_prefetcher(Box::new(QueueLookahead::new(4)));
+        let mp = pf.run(&trace);
+        assert_eq!(mp.len(), trace.len());
+        assert!(mp.swap.prefetch_issued > 0, "lookahead must issue prewarms");
+        assert!(
+            mp.swap.prefetch_hits > 0,
+            "some prewarmed deltas must be demanded while warm"
+        );
+        assert!(
+            mp.swap.stall_s <= base.swap.stall_s,
+            "prefetch must not increase total stalls: {} vs {}",
+            mp.swap.stall_s,
+            base.swap.stall_s
+        );
+    }
+
+    #[test]
+    fn popularity_prefetch_serves_everything_and_scores_hits() {
+        let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
+        let trace = Trace::generate(TraceSpec {
+            n_models: 16,
+            arrival_rate: 1.0,
+            duration_s: 60.0,
+            popularity: PopularityDist::Zipf { alpha: 1.5 },
+            seed: 43,
+        });
+        let config = DeltaZipConfig {
+            max_concurrent_deltas: 2,
+            host_capacity_deltas: Some(6),
+            ..DeltaZipConfig::default()
+        };
+        let mut e = DeltaZipEngine::new(cost, config).with_prefetcher(Box::new(
+            PopularityPrefetch::new(trace.spec.popularity, 16, 4),
+        ));
+        let m = e.run(&trace);
+        assert_eq!(m.len(), trace.len());
+        assert!(m.swap.prefetch_issued > 0);
+        assert!(m.swap.prefetch_hit_rate() > 0.0);
     }
 
     #[test]

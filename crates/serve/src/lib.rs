@@ -33,21 +33,26 @@ pub mod policy;
 pub mod predictor;
 pub mod request;
 pub mod slo;
+pub mod swap;
 pub mod tuning;
 pub mod vllm_scb;
 
 pub use cluster::{
-    AdmissionConfig, BasePartition, ClusterConfig, ClusterReport, ClusterSim, LeastLoadedRouter,
-    PlacementAwareRouter, PlacementPlan, ReplicaView, RoundRobinRouter, Router, RoutingStats,
-    ShedRecord,
+    AdmissionConfig, BasePartition, ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim,
+    LeastLoadedRouter, PlacementAwareRouter, PlacementPlan, PrefetchHint, ReplicaView,
+    RoundRobinRouter, Router, RoutingStats, ShedRecord,
 };
 pub use cost::CostModel;
 pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 pub use lora::{LoraEngine, LoraServingConfig};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, SwapStats};
 pub use policy::{PreemptionPolicy, ResumePolicy};
 pub use predictor::LengthEstimator;
 pub use slo::{SloClass, SloPolicy};
+pub use swap::{
+    LoadProfile, PopularityPrefetch, PrefetchConfig, PrefetchPolicy, Prefetcher, QueueLookahead,
+    TransferTimeline,
+};
 pub use vllm_scb::{VllmScbConfig, VllmScbEngine};
 
 /// A serving engine that can replay a trace.

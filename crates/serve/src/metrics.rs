@@ -27,6 +27,72 @@ pub struct RequestRecord {
     pub preemptions: usize,
 }
 
+/// Engine-level swap accounting: how much delta loading happened, how
+/// much of it was hidden behind decode, and what predictive prefetch
+/// contributed. Zero for engines that do no swapping.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SwapStats {
+    /// Demand loads started (deltas actually swapped in).
+    pub demand_loads: usize,
+    /// Wall-clock seconds during which at least one load was in flight.
+    pub load_busy_s: f64,
+    /// Of `load_busy_s`, seconds during which decode was running
+    /// concurrently (hidden load time).
+    pub overlapped_s: f64,
+    /// Of `load_busy_s`, seconds during which the engine had nothing to
+    /// decode and sat exposed on loads.
+    pub blocked_s: f64,
+    /// Total per-request stall seconds charged (each request waits only
+    /// for its *own* delta).
+    pub stall_s: f64,
+    /// What the legacy serialized accounting would have charged per load
+    /// episode: the sum of every demand load's uncontended duration.
+    pub serialized_stall_s: f64,
+    /// Predictive prefetch transfers started.
+    pub prefetch_issued: usize,
+    /// Predictive prefetch transfers that completed.
+    pub prefetch_completed: usize,
+    /// Demand loads served by a prefetch: the delta was host-warm because
+    /// a completed prefetch put it there, or its prewarm was still in
+    /// flight and was promoted into the demand load.
+    pub prefetch_hits: usize,
+}
+
+impl SwapStats {
+    /// Fraction of in-flight load time hidden behind decode
+    /// (`0.0` when nothing was loaded).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.load_busy_s > 0.0 {
+            self.overlapped_s / self.load_busy_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of issued prefetches whose delta was later demanded while
+    /// still warm (`0.0` when nothing was prefetched).
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_issued > 0 {
+            self.prefetch_hits as f64 / self.prefetch_issued as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Field-wise accumulation (for cluster-level aggregation).
+    pub fn merge(&mut self, other: &SwapStats) {
+        self.demand_loads += other.demand_loads;
+        self.load_busy_s += other.load_busy_s;
+        self.overlapped_s += other.overlapped_s;
+        self.blocked_s += other.blocked_s;
+        self.stall_s += other.stall_s;
+        self.serialized_stall_s += other.serialized_stall_s;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_completed += other.prefetch_completed;
+        self.prefetch_hits += other.prefetch_hits;
+    }
+}
+
 /// Aggregated results of one trace replay.
 #[derive(Debug, Clone, Serialize)]
 pub struct Metrics {
@@ -36,6 +102,8 @@ pub struct Metrics {
     pub records: Vec<RequestRecord>,
     /// Wall-clock span of the replay (s).
     pub makespan_s: f64,
+    /// Engine-level swap/overlap/prefetch accounting.
+    pub swap: SwapStats,
 }
 
 impl Metrics {
@@ -71,7 +139,14 @@ impl Metrics {
             engine,
             records,
             makespan_s,
+            swap: SwapStats::default(),
         }
+    }
+
+    /// Attaches engine-level swap accounting.
+    pub fn with_swap(mut self, swap: SwapStats) -> Metrics {
+        self.swap = swap;
+        self
     }
 
     /// Number of requests served.
@@ -172,6 +247,7 @@ impl Metrics {
             engine,
             records: self.records.iter().filter(|r| keep(r)).cloned().collect(),
             makespan_s: self.makespan_s,
+            swap: self.swap,
         }
     }
 
@@ -214,13 +290,19 @@ fn fraction(values: impl Iterator<Item = f64>, limit: f64) -> f64 {
     }
 }
 
+/// Linear-interpolation percentile (the `numpy` default). Nearest-rank
+/// with `.round()` collapsed small-sample p99 to the max and biased the
+/// two-sample p50 high; interpolating between the bracketing order
+/// statistics fixes both.
 fn percentile(mut values: Vec<f64>, q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pos = (q.clamp(0.0, 1.0) * (values.len() - 1) as f64).round() as usize;
-    values[pos]
+    let pos = q.clamp(0.0, 1.0) * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    values[lo] + (values[hi] - values[lo]) * (pos - lo as f64)
 }
 
 #[cfg(test)]
@@ -247,6 +329,7 @@ mod tests {
             engine: "test".into(),
             records,
             makespan_s: 10.0,
+            swap: SwapStats::default(),
         }
     }
 
@@ -281,6 +364,70 @@ mod tests {
         );
         assert!((m.e2e_percentile(0.5) - 50.0).abs() <= 1.0);
         assert!(m.e2e_percentile(0.9) > m.e2e_percentile(0.5));
+    }
+
+    #[test]
+    fn percentile_interpolates_single_sample() {
+        let m = metrics(vec![record(3.0, 1.0, 1)]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(m.e2e_percentile(q), 3.0);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_two_samples() {
+        // Nearest-rank-with-round reported p50 of {1, 3} as 3 (biased
+        // high); linear interpolation gives the midpoint.
+        let m = metrics(vec![record(1.0, 1.0, 1), record(3.0, 1.0, 1)]);
+        assert!((m.e2e_percentile(0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(m.e2e_percentile(0.0), 1.0);
+        assert_eq!(m.e2e_percentile(1.0), 3.0);
+        // p99 is near — but strictly below — the max.
+        let p99 = m.e2e_percentile(0.99);
+        assert!(p99 < 3.0 && p99 > 2.9, "{p99}");
+    }
+
+    #[test]
+    fn percentile_interpolates_four_samples() {
+        let m = metrics(
+            [10.0, 20.0, 30.0, 40.0]
+                .into_iter()
+                .map(|v| record(v, 1.0, 1))
+                .collect(),
+        );
+        // pos = 0.5 * 3 = 1.5 -> midpoint of 20 and 30.
+        assert!((m.e2e_percentile(0.5) - 25.0).abs() < 1e-12);
+        // pos = 0.99 * 3 = 2.97 -> 30 + 0.97 * 10; the old nearest-rank
+        // collapsed this to the max.
+        assert!((m.e2e_percentile(0.99) - 39.7).abs() < 1e-9);
+        assert!(m.e2e_percentile(0.99) < 40.0);
+        // pos = 0.25 * 3 = 0.75 -> 10 + 0.75 * 10.
+        assert!((m.e2e_percentile(0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_stats_ratios_and_merge() {
+        let mut a = SwapStats {
+            demand_loads: 2,
+            load_busy_s: 4.0,
+            overlapped_s: 3.0,
+            blocked_s: 1.0,
+            stall_s: 1.5,
+            serialized_stall_s: 5.0,
+            prefetch_issued: 4,
+            prefetch_completed: 3,
+            prefetch_hits: 2,
+        };
+        assert!((a.overlap_fraction() - 0.75).abs() < 1e-12);
+        assert!((a.prefetch_hit_rate() - 0.5).abs() < 1e-12);
+        a.merge(&a.clone());
+        assert_eq!(a.demand_loads, 4);
+        assert!((a.load_busy_s - 8.0).abs() < 1e-12);
+        assert!((a.overlap_fraction() - 0.75).abs() < 1e-12);
+        // Degenerate: nothing loaded, nothing prefetched.
+        let zero = SwapStats::default();
+        assert_eq!(zero.overlap_fraction(), 0.0);
+        assert_eq!(zero.prefetch_hit_rate(), 0.0);
     }
 
     #[test]

@@ -179,6 +179,7 @@ mod tests {
             engine: "test".into(),
             records: vec![rec(0), rec(1), rec(2), rec(3)],
             makespan_s: 10.0,
+            swap: crate::metrics::SwapStats::default(),
         };
         let parts = p.split_metrics(&m);
         assert_eq!(parts.len(), 2);

@@ -1,0 +1,646 @@
+//! Asynchronous delta swapping: in-flight loads progress on a
+//! bandwidth-shared transfer timeline while decode continues, and
+//! predictive prefetchers prewarm the host cache (§5 / §5.4's "overlap
+//! swap-in with ongoing computation").
+//!
+//! The pieces:
+//!
+//! * [`LoadProfile`] — one load decomposed into the stages the cost model
+//!   already prices (latency head, disk-channel work, PCIe-channel work,
+//!   a serial tail, and a pipelined decode floor). An uncontended load
+//!   completes in exactly [`LoadProfile::solo_s`], which the
+//!   [`CostModel`](crate::cost::CostModel) profile constructors calibrate
+//!   to equal the legacy scalar charges.
+//! * [`TransferTimeline`] — the shared-channel simulator: concurrent
+//!   loads split each channel's bandwidth evenly (processor sharing), so
+//!   `k` cold loads share the disk link instead of being summed serially.
+//!   Rates come from the same `dz_gpusim::xfer` bandwidth model the
+//!   scalar charges use.
+//! * [`Prefetcher`] — predictive disk→host prewarming policies:
+//!   [`QueueLookahead`] scans the FCFS queue beyond the selected `N`,
+//!   [`PopularityPrefetch`] prewarms the head of a [`PopularityDist`].
+//!
+//! [`DeltaZipEngine`](crate::deltazip::DeltaZipEngine) drives all three:
+//! step 3 starts loads here instead of blocking, decode iterations call
+//! [`TransferTimeline::advance_to`], and each queued request stalls only
+//! until *its own* delta lands.
+
+use dz_workload::PopularityDist;
+use std::collections::BTreeSet;
+
+/// Absolute-time comparison slack for the timeline's event stepping.
+const EPS: f64 = 1e-12;
+
+/// One load decomposed into stages. All stage fields are *solo seconds*:
+/// the time the stage takes when the load has a channel to itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadProfile {
+    /// Serial latency head (storage first-byte + PCIe setup): progresses
+    /// unconditionally, before any channel work.
+    pub head_s: f64,
+    /// Work on the shared disk channel (zero for host hits).
+    pub disk_s: f64,
+    /// Work on the shared PCIe channel.
+    pub pcie_s: f64,
+    /// Serial tail after the channel work (the synthetic model's
+    /// deserialization stage, which does **not** pipeline with the read).
+    pub tail_s: f64,
+    /// Pipelined floor: the load cannot finish earlier than this many
+    /// seconds after it started, however fast the channels drain (the
+    /// measured decode stage, which overlaps the transfer).
+    pub floor_s: f64,
+}
+
+impl LoadProfile {
+    /// Completion time of this load on an otherwise idle timeline — by
+    /// construction equal to the legacy serialized scalar charge.
+    pub fn solo_s(&self) -> f64 {
+        (self.head_s + self.disk_s.max(self.pcie_s) + self.tail_s).max(self.floor_s)
+    }
+}
+
+/// Opaque handle to an in-flight load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoadToken(u64);
+
+/// What an in-flight load is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// A demand swap-in: some request is (or will be) stalled on it.
+    Demand {
+        /// Delta (trace model id) being loaded.
+        delta: usize,
+    },
+    /// A predictive disk→host prewarm: nobody stalls on it.
+    Prefetch {
+        /// Delta (trace model id) being prewarmed.
+        delta: usize,
+    },
+}
+
+impl LoadKind {
+    /// The delta this load moves.
+    pub fn delta(&self) -> usize {
+        match *self {
+            LoadKind::Demand { delta } | LoadKind::Prefetch { delta } => delta,
+        }
+    }
+
+    /// Whether this is a prefetch (vs a demand load).
+    pub fn is_prefetch(&self) -> bool {
+        matches!(self, LoadKind::Prefetch { .. })
+    }
+}
+
+/// A load that finished during an [`TransferTimeline::advance_to`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The finished load's token.
+    pub token: LoadToken,
+    /// What the load was.
+    pub kind: LoadKind,
+    /// Absolute completion time.
+    pub at: f64,
+}
+
+/// The result of advancing the timeline.
+#[derive(Debug, Default)]
+pub struct Advance {
+    /// Loads that completed, in completion order.
+    pub completions: Vec<Completion>,
+    /// Wall-clock seconds of the advanced window during which at least
+    /// one load was in flight (the overlap-accounting numerator).
+    pub busy_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    token: LoadToken,
+    kind: LoadKind,
+    head_left: f64,
+    disk_left: f64,
+    pcie_left: f64,
+    tail_left: f64,
+    /// Absolute floor on the completion time (pipelined decode).
+    min_finish_at: f64,
+}
+
+impl Active {
+    fn channel_done(&self) -> bool {
+        self.head_left <= EPS && self.disk_left <= EPS && self.pcie_left <= EPS
+    }
+
+    fn work_done(&self) -> bool {
+        self.channel_done() && self.tail_left <= EPS
+    }
+}
+
+/// A deterministic shared-channel transfer simulator.
+///
+/// Loads started here progress whenever the owner advances the clock
+/// ([`advance_to`](Self::advance_to)); within an advance, each of the two
+/// channels (disk, PCIe) divides its bandwidth evenly among the loads
+/// with remaining work on it. A load moves through: serial head → channel
+/// work (disk and PCIe pipelined in parallel) → serial tail, and never
+/// completes before its pipelined floor.
+#[derive(Debug, Default)]
+pub struct TransferTimeline {
+    now: f64,
+    seq: u64,
+    active: Vec<Active>,
+}
+
+impl TransferTimeline {
+    /// An empty timeline at time zero.
+    pub fn new() -> Self {
+        TransferTimeline::default()
+    }
+
+    /// Current timeline clock (the last `advance_to` target).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of loads currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of in-flight prefetch loads.
+    pub fn in_flight_prefetches(&self) -> usize {
+        self.active.iter().filter(|a| a.kind.is_prefetch()).count()
+    }
+
+    /// Starts a load at the current clock.
+    pub fn start(&mut self, profile: LoadProfile, kind: LoadKind) -> LoadToken {
+        let token = LoadToken(self.seq);
+        self.seq += 1;
+        self.active.push(Active {
+            token,
+            kind,
+            head_left: profile.head_s.max(0.0),
+            disk_left: profile.disk_s.max(0.0),
+            pcie_left: profile.pcie_s.max(0.0),
+            tail_left: profile.tail_s.max(0.0),
+            min_finish_at: self.now + profile.floor_s.max(0.0),
+        });
+        token
+    }
+
+    /// Promotes an in-flight prefetch into a demand load by grafting the
+    /// remaining demand stages onto it (e.g. the host→device hop and the
+    /// decode floor of a warm load): the already-transferred disk bytes
+    /// are not paid twice. Returns false if the token is not in flight.
+    pub fn promote(&mut self, token: LoadToken, extra: LoadProfile) -> bool {
+        match self.active.iter_mut().find(|a| a.token == token) {
+            Some(a) => {
+                a.kind = LoadKind::Demand {
+                    delta: a.kind.delta(),
+                };
+                a.head_left += extra.head_s.max(0.0);
+                a.disk_left += extra.disk_s.max(0.0);
+                a.pcie_left += extra.pcie_s.max(0.0);
+                a.tail_left += extra.tail_s.max(0.0);
+                a.min_finish_at = a.min_finish_at.max(self.now + extra.floor_s.max(0.0));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The absolute time the earliest in-flight load will complete if no
+    /// further loads start; `None` when nothing is in flight.
+    pub fn next_completion_at(&self) -> Option<f64> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let mut probe = TransferTimeline {
+            now: self.now,
+            seq: self.seq,
+            active: self.active.clone(),
+        };
+        let adv = probe.advance_to(f64::INFINITY);
+        adv.completions.first().map(|c| c.at)
+    }
+
+    /// Advances the clock to absolute time `t`, progressing all in-flight
+    /// loads with even channel sharing, and returns the loads that
+    /// completed (plus the busy-time accounting). `t` may be
+    /// `f64::INFINITY` to drain everything.
+    pub fn advance_to(&mut self, t: f64) -> Advance {
+        let mut adv = Advance::default();
+        loop {
+            // Collect loads that are already done at the current clock.
+            let mut i = 0;
+            while i < self.active.len() {
+                let a = self.active[i];
+                if a.work_done() && a.min_finish_at <= self.now + EPS {
+                    adv.completions.push(Completion {
+                        token: a.token,
+                        kind: a.kind,
+                        at: self.now.max(a.min_finish_at),
+                    });
+                    self.active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if self.now >= t - EPS {
+                if t.is_finite() {
+                    self.now = self.now.max(t);
+                }
+                break;
+            }
+            if self.active.is_empty() {
+                if t.is_finite() {
+                    self.now = t;
+                }
+                break;
+            }
+            // Channel user counts are constant until the next stage event.
+            let disk_users = self
+                .active
+                .iter()
+                .filter(|a| a.head_left <= EPS && a.disk_left > EPS)
+                .count()
+                .max(1);
+            let pcie_users = self
+                .active
+                .iter()
+                .filter(|a| a.head_left <= EPS && a.pcie_left > EPS)
+                .count()
+                .max(1);
+            // Earliest event: a stage draining, a floor passing, or `t`.
+            let mut dt = if t.is_finite() {
+                t - self.now
+            } else {
+                f64::MAX
+            };
+            for a in &self.active {
+                if a.head_left > EPS {
+                    dt = dt.min(a.head_left);
+                } else if a.disk_left > EPS || a.pcie_left > EPS {
+                    if a.disk_left > EPS {
+                        dt = dt.min(a.disk_left * disk_users as f64);
+                    }
+                    if a.pcie_left > EPS {
+                        dt = dt.min(a.pcie_left * pcie_users as f64);
+                    }
+                } else if a.tail_left > EPS {
+                    dt = dt.min(a.tail_left);
+                } else {
+                    dt = dt.min((a.min_finish_at - self.now).max(0.0));
+                }
+            }
+            let dt = dt.max(0.0);
+            if dt <= EPS {
+                // A zero-length event (floor exactly now): loop to collect.
+                continue;
+            }
+            for a in &mut self.active {
+                if a.head_left > EPS {
+                    a.head_left = (a.head_left - dt).max(0.0);
+                } else if a.disk_left > EPS || a.pcie_left > EPS {
+                    if a.disk_left > EPS {
+                        a.disk_left = (a.disk_left - dt / disk_users as f64).max(0.0);
+                    }
+                    if a.pcie_left > EPS {
+                        a.pcie_left = (a.pcie_left - dt / pcie_users as f64).max(0.0);
+                    }
+                } else if a.tail_left > EPS {
+                    a.tail_left = (a.tail_left - dt).max(0.0);
+                }
+            }
+            self.now += dt;
+            adv.busy_s += dt;
+        }
+        adv
+    }
+}
+
+/// What a [`Prefetcher`] sees when proposing candidates: the scheduler's
+/// leftover queue and the deltas already claimed this iteration.
+#[derive(Debug)]
+pub struct PrefetchContext<'a> {
+    /// Models of still-queued requests in scheduler scan order (the part
+    /// of the queue *beyond* the selected `N` — what queue-lookahead
+    /// mines).
+    pub queued_models: &'a [usize],
+    /// Deltas selected (running or claimed) this iteration; prefetching
+    /// these would race the demand path.
+    pub selected: &'a BTreeSet<usize>,
+}
+
+/// A predictive prefetch policy: proposes deltas to prewarm disk→host,
+/// highest priority first. The engine filters out deltas that are
+/// already warm, resident, or in flight, and applies the bandwidth
+/// budget ([`PrefetchConfig`]).
+pub trait Prefetcher {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+    /// Prewarm candidates in priority order (may contain duplicates or
+    /// already-warm deltas; the engine deduplicates and filters).
+    fn candidates(&mut self, ctx: &PrefetchContext<'_>) -> Vec<usize>;
+}
+
+/// Queue-lookahead prefetch: scan the FCFS queue beyond the selected `N`
+/// and prewarm the next distinct deltas that will be wanted — the §5.4
+/// "we know who is next" signal.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueLookahead {
+    /// Maximum distinct deltas proposed per iteration.
+    pub depth: usize,
+}
+
+impl QueueLookahead {
+    /// Lookahead over the next `depth` distinct queued deltas.
+    pub fn new(depth: usize) -> Self {
+        QueueLookahead { depth }
+    }
+}
+
+impl Prefetcher for QueueLookahead {
+    fn name(&self) -> &'static str {
+        "queue-lookahead"
+    }
+
+    fn candidates(&mut self, ctx: &PrefetchContext<'_>) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &m in ctx.queued_models {
+            if out.len() >= self.depth {
+                break;
+            }
+            if !ctx.selected.contains(&m) && !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        out
+    }
+}
+
+/// Popularity-driven prefetch: keep the head of the popularity
+/// distribution warm regardless of the instantaneous queue — the
+/// provisioning-time signal a placement layer also uses.
+#[derive(Debug, Clone)]
+pub struct PopularityPrefetch {
+    /// Per-model weights, hottest-first order derived at construction.
+    ranked: Vec<usize>,
+    /// Maximum distinct deltas proposed per iteration.
+    pub top_k: usize,
+}
+
+impl PopularityPrefetch {
+    /// Ranks `n_models` by `dist`'s static weights and proposes the
+    /// hottest `top_k` each iteration.
+    pub fn new(dist: PopularityDist, n_models: usize, top_k: usize) -> Self {
+        let weights = dist.weights(n_models);
+        let mut ranked: Vec<usize> = (0..n_models).collect();
+        ranked.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+        PopularityPrefetch { ranked, top_k }
+    }
+}
+
+impl Prefetcher for PopularityPrefetch {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn candidates(&mut self, ctx: &PrefetchContext<'_>) -> Vec<usize> {
+        self.ranked
+            .iter()
+            .copied()
+            .filter(|m| !ctx.selected.contains(m))
+            .take(self.top_k)
+            .collect()
+    }
+}
+
+/// A copyable prefetch-policy spec, buildable per replica (the boxed
+/// [`Prefetcher`] itself is stateful and not clonable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// [`QueueLookahead`] with the given depth.
+    QueueLookahead {
+        /// Maximum distinct deltas proposed per iteration.
+        depth: usize,
+    },
+    /// [`PopularityPrefetch`] with the given head size.
+    Popularity {
+        /// Maximum distinct deltas proposed per iteration.
+        top_k: usize,
+    },
+}
+
+impl PrefetchPolicy {
+    /// Instantiates the policy for a workload of `n_models` models drawn
+    /// from `dist`.
+    pub fn build(self, dist: PopularityDist, n_models: usize) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetchPolicy::QueueLookahead { depth } => Box::new(QueueLookahead::new(depth)),
+            PrefetchPolicy::Popularity { top_k } => {
+                Box::new(PopularityPrefetch::new(dist, n_models, top_k))
+            }
+        }
+    }
+}
+
+/// Bandwidth budget for predictive prefetch: a token bucket of
+/// disk-channel seconds, so prewarming can never consume more than
+/// `rate` of the disk link on average (demand loads always outrank it).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// Maximum concurrent prefetch transfers.
+    pub max_inflight: usize,
+    /// Disk-seconds of prefetch issued per second of simulated time
+    /// (0.5 = prefetch may use at most half the disk link on average).
+    pub rate: f64,
+    /// Token-bucket burst cap, in disk-seconds.
+    pub burst_s: f64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            max_inflight: 2,
+            rate: 0.5,
+            burst_s: 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(head: f64, disk: f64, pcie: f64, tail: f64, floor: f64) -> LoadProfile {
+        LoadProfile {
+            head_s: head,
+            disk_s: disk,
+            pcie_s: pcie,
+            tail_s: tail,
+            floor_s: floor,
+        }
+    }
+
+    #[test]
+    fn solo_load_finishes_in_solo_time() {
+        let mut tl = TransferTimeline::new();
+        let p = profile(0.1, 2.0, 0.5, 0.3, 0.0);
+        tl.start(p, LoadKind::Demand { delta: 0 });
+        let adv = tl.advance_to(f64::INFINITY);
+        assert_eq!(adv.completions.len(), 1);
+        assert!((adv.completions[0].at - p.solo_s()).abs() < 1e-9);
+        assert!((p.solo_s() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_binds_when_channels_are_fast() {
+        let mut tl = TransferTimeline::new();
+        let p = profile(0.0, 0.1, 0.1, 0.0, 5.0);
+        tl.start(p, LoadKind::Demand { delta: 0 });
+        let adv = tl.advance_to(f64::INFINITY);
+        assert!((adv.completions[0].at - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_loads_share_a_channel_evenly() {
+        // Two identical disk-only loads started together: each sees half
+        // the bandwidth, so both finish at 2x the solo time — and not
+        // later (work conservation).
+        let mut tl = TransferTimeline::new();
+        let p = profile(0.0, 1.0, 0.0, 0.0, 0.0);
+        tl.start(p, LoadKind::Demand { delta: 0 });
+        tl.start(p, LoadKind::Demand { delta: 1 });
+        let adv = tl.advance_to(f64::INFINITY);
+        assert_eq!(adv.completions.len(), 2);
+        for c in &adv.completions {
+            assert!((c.at - 2.0).abs() < 1e-9, "completion at {}", c.at);
+        }
+    }
+
+    #[test]
+    fn disjoint_channels_do_not_contend() {
+        // A disk-only and a PCIe-only load run fully in parallel.
+        let mut tl = TransferTimeline::new();
+        tl.start(
+            profile(0.0, 1.0, 0.0, 0.0, 0.0),
+            LoadKind::Demand { delta: 0 },
+        );
+        tl.start(
+            profile(0.0, 0.0, 1.0, 0.0, 0.0),
+            LoadKind::Demand { delta: 1 },
+        );
+        let adv = tl.advance_to(f64::INFINITY);
+        for c in &adv.completions {
+            assert!((c.at - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn staggered_start_departs_in_order_and_pays_contention() {
+        let mut tl = TransferTimeline::new();
+        tl.start(
+            profile(0.0, 2.0, 0.0, 0.0, 0.0),
+            LoadKind::Demand { delta: 0 },
+        );
+        let adv = tl.advance_to(1.0);
+        assert!(adv.completions.is_empty());
+        assert!((adv.busy_s - 1.0).abs() < 1e-12);
+        // Second load joins with 1.0s of the first remaining: they share
+        // the channel (first needs 1 more solo-second -> 2 wall seconds).
+        tl.start(
+            profile(0.0, 3.0, 0.0, 0.0, 0.0),
+            LoadKind::Demand { delta: 1 },
+        );
+        let adv = tl.advance_to(f64::INFINITY);
+        assert_eq!(adv.completions.len(), 2);
+        assert_eq!(adv.completions[0].kind.delta(), 0);
+        assert!((adv.completions[0].at - 3.0).abs() < 1e-9);
+        // Total disk work = 5 solo-seconds, channel never idle from t=0.
+        assert!((adv.completions[1].at - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_advance_accumulates_progress() {
+        let mut tl = TransferTimeline::new();
+        let p = profile(0.0, 1.0, 0.0, 0.0, 0.0);
+        tl.start(p, LoadKind::Demand { delta: 0 });
+        for i in 1..=10 {
+            let adv = tl.advance_to(i as f64 * 0.1);
+            if i < 10 {
+                assert!(adv.completions.is_empty(), "early completion at step {i}");
+            } else {
+                assert_eq!(adv.completions.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn next_completion_probe_matches_reality_and_does_not_mutate() {
+        let mut tl = TransferTimeline::new();
+        tl.start(
+            profile(0.1, 1.0, 0.5, 0.2, 0.0),
+            LoadKind::Demand { delta: 0 },
+        );
+        tl.start(
+            profile(0.0, 2.0, 0.0, 0.0, 0.0),
+            LoadKind::Prefetch { delta: 1 },
+        );
+        let predicted = tl.next_completion_at().expect("loads in flight");
+        assert_eq!(tl.in_flight(), 2);
+        assert_eq!(tl.in_flight_prefetches(), 1);
+        let adv = tl.advance_to(f64::INFINITY);
+        assert!((adv.completions[0].at - predicted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn promote_grafts_demand_stages_onto_a_prefetch() {
+        let mut tl = TransferTimeline::new();
+        let tok = tl.start(
+            profile(0.0, 2.0, 0.0, 0.0, 0.0),
+            LoadKind::Prefetch { delta: 7 },
+        );
+        // Half the disk work done, then the delta is demanded.
+        tl.advance_to(1.0);
+        assert!(tl.promote(tok, profile(0.0, 0.0, 0.5, 0.0, 0.0)));
+        let adv = tl.advance_to(f64::INFINITY);
+        assert_eq!(adv.completions.len(), 1);
+        assert!(!adv.completions[0].kind.is_prefetch());
+        assert_eq!(adv.completions[0].kind.delta(), 7);
+        // 1.0s disk remaining + 0.5s PCIe (pipelined in parallel): 1.0s.
+        assert!((adv.completions[0].at - 2.0).abs() < 1e-9);
+        assert!(!tl.promote(tok, LoadProfile::default()), "token consumed");
+    }
+
+    #[test]
+    fn queue_lookahead_scans_beyond_selected() {
+        let selected: BTreeSet<usize> = [1, 2].into_iter().collect();
+        let mut p = QueueLookahead::new(2);
+        let queued = vec![1, 3, 3, 4, 5];
+        let ctx = PrefetchContext {
+            queued_models: &queued,
+            selected: &selected,
+        };
+        assert_eq!(p.candidates(&ctx), vec![3, 4]);
+    }
+
+    #[test]
+    fn popularity_prefetch_proposes_the_head() {
+        let selected: BTreeSet<usize> = [0].into_iter().collect();
+        let mut p = PopularityPrefetch::new(PopularityDist::Zipf { alpha: 1.5 }, 8, 3);
+        let ctx = PrefetchContext {
+            queued_models: &[],
+            selected: &selected,
+        };
+        // Model 0 is selected; the next-hottest models follow in rank order.
+        assert_eq!(p.candidates(&ctx), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn policy_builds_both_prefetchers() {
+        let lk = PrefetchPolicy::QueueLookahead { depth: 4 }.build(PopularityDist::Uniform, 8);
+        assert_eq!(lk.name(), "queue-lookahead");
+        let pop = PrefetchPolicy::Popularity { top_k: 4 }.build(PopularityDist::Uniform, 8);
+        assert_eq!(pop.name(), "popularity");
+    }
+}

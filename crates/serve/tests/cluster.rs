@@ -154,6 +154,68 @@ fn store_stats_are_per_run_while_bindings_accumulate() {
 }
 
 #[test]
+fn routing_prefetch_hints_move_real_bytes_in_store_bound_clusters() {
+    // Placement-aware routing with cluster prefetch enabled: hints must
+    // prewarm artifacts through the stores' budgeted prefetch API, and
+    // the prewarms must be visible in the stores' own accounting.
+    let trace = Trace::generate(TraceSpec {
+        n_models: 12,
+        arrival_rate: 2.0,
+        duration_s: 40.0,
+        popularity: PopularityDist::Zipf { alpha: 1.5 },
+        seed: 47,
+    });
+    const N_REPLICAS: usize = 3;
+    let dir = temp_dir("hint");
+    let registry = Registry::open(&dir).expect("open registry");
+    let artifacts = publish_zoo(&registry, 12);
+    let max_size = artifacts
+        .iter()
+        .map(|id| registry.size_of(id).expect("size"))
+        .max()
+        .expect("nonempty zoo");
+    let bindings: Vec<DeltaStoreBinding> = (0..N_REPLICAS)
+        .map(|_| {
+            let store = TieredDeltaStore::new(registry.clone(), 5 * max_size);
+            DeltaStoreBinding::new(store, artifacts.clone())
+        })
+        .collect();
+    let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama13b());
+    let config = ClusterConfig {
+        n_replicas: N_REPLICAS,
+        engine: DeltaZipConfig {
+            max_concurrent_deltas: 2,
+            max_batch: 8,
+            ..DeltaZipConfig::default()
+        },
+        prefetch: Some(dz_serve::ClusterPrefetch::default()),
+        ..ClusterConfig::default()
+    };
+    let plan = PlacementPlan::from_popularity(trace.spec.popularity, 12, N_REPLICAS);
+    let mut sim = ClusterSim::new(
+        vec![cost; N_REPLICAS],
+        config,
+        Box::new(PlacementAwareRouter::new(plan)),
+    )
+    .with_stores(bindings);
+    let report = sim.run(&trace);
+    assert_eq!(report.merged.len(), trace.len());
+    assert!(report.routing.prefetch_hints > 0, "hints must be emitted");
+    assert!(report.routing.prefetch_issued > 0, "hints must prewarm");
+    let store_prefetches: u64 = sim
+        .bindings()
+        .expect("bound")
+        .iter()
+        .map(|b| b.store().total_stats().prefetch_loads)
+        .sum();
+    assert!(
+        store_prefetches > 0,
+        "hint prewarms must move real bytes through the stores"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn placement_aware_store_cluster_does_fewer_disk_loads_than_round_robin() {
     let trace = Trace::generate(TraceSpec {
         n_models: 12,

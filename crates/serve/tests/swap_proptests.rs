@@ -1,0 +1,108 @@
+//! Property tests for the bandwidth-shared transfer timeline: concurrent
+//! in-flight loads never finish earlier than bandwidth sharing allows,
+//! and overlapped loading never loses to the legacy serial-sum charge.
+
+use dz_serve::swap::{LoadKind, LoadProfile, TransferTimeline};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = LoadProfile> {
+    (
+        0.0f64..0.1,
+        0.0f64..5.0,
+        0.0f64..5.0,
+        0.0f64..2.0,
+        0.0f64..6.0,
+    )
+        .prop_map(|(head_s, disk_s, pcie_s, tail_s, floor_s)| LoadProfile {
+            head_s,
+            disk_s,
+            pcie_s,
+            tail_s,
+            floor_s,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_loads_respect_bandwidth_sharing(
+        profiles in proptest::collection::vec(arb_profile(), 1..8),
+    ) {
+        let mut tl = TransferTimeline::new();
+        for (i, p) in profiles.iter().enumerate() {
+            tl.start(*p, LoadKind::Demand { delta: i });
+        }
+        let adv = tl.advance_to(f64::INFINITY);
+        prop_assert_eq!(adv.completions.len(), profiles.len());
+
+        // Lower bounds: each channel moves one solo-second of work per
+        // wall second, so the last landing cannot beat either channel's
+        // total work — and no load can beat its own uncontended time.
+        let last = adv.completions.iter().map(|c| c.at).fold(0.0, f64::max);
+        let total_disk: f64 = profiles.iter().map(|p| p.disk_s).sum();
+        let total_pcie: f64 = profiles.iter().map(|p| p.pcie_s).sum();
+        prop_assert!(last + 1e-9 >= total_disk, "last {last} < disk total {total_disk}");
+        prop_assert!(last + 1e-9 >= total_pcie, "last {last} < pcie total {total_pcie}");
+        for c in &adv.completions {
+            let solo = profiles[c.kind.delta()].solo_s();
+            prop_assert!(
+                c.at + 1e-9 >= solo,
+                "load {} landed at {} before its solo time {solo}",
+                c.kind.delta(),
+                c.at
+            );
+        }
+
+        // Upper bound: sharing the channels can never be slower than the
+        // legacy serialized charge (running every load back to back), so
+        // no request's stall under overlap exceeds the old serial sum.
+        let serial_sum: f64 = profiles.iter().map(|p| p.solo_s()).sum();
+        prop_assert!(
+            last <= serial_sum + 1e-9,
+            "last landing {last} exceeds the serial-sum charge {serial_sum}"
+        );
+
+        // Busy accounting: the timeline was busy from start to last
+        // landing (all loads started at t=0), never longer.
+        prop_assert!(adv.busy_s <= last + 1e-9);
+    }
+
+    #[test]
+    fn piecewise_advance_matches_single_advance(
+        profiles in proptest::collection::vec(arb_profile(), 1..6),
+        cuts in proptest::collection::vec(0.01f64..4.0, 1..6),
+    ) {
+        // Advancing in arbitrary increments must land every load at the
+        // same instant as one big advance (the engine advances per decode
+        // iteration; timing must not depend on iteration boundaries).
+        let mut one = TransferTimeline::new();
+        let mut many = TransferTimeline::new();
+        for (i, p) in profiles.iter().enumerate() {
+            one.start(*p, LoadKind::Demand { delta: i });
+            many.start(*p, LoadKind::Demand { delta: i });
+        }
+        let big = one.advance_to(f64::INFINITY);
+
+        let mut t = 0.0;
+        let mut landings: Vec<(usize, f64)> = Vec::new();
+        for dt in &cuts {
+            t += dt;
+            for c in many.advance_to(t).completions {
+                landings.push((c.kind.delta(), c.at));
+            }
+        }
+        for c in many.advance_to(f64::INFINITY).completions {
+            landings.push((c.kind.delta(), c.at));
+        }
+        prop_assert_eq!(landings.len(), big.completions.len());
+        landings.sort_by_key(|&(d, _)| d);
+        let mut expect: Vec<(usize, f64)> =
+            big.completions.iter().map(|c| (c.kind.delta(), c.at)).collect();
+        expect.sort_by_key(|&(d, _)| d);
+        for ((d1, at1), (d2, at2)) in landings.iter().zip(&expect) {
+            prop_assert_eq!(d1, d2);
+            prop_assert!((at1 - at2).abs() < 1e-6, "load {d1}: {at1} vs {at2}");
+        }
+    }
+}

