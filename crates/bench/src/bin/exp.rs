@@ -9,6 +9,8 @@
 //! exp --out <dir>                # output directory (default target/experiments)
 //! exp bench-smoke --check <file> # compare against a perf baseline; exits
 //!                                # nonzero on any regression (the CI gate)
+//! exp --trace <out.json> <id>..  # also write a combined Chrome trace
+//!                                # (load in Perfetto) of the engine runs
 //! ```
 //!
 //! Unknown experiment ids exit nonzero and print the valid ids; all
@@ -19,6 +21,7 @@ use dz_bench::experiments::{
     ablations, cluster, codec, compress, extensions, kernels, quality, serving, smoke, swap,
     workloads, Report, Scale,
 };
+use dz_serve::{write_chrome_trace, TraceTrack};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -67,6 +70,7 @@ fn run_one(
     zoo: &mut quality::Zoo,
     scale: Scale,
     out_dir: &Path,
+    trace: Option<&mut Vec<TraceTrack>>,
 ) -> Option<(Report, Option<smoke::SmokeMetrics>)> {
     let report = match id {
         "fig1" => workloads::fig1(),
@@ -98,11 +102,11 @@ fn run_one(
         "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
         "ext-scalability" => extensions::ext_scalability(),
         "bench-lossless" => codec::bench_lossless(scale, out_dir),
-        "bench-cluster" => cluster::bench_cluster(scale, out_dir),
+        "bench-cluster" => cluster::bench_cluster(scale, out_dir, trace),
         "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
-        "bench-swap" => swap::bench_swap(scale, out_dir),
+        "bench-swap" => swap::bench_swap(scale, out_dir, trace),
         "bench-smoke" => {
-            let (report, metrics) = smoke::bench_smoke(out_dir);
+            let (report, metrics) = smoke::bench_smoke(out_dir, trace);
             return Some((report, Some(metrics)));
         }
         _ => return None,
@@ -132,6 +136,7 @@ fn main() -> std::io::Result<()> {
     // Flags with values: --out <dir>, --check <baseline.json>.
     let mut out_dir = PathBuf::from("target/experiments");
     let mut baseline_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -148,6 +153,13 @@ fn main() -> std::io::Result<()> {
                 Some(path) => baseline_path = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("--check requires a baseline file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace requires an output file argument");
                     std::process::exit(2);
                 }
             },
@@ -200,9 +212,11 @@ fn main() -> std::io::Result<()> {
     let mut zoo = quality::Zoo::new(scale);
     let mut combined = String::new();
     let mut smoke_metrics: Option<smoke::SmokeMetrics> = None;
+    let mut trace_tracks: Option<Vec<TraceTrack>> = trace_path.as_ref().map(|_| Vec::new());
     for id in targets {
         let start = std::time::Instant::now();
-        let (report, metrics) = run_one(id, &mut zoo, scale, &out_dir).expect("id validated above");
+        let (report, metrics) = run_one(id, &mut zoo, scale, &out_dir, trace_tracks.as_mut())
+            .expect("id validated above");
         if let Some(m) = metrics {
             smoke_metrics = Some(m);
         }
@@ -218,13 +232,32 @@ fn main() -> std::io::Result<()> {
     let mut f = std::fs::File::create(out_dir.join("all.md"))?;
     f.write_all(combined.as_bytes())?;
 
+    // One combined Chrome trace across every traced engine run: load it
+    // in Perfetto (ui.perfetto.dev) — one process per lane.
+    if let (Some(path), Some(tracks)) = (&trace_path, &trace_tracks) {
+        write_chrome_trace(path, tracks)?;
+        let events: usize = tracks.iter().map(|t| t.log.len()).sum();
+        println!(
+            "trace: {} ({} lanes, {} events)",
+            path.display(),
+            tracks.len(),
+            events
+        );
+    }
+
     // The perf gate: compare fresh smoke metrics against the baseline.
     if let Some(baseline) = baseline {
         let path = baseline_path.expect("baseline read implies a path");
         let metrics = smoke_metrics.expect("bench-smoke presence validated pre-flight");
         match smoke::check_baseline(&metrics, &baseline) {
             Ok(failures) if failures.is_empty() => {
-                println!("perf gate: all metrics within {} bounds", path.display());
+                let version = smoke::baseline_schema_version(&baseline)
+                    .map(|v| format!("schema v{v}"))
+                    .unwrap_or_else(|| "unversioned".into());
+                println!(
+                    "perf gate: all metrics within {} bounds ({version})",
+                    path.display()
+                );
             }
             Ok(failures) => {
                 eprintln!("perf gate FAILED against {}:", path.display());

@@ -9,15 +9,18 @@
 //! `BENCH_cluster.json`; the headline number is placement-aware routing
 //! beating round-robin p99 latency under skewed delta popularity.
 
-use super::{md_table, Report, Scale};
+use super::{json_provenance, md_table, Report, Scale};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::cluster::{
     AdmissionConfig, ClusterConfig, ClusterReport, ClusterSim, LeastLoadedRouter,
     PlacementAwareRouter, PlacementPlan, RoundRobinRouter, Router,
 };
-use dz_serve::{CostModel, DeltaZipConfig, SloClass, SloPolicy};
+use dz_serve::{
+    CauseBreakdown, CostModel, DeltaZipConfig, SloClass, SloPolicy, TraceConfig, TraceTrack,
+};
 use dz_workload::{PopularityDist, Trace, TraceSpec};
+use serde::Serialize;
 
 const N_MODELS: usize = 24;
 /// Routing policy ids swept by the experiment.
@@ -52,6 +55,31 @@ pub fn run_cluster(
     duration_s: f64,
     admission: Option<AdmissionConfig>,
 ) -> ClusterReport {
+    run_cluster_traced(
+        policy,
+        n_replicas,
+        alpha,
+        rate_per_replica,
+        duration_s,
+        admission,
+        None,
+    )
+    .0
+}
+
+/// [`run_cluster`] with optional event tracing: when `trace_cfg` is set
+/// the front-end and every replica engine record trace lanes, returned
+/// alongside the report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_traced(
+    policy: &str,
+    n_replicas: usize,
+    alpha: f64,
+    rate_per_replica: f64,
+    duration_s: f64,
+    admission: Option<AdmissionConfig>,
+    trace_cfg: Option<TraceConfig>,
+) -> (ClusterReport, Vec<TraceTrack>) {
     let popularity = PopularityDist::Zipf { alpha };
     let trace = Trace::generate(TraceSpec {
         n_models: N_MODELS,
@@ -76,7 +104,11 @@ pub fn run_cluster(
         config,
         router_for(policy, popularity, n_replicas),
     );
-    sim.run(&trace)
+    if let Some(cfg) = trace_cfg {
+        sim = sim.with_tracing(cfg);
+    }
+    let report = sim.run(&trace);
+    (report, sim.take_trace())
 }
 
 struct SweepRow {
@@ -98,10 +130,17 @@ struct OverloadRow {
     shed: usize,
     goodput: f64,
     interactive_p99_ttft_s: f64,
+    attribution: CauseBreakdown,
 }
 
-/// The `bench-cluster` experiment.
-pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
+/// The `bench-cluster` experiment. When `trace` is given, the most
+/// interesting sweep cell (placement-aware, 4 replicas, zipf-1.5) runs
+/// traced and its front-end + replica lanes land there as `cluster/*`.
+pub fn bench_cluster(
+    scale: Scale,
+    out_dir: &std::path::Path,
+    mut trace: Option<&mut Vec<TraceTrack>>,
+) -> Report {
     let duration_s = match scale {
         Scale::Full => 150.0,
         Scale::Quick => 60.0,
@@ -113,7 +152,17 @@ pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
     for &replicas in &replica_counts {
         for &alpha in &alphas {
             for policy in POLICIES {
-                let report = run_cluster(policy, replicas, alpha, 0.6, duration_s, None);
+                let traced_cell =
+                    trace.is_some() && policy == "placement-aware" && replicas == 4 && alpha == 1.5;
+                let cfg = traced_cell.then(TraceConfig::default);
+                let (report, tracks) =
+                    run_cluster_traced(policy, replicas, alpha, 0.6, duration_s, None, cfg);
+                if let Some(sink) = trace.as_deref_mut() {
+                    for mut track in tracks {
+                        track.name = format!("cluster/{}", track.name);
+                        sink.push(track);
+                    }
+                }
                 let m = &report.merged;
                 sweep.push(SweepRow {
                     policy,
@@ -155,6 +204,7 @@ pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
             shed,
             goodput: report.goodput(),
             interactive_p99_ttft_s: interactive.ttft_percentile(0.99),
+            attribution: report.merged.attribution(0.99),
         });
     }
 
@@ -214,7 +264,23 @@ pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
             })
             .collect::<Vec<_>>(),
     ));
-    match write_json(&sweep, &overload, out_dir) {
+    body.push_str("\nOverload p99 attribution (share of tail-request e2e per cause):\n\n");
+    let mut attr_header = vec!["router"];
+    attr_header.extend(dz_serve::CAUSE_NAMES);
+    body.push_str(&md_table(
+        &attr_header,
+        &overload
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.policy.to_string()];
+                for share in r.attribution.tail_share() {
+                    row.push(format!("{:.0}%", share * 100.0));
+                }
+                row
+            })
+            .collect::<Vec<_>>(),
+    ));
+    match write_json(&sweep, &overload, duration_s, out_dir) {
         Ok(path) => body.push_str(&format!("\njson: {path}\n")),
         Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
     }
@@ -225,14 +291,26 @@ pub fn bench_cluster(scale: Scale, out_dir: &std::path::Path) -> Report {
     }
 }
 
-/// Hand-rolled JSON (no serde dependency in this crate).
+/// Hand-rolled JSON (matching the other emitters' style).
 fn write_json(
     sweep: &[SweepRow],
     overload: &[OverloadRow],
+    duration_s: f64,
     dir: &std::path::Path,
 ) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
-    let mut json = String::from("{\n  \"sweep\": [\n");
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-cluster",
+        &[
+            ("n_models", N_MODELS.to_string()),
+            ("duration_s", format!("{duration_s:.1}")),
+            ("sweep_rate_per_replica", "0.6".into()),
+            ("overload_rate_per_replica", "3.0".into()),
+            ("seed", "49413".into()),
+        ],
+    ));
+    json.push_str("  \"sweep\": [\n");
     for (i, r) in sweep.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"router\": \"{}\", \"replicas\": {}, \"zipf_alpha\": {:.1}, \
@@ -255,13 +333,14 @@ fn write_json(
         json.push_str(&format!(
             "    {{\"router\": \"{}\", \"replicas\": 4, \"zipf_alpha\": 1.5, \
              \"offered\": {}, \"served\": {}, \"shed\": {}, \"goodput\": {:.4}, \
-             \"interactive_p99_ttft_s\": {:.3}}}{}\n",
+             \"interactive_p99_ttft_s\": {:.3}, \"p99_attribution\": {}}}{}\n",
             r.policy,
             r.offered,
             r.served,
             r.shed,
             r.goodput,
             r.interactive_p99_ttft_s,
+            r.attribution.to_value().to_json(),
             if i + 1 == overload.len() { "" } else { "," }
         ));
     }

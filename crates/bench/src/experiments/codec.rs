@@ -9,7 +9,7 @@
 //! it emits a machine-readable `BENCH_lossless.json` next to the other
 //! experiment artifacts.
 
-use super::{md_table, Report, Scale};
+use super::{json_provenance, md_table, Report, Scale};
 use dz_store::{sha256, Registry, TieredDeltaStore};
 use dz_tensor::Rng;
 use std::time::Instant;
@@ -206,7 +206,12 @@ fn write_json(
     dir: &std::path::Path,
 ) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
-    let mut json = String::from("{\n  \"corpus_bytes\": ");
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-lossless",
+        &[("corpus_bytes", corpus_bytes.to_string())],
+    ));
+    json.push_str("  \"corpus_bytes\": ");
     json.push_str(&corpus_bytes.to_string());
     json.push_str(",\n  \"decode\": [\n");
     for (i, m) in measurements.iter().enumerate() {

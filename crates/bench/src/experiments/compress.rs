@@ -19,7 +19,7 @@
 //! Alongside the rendered markdown it emits `BENCH_compress.json`.
 
 use super::quality::{family_tasks, Zoo};
-use super::{md_table, Report, Scale};
+use super::{json_provenance, md_table, Report, Scale};
 use dz_compress::calib::calibration_set;
 use dz_compress::codec::{BitDeltaCodec, DeltaCodec, DeltaComeCodec, SparseGptCodec};
 use dz_gpusim::shapes::ModelShape;
@@ -226,10 +226,15 @@ fn write_json(
     dir: &Path,
 ) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
-    let mut json = format!(
-        "{{\n  \"family\": \"{FAMILY}\",\n  \"fp16_acc\": {fp16_acc:.4},\n  \
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-compress",
+        &[("family", format!("\"{FAMILY}\""))],
+    ));
+    json.push_str(&format!(
+        "  \"family\": \"{FAMILY}\",\n  \"fp16_acc\": {fp16_acc:.4},\n  \
          \"fp16_ppl\": {fp16_ppl:.4},\n  \"cells\": [\n"
-    );
+    ));
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"codec\": \"{}\", \"budget\": \"{}\", \"acc\": {:.4}, \

@@ -56,6 +56,30 @@ impl Scale {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json` artifact. Bump when
+/// an emitter changes field names or meanings; `exp bench-smoke --check`
+/// refuses baselines written for a newer schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Renders the provenance preamble shared by every `BENCH_*.json`
+/// emitter: schema version, experiment id, and the run configuration
+/// that produced the numbers. Returns indented `"key": value,` lines
+/// ready to splice directly after the opening `{`. Config values must
+/// already be rendered as JSON (quote strings yourself).
+pub fn json_provenance(experiment: &str, config: &[(&str, String)]) -> String {
+    let mut s = format!(
+        "  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"experiment\": \"{experiment}\",\n  \"config\": {{"
+    );
+    for (i, (key, value)) in config.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{key}\": {value}"));
+    }
+    s.push_str("},\n");
+    s
+}
+
 /// Formats a markdown table from a header and rows.
 pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -87,6 +111,21 @@ mod tests {
         assert_eq!(Scale::Quick.steps(1200), 300);
         assert_eq!(Scale::Full.steps(1200), 1200);
         assert_eq!(Scale::Quick.steps(100), 50);
+    }
+
+    #[test]
+    fn provenance_is_valid_json_when_spliced() {
+        let pre = json_provenance(
+            "bench-x",
+            &[("duration_s", "60".into()), ("mode", "\"fast\"".into())],
+        );
+        let doc = format!("{{\n{pre}  \"rows\": []\n}}\n");
+        let v = serde::value::Value::parse_json(&doc).expect("splices into valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(|x| x.as_f64()),
+            Some(BENCH_SCHEMA_VERSION as f64)
+        );
+        assert!(v.get("config").is_some());
     }
 
     #[test]

@@ -22,13 +22,14 @@
 //! checked-in per-metric bounds, exiting nonzero on any regression — the
 //! CI perf gate.
 
-use super::cluster::run_cluster;
+use super::cluster::run_cluster_traced;
 use super::codec::packed_delta_like;
-use super::swap::{run_swap, warm_ttft_p99};
-use super::{md_table, Report};
+use super::swap::{run_swap, run_swap_traced, warm_ttft_p99};
+use super::{json_provenance, md_table, Report, BENCH_SCHEMA_VERSION};
 use dz_compress::codec::{BitDeltaCodec, DeltaCodec, DeltaComeCodec, SparseGptCodec};
 use dz_model::tasks::Corpus;
 use dz_model::transformer::{test_config, Params};
+use dz_serve::{TraceConfig, TraceTrack};
 use dz_tensor::{Matrix, Rng};
 use serde::value::Value;
 use std::path::Path;
@@ -68,6 +69,15 @@ fn synthetic_pair() -> (Params, Params) {
 
 /// Runs the smoke measurements.
 pub fn measure() -> SmokeMetrics {
+    measure_traced(None)
+}
+
+/// [`measure`] with optional event tracing: when `trace` is given, the
+/// cluster cell's lanes and the overlapped swap run's lane land there as
+/// `smoke/*`. Tracing never perturbs the measured numbers (the
+/// instrumentation is a no-op on the metrics path — pinned by a test in
+/// `dz-serve`).
+pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
     // 1. Decode throughput: 2 MiB packed-delta corpus, LUT single-thread,
     //    best of 3.
     let corpus = packed_delta_like(2 << 20, 7);
@@ -81,12 +91,26 @@ pub fn measure() -> SmokeMetrics {
     let decode_mb_s = corpus.len() as f64 / best / 1e6;
 
     // 2. Cluster tail latency: one placement-aware cell, fixed seed.
-    let report = run_cluster("placement-aware", 2, 1.5, 0.6, 40.0, None);
+    let trace_cfg = trace.as_ref().map(|_| TraceConfig::default());
+    let (report, tracks) =
+        run_cluster_traced("placement-aware", 2, 1.5, 0.6, 40.0, None, trace_cfg);
+    if let Some(sink) = trace.as_deref_mut() {
+        for mut track in tracks {
+            track.name = format!("smoke/{}", track.name);
+            sink.push(track);
+        }
+    }
     let cluster_p99 = report.merged.e2e_percentile(0.99);
 
     // 3. Swap pipeline: overlapped vs serialized on the fixed-seed churn
     //    trace (simulated time: deterministic).
-    let overlapped = run_swap("overlapped", 40.0);
+    let (overlapped, swap_log) = run_swap_traced("overlapped", 40.0, trace_cfg);
+    if let (Some(sink), Some(log)) = (trace, swap_log) {
+        sink.push(TraceTrack {
+            name: "smoke/swap-overlapped".into(),
+            log,
+        });
+    }
     let serialized = run_swap("serialized", 40.0);
     let swap_overlap_frac = overlapped.swap.overlap_fraction();
     let swap_warm_ttft = warm_ttft_p99(&overlapped);
@@ -123,8 +147,8 @@ pub fn measure() -> SmokeMetrics {
 
 /// The `bench-smoke` experiment: measures, renders, and writes
 /// `BENCH_smoke.json`.
-pub fn bench_smoke(out_dir: &Path) -> (Report, SmokeMetrics) {
-    let metrics = measure();
+pub fn bench_smoke(out_dir: &Path, trace: Option<&mut Vec<TraceTrack>>) -> (Report, SmokeMetrics) {
+    let metrics = measure_traced(trace);
     let rows: Vec<Vec<String>> = metrics
         .entries
         .iter()
@@ -148,9 +172,18 @@ pub fn bench_smoke(out_dir: &Path) -> (Report, SmokeMetrics) {
 fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
     let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-smoke",
+        &[
+            ("corpus_bytes", (2u64 << 20).to_string()),
+            ("cluster", "\"placement-aware x2, zipf-1.5, 40s\"".into()),
+            ("swap", "\"overlapped vs serialized, 40s\"".into()),
+        ],
+    ));
+    json.push_str("  \"metrics\": {\n");
     for (i, (name, value)) in metrics.entries.iter().enumerate() {
         json.push_str(&format!(
-            "  \"{name}\": {value:.4}{}\n",
+            "    \"{name}\": {value:.4}{}\n",
             if i + 1 == metrics.entries.len() {
                 ""
             } else {
@@ -158,20 +191,42 @@ fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
             }
         ));
     }
-    json.push_str("}\n");
+    json.push_str("  }\n}\n");
     let path = dir.join("BENCH_smoke.json");
     std::fs::write(&path, json)?;
     Ok(path.display().to_string())
 }
 
+/// The `schema_version` a baseline file declares, if any (`None` for
+/// pre-versioned baselines, which [`check_baseline`] still accepts).
+pub fn baseline_schema_version(baseline_json: &str) -> Option<u64> {
+    Value::parse_json(baseline_json)
+        .ok()?
+        .get("schema_version")?
+        .as_f64()
+        .map(|v| v as u64)
+}
+
 /// Compares measured metrics against a checked-in baseline file.
 ///
-/// The baseline is a JSON object `{"metrics": {"<name>": {"min": x?,
-/// "max": y?}, ...}}`: a metric regresses when it falls below its `min`
-/// (throughput/ratio-style metrics) or above its `max` (latency-style
-/// metrics). Returns the list of violations (empty = gate passes).
+/// The baseline is a JSON object `{"schema_version": 1?, "metrics":
+/// {"<name>": {"min": x?, "max": y?}, ...}}`: a metric regresses when it
+/// falls below its `min` (throughput/ratio-style metrics) or above its
+/// `max` (latency-style metrics). A missing `schema_version` is
+/// tolerated (pre-versioned baselines); a version newer than
+/// [`BENCH_SCHEMA_VERSION`] is an error, since the bounds may not mean
+/// what this binary thinks they mean. Returns the list of violations
+/// (empty = gate passes).
 pub fn check_baseline(metrics: &SmokeMetrics, baseline_json: &str) -> Result<Vec<String>, String> {
     let root = Value::parse_json(baseline_json).map_err(|e| format!("baseline parse: {e}"))?;
+    if let Some(v) = root.get("schema_version").and_then(Value::as_f64) {
+        let v = v as u64;
+        if v > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema_version {v} is newer than supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+    }
     let Some(Value::Object(entries)) = root.get("metrics") else {
         return Err("baseline has no `metrics` object".into());
     };
@@ -243,6 +298,25 @@ mod tests {
         assert!(check_baseline(&fixed_metrics(), r#"{"no_metrics": 1}"#).is_err());
         let no_bounds = r#"{"metrics": {"decode_mb_s": {}}}"#;
         assert!(check_baseline(&fixed_metrics(), no_bounds).is_err());
+    }
+
+    #[test]
+    fn baseline_schema_version_is_tolerated_and_gated() {
+        // Current and pre-versioned baselines both pass.
+        let current = r#"{"schema_version": 1, "metrics": {"decode_mb_s": {"min": 50.0}}}"#;
+        assert!(check_baseline(&fixed_metrics(), current)
+            .unwrap()
+            .is_empty());
+        assert_eq!(baseline_schema_version(current), Some(1));
+        let unversioned = r#"{"metrics": {"decode_mb_s": {"min": 50.0}}}"#;
+        assert!(check_baseline(&fixed_metrics(), unversioned)
+            .unwrap()
+            .is_empty());
+        assert_eq!(baseline_schema_version(unversioned), None);
+        // A future schema is an error, not a silent pass.
+        let future = r#"{"schema_version": 99, "metrics": {"decode_mb_s": {"min": 50.0}}}"#;
+        let err = check_baseline(&fixed_metrics(), future).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
     }
 
     #[test]

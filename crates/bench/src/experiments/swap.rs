@@ -19,12 +19,16 @@
 //! the serialized baseline pollutes with other models' swap-in waits.
 //! Emits `BENCH_swap.json`; two smoke metrics feed the CI perf gate.
 
-use super::{md_table, Report, Scale};
+use super::{json_provenance, md_table, Report, Scale};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::swap::{PopularityPrefetch, QueueLookahead};
-use dz_serve::{CostModel, DeltaZipConfig, DeltaZipEngine, Engine, Metrics};
+use dz_serve::{
+    CauseBreakdown, CostModel, DeltaZipConfig, DeltaZipEngine, Engine, Metrics, TraceConfig,
+    TraceLog, TraceTrack, CAUSE_NAMES,
+};
 use dz_workload::{PopularityDist, Trace, TraceSpec};
+use serde::Serialize;
 
 const N_MODELS: usize = 16;
 /// The hottest model: its delta is effectively always GPU-resident, so
@@ -50,6 +54,16 @@ fn swap_trace(duration_s: f64) -> Trace {
 
 /// Runs one swap-bench mode (also reused by the `bench-smoke` perf gate).
 pub fn run_swap(mode: &str, duration_s: f64) -> Metrics {
+    run_swap_traced(mode, duration_s, None).0
+}
+
+/// [`run_swap`] with optional event tracing: when `trace_cfg` is set the
+/// engine records its event log, returned alongside the metrics.
+pub fn run_swap_traced(
+    mode: &str,
+    duration_s: f64,
+    trace_cfg: Option<TraceConfig>,
+) -> (Metrics, Option<TraceLog>) {
     // The small node: GPU holds only a few deltas next to the base and
     // the host cache is bounded, so swap traffic never stops.
     let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
@@ -72,7 +86,12 @@ pub fn run_swap(mode: &str, duration_s: f64) -> Metrics {
         "serialized" | "overlapped" => engine,
         other => panic!("unknown swap mode {other}"),
     };
-    engine.run(&trace)
+    if let Some(cfg) = trace_cfg {
+        engine = engine.with_tracing(cfg);
+    }
+    let m = engine.run(&trace);
+    let log = engine.tracer.take_log();
+    (m, log)
 }
 
 /// TTFT p99 of the warm-model requests.
@@ -93,16 +112,21 @@ struct Row {
     serialized_stall_s: f64,
     prefetch_issued: usize,
     prefetch_hit_rate: f64,
+    attribution: CauseBreakdown,
 }
 
-fn measure(mode: &'static str, duration_s: f64) -> Row {
-    let m = run_swap(mode, duration_s);
+fn measure(
+    mode: &'static str,
+    duration_s: f64,
+    trace_cfg: Option<TraceConfig>,
+) -> (Row, Option<TraceLog>) {
+    let (m, log) = run_swap_traced(mode, duration_s, trace_cfg);
     let mean_load = if m.is_empty() {
         0.0
     } else {
         m.records.iter().map(|r| r.load_s).sum::<f64>() / m.len() as f64
     };
-    Row {
+    let row = Row {
         mode,
         requests: m.len(),
         warm_ttft_p99_s: warm_ttft_p99(&m),
@@ -114,16 +138,36 @@ fn measure(mode: &'static str, duration_s: f64) -> Row {
         serialized_stall_s: m.swap.serialized_stall_s,
         prefetch_issued: m.swap.prefetch_issued,
         prefetch_hit_rate: m.swap.prefetch_hit_rate(),
-    }
+        attribution: m.attribution(0.99),
+    };
+    (row, log)
 }
 
-/// The `bench-swap` experiment.
-pub fn bench_swap(scale: Scale, out_dir: &std::path::Path) -> Report {
+/// The `bench-swap` experiment. When `trace` is given, each mode's engine
+/// event log lands there as a `swap/<mode>` lane.
+pub fn bench_swap(
+    scale: Scale,
+    out_dir: &std::path::Path,
+    mut trace: Option<&mut Vec<TraceTrack>>,
+) -> Report {
     let duration_s = match scale {
         Scale::Full => 150.0,
         Scale::Quick => 60.0,
     };
-    let rows: Vec<Row> = MODES.iter().map(|m| measure(m, duration_s)).collect();
+    let trace_cfg = trace.as_ref().map(|_| TraceConfig::default());
+    let rows: Vec<Row> = MODES
+        .iter()
+        .map(|m| {
+            let (row, log) = measure(m, duration_s, trace_cfg);
+            if let (Some(tracks), Some(log)) = (trace.as_deref_mut(), log) {
+                tracks.push(TraceTrack {
+                    name: format!("swap/{m}"),
+                    log,
+                });
+            }
+            row
+        })
+        .collect();
     let mut body = String::from(
         "Swap modes on the 3090/7B node (Zipf-1.2, 16 models, bounded host cache).\n\
          `warm TTFT p99` is the tail of the hottest model's requests — the\n\
@@ -162,7 +206,32 @@ pub fn bench_swap(scale: Scale, out_dir: &std::path::Path) -> Report {
             })
             .collect::<Vec<_>>(),
     ));
-    match write_json(&rows, out_dir) {
+    body.push_str(
+        "\nWhere did the p99 go — mean attributed seconds over tail requests\n\
+         (e2e at or beyond the p99 threshold), per cause:\n\n",
+    );
+    let mut attr_header = vec!["mode", "tail n", "threshold (s)"];
+    attr_header.extend(CAUSE_NAMES);
+    body.push_str(&md_table(
+        &attr_header,
+        &rows
+            .iter()
+            .map(|r| {
+                let a = &r.attribution;
+                let mut row = vec![
+                    r.mode.to_string(),
+                    a.n_tail.to_string(),
+                    format!("{:.2}", a.tail_threshold_s),
+                ];
+                let shares = a.tail_share();
+                for (i, v) in a.tail_mean.as_array().iter().enumerate() {
+                    row.push(format!("{v:.2} ({:.0}%)", shares[i] * 100.0));
+                }
+                row
+            })
+            .collect::<Vec<_>>(),
+    ));
+    match write_json(&rows, duration_s, out_dir) {
         Ok(path) => body.push_str(&format!("\njson: {path}\n")),
         Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
     }
@@ -173,15 +242,27 @@ pub fn bench_swap(scale: Scale, out_dir: &std::path::Path) -> Report {
     }
 }
 
-fn write_json(rows: &[Row], dir: &std::path::Path) -> std::io::Result<String> {
+fn write_json(rows: &[Row], duration_s: f64, dir: &std::path::Path) -> std::io::Result<String> {
     std::fs::create_dir_all(dir)?;
-    let mut json = String::from("{\n  \"modes\": [\n");
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-swap",
+        &[
+            ("n_models", N_MODELS.to_string()),
+            ("arrival_rate", "1.2".into()),
+            ("duration_s", format!("{duration_s:.1}")),
+            ("zipf_alpha", "1.2".into()),
+            ("seed", "23057".into()),
+        ],
+    ));
+    json.push_str("  \"modes\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"mode\": \"{}\", \"requests\": {}, \"warm_ttft_p99_s\": {:.4}, \
              \"ttft_p99_s\": {:.4}, \"e2e_p99_s\": {:.4}, \"mean_load_s\": {:.4}, \
              \"overlap_frac\": {:.4}, \"stall_s\": {:.4}, \"serialized_stall_s\": {:.4}, \
-             \"prefetch_issued\": {}, \"prefetch_hit_rate\": {:.4}}}{}\n",
+             \"prefetch_issued\": {}, \"prefetch_hit_rate\": {:.4}, \
+             \"p99_attribution\": {}}}{}\n",
             r.mode,
             r.requests,
             r.warm_ttft_p99_s,
@@ -193,6 +274,7 @@ fn write_json(rows: &[Row], dir: &std::path::Path) -> std::io::Result<String> {
             r.serialized_stall_s,
             r.prefetch_issued,
             r.prefetch_hit_rate,
+            r.attribution.to_value().to_json(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

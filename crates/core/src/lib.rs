@@ -63,6 +63,10 @@ use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
 pub use dz_serve::{
+    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, TraceConfig,
+    TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
+};
+pub use dz_serve::{
     ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim, CostModel, DeltaStoreBinding,
     DeltaZipConfig, LeastLoadedRouter, LoadProfile, Metrics, PlacementAwareRouter, PlacementPlan,
     PopularityPrefetch, PrefetchConfig, PrefetchHint, PrefetchPolicy, Prefetcher, QueueLookahead,

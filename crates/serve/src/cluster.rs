@@ -43,6 +43,7 @@ use crate::metrics::{Metrics, RequestRecord, SwapStats};
 use crate::slo::{SloClass, SloPolicy};
 use crate::swap::PrefetchPolicy;
 use crate::Engine;
+use dz_trace::{TraceConfig, TraceEvent, TraceTrack, Tracer};
 use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
 use std::collections::{HashMap, HashSet};
 
@@ -123,6 +124,11 @@ pub trait Router {
         _routed: usize,
     ) -> Vec<PrefetchHint> {
         Vec::new()
+    }
+    /// Cumulative delta migrations the policy has triggered (placement
+    /// rebalances). Stateless routers report none.
+    fn migrations(&self) -> usize {
+        0
     }
 }
 
@@ -417,6 +423,10 @@ impl Router for PlacementAwareRouter {
             })
             .collect()
     }
+
+    fn migrations(&self) -> usize {
+        self.migrations
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -576,22 +586,17 @@ pub struct RoutingStats {
 impl RoutingStats {
     /// Fraction of admitted requests routed onto a warm replica.
     pub fn warm_fraction(&self) -> f64 {
-        let total = self.warm_routed + self.cold_routed;
-        if total == 0 {
-            0.0
-        } else {
-            self.warm_routed as f64 / total as f64
-        }
+        dz_trace::stats::ratio_or(
+            self.warm_routed as f64,
+            (self.warm_routed + self.cold_routed) as f64,
+            0.0,
+        )
     }
 
     /// Fraction of applied prefetch hints later rewarded by a warm-routed
     /// request (`0.0` when no hints were applied).
     pub fn prefetch_hit_rate(&self) -> f64 {
-        if self.prefetch_issued == 0 {
-            0.0
-        } else {
-            self.prefetch_hits as f64 / self.prefetch_issued as f64
-        }
+        dz_trace::stats::ratio_or(self.prefetch_hits as f64, self.prefetch_issued as f64, 0.0)
     }
 }
 
@@ -618,11 +623,7 @@ impl ClusterReport {
     /// Served requests / offered requests (1.0 when nothing was shed).
     pub fn goodput(&self) -> f64 {
         let offered = self.merged.len() + self.shed.len();
-        if offered == 0 {
-            1.0
-        } else {
-            self.merged.len() as f64 / offered as f64
-        }
+        dz_trace::stats::ratio_or(self.merged.len() as f64, offered as f64, 1.0)
     }
 
     /// Aggregate host-cache hit rate across replica stores, when
@@ -632,11 +633,7 @@ impl ClusterReport {
         let (hits, loads) = stats.iter().fold((0u64, 0u64), |(h, l), s| {
             (h + s.host_hits, l + s.host_hits + s.disk_loads)
         });
-        Some(if loads == 0 {
-            1.0
-        } else {
-            hits as f64 / loads as f64
-        })
+        Some(dz_trace::stats::ratio_or(hits as f64, loads as f64, 1.0))
     }
 }
 
@@ -790,6 +787,12 @@ pub struct ClusterSim {
     /// once at [`with_stores`](Self::with_stores) time (the sizes need a
     /// disk stat per artifact).
     store_warm_caps: Vec<usize>,
+    /// When set, the front-end and every replica engine record trace
+    /// events during [`run`](Self::run).
+    trace_config: Option<TraceConfig>,
+    /// Tracks captured by the last traced run (front-end lane first,
+    /// then one per replica), until [`take_trace`](Self::take_trace).
+    trace_tracks: Vec<TraceTrack>,
 }
 
 impl ClusterSim {
@@ -808,7 +811,25 @@ impl ClusterSim {
             router,
             bindings: None,
             store_warm_caps: Vec::new(),
+            trace_config: None,
+            trace_tracks: Vec::new(),
         }
+    }
+
+    /// Enables simulation-clock tracing: subsequent [`run`](Self::run)
+    /// calls record front-end events (defer/shed/migrations) plus every
+    /// replica engine's event log, retrievable via
+    /// [`take_trace`](Self::take_trace).
+    pub fn with_tracing(mut self, config: TraceConfig) -> Self {
+        self.trace_config = Some(config);
+        self
+    }
+
+    /// Takes the trace tracks captured by the last traced run: the
+    /// front-end lane followed by one lane per replica, with replica
+    /// request ids remapped to global trace ids.
+    pub fn take_trace(&mut self) -> Vec<TraceTrack> {
+        std::mem::take(&mut self.trace_tracks)
     }
 
     /// Binds one [`TieredDeltaStore`](dz_store::TieredDeltaStore) per
@@ -941,6 +962,11 @@ impl ClusterSim {
             ..RoutingStats::default()
         };
         let mut shed: Vec<ShedRecord> = Vec::new();
+        let mut frontend_tracer = match self.trace_config {
+            Some(cfg) => Tracer::enabled(cfg),
+            None => Tracer::disabled(),
+        };
+        let mut migrations_seen = self.router.migrations();
 
         while let Some(std::cmp::Reverse((_, seq))) = heap.pop() {
             let p = match pending.remove(&seq) {
@@ -968,6 +994,11 @@ impl ClusterSim {
                         .expect("at least one replica");
                     if min_depth >= adm.defer_depth && p.defers < adm.max_defers {
                         routing.defer_events += 1;
+                        frontend_tracer.emit(|| TraceEvent::Defer {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
                         let deferred = Pending {
                             delay: p.delay + adm.defer_s,
                             defers: p.defers + 1,
@@ -981,6 +1012,11 @@ impl ClusterSim {
                     }
                     if min_depth >= adm.shed_depth {
                         routing.shed += 1;
+                        frontend_tracer.emit(|| TraceEvent::Shed {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
                         shed.push(ShedRecord {
                             id: p.req.id,
                             model: p.req.model,
@@ -994,6 +1030,12 @@ impl ClusterSim {
 
             let r = self.router.route(&p.req, &views);
             assert!(r < n, "router returned replica {r} of {n}");
+            let migrations_now = self.router.migrations();
+            if migrations_now > migrations_seen {
+                let count = migrations_now - migrations_seen;
+                frontend_tracer.emit(|| TraceEvent::Migrate { count, at: now });
+                migrations_seen = migrations_now;
+            }
             let warm = views[r].warm;
             if warm {
                 routing.warm_routed += 1;
@@ -1045,6 +1087,13 @@ impl ClusterSim {
         }
 
         // Replay each replica's assignment on its own engine.
+        let mut trace_tracks: Vec<TraceTrack> = Vec::new();
+        if let Some(log) = frontend_tracer.take_log() {
+            trace_tracks.push(TraceTrack {
+                name: "frontend".into(),
+                log,
+            });
+        }
         let mut per_replica: Vec<Metrics> = Vec::with_capacity(n);
         let mut records: Vec<RequestRecord> = Vec::new();
         let mut makespan = 0.0f64;
@@ -1068,6 +1117,9 @@ impl ClusterSim {
                 requests,
             };
             let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
+            if let Some(cfg) = self.trace_config {
+                engine = engine.with_tracing(cfg);
+            }
             if let Some(adm) = &self.config.admission {
                 engine = engine.with_slo_policy(adm.slo.clone());
             }
@@ -1091,13 +1143,26 @@ impl ClusterSim {
             for rec in &m.records {
                 let global = ids[rec.id];
                 let delay = delays[rec.id];
+                // The deferral wait is queue time from the request's point
+                // of view: fold it into the attributed queue cause too, so
+                // the ledger still telescopes to the cluster-level e2e.
+                let mut causes = rec.causes;
+                causes.queue_s += delay;
                 records.push(RequestRecord {
                     id: global,
                     arrival: rec.arrival - delay,
                     e2e_s: rec.e2e_s + delay,
                     ttft_s: rec.ttft_s + delay,
                     queue_s: rec.queue_s + delay,
+                    causes,
                     ..rec.clone()
+                });
+            }
+            if let Some(mut log) = engine.tracer.take_log() {
+                log.remap_request_ids(&ids);
+                trace_tracks.push(TraceTrack {
+                    name: format!("replica{r}"),
+                    log,
                 });
             }
             per_replica.push(m);
@@ -1114,6 +1179,7 @@ impl ClusterSim {
         for m in &per_replica {
             cluster_swap.merge(&m.swap);
         }
+        self.trace_tracks = trace_tracks;
         let merged = Metrics {
             engine: format!("Cluster[{}x {}]", n, self.router.name()),
             records,

@@ -41,7 +41,8 @@ use crate::swap::{
 use crate::tuning::DynamicN;
 use crate::Engine;
 use dz_gpusim::kernel::BatchedImpl;
-use dz_store::{ArtifactId, DecodedFetch, FetchTier, TieredDeltaStore};
+use dz_store::{ArtifactId, DecodedFetch, FetchTier, TieredDeltaStore, Warmth};
+use dz_trace::{EvictTier, GaugeSample, TraceConfig, TraceEvent, Tracer};
 use dz_workload::Trace;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -235,6 +236,11 @@ pub struct DeltaZipEngine {
     pub prefetcher: Option<Box<dyn Prefetcher>>,
     /// Bandwidth budget for the prefetcher.
     pub prefetch_config: PrefetchConfig,
+    /// Structured tracing handle. Disabled by default: emission sites
+    /// only read simulation state, so tracing-off runs are identical to
+    /// untraced builds. Enable via [`with_tracing`](Self::with_tracing)
+    /// and harvest the log with `tracer.take_log()` after a run.
+    pub tracer: Tracer,
 }
 
 impl DeltaZipEngine {
@@ -253,7 +259,14 @@ impl DeltaZipEngine {
             delta_store: None,
             prefetcher: None,
             prefetch_config: PrefetchConfig::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Enables structured simulation-clock tracing for subsequent runs.
+    pub fn with_tracing(mut self, config: TraceConfig) -> Self {
+        self.tracer = Tracer::enabled(config);
+        self
     }
 
     /// Enables predictive disk→host prefetch under the default bandwidth
@@ -354,10 +367,17 @@ impl Engine for DeltaZipEngine {
         let mut prefetched_warm: HashSet<usize> = HashSet::new();
         let mut prefetch_bucket = self.prefetch_config.burst_s;
         let mut swap = SwapStats::default();
+        // Detach the tracer so emission closures can borrow engine state.
+        let mut tracer = std::mem::take(&mut self.tracer);
 
         loop {
             // Step 1: admit arrivals up to the current time.
             while next_arrival < states.len() && states[next_arrival].req.arrival <= t {
+                tracer.emit(|| TraceEvent::RequestQueued {
+                    id: states[next_arrival].req.id,
+                    model: states[next_arrival].req.model,
+                    at: states[next_arrival].req.arrival,
+                });
                 queue.insert(next_arrival);
                 next_arrival += 1;
             }
@@ -388,6 +408,7 @@ impl Engine for DeltaZipEngine {
                     &BTreeSet::new(),
                     &mut self.delta_store,
                     &mut swap,
+                    &mut tracer,
                 );
                 continue;
             }
@@ -436,7 +457,22 @@ impl Engine for DeltaZipEngine {
                     .copied()
                     .filter(|&p| p != qid);
                 states[qid].parent = parent;
+                // Attribute the wait that ends here: initial queueing for
+                // a first admission, preemption exile for a re-admission.
+                let first_admit = states[qid].first_admitted_at.is_none();
+                states[qid].accrue(t, |c, dt| {
+                    if first_admit {
+                        c.queue_s += dt;
+                    } else {
+                        c.preempt_s += dt;
+                    }
+                });
                 states[qid].admit(t);
+                tracer.emit(|| TraceEvent::RequestAdmitted {
+                    id: states[qid].req.id,
+                    model: states[qid].req.model,
+                    at: t,
+                });
                 if cfg.overlap_swaps && !on_gpu.contains_key(&states[qid].req.model) {
                     // Overlapped mode: hold a batch slot but wait for this
                     // delta's own load; the resident sub-batch decodes on.
@@ -467,7 +503,9 @@ impl Engine for DeltaZipEngine {
                             // prefetch marker so the loop reserves room
                             // for it).
                             let demand_inflight = loading.len() - load_is_prefetch.len();
-                            evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                            let victims =
+                                evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                            trace_evicts(&mut tracer, victims, EvictTier::Gpu, t);
                             load_is_prefetch.remove(&d);
                             // The prewarm's disk bytes finish into the
                             // host tier and the demand path fetches from
@@ -483,11 +521,21 @@ impl Engine for DeltaZipEngine {
                                 }
                                 None => {
                                     warm.insert(d, t);
-                                    enforce_host_cap(&cfg, &mut warm, &selected);
+                                    let victims = enforce_host_cap(&cfg, &mut warm, &selected);
+                                    trace_evicts(&mut tracer, victims, EvictTier::Host, t);
                                     cost.delta_load_profile_bytes(cost.delta_bytes())
                                 }
                             };
                             swap.prefetch_hits += 1;
+                            tracer.emit(|| TraceEvent::PrefetchHit { delta: d, at: t });
+                            tracer.emit(|| TraceEvent::PrefetchPromoted { delta: d, at: t });
+                            tracer.emit(|| TraceEvent::SwapStart {
+                                delta: d,
+                                at: t,
+                                disk_s: extra.disk_s,
+                                pcie_s: extra.pcie_s,
+                                solo_s: extra.solo_s(),
+                            });
                             timeline.promote(tok, extra);
                             swap.demand_loads += 1;
                             swap.serialized_stall_s += extra.solo_s();
@@ -495,8 +543,10 @@ impl Engine for DeltaZipEngine {
                         continue;
                     }
                     let demand_inflight = loading.len() - load_is_prefetch.len();
-                    evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                    let victims = evict_gpu_lru(&mut on_gpu, &selected, capacity, demand_inflight);
+                    trace_evicts(&mut tracer, victims, EvictTier::Gpu, t);
                     let was_prefetched = prefetched_warm.remove(&d);
+                    let hits_before = swap.prefetch_hits;
                     let profile = match self.delta_store.as_mut() {
                         // Artifact-store path: the store decides the tier
                         // from its byte-budget LRU, reports real artifact
@@ -535,10 +585,21 @@ impl Engine for DeltaZipEngine {
                                 cost.delta_cold_load_profile_bytes(cost.delta_bytes())
                             };
                             warm.insert(d, t);
-                            enforce_host_cap(&cfg, &mut warm, &selected);
+                            let victims = enforce_host_cap(&cfg, &mut warm, &selected);
+                            trace_evicts(&mut tracer, victims, EvictTier::Host, t);
                             p
                         }
                     };
+                    if swap.prefetch_hits > hits_before {
+                        tracer.emit(|| TraceEvent::PrefetchHit { delta: d, at: t });
+                    }
+                    tracer.emit(|| TraceEvent::SwapStart {
+                        delta: d,
+                        at: t,
+                        disk_s: profile.disk_s,
+                        pcie_s: profile.pcie_s,
+                        solo_s: profile.solo_s(),
+                    });
                     let tok = timeline.start(profile, LoadKind::Demand { delta: d });
                     loading.insert(d, tok);
                     swap.demand_loads += 1;
@@ -551,7 +612,9 @@ impl Engine for DeltaZipEngine {
                 // resident.
                 let mut load_s = 0.0;
                 for d in needed {
-                    evict_gpu_lru(&mut on_gpu, &selected, capacity, 0);
+                    let victims = evict_gpu_lru(&mut on_gpu, &selected, capacity, 0);
+                    trace_evicts(&mut tracer, victims, EvictTier::Gpu, t);
+                    let offset = load_s;
                     let charge = match self.delta_store.as_mut() {
                         Some(binding) => {
                             let outcome = binding.fetch_for_model(d);
@@ -572,10 +635,25 @@ impl Engine for DeltaZipEngine {
                                 cost.delta_cold_load_time()
                             };
                             warm.insert(d, t);
-                            enforce_host_cap(&cfg, &mut warm, &selected);
+                            let victims = enforce_host_cap(&cfg, &mut warm, &selected);
+                            trace_evicts(&mut tracer, victims, EvictTier::Host, t);
                             charge
                         }
                     };
+                    // Serialized loads run back to back: reconstruct the
+                    // per-delta span inside the single up-front charge.
+                    tracer.emit(|| TraceEvent::SwapStart {
+                        delta: d,
+                        at: t + offset,
+                        disk_s: 0.0,
+                        pcie_s: 0.0,
+                        solo_s: charge,
+                    });
+                    tracer.emit(|| TraceEvent::SwapLand {
+                        delta: d,
+                        at: t + offset + charge,
+                        waiters: 0,
+                    });
                     load_s += charge;
                     swap.demand_loads += 1;
                     swap.serialized_stall_s += charge;
@@ -588,6 +666,10 @@ impl Engine for DeltaZipEngine {
                     for &rid in &running {
                         states[rid].load_wait_s += load_s;
                         swap.stall_s += load_s;
+                        // The whole batch stalls on the serialized sum:
+                        // all of it is "own-delta" style exposure (the
+                        // serialized model has no channel contention).
+                        states[rid].accrue(t, |c, dt| c.stall_own_s += dt);
                     }
                 }
             }
@@ -634,6 +716,11 @@ impl Engine for DeltaZipEngine {
                         continue;
                     }
                     prefetch_bucket -= profile.disk_s;
+                    tracer.emit(|| TraceEvent::PrefetchIssued {
+                        delta: d,
+                        at: t,
+                        disk_s: profile.disk_s,
+                    });
                     let tok = timeline.start(profile, LoadKind::Prefetch { delta: d });
                     loading.insert(d, tok);
                     load_is_prefetch.insert(d);
@@ -692,6 +779,7 @@ impl Engine for DeltaZipEngine {
                     &selected,
                     &mut self.delta_store,
                     &mut swap,
+                    &mut tracer,
                 );
                 continue;
             }
@@ -742,14 +830,32 @@ impl Engine for DeltaZipEngine {
                 reqs_per_delta[di] += 1;
             }
             t += cost.deltazip_decode_iter(&reqs_per_delta, cfg.strategy);
+            tracer.emit(|| TraceEvent::BatchStep {
+                at: t_before,
+                dur_s: t - t_before,
+                batch: running.len(),
+                deltas: delta_ids.len(),
+            });
             let mut finished_parents: Vec<usize> = Vec::new();
             for &rid in &running {
                 states[rid].tokens_done += 1;
+                if states[rid].first_token_at.is_none() {
+                    tracer.emit(|| TraceEvent::FirstToken {
+                        id: states[rid].req.id,
+                        at: t,
+                    });
+                }
                 states[rid].record_first_token(t);
+                // Everything since the last accounting boundary was spent
+                // inside this iteration (prefill, restore, decode, and any
+                // batch-alignment slack after a mid-iteration load land).
+                states[rid].accrue(t, |c, dt| c.decode_s += dt);
             }
             running.retain(|&rid| {
                 if states[rid].done() {
                     states[rid].finish(t);
+                    let id = states[rid].req.id;
+                    tracer.emit(|| TraceEvent::RequestFinished { id, at: t });
                     finished_parents.push(rid);
                     false
                 } else {
@@ -784,7 +890,51 @@ impl Engine for DeltaZipEngine {
                 &selected,
                 &mut self.delta_store,
                 &mut swap,
+                &mut tracer,
             );
+
+            // Gauge sample at the iteration boundary: queue/batch
+            // occupancy, residency and warmth composition, channel
+            // in-flight counts.
+            tracer.gauge(|| {
+                let n_models = trace.spec.n_models;
+                let (disk, host, decoded, host_bytes) = match self.delta_store.as_ref() {
+                    Some(binding) => {
+                        let (mut disk, mut host, mut dec) = (0usize, 0usize, 0usize);
+                        for id in binding.artifacts() {
+                            match binding.store().warmth(id) {
+                                Warmth::Disk => disk += 1,
+                                Warmth::Host => host += 1,
+                                Warmth::HostDecoded => dec += 1,
+                            }
+                        }
+                        (disk, host, dec, binding.store().resident_bytes() as f64)
+                    }
+                    None => {
+                        let host = warm.len();
+                        (
+                            n_models.saturating_sub(host),
+                            host,
+                            0,
+                            host as f64 * cost.delta_bytes(),
+                        )
+                    }
+                };
+                GaugeSample {
+                    at: t,
+                    queue_depth: queue.len(),
+                    batch: running.len(),
+                    blocked: waiting.len(),
+                    gpu_resident: on_gpu.len(),
+                    warmth_disk: disk,
+                    warmth_host: host,
+                    warmth_host_decoded: decoded,
+                    gpu_bytes: on_gpu.len() as f64 * cost.delta_bytes(),
+                    host_bytes,
+                    inflight_demand: timeline.in_flight() - timeline.in_flight_prefetches(),
+                    inflight_prefetch: timeline.in_flight_prefetches(),
+                }
+            });
 
             // Step 6: starvation avoidance — preempt children of finished
             // parents back to their original queue slots. Only kick children
@@ -819,6 +969,10 @@ impl Engine for DeltaZipEngine {
                     states[rid].preemptions += 1;
                     states[rid].parent = None;
                     states[rid].phase = Phase::Queued;
+                    tracer.emit(|| TraceEvent::RequestPreempted {
+                        id: states[rid].req.id,
+                        at: t,
+                    });
                     queue.insert(rid);
                 }
                 // A spared child rides to completion; nothing may preempt
@@ -833,20 +987,23 @@ impl Engine for DeltaZipEngine {
             }
         }
 
+        // Re-attach the tracer so the caller can harvest the log.
+        self.tracer = tracer;
         Metrics::from_states(self.label(), &states, t).with_swap(swap)
     }
 }
 
 /// Evicts least-recently-used non-selected deltas from GPU memory until
 /// there is room for one more landing delta (in-flight demand loads also
-/// reserve slots). Capacity >= N guarantees progress; if every resident
-/// delta is selected the loop stops.
+/// reserve slots), returning the evicted deltas. Capacity >= N guarantees
+/// progress; if every resident delta is selected the loop stops.
 fn evict_gpu_lru(
     on_gpu: &mut HashMap<usize, f64>,
     selected: &BTreeSet<usize>,
     capacity: usize,
     reserved_inflight: usize,
-) {
+) -> Vec<usize> {
+    let mut victims = Vec::new();
     while on_gpu.len() + reserved_inflight >= capacity {
         let victim = on_gpu
             .iter()
@@ -856,9 +1013,19 @@ fn evict_gpu_lru(
         match victim {
             Some(v) => {
                 on_gpu.remove(&v);
+                victims.push(v);
             }
             None => break,
         }
+    }
+    victims
+}
+
+/// Emits one [`TraceEvent::Evict`] per victim (no-op with an empty list
+/// or a disabled tracer).
+fn trace_evicts(tracer: &mut Tracer, victims: Vec<usize>, tier: EvictTier, at: f64) {
+    for v in victims {
+        tracer.emit(|| TraceEvent::Evict { delta: v, tier, at });
     }
 }
 
@@ -871,9 +1038,10 @@ fn enforce_host_cap(
     cfg: &DeltaZipConfig,
     warm: &mut HashMap<usize, f64>,
     selected: &BTreeSet<usize>,
-) {
+) -> Vec<usize> {
+    let mut victims = Vec::new();
     let Some(host_cap) = cfg.host_capacity_deltas else {
-        return;
+        return victims;
     };
     while warm.len() > host_cap.max(1) {
         let victim = warm
@@ -884,10 +1052,12 @@ fn enforce_host_cap(
         match victim {
             Some(v) => {
                 warm.remove(&v);
+                victims.push(v);
             }
             None => break, // Everything cached is selected right now.
         }
     }
+    victims
 }
 
 /// Applies a batch of transfer-timeline completions to the engine state:
@@ -910,6 +1080,7 @@ fn apply_swap_completions(
     protected: &BTreeSet<usize>,
     delta_store: &mut Option<DeltaStoreBinding>,
     swap: &mut SwapStats,
+    tracer: &mut Tracer,
 ) {
     for c in completions {
         let d = c.kind.delta();
@@ -918,6 +1089,17 @@ fn apply_swap_completions(
         match c.kind {
             LoadKind::Demand { .. } => {
                 on_gpu.insert(d, c.at);
+                // Contention attribution: how much of the load's wall
+                // time was inflation over its uncontended duration. The
+                // clamp absorbs promoted loads that *beat* their solo
+                // estimate thanks to a prefetch head start.
+                let wall = (c.at - c.started_at).max(0.0);
+                let contention_frac = if wall > 0.0 {
+                    ((wall - c.solo_s) / wall).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let mut woken = 0usize;
                 let mut i = 0;
                 while i < waiting.len() {
                     let qid = waiting[i];
@@ -927,23 +1109,39 @@ fn apply_swap_completions(
                             states[qid].load_wait_s += stall;
                             swap.stall_s += stall;
                         }
+                        // Split the stall (computed as `dt` so the ledger
+                        // telescopes exactly) into own-delta exposure vs
+                        // contention-induced inflation.
+                        states[qid].accrue(c.at, |cs, dt| {
+                            let cont = dt * contention_frac;
+                            cs.stall_contention_s += cont;
+                            cs.stall_own_s += dt - cont;
+                        });
                         running.push(qid);
                         waiting.swap_remove(i);
+                        woken += 1;
                     } else {
                         i += 1;
                     }
                 }
+                tracer.emit(|| TraceEvent::SwapLand {
+                    delta: d,
+                    at: c.at,
+                    waiters: woken,
+                });
             }
             LoadKind::Prefetch { .. } => {
                 swap.prefetch_completed += 1;
                 prefetched_warm.insert(d);
+                tracer.emit(|| TraceEvent::PrefetchLand { delta: d, at: c.at });
                 match delta_store.as_mut() {
                     // Store-backed: the bytes actually move into the
                     // store's host cache (budgeted at issue time).
                     Some(binding) => binding.prefetch_model(d),
                     None => {
                         warm.insert(d, c.at);
-                        enforce_host_cap(cfg, warm, protected);
+                        let victims = enforce_host_cap(cfg, warm, protected);
+                        trace_evicts(tracer, victims, EvictTier::Host, c.at);
                     }
                 }
             }

@@ -54,6 +54,12 @@ pub use swap::{
     TransferTimeline,
 };
 pub use vllm_scb::{VllmScbConfig, VllmScbEngine};
+// Tracing surface: re-exported so engine users configure/consume traces
+// without naming `dz_trace` directly.
+pub use dz_trace::{
+    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, TraceConfig,
+    TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
+};
 
 /// A serving engine that can replay a trace.
 pub trait Engine {

@@ -2,6 +2,8 @@
 //! per-request latency breakdown.
 
 use crate::request::ReqState;
+use dz_trace::stats::{fraction_within, mean, percentile, ratio_or};
+use dz_trace::{AttributedRequest, CauseBreakdown, Causes, PromSnapshot};
 use serde::Serialize;
 
 /// Frozen per-request measurements.
@@ -25,6 +27,9 @@ pub struct RequestRecord {
     pub output_tokens: usize,
     /// Preemption count.
     pub preemptions: usize,
+    /// Critical-path cause ledger (sums to `e2e_s` for the DeltaZip
+    /// engine; all-zero for baselines that do not attribute).
+    pub causes: Causes,
 }
 
 /// Engine-level swap accounting: how much delta loading happened, how
@@ -62,21 +67,13 @@ impl SwapStats {
     /// Fraction of in-flight load time hidden behind decode
     /// (`0.0` when nothing was loaded).
     pub fn overlap_fraction(&self) -> f64 {
-        if self.load_busy_s > 0.0 {
-            self.overlapped_s / self.load_busy_s
-        } else {
-            0.0
-        }
+        ratio_or(self.overlapped_s, self.load_busy_s, 0.0)
     }
 
     /// Fraction of issued prefetches whose delta was later demanded while
     /// still warm (`0.0` when nothing was prefetched).
     pub fn prefetch_hit_rate(&self) -> f64 {
-        if self.prefetch_issued > 0 {
-            self.prefetch_hits as f64 / self.prefetch_issued as f64
-        } else {
-            0.0
-        }
+        ratio_or(self.prefetch_hits as f64, self.prefetch_issued as f64, 0.0)
     }
 
     /// Field-wise accumulation (for cluster-level aggregation).
@@ -132,6 +129,7 @@ impl Metrics {
                     load_s: s.load_wait_s,
                     output_tokens: s.req.output_tokens,
                     preemptions: s.preemptions,
+                    causes: s.causes,
                 }
             })
             .collect();
@@ -198,12 +196,12 @@ impl Metrics {
 
     /// Fraction of requests with E2E latency within `slo_s`.
     pub fn slo_attainment_e2e(&self, slo_s: f64) -> f64 {
-        fraction(self.records.iter().map(|r| r.e2e_s), slo_s)
+        fraction_within(self.records.iter().map(|r| r.e2e_s), slo_s)
     }
 
     /// Fraction of requests with TTFT within `slo_s`.
     pub fn slo_attainment_ttft(&self, slo_s: f64) -> f64 {
-        fraction(self.records.iter().map(|r| r.ttft_s), slo_s)
+        fraction_within(self.records.iter().map(|r| r.ttft_s), slo_s)
     }
 
     /// Attainment curve over a threshold grid: `(threshold, fraction)`.
@@ -258,51 +256,80 @@ impl Metrics {
         let e2e = self.mean_e2e();
         (queue, load, (e2e - queue - load).max(0.0))
     }
-}
 
-fn mean(values: impl Iterator<Item = f64>) -> f64 {
-    let mut sum = 0.0;
-    let mut n = 0usize;
-    for v in values {
-        sum += v;
-        n += 1;
+    /// Critical-path attribution over the per-request cause ledgers:
+    /// mean causes over all requests plus over the e2e tail at the
+    /// `tail_q` percentile (`0.99` answers "where did the p99 go").
+    pub fn attribution(&self, tail_q: f64) -> CauseBreakdown {
+        let reqs: Vec<AttributedRequest> = self
+            .records
+            .iter()
+            .map(|r| AttributedRequest {
+                e2e_s: r.e2e_s,
+                causes: r.causes,
+            })
+            .collect();
+        dz_trace::attrib::breakdown(&reqs, tail_q)
     }
-    if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
-    }
-}
 
-fn fraction(values: impl Iterator<Item = f64>, limit: f64) -> f64 {
-    let mut ok = 0usize;
-    let mut n = 0usize;
-    for v in values {
-        if v <= limit {
-            ok += 1;
-        }
-        n += 1;
+    /// Renders the run as a Prometheus text-exposition snapshot
+    /// (counter/summary families labelled by engine), mirroring what the
+    /// real deployment scrapes.
+    pub fn prometheus_snapshot(&self) -> String {
+        let labels: &[(&str, &str)] = &[("engine", &self.engine)];
+        let mut p = PromSnapshot::new();
+        p.header("dz_requests_total", "counter", "Requests served.");
+        p.sample("dz_requests_total", labels, self.len() as f64);
+        p.header("dz_tokens_total", "counter", "Output tokens produced.");
+        p.sample(
+            "dz_tokens_total",
+            labels,
+            self.records.iter().map(|r| r.output_tokens).sum::<usize>() as f64,
+        );
+        p.header("dz_e2e_seconds", "summary", "End-to-end request latency.");
+        let e2e: Vec<f64> = self.records.iter().map(|r| r.e2e_s).collect();
+        p.summary("dz_e2e_seconds", labels, &e2e);
+        p.header("dz_ttft_seconds", "summary", "Time to first token.");
+        let ttft: Vec<f64> = self.records.iter().map(|r| r.ttft_s).collect();
+        p.summary("dz_ttft_seconds", labels, &ttft);
+        p.header("dz_demand_loads_total", "counter", "Demand delta loads.");
+        p.sample(
+            "dz_demand_loads_total",
+            labels,
+            self.swap.demand_loads as f64,
+        );
+        p.header(
+            "dz_prefetch_issued_total",
+            "counter",
+            "Prefetch transfers issued.",
+        );
+        p.sample(
+            "dz_prefetch_issued_total",
+            labels,
+            self.swap.prefetch_issued as f64,
+        );
+        p.header(
+            "dz_prefetch_hits_total",
+            "counter",
+            "Demand loads served by prefetch.",
+        );
+        p.sample(
+            "dz_prefetch_hits_total",
+            labels,
+            self.swap.prefetch_hits as f64,
+        );
+        p.header(
+            "dz_swap_overlap_fraction",
+            "gauge",
+            "Fraction of load time hidden behind decode.",
+        );
+        p.sample(
+            "dz_swap_overlap_fraction",
+            labels,
+            self.swap.overlap_fraction(),
+        );
+        p.render()
     }
-    if n == 0 {
-        0.0
-    } else {
-        ok as f64 / n as f64
-    }
-}
-
-/// Linear-interpolation percentile (the `numpy` default). Nearest-rank
-/// with `.round()` collapsed small-sample p99 to the max and biased the
-/// two-sample p50 high; interpolating between the bracketing order
-/// statistics fixes both.
-fn percentile(mut values: Vec<f64>, q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pos = q.clamp(0.0, 1.0) * (values.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    values[lo] + (values[hi] - values[lo]) * (pos - lo as f64)
 }
 
 #[cfg(test)]
@@ -321,6 +348,7 @@ mod tests {
             load_s: 0.1,
             output_tokens: toks,
             preemptions: 0,
+            causes: Causes::default(),
         }
     }
 
@@ -428,6 +456,81 @@ mod tests {
         let zero = SwapStats::default();
         assert_eq!(zero.overlap_fraction(), 0.0);
         assert_eq!(zero.prefetch_hit_rate(), 0.0);
+    }
+
+    fn swap_a() -> SwapStats {
+        SwapStats {
+            demand_loads: 2,
+            load_busy_s: 4.0,
+            overlapped_s: 3.0,
+            blocked_s: 1.0,
+            stall_s: 1.5,
+            serialized_stall_s: 5.0,
+            prefetch_issued: 4,
+            prefetch_completed: 3,
+            prefetch_hits: 2,
+        }
+    }
+
+    fn swap_b() -> SwapStats {
+        SwapStats {
+            demand_loads: 10,
+            load_busy_s: 1.0,
+            overlapped_s: 0.0,
+            blocked_s: 1.0,
+            stall_s: 7.0,
+            serialized_stall_s: 8.0,
+            prefetch_issued: 1,
+            prefetch_completed: 1,
+            prefetch_hits: 1,
+        }
+    }
+
+    fn swap_fields(s: &SwapStats) -> [f64; 9] {
+        [
+            s.demand_loads as f64,
+            s.load_busy_s,
+            s.overlapped_s,
+            s.blocked_s,
+            s.stall_s,
+            s.serialized_stall_s,
+            s.prefetch_issued as f64,
+            s.prefetch_completed as f64,
+            s.prefetch_hits as f64,
+        ]
+    }
+
+    #[test]
+    fn swap_merge_empty_is_identity() {
+        let mut zero = SwapStats::default();
+        zero.merge(&swap_a());
+        assert_eq!(swap_fields(&zero), swap_fields(&swap_a()));
+        let mut a = swap_a();
+        a.merge(&SwapStats::default());
+        assert_eq!(swap_fields(&a), swap_fields(&swap_a()));
+    }
+
+    #[test]
+    fn swap_merge_commutes() {
+        let mut ab = swap_a();
+        ab.merge(&swap_b());
+        let mut ba = swap_b();
+        ba.merge(&swap_a());
+        assert_eq!(swap_fields(&ab), swap_fields(&ba));
+    }
+
+    #[test]
+    fn swap_merge_recomputes_rates_not_averages() {
+        // a: overlap 3/4 = 0.75, hit rate 2/4 = 0.5.
+        // b: overlap 0/1 = 0.0,  hit rate 1/1 = 1.0.
+        let mut m = swap_a();
+        m.merge(&swap_b());
+        // Pooled overlap is 3/5, NOT the 0.375 a naive mean of the two
+        // per-replica fractions would give.
+        assert!((m.overlap_fraction() - 0.6).abs() < 1e-12);
+        assert!((m.overlap_fraction() - (0.75 + 0.0) / 2.0).abs() > 0.1);
+        // Pooled hit rate is 3/5, not (0.5 + 1.0) / 2.
+        assert!((m.prefetch_hit_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

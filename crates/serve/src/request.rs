@@ -1,5 +1,6 @@
 //! Runtime request state shared by all engines.
 
+use dz_trace::Causes;
 use dz_workload::Request;
 
 /// Lifecycle phase of a request inside an engine.
@@ -36,11 +37,18 @@ pub struct ReqState {
     pub preemptions: usize,
     /// Queue id of the parent request (skip-the-line bookkeeping).
     pub parent: Option<usize>,
+    /// Critical-path cause ledger (filled by engines that attribute).
+    pub causes: Causes,
+    /// High-water mark of attributed time: engines accrue
+    /// `now - accounted_until` to a cause, then advance this, so the
+    /// ledger telescopes to `finished_at - arrival` exactly.
+    pub accounted_until: f64,
 }
 
 impl ReqState {
     /// Wraps a trace request.
     pub fn new(req: Request) -> Self {
+        let arrival = req.arrival;
         ReqState {
             req,
             phase: Phase::Queued,
@@ -51,7 +59,19 @@ impl ReqState {
             load_wait_s: 0.0,
             preemptions: 0,
             parent: None,
+            causes: Causes::default(),
+            accounted_until: arrival,
         }
+    }
+
+    /// Accrues the unaccounted interval up to `now` via `f` (which picks
+    /// the cause field), then advances the high-water mark.
+    pub fn accrue(&mut self, now: f64, f: impl FnOnce(&mut Causes, f64)) {
+        let dt = now - self.accounted_until;
+        if dt > 0.0 {
+            f(&mut self.causes, dt);
+        }
+        self.accounted_until = now;
     }
 
     /// Whether decoding has produced every output token.

@@ -174,6 +174,7 @@ mod tests {
             load_s: 0.0,
             output_tokens: 4,
             preemptions: 0,
+            causes: Default::default(),
         };
         let m = Metrics {
             engine: "test".into(),

@@ -101,6 +101,12 @@ pub struct Completion {
     pub kind: LoadKind,
     /// Absolute completion time.
     pub at: f64,
+    /// When the load (or its promotion to demand) started — the base of
+    /// the contention-attribution window.
+    pub started_at: f64,
+    /// Uncontended duration of the (post-promotion) load: what the wall
+    /// time `at - started_at` would have been on an idle timeline.
+    pub solo_s: f64,
 }
 
 /// The result of advancing the timeline.
@@ -123,6 +129,11 @@ struct Active {
     tail_left: f64,
     /// Absolute floor on the completion time (pipelined decode).
     min_finish_at: f64,
+    /// Start (or promotion) time, surfaced on the [`Completion`].
+    started_at: f64,
+    /// Uncontended duration from `started_at`, surfaced on the
+    /// [`Completion`].
+    solo_s: f64,
 }
 
 impl Active {
@@ -183,6 +194,8 @@ impl TransferTimeline {
             pcie_left: profile.pcie_s.max(0.0),
             tail_left: profile.tail_s.max(0.0),
             min_finish_at: self.now + profile.floor_s.max(0.0),
+            started_at: self.now,
+            solo_s: profile.solo_s(),
         });
         token
     }
@@ -202,6 +215,13 @@ impl TransferTimeline {
                 a.pcie_left += extra.pcie_s.max(0.0);
                 a.tail_left += extra.tail_s.max(0.0);
                 a.min_finish_at = a.min_finish_at.max(self.now + extra.floor_s.max(0.0));
+                // Re-base attribution at the promotion: the demanding
+                // request only starts waiting now, and an idle timeline
+                // would finish the grafted stages in `extra.solo_s()`
+                // (any prefetch head start can only make the wall time
+                // shorter, which the contention split clamps to zero).
+                a.started_at = self.now;
+                a.solo_s = extra.solo_s();
                 true
             }
             None => false,
@@ -239,6 +259,8 @@ impl TransferTimeline {
                         token: a.token,
                         kind: a.kind,
                         at: self.now.max(a.min_finish_at),
+                        started_at: a.started_at,
+                        solo_s: a.solo_s,
                     });
                     self.active.swap_remove(i);
                 } else {
@@ -610,6 +632,37 @@ mod tests {
         // 1.0s disk remaining + 0.5s PCIe (pipelined in parallel): 1.0s.
         assert!((adv.completions[0].at - 2.0).abs() < 1e-9);
         assert!(!tl.promote(tok, LoadProfile::default()), "token consumed");
+    }
+
+    #[test]
+    fn completions_carry_contention_base() {
+        let mut tl = TransferTimeline::new();
+        let p = profile(0.0, 1.0, 0.0, 0.0, 0.0);
+        tl.start(p, LoadKind::Demand { delta: 0 });
+        tl.start(p, LoadKind::Demand { delta: 1 });
+        let adv = tl.advance_to(f64::INFINITY);
+        for c in &adv.completions {
+            assert_eq!(c.started_at, 0.0);
+            assert!((c.solo_s - 1.0).abs() < 1e-12);
+            // Wall time (2.0) exceeds solo (1.0): the contention split
+            // attributes the other half to channel sharing.
+            assert!((c.at - c.started_at - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn promote_rebases_contention_attribution() {
+        let mut tl = TransferTimeline::new();
+        let tok = tl.start(
+            profile(0.0, 2.0, 0.0, 0.0, 0.0),
+            LoadKind::Prefetch { delta: 7 },
+        );
+        tl.advance_to(1.0);
+        assert!(tl.promote(tok, profile(0.0, 0.0, 0.5, 0.0, 0.0)));
+        let adv = tl.advance_to(f64::INFINITY);
+        let c = &adv.completions[0];
+        assert_eq!(c.started_at, 1.0);
+        assert!((c.solo_s - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Prometheus text-exposition snapshot builder.
+//!
+//! Mirrors what the real Scratchpad deployment scrapes (the serve script
+//! wires `PROMETHEUS_MULTIPROC_DIR` before launching workers): consumers
+//! build a snapshot at end of run and dump it next to the bench JSON, so
+//! the same dashboards work on simulated and real runs.
+
+use std::fmt::Write as _;
+
+/// Incremental builder for a Prometheus text-exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct PromSnapshot {
+    out: String,
+}
+
+impl PromSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        PromSnapshot::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `summary`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits the three-line `quantile` samples plus `_sum`/`_count` for a
+    /// summary family from a sorted-or-not sample vector.
+    pub fn summary(&mut self, name: &str, labels: &[(&str, &str)], values: &[f64]) {
+        for q in [0.5, 0.9, 0.99] {
+            let mut with_q: Vec<(&str, &str)> = labels.to_vec();
+            let qs = format!("{q}");
+            with_q.push(("quantile", &qs));
+            self.sample(name, &with_q, crate::stats::percentile(values.to_vec(), q));
+        }
+        self.sample(&format!("{name}_sum"), labels, values.iter().sum());
+        self.sample(&format!("{name}_count"), labels, values.len() as f64);
+    }
+
+    /// Finalizes the document.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_families_and_labels() {
+        let mut p = PromSnapshot::new();
+        p.header("dz_requests_total", "counter", "Requests served.");
+        p.sample("dz_requests_total", &[("engine", "deltazip")], 42.0);
+        p.header("dz_e2e_seconds", "summary", "End-to-end latency.");
+        p.summary("dz_e2e_seconds", &[], &[1.0, 2.0, 3.0, 4.0]);
+        let text = p.render();
+        assert!(text.contains("# TYPE dz_requests_total counter"));
+        assert!(text.contains("dz_requests_total{engine=\"deltazip\"} 42"));
+        assert!(text.contains("dz_e2e_seconds{quantile=\"0.5\"} 2.5"));
+        assert!(text.contains("dz_e2e_seconds_sum 10"));
+        assert!(text.contains("dz_e2e_seconds_count 4"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromSnapshot::new();
+        p.sample("m", &[("l", "a\"b\\c")], 1.0);
+        assert!(p.render().contains(r#"l="a\"b\\c""#));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared descriptive-statistics helpers.
+//!
+//! Single source of truth for the percentile / mean / ratio math that
+//! previously lived (twice, with subtly different edge cases) in
+//! `dz_serve::metrics::Metrics` and `ClusterReport`.
+
+/// Linear-interpolation percentile (the `numpy` default), `q` in `0..=1`.
+///
+/// Nearest-rank with `.round()` collapsed small-sample p99 to the max and
+/// biased the two-sample p50 high; interpolating between the bracketing
+/// order statistics fixes both. Returns `0.0` on an empty sample.
+pub fn percentile(mut values: Vec<f64>, q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let pos = q.clamp(0.0, 1.0) * (values.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    values[lo] + (values[hi] - values[lo]) * (pos - lo as f64)
+}
+
+/// Arithmetic mean; `0.0` on an empty sample.
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Fraction of samples `<= limit`; `0.0` on an empty sample.
+pub fn fraction_within(values: impl Iterator<Item = f64>, limit: f64) -> f64 {
+    let mut ok = 0usize;
+    let mut n = 0usize;
+    for v in values {
+        if v <= limit {
+            ok += 1;
+        }
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        ok as f64 / n as f64
+    }
+}
+
+/// `numerator / denominator`, or `when_empty` when the denominator is not
+/// positive. The goodput-style ratio: an *offered load of zero* should
+/// read as perfect goodput (`when_empty = 1.0`), while an *overlap
+/// fraction with no loads* should read as zero (`when_empty = 0.0`).
+pub fn ratio_or(numerator: f64, denominator: f64, when_empty: f64) -> f64 {
+    if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        when_empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(vec![3.0], q), 3.0);
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples_interpolates() {
+        // Nearest-rank-with-round reported p50 of {1, 3} as 3 (biased
+        // high); linear interpolation gives the midpoint.
+        assert!((percentile(vec![1.0, 3.0], 0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(vec![1.0, 3.0], 0.0), 1.0);
+        assert_eq!(percentile(vec![1.0, 3.0], 1.0), 3.0);
+        let p99 = percentile(vec![1.0, 3.0], 0.99);
+        assert!(p99 < 3.0 && p99 > 2.9, "{p99}");
+    }
+
+    #[test]
+    fn percentile_four_samples_interpolates() {
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        // pos = 0.5 * 3 = 1.5 -> midpoint of 20 and 30.
+        assert!((percentile(v.clone(), 0.5) - 25.0).abs() < 1e-12);
+        // pos = 0.99 * 3 = 2.97 -> 30 + 0.97 * 10, strictly below max.
+        assert!((percentile(v.clone(), 0.99) - 39.7).abs() < 1e-9);
+        assert!(percentile(v.clone(), 0.99) < 40.0);
+        // pos = 0.25 * 3 = 0.75 -> 10 + 0.75 * 10.
+        assert!((percentile(v, 0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_ignores_input_order() {
+        assert_eq!(
+            percentile(vec![40.0, 10.0, 30.0, 20.0], 0.5),
+            percentile(vec![10.0, 20.0, 30.0, 40.0], 0.5)
+        );
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(vec![], 0.99), 0.0);
+    }
+
+    #[test]
+    fn mean_and_fraction_edges() {
+        assert_eq!(mean(std::iter::empty()), 0.0);
+        assert!((mean([2.0, 4.0].into_iter()) - 3.0).abs() < 1e-12);
+        assert_eq!(fraction_within(std::iter::empty(), 1.0), 0.0);
+        assert!((fraction_within([1.0, 2.0, 3.0].into_iter(), 2.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_or_uses_fallback_only_when_empty() {
+        assert!((ratio_or(3.0, 4.0, 1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(ratio_or(0.0, 0.0, 1.0), 1.0);
+        assert_eq!(ratio_or(0.0, 0.0, 0.0), 0.0);
+        assert_eq!(ratio_or(5.0, -1.0, 0.5), 0.5);
+    }
+}
