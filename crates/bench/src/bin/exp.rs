@@ -18,7 +18,7 @@
 //! panicking.
 
 use dz_bench::experiments::{
-    ablations, cluster, codec, compress, extensions, kernels, quality, serving, smoke, swap,
+    ablations, chaos, cluster, codec, compress, extensions, kernels, quality, serving, smoke, swap,
     workloads, Report, Scale,
 };
 use dz_serve::{write_chrome_trace, TraceTrack};
@@ -56,6 +56,7 @@ fn available() -> Vec<&'static str> {
         "ablation-dynamic-n",
         "ext-scalability",
         "bench-lossless",
+        "bench-chaos",
         "bench-cluster",
         "bench-compress",
         "bench-swap",
@@ -102,6 +103,7 @@ fn run_one(
         "ablation-dynamic-n" => extensions::ablation_dynamic_n(),
         "ext-scalability" => extensions::ext_scalability(),
         "bench-lossless" => codec::bench_lossless(scale, out_dir),
+        "bench-chaos" => chaos::bench_chaos(scale, out_dir, trace),
         "bench-cluster" => cluster::bench_cluster(scale, out_dir, trace),
         "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
         "bench-swap" => swap::bench_swap(scale, out_dir, trace),

@@ -7,6 +7,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod cluster;
 pub mod codec;
 pub mod compress;

@@ -13,6 +13,10 @@
 //!   load time hides behind decode, the warm-request TTFT tail, and the
 //!   overlapped-vs-serialized total-stall ratio (simulated:
 //!   deterministic),
+//! * `chaos_recovery_s`, `chaos_churn_p99_inflation` — the chaos
+//!   recovery cell: how fast a placement-aware fleet re-attains its SLO
+//!   after a scripted replica crash and how far the churn-window p99
+//!   inflates over the healthy baseline (simulated: deterministic),
 //! * `*_packed_ratio` — delta-only packed compression ratio of each
 //!   method-zoo codec on a fixed-seed synthetic model pair (pure
 //!   arithmetic: deterministic).
@@ -120,7 +124,12 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
         0.0
     };
 
-    // 4. Codec packed ratios on the synthetic pair.
+    // 4. Chaos recovery: placement-aware fleet after a scripted replica
+    //    crash (simulated time: deterministic). Recovery seconds and
+    //    churn-window p99 inflation over the healthy baseline.
+    let (chaos_recovery_s, chaos_inflation) = super::chaos::smoke_chaos_metrics();
+
+    // 5. Codec packed ratios on the synthetic pair.
     let (base, tuned) = synthetic_pair();
     let calib = dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
     let ratio_of = |codec: &dyn DeltaCodec| -> f64 {
@@ -138,6 +147,8 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
             ("swap_overlap_frac", swap_overlap_frac),
             ("swap_warm_ttft_p99_s", swap_warm_ttft),
             ("swap_stall_ratio", swap_stall_ratio),
+            ("chaos_recovery_s", chaos_recovery_s),
+            ("chaos_churn_p99_inflation", chaos_inflation),
             ("sparsegpt4_packed_ratio", sgpt4),
             ("bitdelta_packed_ratio", bitdelta),
             ("deltacome_packed_ratio", deltacome),
@@ -178,6 +189,13 @@ fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
             ("corpus_bytes", (2u64 << 20).to_string()),
             ("cluster", "\"placement-aware x2, zipf-1.5, 40s\"".into()),
             ("swap", "\"overlapped vs serialized, 40s\"".into()),
+            (
+                "chaos",
+                format!(
+                    "\"placement-aware recovery, quick scenario, seed {}\"",
+                    super::chaos::CHAOS_SEED
+                ),
+            ),
         ],
     ));
     json.push_str("  \"metrics\": {\n");

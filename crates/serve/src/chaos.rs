@@ -1,0 +1,409 @@
+//! Chaos & elasticity: fault injection, autoscaling, and rolling
+//! rollouts for the cluster simulator.
+//!
+//! A fleet that only ever sees healthy replicas is a fleet nobody has
+//! operated. This module scripts the unhappy paths against
+//! [`ClusterSim`](crate::cluster::ClusterSim):
+//!
+//! * [`FaultPlan`] — a deterministic, seeded schedule of
+//!   [`FaultEvent`]s: replica crashes (warm sets and in-flight requests
+//!   lost, placement re-replicates around the hole) and channel
+//!   *brownouts* (disk/PCIe bandwidth degradation flowing through the
+//!   replica engines' [`TransferTimeline`](crate::swap::TransferTimeline)
+//!   via [`Brownout`] windows),
+//! * [`Autoscaler`] — an SLO-pressure control loop that activates cold
+//!   spare replicas when the live fleet's backlog climbs and drains the
+//!   emptiest replica when it falls (new replicas start *cold*:
+//!   prefetch races traffic to warm them),
+//! * [`Rollout`] — a rolling delta-version upgrade: over a window, an
+//!   increasing fraction of one model's traffic is remapped to its v2
+//!   delta (the registry-side counterpart is
+//!   [`Registry::supersede`](dz_store::Registry::supersede),
+//!   which records the v2 → v1 lineage).
+//!
+//! Everything is driven by **one recorded seed** ([`ChaosConfig::seed`])
+//! so a chaos run is exactly reproducible: the random fault schedule,
+//! the rollout coin flips, and nothing else consume randomness.
+
+pub use crate::swap::Brownout;
+use dz_tensor::Rng;
+
+// ---------------------------------------------------------------------------
+// Faults.
+// ---------------------------------------------------------------------------
+
+/// What goes wrong when a [`FaultEvent`] fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The replica process dies at the event time: its host warm set and
+    /// decoded cache are lost, every in-flight request is lost and
+    /// re-queued at the front end, and the router stops scoring it.
+    /// With `restart_after_s = Some(d)` the replica comes back — cold —
+    /// `d` seconds later; `None` means it stays down for the whole run.
+    Crash {
+        /// Replica to kill.
+        replica: usize,
+        /// Seconds until the replica restarts (cold); `None` = never.
+        restart_after_s: Option<f64>,
+    },
+    /// A bandwidth brownout on the replica's load channels: disk and/or
+    /// PCIe rates are scaled down for the window. The window is carried
+    /// by the [`Brownout`] itself (`at` of the surrounding
+    /// [`FaultEvent`] should match `brownout.start_s`).
+    Degrade {
+        /// Replica whose channels degrade.
+        replica: usize,
+        /// The brownout window and rate factors.
+        brownout: Brownout,
+    },
+}
+
+/// One scheduled fault: `kind` fires at simulation time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulation time (s) the fault fires.
+    pub at: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for [`FaultPlan::random`]: how much chaos a seeded random
+/// schedule injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomFaultConfig {
+    /// Expected number of crashes over the run (Poisson-ish: crash times
+    /// are uniform over the duration).
+    pub crashes: usize,
+    /// Seconds a crashed replica stays down before its cold restart.
+    pub restart_after_s: f64,
+    /// Expected number of brownout windows over the run.
+    pub brownouts: usize,
+    /// Length of each brownout window (s).
+    pub brownout_len_s: f64,
+    /// Disk/PCIe rate factor during a brownout (e.g. `0.25` = quarter
+    /// bandwidth); applied to both channels.
+    pub brownout_rate: f64,
+}
+
+impl Default for RandomFaultConfig {
+    fn default() -> Self {
+        RandomFaultConfig {
+            crashes: 1,
+            restart_after_s: 30.0,
+            brownouts: 1,
+            brownout_len_s: 20.0,
+            brownout_rate: 0.25,
+        }
+    }
+}
+
+/// A deterministic fault schedule: events sorted by fire time.
+///
+/// Build one with [`scripted`](FaultPlan::scripted) (exact times, for
+/// tests and benches) or [`random`](FaultPlan::random) (seeded — the
+/// same seed always yields the same schedule).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults at all (the healthy baseline).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A scripted schedule; events are sorted by fire time.
+    pub fn scripted(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
+        FaultPlan { events }
+    }
+
+    /// A seeded random schedule over `[0, duration_s)` against
+    /// `n_replicas` replicas. Deterministic: the same `(seed, duration,
+    /// n_replicas, cfg)` always produces the same plan.
+    pub fn random(seed: u64, duration_s: f64, n_replicas: usize, cfg: RandomFaultConfig) -> Self {
+        let mut rng = Rng::seeded(seed ^ 0xC4A0_5EED);
+        let mut events = Vec::new();
+        if n_replicas == 0 || duration_s <= 0.0 {
+            return FaultPlan::none();
+        }
+        for _ in 0..cfg.crashes {
+            let at = rng.uniform_f64() * duration_s;
+            let replica = (rng.uniform_f64() * n_replicas as f64) as usize % n_replicas;
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::Crash {
+                    replica,
+                    restart_after_s: Some(cfg.restart_after_s),
+                },
+            });
+        }
+        for _ in 0..cfg.brownouts {
+            let at = rng.uniform_f64() * duration_s;
+            let replica = (rng.uniform_f64() * n_replicas as f64) as usize % n_replicas;
+            events.push(FaultEvent {
+                at,
+                kind: FaultKind::Degrade {
+                    replica,
+                    brownout: Brownout {
+                        start_s: at,
+                        end_s: at + cfg.brownout_len_s,
+                        disk_rate: cfg.brownout_rate,
+                        pcie_rate: cfg.brownout_rate,
+                    },
+                },
+            });
+        }
+        FaultPlan::scripted(events)
+    }
+
+    /// The schedule, sorted by fire time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaling.
+// ---------------------------------------------------------------------------
+
+/// SLO-pressure-driven autoscaling: a control loop sampled every
+/// `interval_s` of simulation time over the *live* fleet's mean
+/// estimated backlog.
+///
+/// * mean backlog > `up_backlog_s` → activate one cold spare (a replica
+///   slot above the currently live set), if any remain under
+///   `max_replicas`;
+/// * mean backlog < `down_backlog_s` → drain the emptiest live replica
+///   (it stops receiving traffic but finishes what it has), down to
+///   `min_replicas`.
+///
+/// `cooldown_s` suppresses flapping: after any scale action the loop
+/// holds for that long. New replicas start **cold** — empty predicted
+/// warm set and a fresh engine epoch — so the cost of elasticity (cache
+/// refill racing traffic) is modeled, not assumed away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Autoscaler {
+    /// Never drain below this many live replicas.
+    pub min_replicas: usize,
+    /// Never activate beyond this many live replicas (capped by the
+    /// cluster's configured replica count).
+    pub max_replicas: usize,
+    /// Mean live backlog (s) above which the fleet scales up.
+    pub up_backlog_s: f64,
+    /// Mean live backlog (s) below which the fleet scales down.
+    pub down_backlog_s: f64,
+    /// Control-loop sampling interval (s).
+    pub interval_s: f64,
+    /// Minimum seconds between scale actions.
+    pub cooldown_s: f64,
+}
+
+impl Autoscaler {
+    /// A loop between `min` and `max` live replicas with bench-tuned
+    /// thresholds: scale up past 20 s mean backlog, down under 2 s,
+    /// sampled every 5 s with a 15 s cooldown.
+    pub fn new(min: usize, max: usize) -> Self {
+        Autoscaler {
+            min_replicas: min.max(1),
+            max_replicas: max.max(min.max(1)),
+            up_backlog_s: 20.0,
+            down_backlog_s: 2.0,
+            interval_s: 5.0,
+            cooldown_s: 15.0,
+        }
+    }
+
+    /// The control decision for one tick: `+1` (scale up), `-1` (scale
+    /// down), or `0` (hold), given the live count and the mean backlog
+    /// across live replicas.
+    pub fn decide(&self, live: usize, mean_backlog_s: f64) -> i32 {
+        if mean_backlog_s > self.up_backlog_s && live < self.max_replicas {
+            1
+        } else if mean_backlog_s < self.down_backlog_s && live > self.min_replicas {
+            -1
+        } else {
+            0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rolling rollout.
+// ---------------------------------------------------------------------------
+
+/// A rolling delta-version upgrade: over `[start_s, start_s +
+/// duration_s)` an increasing fraction of `model`'s traffic is remapped
+/// to the `v2` model id; after the window, all of it.
+///
+/// The remap is a seeded coin flip per request (probability =
+/// [`fraction_at`](Rollout::fraction_at)), so the rollout is gradual the
+/// way a weighted canary is — not a hard cutover — and exactly
+/// reproducible from [`ChaosConfig::seed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rollout {
+    /// Model id whose traffic is being migrated (v1).
+    pub model: usize,
+    /// Replacement model id (v2) — must be a valid model in the trace's
+    /// model space (`< n_models`).
+    pub v2: usize,
+    /// When the rollout starts (s).
+    pub start_s: f64,
+    /// Ramp length (s): traffic shifts linearly from 0% to 100% v2 over
+    /// this window. Zero means an instant cutover at `start_s`.
+    pub duration_s: f64,
+}
+
+impl Rollout {
+    /// Fraction of `model`'s traffic on `v2` at time `now` (clamped to
+    /// `[0, 1]`; zero before `start_s`).
+    pub fn fraction_at(&self, now: f64) -> f64 {
+        if now < self.start_s {
+            0.0
+        } else if self.duration_s <= 0.0 {
+            1.0
+        } else {
+            ((now - self.start_s) / self.duration_s).clamp(0.0, 1.0)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config + stats.
+// ---------------------------------------------------------------------------
+
+/// Everything chaotic about one cluster run, wired in via
+/// [`ClusterSim::with_chaos`](crate::cluster::ClusterSim::with_chaos).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// The fault schedule (crashes + brownouts).
+    pub plan: FaultPlan,
+    /// Elastic scaling, if enabled.
+    pub autoscaler: Option<Autoscaler>,
+    /// Rolling delta-version upgrades.
+    pub rollouts: Vec<Rollout>,
+    /// Master seed for every chaos-side random draw (rollout coin
+    /// flips). Recorded in bench provenance so runs are reproducible.
+    pub seed: u64,
+    /// Live replicas at t=0; the rest are cold spares the autoscaler can
+    /// activate. `None` starts everything live.
+    pub initial_replicas: Option<usize>,
+}
+
+impl ChaosConfig {
+    /// A config with only a fault plan (no autoscaler, no rollouts).
+    pub fn faults(plan: FaultPlan, seed: u64) -> Self {
+        ChaosConfig {
+            plan,
+            seed,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// What the chaos machinery actually did during a run — reported in
+/// [`ClusterReport::chaos`](crate::cluster::ClusterReport::chaos).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosStats {
+    /// Crash faults fired.
+    pub crashes: usize,
+    /// Cold restarts completed.
+    pub restarts: usize,
+    /// Brownout windows applied.
+    pub brownouts: usize,
+    /// In-flight requests lost to crashes and re-queued at the front
+    /// end.
+    pub lost_in_flight: usize,
+    /// Requests shed because no replica was live and none was ever
+    /// coming back (graceful degradation's last resort).
+    pub shed_no_capacity: usize,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: usize,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: usize,
+    /// Requests remapped v1 → v2 by rollouts.
+    pub rollout_remapped: usize,
+    /// Prefetch hints dropped because they targeted a dead replica.
+    pub dropped_hints: usize,
+    /// Fewest live replicas observed at any routing decision.
+    pub min_live: usize,
+    /// Most live replicas observed at any routing decision.
+    pub max_live: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plan_is_deterministic_and_sorted() {
+        let cfg = RandomFaultConfig {
+            crashes: 3,
+            brownouts: 2,
+            ..RandomFaultConfig::default()
+        };
+        let a = FaultPlan::random(7, 100.0, 4, cfg);
+        let b = FaultPlan::random(7, 100.0, 4, cfg);
+        assert_eq!(a, b, "same seed must give the same plan");
+        assert_eq!(a.events().len(), 5);
+        for w in a.events().windows(2) {
+            assert!(w[0].at <= w[1].at, "events must be sorted");
+        }
+        for ev in a.events() {
+            assert!((0.0..100.0).contains(&ev.at));
+            match ev.kind {
+                FaultKind::Crash { replica, .. } => assert!(replica < 4),
+                FaultKind::Degrade { replica, brownout } => {
+                    assert!(replica < 4);
+                    assert!(brownout.end_s > brownout.start_s);
+                }
+            }
+        }
+        let c = FaultPlan::random(8, 100.0, 4, cfg);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn degenerate_random_plans_are_empty() {
+        let cfg = RandomFaultConfig::default();
+        assert!(FaultPlan::random(1, 0.0, 4, cfg).is_empty());
+        assert!(FaultPlan::random(1, 100.0, 0, cfg).is_empty());
+    }
+
+    #[test]
+    fn rollout_fraction_ramps_linearly() {
+        let ro = Rollout {
+            model: 0,
+            v2: 5,
+            start_s: 10.0,
+            duration_s: 20.0,
+        };
+        assert_eq!(ro.fraction_at(0.0), 0.0);
+        assert_eq!(ro.fraction_at(10.0), 0.0);
+        assert!((ro.fraction_at(20.0) - 0.5).abs() < 1e-12);
+        assert_eq!(ro.fraction_at(30.0), 1.0);
+        assert_eq!(ro.fraction_at(1e9), 1.0);
+        let cutover = Rollout {
+            duration_s: 0.0,
+            ..ro
+        };
+        assert_eq!(cutover.fraction_at(9.9), 0.0);
+        assert_eq!(cutover.fraction_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn autoscaler_decides_by_backlog_within_bounds() {
+        let a = Autoscaler::new(1, 4);
+        assert_eq!(a.decide(2, 100.0), 1, "pressure scales up");
+        assert_eq!(a.decide(4, 100.0), 0, "capped at max");
+        assert_eq!(a.decide(3, 0.5), -1, "idle scales down");
+        assert_eq!(a.decide(1, 0.0), 0, "floored at min");
+        assert_eq!(a.decide(2, 10.0), 0, "hysteresis band holds");
+    }
+}

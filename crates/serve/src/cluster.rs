@@ -37,13 +37,14 @@
 //! [`run_partitioned`] is now a thin compatibility shim that runs one
 //! single-replica [`ClusterSim`] per base group.
 
+use crate::chaos::{ChaosConfig, ChaosStats, FaultKind};
 use crate::cost::CostModel;
 use crate::deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 use crate::metrics::{Metrics, RequestRecord, SwapStats};
 use crate::slo::{SloClass, SloPolicy};
-use crate::swap::PrefetchPolicy;
+use crate::swap::{Brownout, PrefetchPolicy};
 use crate::Engine;
-use dz_trace::{TraceConfig, TraceEvent, TraceTrack, Tracer};
+use dz_trace::{GaugeSample, TraceConfig, TraceEvent, TraceTrack, Tracer};
 use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
 use std::collections::{HashMap, HashSet};
 
@@ -74,6 +75,11 @@ pub struct ReplicaView {
     /// Estimated extra seconds a warm-but-not-decoded load would cost
     /// (the decode pipeline a decode-free hit skips).
     pub warm_load_s: f64,
+    /// Whether the replica is live and routable. Replicas killed by a
+    /// [`chaos`](crate::chaos) fault or drained by the autoscaler stay
+    /// in the views slice (ids are positional) with `alive = false`;
+    /// routers must never select a dead replica.
+    pub alive: bool,
 }
 
 /// A pluggable routing policy: given a request and a view of every
@@ -101,8 +107,9 @@ pub struct ReplicaView {
 ///     fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
 ///         views
 ///             .iter()
+///             .filter(|v| v.alive) // never route to a dead replica
 ///             .min_by(|a, b| a.backlog_s.total_cmp(&b.backlog_s))
-///             .expect("at least one replica")
+///             .expect("at least one live replica")
 ///             .id
 ///     }
 /// }
@@ -162,9 +169,16 @@ impl Router for RoundRobinRouter {
     }
 
     fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
-        let r = self.next % views.len();
-        self.next = self.next.wrapping_add(1);
-        r
+        // Cycle, skipping dead replicas: the cursor still advances one
+        // step per probe so the rotation stays fair among the live set.
+        for _ in 0..views.len() {
+            let r = self.next % views.len();
+            self.next = self.next.wrapping_add(1);
+            if views[r].alive {
+                return r;
+            }
+        }
+        panic!("no live replica to route to");
     }
 }
 
@@ -188,13 +202,14 @@ impl Router for LeastLoadedRouter {
     fn route(&mut self, _req: &Request, views: &[ReplicaView]) -> usize {
         views
             .iter()
+            .filter(|v| v.alive)
             .min_by(|a, b| {
                 a.queue_depth
                     .cmp(&b.queue_depth)
                     .then(a.backlog_s.total_cmp(&b.backlog_s))
                     .then(a.id.cmp(&b.id))
             })
-            .expect("at least one replica")
+            .expect("at least one live replica")
             .id
     }
 }
@@ -226,7 +241,29 @@ impl PlacementPlan {
     ///
     /// Panics if `n_replicas == 0`.
     pub fn from_weights(weights: &[f64], n_replicas: usize) -> Self {
+        Self::from_weights_live(weights, n_replicas, &vec![true; n_replicas])
+    }
+
+    /// Like [`from_weights`](Self::from_weights), but placing copies
+    /// only onto *live* replicas (`live[r] == false` replicas get no
+    /// homes). This is how placement **re-replicates around a crash**:
+    /// re-deriving the plan with the dead replica masked out moves its
+    /// deltas' homes onto the survivors. With no live replica at all,
+    /// every replica is treated as a candidate (a plan must always
+    /// exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas == 0`.
+    pub fn from_weights_live(weights: &[f64], n_replicas: usize, live: &[bool]) -> Self {
         assert!(n_replicas > 0, "need at least one replica");
+        let mut candidates: Vec<usize> = (0..n_replicas)
+            .filter(|&r| live.get(r).copied().unwrap_or(true))
+            .collect();
+        if candidates.is_empty() {
+            candidates = (0..n_replicas).collect();
+        }
+        let n_live = candidates.len();
         let total: f64 = weights.iter().filter(|w| w.is_finite()).sum();
         let share = |w: f64| {
             if total > 0.0 && w.is_finite() {
@@ -248,12 +285,14 @@ impl PlacementPlan {
         let mut homes = vec![Vec::new(); weights.len()];
         for m in order {
             let s = share(weights[m]);
-            let copies = ((s * n_replicas as f64).ceil() as usize).clamp(1, n_replicas);
+            let copies = ((s * n_live as f64).ceil() as usize).clamp(1, n_live);
             for _ in 0..copies {
-                let r = (0..n_replicas)
+                let r = candidates
+                    .iter()
+                    .copied()
                     .filter(|r| !homes[m].contains(r))
                     .min_by(|&a, &b| load[a].total_cmp(&load[b]).then(a.cmp(&b)))
-                    .expect("copies <= n_replicas");
+                    .expect("copies <= live replicas");
                 load[r] += s / copies as f64;
                 homes[m].push(r);
             }
@@ -325,6 +364,9 @@ pub struct PlacementAwareRouter {
     pub migrations: usize,
     counts: Vec<u64>,
     routed: usize,
+    /// Live mask observed at the last routing decision; a change (crash,
+    /// restart, scale event) forces an immediate re-replication.
+    last_live: Vec<bool>,
 }
 
 impl PlacementAwareRouter {
@@ -338,6 +380,7 @@ impl PlacementAwareRouter {
             migrations: 0,
             counts,
             routed: 0,
+            last_live: Vec::new(),
         }
     }
 
@@ -376,23 +419,32 @@ impl Router for PlacementAwareRouter {
         }
         self.counts[req.model] += 1;
         self.routed += 1;
-        if let Some(every) = self.rebalance_every {
-            if every > 0 && self.routed.is_multiple_of(every) {
-                let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
-                let next = PlacementPlan::from_weights(&weights, views.len());
-                self.migrations += next.migrations_from(&self.plan);
-                self.plan = next;
-            }
+        let live: Vec<bool> = views.iter().map(|v| v.alive).collect();
+        // A live-set change (crash, restart, scale event) re-replicates
+        // immediately: dead replicas' deltas need new homes *now*, not
+        // at the next periodic window. The very first call just records
+        // the mask so the caller's initial plan is honored.
+        let live_changed = !self.last_live.is_empty() && self.last_live != live;
+        let periodic = self
+            .rebalance_every
+            .is_some_and(|every| every > 0 && self.routed.is_multiple_of(every));
+        if self.rebalance_every.is_some() && (live_changed || periodic) {
+            let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+            let next = PlacementPlan::from_weights_live(&weights, views.len(), &live);
+            self.migrations += next.migrations_from(&self.plan);
+            self.plan = next;
         }
+        self.last_live = live;
         let best = |ids: &mut dyn Iterator<Item = &ReplicaView>| {
-            ids.min_by(|a, b| {
-                Self::score(a)
-                    .total_cmp(&Self::score(b))
-                    .then(a.id.cmp(&b.id))
-            })
-            .map(|v| (v.id, Self::score(v)))
+            ids.filter(|v| v.alive)
+                .min_by(|a, b| {
+                    Self::score(a)
+                        .total_cmp(&Self::score(b))
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|v| (v.id, Self::score(v)))
         };
-        let overall = best(&mut views.iter()).expect("at least one replica");
+        let overall = best(&mut views.iter()).expect("at least one live replica");
         let homes = self.plan.homes(req.model);
         let home = best(&mut views.iter().filter(|v| homes.contains(&v.id)));
         match home {
@@ -410,12 +462,13 @@ impl Router for PlacementAwareRouter {
     ) -> Vec<PrefetchHint> {
         // The model just saw traffic: prewarm its *other* home replicas
         // that are still cold, so the next request for it (hot models see
-        // many) finds a warm copy wherever the plan may route it.
+        // many) finds a warm copy wherever the plan may route it. Dead
+        // replicas get no hints — prewarming a corpse leaks the hint.
         self.plan
             .homes(req.model)
             .iter()
             .copied()
-            .filter(|&h| h != routed && h < views.len() && !views[h].warm)
+            .filter(|&h| h != routed && h < views.len() && views[h].alive && !views[h].warm)
             .take(2)
             .map(|replica| PrefetchHint {
                 replica,
@@ -483,7 +536,9 @@ pub struct ShedRecord {
     pub model: usize,
     /// Original arrival time (s).
     pub arrival: f64,
-    /// SLO class the request was shed under (always a sheddable class).
+    /// SLO class the request was shed under. Admission control only
+    /// sheds `Batch`; a chaos run with zero live capacity and no
+    /// recovery ever coming may shed any class as its last resort.
     pub class: SloClass,
 }
 
@@ -617,6 +672,9 @@ pub struct ClusterReport {
     /// themselves keep cumulative totals across runs — query the
     /// bindings via [`ClusterSim::bindings`] for those.
     pub store_stats: Option<Vec<dz_store::LoadStats>>,
+    /// What the chaos machinery did, when the run was configured with
+    /// [`ClusterSim::with_chaos`] (`None` on healthy runs).
+    pub chaos: Option<ChaosStats>,
 }
 
 impl ClusterReport {
@@ -654,9 +712,18 @@ struct ReplicaFrontendState {
     busy_until: f64,
     /// Estimated finish times of outstanding requests (monotone).
     finishes: std::collections::VecDeque<f64>,
-    /// Requests assigned to this replica: (request-at-admission, global
-    /// id, defer delay).
-    assigned: Vec<(Request, usize, f64)>,
+    /// Requests assigned to this replica in the *current* epoch:
+    /// (request-at-admission, global id, defer delay, estimated finish).
+    assigned: Vec<(Request, usize, f64, f64)>,
+    /// Earlier epochs, sealed by a crash or a scale cycle. Each epoch
+    /// replays on its own fresh (cold) engine: a restarted replica has
+    /// no host cache.
+    sealed: Vec<Vec<(Request, usize, f64, f64)>>,
+    /// Whether the replica is live and routable.
+    alive: bool,
+    /// Down because of a crash with a scheduled restart — the
+    /// autoscaler must not "activate" it early.
+    pending_restart: bool,
     /// Cost-model-derived estimates.
     per_token_s: f64,
     cold_load_s: f64,
@@ -680,7 +747,43 @@ impl ReplicaFrontendState {
             decoded: warm && self.decoded.contains(&model),
             cold_load_s: self.cold_load_s,
             warm_load_s: self.warm_load_s,
+            alive: self.alive,
         }
+    }
+
+    /// Crash at `t`: the warm set is gone, estimated work is gone, and
+    /// requests whose estimated finish lies beyond `t` are lost —
+    /// returned to the caller for re-queueing. Finished work seals into
+    /// an epoch (it replays on its own engine; the post-restart epoch
+    /// starts cold).
+    fn crash(&mut self, t: f64) -> Vec<(Request, usize, f64, f64)> {
+        self.alive = false;
+        self.warm.clear();
+        self.decoded.clear();
+        self.prefetched.clear();
+        self.busy_until = t;
+        self.finishes.clear();
+        let epoch = std::mem::take(&mut self.assigned);
+        let (done, lost): (Vec<_>, Vec<_>) = epoch.into_iter().partition(|a| a.3 <= t);
+        self.sealed.push(done);
+        lost
+    }
+
+    /// Bring the replica (back) up cold at `t`. For a graceful
+    /// reactivation after a scale-down the drained epoch seals here; a
+    /// crash already sealed it.
+    fn revive(&mut self, t: f64) {
+        if !self.assigned.is_empty() {
+            let epoch = std::mem::take(&mut self.assigned);
+            self.sealed.push(epoch);
+        }
+        self.alive = true;
+        self.pending_restart = false;
+        self.warm.clear();
+        self.decoded.clear();
+        self.prefetched.clear();
+        self.busy_until = t;
+        self.finishes.clear();
     }
 
     fn touch_warm(&mut self, model: usize) {
@@ -793,6 +896,8 @@ pub struct ClusterSim {
     /// Tracks captured by the last traced run (front-end lane first,
     /// then one per replica), until [`take_trace`](Self::take_trace).
     trace_tracks: Vec<TraceTrack>,
+    /// Fault/elasticity schedule for [`run`](Self::run), when chaotic.
+    chaos: Option<ChaosConfig>,
 }
 
 impl ClusterSim {
@@ -813,7 +918,18 @@ impl ClusterSim {
             store_warm_caps: Vec::new(),
             trace_config: None,
             trace_tracks: Vec::new(),
+            chaos: None,
         }
+    }
+
+    /// Arms a chaos/elasticity schedule: subsequent [`run`](Self::run)
+    /// calls inject the configured faults, drive the autoscaler, and
+    /// apply rolling rollouts; the report carries
+    /// [`ClusterReport::chaos`]. All chaos randomness flows from
+    /// [`ChaosConfig::seed`], so a run is exactly reproducible.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// Enables simulation-clock tracing: subsequent [`run`](Self::run)
@@ -899,6 +1015,12 @@ impl ClusterSim {
     /// Replays the trace through the router and the replica engines.
     pub fn run(&mut self, trace: &Trace) -> ClusterReport {
         let n = self.config.n_replicas;
+        let chaos = self.chaos.clone();
+        let initial_live = chaos
+            .as_ref()
+            .and_then(|c| c.initial_replicas)
+            .unwrap_or(n)
+            .clamp(1, n);
         let mut states: Vec<ReplicaFrontendState> = (0..n)
             .map(|r| {
                 let cost = &self.costs[r];
@@ -911,6 +1033,9 @@ impl ClusterSim {
                     busy_until: 0.0,
                     finishes: std::collections::VecDeque::new(),
                     assigned: Vec::new(),
+                    sealed: Vec::new(),
+                    alive: r < initial_live,
+                    pending_restart: false,
                     // Amortized over a representative batch: the replica
                     // engine batches concurrent requests, so charging the
                     // batch-1 iteration per request would inflate backlog
@@ -968,30 +1093,337 @@ impl ClusterSim {
         };
         let mut migrations_seen = self.router.migrations();
 
-        while let Some(std::cmp::Reverse((_, seq))) = heap.pop() {
-            let p = match pending.remove(&seq) {
+        // Chaos machinery: an absolute-time action queue interleaved
+        // with the request stream (faults fire *between* arrivals, in
+        // time order), per-replica brownout schedules handed to the
+        // replay engines, and a seeded RNG for rollout coin flips. All
+        // of it is independent of tracing, so a traced chaos run stays
+        // bit-identical in metrics to an untraced one.
+        let mut chaos_stats = chaos.as_ref().map(|_| ChaosStats {
+            min_live: initial_live,
+            max_live: initial_live,
+            ..ChaosStats::default()
+        });
+        let mut replica_brownouts: Vec<Vec<Brownout>> = vec![Vec::new(); n];
+        let mut chaos_actions: Vec<ChaosAction> = Vec::new();
+        let mut chaos_q: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut chaos_seq = 0u64;
+        fn push_chaos(
+            q: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>>,
+            actions: &mut Vec<ChaosAction>,
+            seq: &mut u64,
+            at: f64,
+            action: ChaosAction,
+        ) {
+            let idx = actions.len();
+            actions.push(action);
+            q.push(std::cmp::Reverse((at.max(0.0).to_bits(), *seq, idx)));
+            *seq += 1;
+        }
+        let horizon = trace
+            .requests
+            .iter()
+            .map(|r| r.arrival)
+            .fold(0.0f64, f64::max);
+        if let Some(c) = &chaos {
+            for ev in c.plan.events() {
+                match ev.kind {
+                    FaultKind::Crash {
+                        replica,
+                        restart_after_s,
+                    } => push_chaos(
+                        &mut chaos_q,
+                        &mut chaos_actions,
+                        &mut chaos_seq,
+                        ev.at,
+                        ChaosAction::Crash {
+                            replica,
+                            restart_after_s,
+                        },
+                    ),
+                    FaultKind::Degrade { replica, brownout } => {
+                        if replica < n {
+                            replica_brownouts[replica].push(brownout);
+                        }
+                        push_chaos(
+                            &mut chaos_q,
+                            &mut chaos_actions,
+                            &mut chaos_seq,
+                            ev.at,
+                            ChaosAction::Degrade { replica },
+                        );
+                    }
+                }
+            }
+            if let Some(scaler) = c.autoscaler {
+                push_chaos(
+                    &mut chaos_q,
+                    &mut chaos_actions,
+                    &mut chaos_seq,
+                    scaler.interval_s.max(1e-3),
+                    ChaosAction::Tick,
+                );
+            }
+            frontend_tracer.gauge(|| GaugeSample {
+                at: 0.0,
+                live_replicas: initial_live,
+                ..GaugeSample::default()
+            });
+        }
+        let n_rollouts = chaos.as_ref().map_or(0, |c| c.rollouts.len());
+        let mut rollout_started = vec![false; n_rollouts];
+        let mut rollout_done = vec![false; n_rollouts];
+        let mut chaos_rng =
+            dz_tensor::Rng::seeded(chaos.as_ref().map_or(0, |c| c.seed) ^ 0xD17E_C4A0);
+        let mut last_scale_at = f64::NEG_INFINITY;
+
+        loop {
+            // Fire every chaos action due before the next arrival, at
+            // its own timestamp (ties: chaos first, so a restart at t is
+            // visible to a request arriving at t).
+            let next_arrival = heap
+                .peek()
+                .map(|std::cmp::Reverse((bits, _))| f64::from_bits(*bits));
+            let next_chaos = chaos_q
+                .peek()
+                .map(|std::cmp::Reverse((bits, _, _))| f64::from_bits(*bits));
+            let fire_chaos = match (next_chaos, next_arrival) {
+                (Some(c), Some(a)) => c <= a,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if fire_chaos {
+                let std::cmp::Reverse((bits, _, idx)) = chaos_q.pop().expect("peeked above");
+                let t = f64::from_bits(bits);
+                let stats = chaos_stats.as_mut().expect("chaos actions imply config");
+                match chaos_actions[idx] {
+                    ChaosAction::Crash {
+                        replica,
+                        restart_after_s,
+                    } => {
+                        if replica < n && states[replica].alive {
+                            let lost = states[replica].crash(t);
+                            stats.crashes += 1;
+                            stats.lost_in_flight += lost.len();
+                            let lost_n = lost.len();
+                            frontend_tracer.emit(|| TraceEvent::ReplicaDown {
+                                replica,
+                                lost: lost_n,
+                                at: t,
+                            });
+                            // Lost in-flight requests re-enter the front
+                            // end at the crash instant; the wasted wait
+                            // becomes queue time from their viewpoint.
+                            for (req, global_id, delay, _) in lost {
+                                let orig_arrival = req.arrival - delay;
+                                let p = Pending {
+                                    req: Request {
+                                        arrival: orig_arrival,
+                                        id: global_id,
+                                        ..req
+                                    },
+                                    delay: t - orig_arrival,
+                                    defers: 0,
+                                    seq: next_seq,
+                                };
+                                next_seq += 1;
+                                heap.push(std::cmp::Reverse(p.key()));
+                                pending.insert(p.seq, p);
+                            }
+                            if let Some(d) = restart_after_s {
+                                states[replica].pending_restart = true;
+                                push_chaos(
+                                    &mut chaos_q,
+                                    &mut chaos_actions,
+                                    &mut chaos_seq,
+                                    t + d.max(0.0),
+                                    ChaosAction::Restart { replica },
+                                );
+                            }
+                            let live = states.iter().filter(|s| s.alive).count();
+                            stats.min_live = stats.min_live.min(live);
+                            frontend_tracer.gauge(|| GaugeSample {
+                                at: t,
+                                live_replicas: live,
+                                ..GaugeSample::default()
+                            });
+                        }
+                    }
+                    ChaosAction::Restart { replica } => {
+                        if replica < n && !states[replica].alive {
+                            states[replica].revive(t);
+                            stats.restarts += 1;
+                            frontend_tracer.emit(|| TraceEvent::ReplicaUp { replica, at: t });
+                            let live = states.iter().filter(|s| s.alive).count();
+                            stats.max_live = stats.max_live.max(live);
+                            frontend_tracer.gauge(|| GaugeSample {
+                                at: t,
+                                live_replicas: live,
+                                ..GaugeSample::default()
+                            });
+                        }
+                    }
+                    ChaosAction::Degrade { replica } => {
+                        if replica < n {
+                            stats.brownouts += 1;
+                        }
+                    }
+                    ChaosAction::Tick => {
+                        let scaler = chaos
+                            .as_ref()
+                            .and_then(|c| c.autoscaler)
+                            .expect("tick implies autoscaler");
+                        let live_ids: Vec<usize> = (0..n).filter(|&r| states[r].alive).collect();
+                        // An empty live set is infinite pressure: bring
+                        // anything available back immediately.
+                        let mean_backlog = if live_ids.is_empty() {
+                            f64::INFINITY
+                        } else {
+                            live_ids
+                                .iter()
+                                .map(|&r| (states[r].busy_until - t).max(0.0))
+                                .sum::<f64>()
+                                / live_ids.len() as f64
+                        };
+                        if t - last_scale_at >= scaler.cooldown_s {
+                            match scaler.decide(live_ids.len(), mean_backlog) {
+                                1 => {
+                                    let spare = (0..n)
+                                        .find(|&r| !states[r].alive && !states[r].pending_restart);
+                                    if let Some(r) = spare {
+                                        states[r].revive(t);
+                                        stats.scale_ups += 1;
+                                        last_scale_at = t;
+                                        frontend_tracer
+                                            .emit(|| TraceEvent::ScaleUp { replica: r, at: t });
+                                        let live = live_ids.len() + 1;
+                                        stats.max_live = stats.max_live.max(live);
+                                        frontend_tracer.gauge(|| GaugeSample {
+                                            at: t,
+                                            live_replicas: live,
+                                            ..GaugeSample::default()
+                                        });
+                                    }
+                                }
+                                -1 => {
+                                    // Drain the emptiest live replica: it
+                                    // stops receiving traffic but keeps
+                                    // (and finishes) its in-flight work.
+                                    let victim = live_ids.iter().copied().min_by(|&a, &b| {
+                                        states[a]
+                                            .busy_until
+                                            .total_cmp(&states[b].busy_until)
+                                            .then(a.cmp(&b))
+                                    });
+                                    if let Some(r) = victim {
+                                        states[r].alive = false;
+                                        stats.scale_downs += 1;
+                                        last_scale_at = t;
+                                        frontend_tracer
+                                            .emit(|| TraceEvent::ScaleDown { replica: r, at: t });
+                                        let live = live_ids.len() - 1;
+                                        stats.min_live = stats.min_live.min(live);
+                                        frontend_tracer.gauge(|| GaugeSample {
+                                            at: t,
+                                            live_replicas: live,
+                                            ..GaugeSample::default()
+                                        });
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        // Keep ticking while there is work left to serve.
+                        if !heap.is_empty() || t < horizon {
+                            push_chaos(
+                                &mut chaos_q,
+                                &mut chaos_actions,
+                                &mut chaos_seq,
+                                t + scaler.interval_s.max(1e-3),
+                                ChaosAction::Tick,
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+
+            let Some(std::cmp::Reverse((_, seq))) = heap.pop() else {
+                break;
+            };
+            let mut p = match pending.remove(&seq) {
                 Some(p) => p,
                 None => continue,
             };
             let now = p.arrival();
+
+            // Rolling rollouts: a seeded, growing fraction of the v1
+            // model's traffic is remapped to its v2 delta.
+            if let Some(c) = &chaos {
+                for (i, ro) in c.rollouts.iter().enumerate() {
+                    let frac = ro.fraction_at(now);
+                    if frac > 0.0 && !rollout_started[i] {
+                        rollout_started[i] = true;
+                        frontend_tracer.emit(|| TraceEvent::Rollout {
+                            model: ro.model,
+                            v2: ro.v2,
+                            frac,
+                            at: now,
+                        });
+                    }
+                    if p.req.model == ro.model && frac > 0.0 && chaos_rng.bernoulli(frac) {
+                        p.req.model = ro.v2;
+                        chaos_stats
+                            .as_mut()
+                            .expect("rollouts imply chaos config")
+                            .rollout_remapped += 1;
+                    }
+                    if frac >= 1.0 && !rollout_done[i] {
+                        rollout_done[i] = true;
+                        frontend_tracer.emit(|| TraceEvent::Rollout {
+                            model: ro.model,
+                            v2: ro.v2,
+                            frac: 1.0,
+                            at: now,
+                        });
+                    }
+                }
+            }
+
             for state in &mut states {
                 state.prune(now);
             }
             let views: Vec<ReplicaView> = states
                 .iter()
                 .enumerate()
-                .map(|(r, s)| s.view(r, now, p.req.model))
+                .map(|(r, s)| {
+                    let mut v = s.view(r, now, p.req.model);
+                    // A browned-out channel inflates the router's load
+                    // estimates: cold loads ride disk, decode rides PCIe.
+                    let (disk_rate, pcie_rate) = brownout_rates(&replica_brownouts[r], now);
+                    v.cold_load_s /= disk_rate;
+                    v.warm_load_s /= pcie_rate;
+                    v
+                })
                 .collect();
+            let live_now = views.iter().filter(|v| v.alive).count();
+            if let Some(stats) = chaos_stats.as_mut() {
+                stats.min_live = stats.min_live.min(live_now);
+                stats.max_live = stats.max_live.max(live_now);
+            }
 
             // SLO-aware admission: Batch requests defer, then shed, when
-            // even the least-loaded replica is saturated.
+            // even the least-loaded *live* replica is saturated (a fleet
+            // with zero live capacity counts as infinitely deep).
             if let Some(adm) = &self.config.admission {
                 if adm.slo.class_of(p.req.model) == SloClass::Batch {
                     let min_depth = views
                         .iter()
+                        .filter(|v| v.alive)
                         .map(|v| v.queue_depth)
                         .min()
-                        .expect("at least one replica");
+                        .unwrap_or(usize::MAX);
                     if min_depth >= adm.defer_depth && p.defers < adm.max_defers {
                         routing.defer_events += 1;
                         frontend_tracer.emit(|| TraceEvent::Defer {
@@ -1028,8 +1460,71 @@ impl ClusterSim {
                 }
             }
 
+            // Zero effective capacity (every replica down or draining):
+            // park the request until the next capacity event — a
+            // scheduled restart or an autoscaler tick that could
+            // activate a spare. If nothing will ever bring capacity
+            // back, shed instead of looping: graceful degradation, not
+            // a hang.
+            if live_now == 0 {
+                let can_scale_up = chaos
+                    .as_ref()
+                    .and_then(|c| c.autoscaler)
+                    .is_some_and(|s| s.max_replicas > 0)
+                    && states.iter().any(|s| !s.alive && !s.pending_restart);
+                let next_up = chaos_q
+                    .iter()
+                    .filter_map(
+                        |std::cmp::Reverse((bits, _, idx))| match chaos_actions[*idx] {
+                            ChaosAction::Restart { .. } => Some(f64::from_bits(*bits)),
+                            ChaosAction::Tick if can_scale_up => Some(f64::from_bits(*bits)),
+                            _ => None,
+                        },
+                    )
+                    .fold(None, |acc: Option<f64>, t| {
+                        Some(acc.map_or(t, |a| a.min(t)))
+                    });
+                match next_up {
+                    Some(t_up) if t_up > now => {
+                        let parked = Pending {
+                            delay: t_up - p.req.arrival,
+                            seq: next_seq,
+                            ..p
+                        };
+                        next_seq += 1;
+                        heap.push(std::cmp::Reverse(parked.key()));
+                        pending.insert(parked.seq, parked);
+                    }
+                    _ => {
+                        routing.shed += 1;
+                        if let Some(stats) = chaos_stats.as_mut() {
+                            stats.shed_no_capacity += 1;
+                        }
+                        frontend_tracer.emit(|| TraceEvent::Shed {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
+                        let class = self
+                            .config
+                            .admission
+                            .as_ref()
+                            .map(|a| a.slo.class_of(p.req.model))
+                            .unwrap_or(SloClass::Batch);
+                        shed.push(ShedRecord {
+                            id: p.req.id,
+                            model: p.req.model,
+                            arrival: p.req.arrival,
+                            class,
+                        });
+                    }
+                }
+                continue;
+            }
+
             let r = self.router.route(&p.req, &views);
             assert!(r < n, "router returned replica {r} of {n}");
+            assert!(views[r].alive, "router selected dead replica {r}");
             let migrations_now = self.router.migrations();
             if migrations_now > migrations_seen {
                 let count = migrations_now - migrations_seen;
@@ -1063,6 +1558,14 @@ impl ClusterSim {
                     if hint.replica >= n {
                         continue;
                     }
+                    // A hint aimed at a dead replica is dropped, not
+                    // leaked into its predicted (or real) cache.
+                    if !views[hint.replica].alive {
+                        if let Some(stats) = chaos_stats.as_mut() {
+                            stats.dropped_hints += 1;
+                        }
+                        continue;
+                    }
                     routing.prefetch_hints += 1;
                     if states[hint.replica].prefetch_warm(hint.model) {
                         routing.prefetch_issued += 1;
@@ -1078,12 +1581,15 @@ impl ClusterSim {
             let state = &mut states[r];
             let est = self.costs[r].prefill_time(p.req.prompt_tokens)
                 + p.req.output_tokens as f64 * state.per_token_s
-                + if warm { 0.0 } else { state.cold_load_s };
+                + if warm { 0.0 } else { views[r].cold_load_s };
             state.touch_used(p.req.model);
             state.charge(now, est);
+            let est_finish = state.busy_until;
             let mut admitted = p.req.clone();
             admitted.arrival = now;
-            state.assigned.push((admitted, p.req.id, p.delay));
+            state
+                .assigned
+                .push((admitted, p.req.id, p.delay, est_finish));
         }
 
         // Replay each replica's assignment on its own engine.
@@ -1101,77 +1607,123 @@ impl ClusterSim {
             self.bindings.as_ref().map(|_| Vec::new());
         let mut bindings = self.bindings.take();
         for (r, state) in states.iter_mut().enumerate() {
-            let mut ids = Vec::with_capacity(state.assigned.len());
-            let mut delays = Vec::with_capacity(state.assigned.len());
-            let mut requests = Vec::with_capacity(state.assigned.len());
-            for (dense, (req, global_id, delay)) in state.assigned.drain(..).enumerate() {
-                ids.push(global_id);
-                delays.push(delay);
-                requests.push(Request { id: dense, ..req });
+            // Epochs sealed by crashes/scale cycles, then the live tail.
+            // Each epoch replays on a *fresh* engine — a restarted
+            // replica's GPU and host caches start empty — and, when
+            // store-bound, the real store's warm set is invalidated
+            // between epochs too.
+            let mut epochs: Vec<Vec<(Request, usize, f64, f64)>> =
+                std::mem::take(&mut state.sealed);
+            epochs.push(std::mem::take(&mut state.assigned));
+            epochs.retain(|e| !e.is_empty());
+            if epochs.is_empty() {
+                epochs.push(Vec::new());
             }
-            let sub = Trace {
-                spec: TraceSpec {
-                    n_models: trace.spec.n_models.max(1),
-                    ..trace.spec
-                },
-                requests,
-            };
-            let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
-            if let Some(cfg) = self.trace_config {
-                engine = engine.with_tracing(cfg);
-            }
-            if let Some(adm) = &self.config.admission {
-                engine = engine.with_slo_policy(adm.slo.clone());
-            }
-            if let Some(policy) = self.config.prefetch_policy {
-                engine = engine
-                    .with_prefetcher(policy.build(trace.spec.popularity, trace.spec.n_models));
-            }
-            let mut stats_before = None;
-            if let Some(b) = bindings
+            let mut binding = bindings
                 .as_mut()
-                .and_then(|b| (!b.is_empty()).then(|| b.remove(0)))
-            {
-                // Snapshot the store's cumulative counters so the report
-                // carries this run's loads only (bindings persist across
-                // runs to keep the caches warm).
-                stats_before = Some(b.store().total_stats());
-                engine = engine.with_delta_store(b);
+                .and_then(|b| (!b.is_empty()).then(|| b.remove(0)));
+            // Snapshot the store's cumulative counters so the report
+            // carries this run's loads only (bindings persist across
+            // runs to keep the caches warm).
+            let stats_before = binding.as_ref().map(|b| b.store().total_stats());
+            let mut replica_metrics: Option<Metrics> = None;
+            let mut replica_log: Option<dz_trace::TraceLog> = None;
+            for (e_idx, epoch) in epochs.into_iter().enumerate() {
+                let mut ids = Vec::with_capacity(epoch.len());
+                let mut delays = Vec::with_capacity(epoch.len());
+                let mut requests = Vec::with_capacity(epoch.len());
+                for (dense, (req, global_id, delay, _est)) in epoch.into_iter().enumerate() {
+                    ids.push(global_id);
+                    delays.push(delay);
+                    requests.push(Request { id: dense, ..req });
+                }
+                let sub = Trace {
+                    spec: TraceSpec {
+                        n_models: trace.spec.n_models.max(1),
+                        ..trace.spec
+                    },
+                    requests,
+                };
+                let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
+                if let Some(cfg) = self.trace_config {
+                    engine = engine.with_tracing(cfg);
+                }
+                if let Some(adm) = &self.config.admission {
+                    engine = engine.with_slo_policy(adm.slo.clone());
+                }
+                if let Some(policy) = self.config.prefetch_policy {
+                    engine = engine
+                        .with_prefetcher(policy.build(trace.spec.popularity, trace.spec.n_models));
+                }
+                if !replica_brownouts[r].is_empty() {
+                    engine = engine.with_brownouts(replica_brownouts[r].clone());
+                }
+                if let Some(mut b) = binding.take() {
+                    if e_idx > 0 {
+                        // The crash that sealed the previous epoch wiped
+                        // the real host cache as well.
+                        b.store_mut().invalidate_resident();
+                    }
+                    engine = engine.with_delta_store(b);
+                }
+                let mut m = engine.run(&sub);
+                makespan = makespan.max(m.makespan_s);
+                for rec in &m.records {
+                    let global = ids[rec.id];
+                    let delay = delays[rec.id];
+                    // The deferral wait is queue time from the request's
+                    // point of view: fold it into the attributed queue
+                    // cause too, so the ledger still telescopes to the
+                    // cluster-level e2e.
+                    let mut causes = rec.causes;
+                    causes.queue_s += delay;
+                    records.push(RequestRecord {
+                        id: global,
+                        arrival: rec.arrival - delay,
+                        e2e_s: rec.e2e_s + delay,
+                        ttft_s: rec.ttft_s + delay,
+                        queue_s: rec.queue_s + delay,
+                        causes,
+                        ..rec.clone()
+                    });
+                }
+                if let Some(mut log) = engine.tracer.take_log() {
+                    log.remap_request_ids(&ids);
+                    match replica_log.as_mut() {
+                        Some(dst) => dst.absorb(log),
+                        None => replica_log = Some(log),
+                    }
+                }
+                // Per-replica metrics keep the replica-local view but use
+                // global record ids so epochs can't collide.
+                for rec in &mut m.records {
+                    rec.id = ids[rec.id];
+                }
+                match replica_metrics.as_mut() {
+                    Some(dst) => {
+                        dst.makespan_s = dst.makespan_s.max(m.makespan_s);
+                        dst.swap.merge(&m.swap);
+                        dst.records.extend(m.records);
+                    }
+                    None => replica_metrics = Some(m),
+                }
+                binding = engine.delta_store.take();
             }
-            let m = engine.run(&sub);
-            makespan = makespan.max(m.makespan_s);
-            for rec in &m.records {
-                let global = ids[rec.id];
-                let delay = delays[rec.id];
-                // The deferral wait is queue time from the request's point
-                // of view: fold it into the attributed queue cause too, so
-                // the ledger still telescopes to the cluster-level e2e.
-                let mut causes = rec.causes;
-                causes.queue_s += delay;
-                records.push(RequestRecord {
-                    id: global,
-                    arrival: rec.arrival - delay,
-                    e2e_s: rec.e2e_s + delay,
-                    ttft_s: rec.ttft_s + delay,
-                    queue_s: rec.queue_s + delay,
-                    causes,
-                    ..rec.clone()
-                });
-            }
-            if let Some(mut log) = engine.tracer.take_log() {
-                log.remap_request_ids(&ids);
+            if let Some(log) = replica_log {
                 trace_tracks.push(TraceTrack {
                     name: format!("replica{r}"),
                     log,
                 });
             }
-            per_replica.push(m);
-            if let Some(binding) = engine.delta_store.take() {
+            let mut rm = replica_metrics.expect("at least one epoch per replica");
+            rm.records.sort_by_key(|rec| rec.id);
+            per_replica.push(rm);
+            if let Some(b) = binding {
                 if let Some(stats) = store_stats.as_mut() {
                     let before = stats_before.unwrap_or_default();
-                    stats.push(binding.store().total_stats().since(&before));
+                    stats.push(b.store().total_stats().since(&before));
                 }
-                self.bindings.get_or_insert_with(Vec::new).push(binding);
+                self.bindings.get_or_insert_with(Vec::new).push(b);
             }
         }
         records.sort_by_key(|r| r.id);
@@ -1192,8 +1744,41 @@ impl ClusterSim {
             shed,
             routing,
             store_stats,
+            chaos: chaos_stats,
         }
     }
+}
+
+/// Internal chaos action queued on the front end's absolute-time line.
+#[derive(Debug, Clone, Copy)]
+enum ChaosAction {
+    /// Kill a replica; optionally schedule its cold restart.
+    Crash {
+        replica: usize,
+        restart_after_s: Option<f64>,
+    },
+    /// Bring a crashed replica back up, cold.
+    Restart { replica: usize },
+    /// A brownout window starts (the window itself lives in the
+    /// per-replica schedule handed to the replay engines).
+    Degrade { replica: usize },
+    /// Autoscaler control-loop sample.
+    Tick,
+}
+
+/// Effective (disk, PCIe) rate factors at `now` under a brownout
+/// schedule; overlapping windows compound via `min`. Mirrors
+/// [`TransferTimeline`](crate::swap::TransferTimeline)'s own clamping.
+fn brownout_rates(schedule: &[Brownout], now: f64) -> (f64, f64) {
+    let mut disk = 1.0f64;
+    let mut pcie = 1.0f64;
+    for b in schedule {
+        if now >= b.start_s && now < b.end_s {
+            disk = disk.min(b.disk_rate.clamp(1e-3, 1.0));
+            pcie = pcie.min(b.pcie_rate.clamp(1e-3, 1.0));
+        }
+    }
+    (disk, pcie)
 }
 
 // ---------------------------------------------------------------------------
@@ -1339,6 +1924,7 @@ mod tests {
             decoded: warm,
             cold_load_s: 2.0,
             warm_load_s: 0.5,
+            alive: true,
         }
     }
 

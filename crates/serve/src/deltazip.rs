@@ -236,6 +236,10 @@ pub struct DeltaZipEngine {
     pub prefetcher: Option<Box<dyn Prefetcher>>,
     /// Bandwidth budget for the prefetcher.
     pub prefetch_config: PrefetchConfig,
+    /// Degraded-channel fault schedule (absolute simulation time),
+    /// installed on the transfer timeline at the start of each run.
+    /// Empty by default; the chaos layer populates it.
+    pub brownouts: Vec<crate::swap::Brownout>,
     /// Structured tracing handle. Disabled by default: emission sites
     /// only read simulation state, so tracing-off runs are identical to
     /// untraced builds. Enable via [`with_tracing`](Self::with_tracing)
@@ -259,8 +263,16 @@ impl DeltaZipEngine {
             delta_store: None,
             prefetcher: None,
             prefetch_config: PrefetchConfig::default(),
+            brownouts: Vec::new(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a degraded-channel (disk/PCIe brownout) fault schedule,
+    /// in absolute simulation seconds, for subsequent runs.
+    pub fn with_brownouts(mut self, schedule: Vec<crate::swap::Brownout>) -> Self {
+        self.brownouts = schedule;
+        self
     }
 
     /// Enables structured simulation-clock tracing for subsequent runs.
@@ -360,6 +372,7 @@ impl Engine for DeltaZipEngine {
         let mut parent_of_delta: HashMap<usize, usize> = HashMap::new();
         // The shared-channel transfer timeline and its in-flight index.
         let mut timeline = TransferTimeline::new();
+        timeline.set_brownouts(self.brownouts.clone());
         let mut loading: HashMap<usize, LoadToken> = HashMap::new();
         let mut load_is_prefetch: HashSet<usize> = HashSet::new();
         // Deltas whose host warmth came from a completed prefetch (the
@@ -933,6 +946,7 @@ impl Engine for DeltaZipEngine {
                     host_bytes,
                     inflight_demand: timeline.in_flight() - timeline.in_flight_prefetches(),
                     inflight_prefetch: timeline.in_flight_prefetches(),
+                    live_replicas: 0,
                 }
             });
 

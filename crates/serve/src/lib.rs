@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod cost;
 pub mod deltazip;
@@ -37,6 +38,10 @@ pub mod swap;
 pub mod tuning;
 pub mod vllm_scb;
 
+pub use chaos::{
+    Autoscaler, Brownout, ChaosConfig, ChaosStats, FaultEvent, FaultKind, FaultPlan,
+    RandomFaultConfig, Rollout,
+};
 pub use cluster::{
     AdmissionConfig, BasePartition, ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim,
     LeastLoadedRouter, PlacementAwareRouter, PlacementPlan, PrefetchHint, ReplicaView,
@@ -45,7 +50,7 @@ pub use cluster::{
 pub use cost::CostModel;
 pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 pub use lora::{LoraEngine, LoraServingConfig};
-pub use metrics::{Metrics, SwapStats};
+pub use metrics::{Metrics, SloWindow, SwapStats};
 pub use policy::{PreemptionPolicy, ResumePolicy};
 pub use predictor::LengthEstimator;
 pub use slo::{SloClass, SloPolicy};

@@ -90,6 +90,21 @@ impl SwapStats {
     }
 }
 
+/// One fixed-width window of SLO accounting (see
+/// [`Metrics::windowed_attainment`]).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SloWindow {
+    /// Window start (s, inclusive).
+    pub start_s: f64,
+    /// Window end (s, exclusive).
+    pub end_s: f64,
+    /// Requests that arrived in this window.
+    pub n: usize,
+    /// Fraction of those requests that met the SLO; `None` when no
+    /// requests arrived (routine during outages and traffic troughs).
+    pub attainment: Option<f64>,
+}
+
 /// Aggregated results of one trace replay.
 #[derive(Debug, Clone, Serialize)]
 pub struct Metrics {
@@ -157,23 +172,25 @@ impl Metrics {
         self.records.is_empty()
     }
 
-    /// Mean end-to-end latency (s).
+    /// Mean end-to-end latency (s); `0.0` when no requests were served.
     pub fn mean_e2e(&self) -> f64 {
-        mean(self.records.iter().map(|r| r.e2e_s))
+        mean(self.records.iter().map(|r| r.e2e_s)).unwrap_or(0.0)
     }
 
-    /// Mean time to first token (s).
+    /// Mean time to first token (s); `0.0` when no requests were served.
     pub fn mean_ttft(&self) -> f64 {
-        mean(self.records.iter().map(|r| r.ttft_s))
+        mean(self.records.iter().map(|r| r.ttft_s)).unwrap_or(0.0)
     }
 
-    /// Mean time per output token (s/token), the Figure 10 metric.
+    /// Mean time per output token (s/token), the Figure 10 metric;
+    /// `0.0` when no requests were served.
     pub fn mean_time_per_token(&self) -> f64 {
         mean(
             self.records
                 .iter()
                 .map(|r| r.e2e_s / r.output_tokens.max(1) as f64),
         )
+        .unwrap_or(0.0)
     }
 
     /// Requests per second over the makespan.
@@ -221,21 +238,23 @@ impl Metrics {
             .collect()
     }
 
-    /// Percentile of E2E latency (q in 0..=1).
+    /// Percentile of E2E latency (q in 0..=1); `0.0` when no requests
+    /// were served.
     pub fn e2e_percentile(&self, q: f64) -> f64 {
-        percentile(self.records.iter().map(|r| r.e2e_s).collect(), q)
+        percentile(self.records.iter().map(|r| r.e2e_s).collect(), q).unwrap_or(0.0)
     }
 
-    /// Percentile of TTFT.
+    /// Percentile of TTFT; `0.0` when no requests were served.
     pub fn ttft_percentile(&self, q: f64) -> f64 {
-        percentile(self.records.iter().map(|r| r.ttft_s).collect(), q)
+        percentile(self.records.iter().map(|r| r.ttft_s).collect(), q).unwrap_or(0.0)
     }
 
     /// Percentile of per-request model/delta load waits (what swap-in
     /// cost looks like from a request's point of view; the tail is the
     /// cold-load figure `exp bench-compress` sweeps per codec).
+    /// `0.0` when no requests were served.
     pub fn load_percentile(&self, q: f64) -> f64 {
-        percentile(self.records.iter().map(|r| r.load_s).collect(), q)
+        percentile(self.records.iter().map(|r| r.load_s).collect(), q).unwrap_or(0.0)
     }
 
     /// A filtered view of the records (e.g. one SLO class, one model),
@@ -251,10 +270,87 @@ impl Metrics {
 
     /// Mean queuing / loading / inference split (sums to mean E2E).
     pub fn breakdown(&self) -> (f64, f64, f64) {
-        let queue = mean(self.records.iter().map(|r| r.queue_s));
-        let load = mean(self.records.iter().map(|r| r.load_s));
+        let queue = mean(self.records.iter().map(|r| r.queue_s)).unwrap_or(0.0);
+        let load = mean(self.records.iter().map(|r| r.load_s)).unwrap_or(0.0);
         let e2e = self.mean_e2e();
         (queue, load, (e2e - queue - load).max(0.0))
+    }
+
+    /// Per-window SLO attainment over fixed `window_s` buckets of
+    /// *arrival* time: window `i` covers arrivals in
+    /// `[i*window_s, (i+1)*window_s)` and reports what fraction of them
+    /// met the SLO, however late they eventually finished. Keying by
+    /// arrival (not completion) means an outage shows up in the windows
+    /// whose arrivals it punished, which is what recovery time measures.
+    /// Empty windows report `None` — no data, not a perfect window.
+    ///
+    /// Windows span `[0, max(makespan, last arrival))`; `ttft` selects
+    /// the TTFT SLO instead of E2E.
+    pub fn windowed_attainment(&self, window_s: f64, slo_s: f64, ttft: bool) -> Vec<SloWindow> {
+        assert!(window_s > 0.0, "window must be positive");
+        let span = self
+            .records
+            .iter()
+            .map(|r| r.arrival)
+            .fold(self.makespan_s, f64::max);
+        let n_windows = (span / window_s).floor() as usize + 1;
+        let mut ok = vec![0usize; n_windows];
+        let mut n = vec![0usize; n_windows];
+        for r in &self.records {
+            let w = ((r.arrival / window_s).floor() as usize).min(n_windows - 1);
+            let v = if ttft { r.ttft_s } else { r.e2e_s };
+            n[w] += 1;
+            if v <= slo_s {
+                ok[w] += 1;
+            }
+        }
+        (0..n_windows)
+            .map(|w| SloWindow {
+                start_s: w as f64 * window_s,
+                end_s: (w + 1) as f64 * window_s,
+                n: n[w],
+                attainment: if n[w] == 0 {
+                    None
+                } else {
+                    Some(ok[w] as f64 / n[w] as f64)
+                },
+            })
+            .collect()
+    }
+
+    /// Contiguous spans of windows whose attainment fell below
+    /// `threshold`, as `(start_s, end_s)` intervals. Empty windows are
+    /// neutral: they neither violate nor attain, and they end a run.
+    pub fn violation_intervals(windows: &[SloWindow], threshold: f64) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut open: Option<(f64, f64)> = None;
+        for w in windows {
+            if w.attainment.is_some_and(|a| a < threshold) {
+                open = Some(match open {
+                    Some((s, _)) => (s, w.end_s),
+                    None => (w.start_s, w.end_s),
+                });
+            } else if let Some(iv) = open.take() {
+                out.push(iv);
+            }
+        }
+        if let Some(iv) = open {
+            out.push(iv);
+        }
+        out
+    }
+
+    /// Recovery time after a fault at `fault_at_s`: seconds from the
+    /// fault until windowed attainment first re-crosses `threshold`
+    /// (measured at the end of the first post-fault window that attains;
+    /// empty windows do not count as recovered). `None` when attainment
+    /// never comes back within the run.
+    pub fn recovery_time_s(windows: &[SloWindow], fault_at_s: f64, threshold: f64) -> Option<f64> {
+        windows
+            .iter()
+            .filter(|w| w.end_s > fault_at_s)
+            .find(|w| w.attainment.is_some_and(|a| a >= threshold))
+            .map(|w| (w.end_s - fault_at_s).max(0.0))
     }
 
     /// Critical-path attribution over the per-request cause ledgers:
@@ -531,6 +627,80 @@ mod tests {
         assert!((m.overlap_fraction() - (0.75 + 0.0) / 2.0).abs() > 0.1);
         // Pooled hit rate is 3/5, not (0.5 + 1.0) / 2.
         assert!((m.prefetch_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    fn record_at(arrival: f64, e2e: f64) -> RequestRecord {
+        RequestRecord {
+            arrival,
+            e2e_s: e2e,
+            ..record(e2e, e2e / 2.0, 1)
+        }
+    }
+
+    #[test]
+    fn windowed_attainment_keys_by_arrival_and_reports_empty_as_none() {
+        // Arrivals at 1s and 2s meet a 5s SLO; the arrival at 11s does
+        // not; nothing arrives in [20, 30); the arrival at 31s recovers.
+        let m = Metrics {
+            makespan_s: 40.0,
+            ..metrics(vec![
+                record_at(1.0, 1.0),
+                record_at(2.0, 2.0),
+                record_at(11.0, 30.0),
+                record_at(31.0, 1.0),
+            ])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0].n, 2);
+        assert_eq!(w[0].attainment, Some(1.0));
+        assert_eq!(w[1].attainment, Some(0.0));
+        assert_eq!(w[2].attainment, None, "empty window is no-data");
+        assert_eq!(w[3].attainment, Some(1.0));
+        assert_eq!(w[4].attainment, None);
+        assert!((w[1].start_s - 10.0).abs() < 1e-12 && (w[1].end_s - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_intervals_merge_contiguous_windows() {
+        let m = Metrics {
+            makespan_s: 50.0,
+            ..metrics(vec![
+                record_at(1.0, 1.0),
+                record_at(11.0, 99.0),
+                record_at(21.0, 99.0),
+                record_at(31.0, 1.0),
+                record_at(41.0, 99.0),
+            ])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        let iv = Metrics::violation_intervals(&w, 0.9);
+        assert_eq!(iv, vec![(10.0, 30.0), (40.0, 50.0)]);
+    }
+
+    #[test]
+    fn recovery_time_crosses_threshold_after_fault() {
+        let m = Metrics {
+            makespan_s: 50.0,
+            ..metrics(vec![
+                record_at(1.0, 1.0),
+                record_at(11.0, 99.0),
+                record_at(21.0, 99.0),
+                record_at(31.0, 1.0),
+            ])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        // Fault at 10s: windows [10,20) and [20,30) violate, [30,40)
+        // attains -> recovery measured at its end.
+        let rec = Metrics::recovery_time_s(&w, 10.0, 0.9).unwrap();
+        assert!((rec - 30.0).abs() < 1e-12, "{rec}");
+        // A run that never recovers reports None.
+        let never = Metrics {
+            makespan_s: 20.0,
+            ..metrics(vec![record_at(1.0, 1.0), record_at(11.0, 99.0)])
+        };
+        let wn = never.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(Metrics::recovery_time_s(&wn, 10.0, 0.9), None);
     }
 
     #[test]

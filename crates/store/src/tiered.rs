@@ -455,6 +455,18 @@ impl TieredDeltaStore {
         }
     }
 
+    /// Drops the *entire* host cache — the warm-set loss a replica crash
+    /// inflicts. Artifacts stay on disk and load accounting is kept (the
+    /// re-warming fetches after the restart are exactly the cost a crash
+    /// is supposed to charge). Returns how many artifacts were dropped.
+    pub fn invalidate_resident(&mut self) -> usize {
+        let n = self.resident.len();
+        self.resident.clear();
+        self.prefetched.clear();
+        self.resident_bytes = 0;
+        n
+    }
+
     /// Load accounting for one artifact.
     pub fn stats(&self, id: &ArtifactId) -> LoadStats {
         self.per_artifact.get(id).copied().unwrap_or_default()

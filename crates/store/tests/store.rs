@@ -216,6 +216,68 @@ fn registry_publishes_content_addressed_and_deduplicates() {
 }
 
 #[test]
+fn supersede_records_rollout_lineage() {
+    let dir = temp_dir("lineage");
+    let registry = Registry::open(&dir).expect("open");
+    let v1 = registry
+        .publish_delta("hot-v1", sha256(b"base"), &fixture_delta(61))
+        .expect("publish v1");
+    // Rolling rollout: the serving ref moves v1 -> v2 -> v3, each step
+    // recording what it replaced.
+    registry.tag("hot", &v1).expect("tag");
+    let v2 = registry
+        .publish_delta("hot-v2", sha256(b"base"), &fixture_delta(62))
+        .expect("publish v2");
+    assert_eq!(registry.supersede("hot", &v2).expect("supersede"), Some(v1));
+    let v3 = registry
+        .publish_delta("hot-v3", sha256(b"base"), &fixture_delta(63))
+        .expect("publish v3");
+    assert_eq!(registry.supersede("hot", &v3).expect("supersede"), Some(v2));
+    assert_eq!(registry.resolve("hot").expect("ref"), v3);
+    assert_eq!(registry.parent_of(&v3).expect("parent"), Some(v2));
+    assert_eq!(registry.parent_of(&v1).expect("parent"), None);
+    assert_eq!(registry.lineage_of(&v3).expect("chain"), vec![v2, v1]);
+    // Superseding a fresh ref has no previous target and records nothing.
+    let other = registry
+        .publish_delta("other", sha256(b"base"), &fixture_delta(64))
+        .expect("publish");
+    assert_eq!(registry.supersede("cold", &other).expect("fresh"), None);
+    assert_eq!(registry.parent_of(&other).expect("parent"), None);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalidate_resident_models_a_crash() {
+    let dir = temp_dir("crash");
+    let registry = Registry::open(&dir).expect("open");
+    let ids: Vec<_> = (0..3)
+        .map(|i| {
+            registry
+                .publish_delta(&format!("c{i}"), sha256(b"base"), &fixture_delta(70 + i))
+                .expect("publish")
+        })
+        .collect();
+    let mut store = TieredDeltaStore::new(registry, u64::MAX);
+    for id in &ids {
+        store.fetch(id).expect("fetch");
+    }
+    assert_eq!(store.resident_count(), 3);
+    let before = store.total_stats();
+    // Crash: the whole host warm set is lost, disk copies survive, and
+    // the accounting keeps counting across the restart.
+    assert_eq!(store.invalidate_resident(), 3);
+    assert_eq!(store.resident_count(), 0);
+    assert_eq!(store.resident_bytes(), 0);
+    for id in &ids {
+        assert!(!store.is_resident(id));
+        store.fetch(id).expect("re-warm after crash");
+    }
+    let after = store.total_stats();
+    assert_eq!(after.disk_loads, before.disk_loads * 2, "re-warm pays disk");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn concurrent_publishes_do_not_collide() {
     let dir = temp_dir("concurrent");
     let registry = Registry::open(&dir).expect("open");

@@ -137,7 +137,8 @@ pub fn breakdown(requests: &[AttributedRequest], tail_q: f64) -> CauseBreakdown 
             tail_mean: Causes::default(),
         };
     }
-    let threshold = stats::percentile(requests.iter().map(|r| r.e2e_s).collect(), tail_q);
+    let threshold = stats::percentile(requests.iter().map(|r| r.e2e_s).collect(), tail_q)
+        .expect("non-empty by the guard above");
     let mut sum = Causes::default();
     let mut tail_sum = Causes::default();
     let mut n_tail = 0usize;

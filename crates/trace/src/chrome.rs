@@ -258,6 +258,70 @@ pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
                         &format!(r#"{{"id":{id},"model":{model}}}"#),
                     );
                 }
+                TraceEvent::ReplicaDown {
+                    replica,
+                    lost,
+                    at: _,
+                } => {
+                    instant(
+                        &mut lines,
+                        &mut seq,
+                        pid,
+                        TID_REQUESTS,
+                        "replica_down",
+                        ts,
+                        &format!(r#"{{"replica":{replica},"lost":{lost}}}"#),
+                    );
+                }
+                TraceEvent::ReplicaUp { replica, at: _ } => {
+                    instant(
+                        &mut lines,
+                        &mut seq,
+                        pid,
+                        TID_REQUESTS,
+                        "replica_up",
+                        ts,
+                        &format!(r#"{{"replica":{replica}}}"#),
+                    );
+                }
+                TraceEvent::ScaleUp { replica, at: _ } => {
+                    instant(
+                        &mut lines,
+                        &mut seq,
+                        pid,
+                        TID_REQUESTS,
+                        "scale_up",
+                        ts,
+                        &format!(r#"{{"replica":{replica}}}"#),
+                    );
+                }
+                TraceEvent::ScaleDown { replica, at: _ } => {
+                    instant(
+                        &mut lines,
+                        &mut seq,
+                        pid,
+                        TID_REQUESTS,
+                        "scale_down",
+                        ts,
+                        &format!(r#"{{"replica":{replica}}}"#),
+                    );
+                }
+                TraceEvent::Rollout {
+                    model,
+                    v2,
+                    frac,
+                    at: _,
+                } => {
+                    instant(
+                        &mut lines,
+                        &mut seq,
+                        pid,
+                        TID_REQUESTS,
+                        "rollout",
+                        ts,
+                        &format!(r#"{{"model":{model},"v2":{v2},"frac":{frac}}}"#),
+                    );
+                }
                 TraceEvent::BatchStep {
                     at: _,
                     dur_s,
@@ -399,6 +463,20 @@ fn counters(lines: &mut Vec<(f64, usize, String)>, seq: &mut usize, pid: usize, 
             *seq,
             format!(
                 r#"{{"name":"{name}","ph":"C","ts":{ts:.3},"pid":{pid},"tid":{TID_GAUGES},"args":{args}}}"#
+            ),
+        ));
+        *seq += 1;
+    }
+    // Fleet-size lane, only for tracks that actually sample it (the
+    // cluster front end); single-engine lanes never set it and skip
+    // the extra counter entirely.
+    if g.live_replicas > 0 {
+        lines.push((
+            ts,
+            *seq,
+            format!(
+                r#"{{"name":"fleet","ph":"C","ts":{ts:.3},"pid":{pid},"tid":{TID_GAUGES},"args":{{"live":{}}}}}"#,
+                g.live_replicas
             ),
         ));
         *seq += 1;

@@ -144,6 +144,48 @@ pub enum TraceEvent {
         /// Simulation time (s).
         at: f64,
     },
+    /// A replica crashed: its warm sets and in-flight requests are lost.
+    ReplicaDown {
+        /// Replica id that went down.
+        replica: usize,
+        /// In-flight requests lost (re-queued at the front end).
+        lost: usize,
+        /// Simulation time (s).
+        at: f64,
+    },
+    /// A crashed replica came back (cold) and is routable again.
+    ReplicaUp {
+        /// Replica id that restarted.
+        replica: usize,
+        /// Simulation time (s).
+        at: f64,
+    },
+    /// The autoscaler activated an additional (cold) replica.
+    ScaleUp {
+        /// Replica id that was activated.
+        replica: usize,
+        /// Simulation time (s).
+        at: f64,
+    },
+    /// The autoscaler drained a replica out of the routable set.
+    ScaleDown {
+        /// Replica id that was drained.
+        replica: usize,
+        /// Simulation time (s).
+        at: f64,
+    },
+    /// Rolling delta-version rollout progress: traffic for `model` is
+    /// shifting to its successor delta `v2`.
+    Rollout {
+        /// Model id being replaced.
+        model: usize,
+        /// Successor model id receiving the shifted traffic.
+        v2: usize,
+        /// Fraction of traffic currently going to `v2` (0..=1).
+        frac: f64,
+        /// Simulation time (s).
+        at: f64,
+    },
     /// One batched decode step (prefill + restore + decode iteration).
     BatchStep {
         /// Iteration start time (s).
@@ -176,6 +218,11 @@ impl TraceEvent {
             | TraceEvent::Migrate { at, .. }
             | TraceEvent::Defer { at, .. }
             | TraceEvent::Shed { at, .. }
+            | TraceEvent::ReplicaDown { at, .. }
+            | TraceEvent::ReplicaUp { at, .. }
+            | TraceEvent::ScaleUp { at, .. }
+            | TraceEvent::ScaleDown { at, .. }
+            | TraceEvent::Rollout { at, .. }
             | TraceEvent::BatchStep { at, .. } => at,
         }
     }
@@ -222,6 +269,10 @@ pub struct GaugeSample {
     pub inflight_demand: usize,
     /// In-flight prefetch loads on the transfer timeline.
     pub inflight_prefetch: usize,
+    /// Routable (live, active) replicas in the fleet. Zero for
+    /// single-engine lanes; the cluster front end samples it so chaos
+    /// runs show crash/scale churn as a counter lane.
+    pub live_replicas: usize,
 }
 
 /// Bounded ring-buffer log of [`TraceEvent`]s plus [`GaugeSample`]s.

@@ -49,7 +49,10 @@ impl PromSnapshot {
             let mut with_q: Vec<(&str, &str)> = labels.to_vec();
             let qs = format!("{q}");
             with_q.push(("quantile", &qs));
-            self.sample(name, &with_q, crate::stats::percentile(values.to_vec(), q));
+            // An empty summary still exposes its quantile lines; NaN is
+            // the Prometheus convention for "no observations".
+            let v = crate::stats::percentile(values.to_vec(), q).unwrap_or(f64::NAN);
+            self.sample(name, &with_q, v);
         }
         self.sample(&format!("{name}_sum"), labels, values.iter().sum());
         self.sample(&format!("{name}_count"), labels, values.len() as f64);

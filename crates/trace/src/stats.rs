@@ -8,20 +8,22 @@
 ///
 /// Nearest-rank with `.round()` collapsed small-sample p99 to the max and
 /// biased the two-sample p50 high; interpolating between the bracketing
-/// order statistics fixes both. Returns `0.0` on an empty sample.
-pub fn percentile(mut values: Vec<f64>, q: f64) -> f64 {
+/// order statistics fixes both. Returns `None` on an empty sample: empty
+/// per-window metrics are routine during outages, and a silent `0.0`
+/// there reads as a perfect latency rather than "no data".
+pub fn percentile(mut values: Vec<f64>, q: f64) -> Option<f64> {
     if values.is_empty() {
-        return 0.0;
+        return None;
     }
     values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
     let pos = q.clamp(0.0, 1.0) * (values.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    values[lo] + (values[hi] - values[lo]) * (pos - lo as f64)
+    Some(values[lo] + (values[hi] - values[lo]) * (pos - lo as f64))
 }
 
-/// Arithmetic mean; `0.0` on an empty sample.
-pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+/// Arithmetic mean; `None` on an empty sample (see [`percentile`]).
+pub fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
     let mut sum = 0.0;
     let mut n = 0usize;
     for v in values {
@@ -29,9 +31,9 @@ pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
         n += 1;
     }
     if n == 0 {
-        0.0
+        None
     } else {
-        sum / n as f64
+        Some(sum / n as f64)
     }
 }
 
@@ -71,7 +73,7 @@ mod tests {
     #[test]
     fn percentile_single_sample_is_constant() {
         for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(percentile(vec![3.0], q), 3.0);
+            assert_eq!(percentile(vec![3.0], q), Some(3.0));
         }
     }
 
@@ -79,10 +81,10 @@ mod tests {
     fn percentile_two_samples_interpolates() {
         // Nearest-rank-with-round reported p50 of {1, 3} as 3 (biased
         // high); linear interpolation gives the midpoint.
-        assert!((percentile(vec![1.0, 3.0], 0.5) - 2.0).abs() < 1e-12);
-        assert_eq!(percentile(vec![1.0, 3.0], 0.0), 1.0);
-        assert_eq!(percentile(vec![1.0, 3.0], 1.0), 3.0);
-        let p99 = percentile(vec![1.0, 3.0], 0.99);
+        assert!((percentile(vec![1.0, 3.0], 0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(percentile(vec![1.0, 3.0], 0.0), Some(1.0));
+        assert_eq!(percentile(vec![1.0, 3.0], 1.0), Some(3.0));
+        let p99 = percentile(vec![1.0, 3.0], 0.99).unwrap();
         assert!(p99 < 3.0 && p99 > 2.9, "{p99}");
     }
 
@@ -90,12 +92,12 @@ mod tests {
     fn percentile_four_samples_interpolates() {
         let v = vec![10.0, 20.0, 30.0, 40.0];
         // pos = 0.5 * 3 = 1.5 -> midpoint of 20 and 30.
-        assert!((percentile(v.clone(), 0.5) - 25.0).abs() < 1e-12);
+        assert!((percentile(v.clone(), 0.5).unwrap() - 25.0).abs() < 1e-12);
         // pos = 0.99 * 3 = 2.97 -> 30 + 0.97 * 10, strictly below max.
-        assert!((percentile(v.clone(), 0.99) - 39.7).abs() < 1e-9);
-        assert!(percentile(v.clone(), 0.99) < 40.0);
+        assert!((percentile(v.clone(), 0.99).unwrap() - 39.7).abs() < 1e-9);
+        assert!(percentile(v.clone(), 0.99).unwrap() < 40.0);
         // pos = 0.25 * 3 = 0.75 -> 10 + 0.75 * 10.
-        assert!((percentile(v, 0.25) - 17.5).abs() < 1e-12);
+        assert!((percentile(v, 0.25).unwrap() - 17.5).abs() < 1e-12);
     }
 
     #[test]
@@ -107,14 +109,16 @@ mod tests {
     }
 
     #[test]
-    fn percentile_empty_is_zero() {
-        assert_eq!(percentile(vec![], 0.99), 0.0);
+    fn percentile_empty_is_none() {
+        // Empty windows happen during outages; `None` (not a fake 0.0,
+        // not a panic, not NaN) is the only honest answer.
+        assert_eq!(percentile(vec![], 0.99), None);
     }
 
     #[test]
     fn mean_and_fraction_edges() {
-        assert_eq!(mean(std::iter::empty()), 0.0);
-        assert!((mean([2.0, 4.0].into_iter()) - 3.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), None);
+        assert!((mean([2.0, 4.0].into_iter()).unwrap() - 3.0).abs() < 1e-12);
         assert_eq!(fraction_within(std::iter::empty(), 1.0), 0.0);
         assert!((fraction_within([1.0, 2.0, 3.0].into_iter(), 2.0) - 2.0 / 3.0).abs() < 1e-12);
     }

@@ -16,9 +16,11 @@
 
 pub mod arrivals;
 pub mod lengths;
+pub mod nonstationary;
 pub mod popularity;
 pub mod stats;
 pub mod trace;
 
+pub use nonstationary::Nonstationarity;
 pub use popularity::PopularityDist;
 pub use trace::{Request, Trace, TraceSpec};

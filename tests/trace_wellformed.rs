@@ -9,7 +9,8 @@ use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::cluster::{ClusterConfig, ClusterSim, RoundRobinRouter};
 use dz_serve::{
-    chrome_trace_json, CostModel, DeltaZipConfig, DeltaZipEngine, Engine, TraceConfig, TraceTrack,
+    chrome_trace_json, Autoscaler, ChaosConfig, CostModel, DeltaZipConfig, DeltaZipEngine, Engine,
+    FaultEvent, FaultKind, FaultPlan, TraceConfig, TraceTrack,
 };
 use dz_workload::{PopularityDist, Trace, TraceSpec};
 use serde::value::Value;
@@ -54,6 +55,35 @@ fn traced_tracks() -> Vec<TraceTrack> {
         .with_tracing(TraceConfig::default());
     sim.run(&churn_trace(0xC1));
     tracks.extend(sim.take_trace());
+
+    // A chaos run: crash + cold restart + autoscaler, so the exporter
+    // sees ReplicaDown/ReplicaUp/Scale* instants and the fleet counter
+    // lane alongside the ordinary request spans.
+    let chaos = ChaosConfig {
+        plan: FaultPlan::scripted(vec![FaultEvent {
+            at: 8.0,
+            kind: FaultKind::Crash {
+                replica: 0,
+                restart_after_s: Some(6.0),
+            },
+        }]),
+        autoscaler: Some(Autoscaler::new(1, 2)),
+        seed: 0xC405,
+        ..ChaosConfig::default()
+    };
+    let config = ClusterConfig {
+        n_replicas: 2,
+        engine: engine_config(),
+        ..ClusterConfig::default()
+    };
+    let mut sim = ClusterSim::new(vec![cost; 2], config, Box::new(RoundRobinRouter::new()))
+        .with_chaos(chaos)
+        .with_tracing(TraceConfig::default());
+    sim.run(&churn_trace(0xC2));
+    for mut track in sim.take_trace() {
+        track.name = format!("chaos/{}", track.name);
+        tracks.push(track);
+    }
     tracks
 }
 
@@ -80,7 +110,11 @@ fn num_field(e: &Value, key: &str) -> f64 {
 #[test]
 fn chrome_trace_is_wellformed() {
     let tracks = traced_tracks();
-    assert!(tracks.len() >= 4, "engine + frontend + 2 replicas");
+    assert!(
+        tracks.len() >= 7,
+        "engine + frontend + 2 replicas + chaos lanes, got {}",
+        tracks.len()
+    );
     let json = chrome_trace_json(&tracks);
     let doc = Value::parse_json(&json).expect("exporter must emit valid JSON");
     let events = events(&doc);
@@ -126,6 +160,17 @@ fn chrome_trace_is_wellformed() {
     for (key, depth) in &open {
         assert_eq!(*depth, 0, "span {key:?} left open");
     }
+
+    // The chaos lanes must surface their lifecycle instants and the
+    // fleet-size counter.
+    let named = |name: &str| {
+        events
+            .iter()
+            .any(|e| matches!(e.get("name"), Some(Value::Str(s)) if s == name))
+    };
+    assert!(named("replica_down"), "chaos crash instant missing");
+    assert!(named("replica_up"), "chaos restart instant missing");
+    assert!(named("fleet"), "fleet-size counter lane missing");
 }
 
 #[test]
