@@ -18,8 +18,8 @@
 //! panicking.
 
 use dz_bench::experiments::{
-    ablations, chaos, cluster, codec, compress, extensions, kernels, quality, serving, smoke, swap,
-    workloads, Report, Scale,
+    ablations, chaos, cluster, codec, compress, extensions, fleet, kernels, quality, serving,
+    smoke, swap, workloads, Report, Scale,
 };
 use dz_serve::{write_chrome_trace, TraceTrack};
 use std::io::Write;
@@ -58,6 +58,7 @@ fn available() -> Vec<&'static str> {
         "bench-lossless",
         "bench-chaos",
         "bench-cluster",
+        "bench-fleet",
         "bench-compress",
         "bench-swap",
         "bench-smoke",
@@ -105,6 +106,7 @@ fn run_one(
         "bench-lossless" => codec::bench_lossless(scale, out_dir),
         "bench-chaos" => chaos::bench_chaos(scale, out_dir, trace),
         "bench-cluster" => cluster::bench_cluster(scale, out_dir, trace),
+        "bench-fleet" => fleet::bench_fleet(scale, out_dir, trace),
         "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
         "bench-swap" => swap::bench_swap(scale, out_dir, trace),
         "bench-smoke" => {

@@ -1,0 +1,299 @@
+//! Fleet-scale routing bench: where global scoring stops scaling.
+//!
+//! `bench-fleet` sweeps the event-driven [`FleetSim`] from 10 to 1000
+//! replicas on Zipf traces with constant per-replica load (so the
+//! 1000-replica cell replays ≥1M requests at full scale) and emits
+//! `BENCH_fleet.json`. The comparison the tentpole makes:
+//!
+//! * **global-least-cost** scores every replica per request — O(R) in the
+//!   front end — so its *wall clock* blows up linearly with fleet size
+//!   even though its simulated tail is the best achievable,
+//! * **p2c** (power-of-two-choices) samples two replicas per request —
+//!   O(1) — and holds the p99 line within a small factor of the global
+//!   scan at a flat routing cost,
+//! * **consistent-hash** is the affinity extreme (every model pinned to
+//!   one replica: maximal warm hits, no load awareness),
+//! * **round-robin** is the placement-blind floor.
+//!
+//! Simulated latencies are bit-deterministic (seeded p2c sampling, no
+//! wall-clock input); only the `wall_s` column varies across machines.
+//! `bench-smoke` re-measures the 1000-replica p2c cell at quick scale as
+//! `fleet_1000_replica_wall_s` / `fleet_p2c_p99_s` for the CI perf gate.
+
+use super::{json_provenance, md_table, Report, Scale};
+use dz_serve::cluster::PlacementPlan;
+use dz_serve::{FleetConfig, FleetRouter, FleetSim, TraceConfig, TraceTrack};
+use dz_workload::{PopularityDist, Trace, TraceSpec};
+use std::time::Instant;
+
+const N_MODELS: usize = 512;
+const ZIPF_ALPHA: f64 = 1.1;
+/// Arrivals per second per replica: load scales with the fleet, so every
+/// cell runs at the same utilization and tails are comparable.
+const RATE_PER_REPLICA: f64 = 2.0;
+/// Master seed for the fleet bench (workload + p2c sampling; stamped
+/// into `BENCH_fleet.json` provenance).
+pub const FLEET_SEED: u64 = 0x000F_1EE7;
+
+fn durations(scale: Scale) -> f64 {
+    match scale {
+        // 1000 replicas × 2 req/s × 500 s = 1M requests in the big cell.
+        Scale::Full => 500.0,
+        Scale::Quick => 50.0,
+    }
+}
+
+fn fleet_sizes() -> [usize; 3] {
+    [10, 100, 1000]
+}
+
+fn routers() -> Vec<FleetRouter> {
+    vec![
+        FleetRouter::RoundRobin,
+        FleetRouter::ConsistentHash { vnodes: 32 },
+        FleetRouter::PowerOfTwo { seed: FLEET_SEED },
+        FleetRouter::GlobalLeastCost,
+    ]
+}
+
+fn sweep_trace(n_replicas: usize, scale: Scale) -> Trace {
+    Trace::generate_fast(TraceSpec {
+        n_models: N_MODELS,
+        arrival_rate: RATE_PER_REPLICA * n_replicas as f64,
+        duration_s: durations(scale),
+        popularity: PopularityDist::Zipf { alpha: ZIPF_ALPHA },
+        seed: FLEET_SEED ^ n_replicas as u64,
+    })
+}
+
+fn sim_for(n_replicas: usize, router: FleetRouter, trace_cfg: Option<TraceConfig>) -> FleetSim {
+    let mut cfg = FleetConfig::new(n_replicas);
+    cfg.seed = FLEET_SEED;
+    cfg.trace = trace_cfg;
+    // The operator provisioned edge disks for the Zipf head only: the
+    // long tail starts object-store-only and must pull (then
+    // edge-replicate) on first touch — the shared-tier story.
+    let weights = PopularityDist::Zipf { alpha: ZIPF_ALPHA }.weights(N_MODELS);
+    let plan = PlacementPlan::from_weights(&weights[..N_MODELS / 4], n_replicas);
+    FleetSim::new(cfg, plan, router)
+}
+
+/// One sweep cell's results.
+struct Cell {
+    router: String,
+    n_replicas: usize,
+    requests: usize,
+    wall_s: f64,
+    p50_e2e_s: f64,
+    p99_e2e_s: f64,
+    warm_hit_frac: f64,
+    object_fetches: u64,
+    events: usize,
+}
+
+fn run_cell(
+    n_replicas: usize,
+    router: FleetRouter,
+    trace: &Trace,
+    trace_cfg: Option<TraceConfig>,
+) -> (Cell, Vec<TraceTrack>) {
+    let mut sim = sim_for(n_replicas, router, trace_cfg);
+    let t0 = Instant::now();
+    let rep = sim.run(trace);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let warm_hit_frac = if rep.served > 0 {
+        rep.warm_hits as f64 / rep.served as f64
+    } else {
+        0.0
+    };
+    (
+        Cell {
+            router: rep.router,
+            n_replicas,
+            requests: rep.served + rep.shed,
+            wall_s,
+            p50_e2e_s: rep.p50_e2e_s,
+            p99_e2e_s: rep.p99_e2e_s,
+            warm_hit_frac,
+            object_fetches: rep.fetches.object_store,
+            events: rep.events,
+        },
+        rep.tracks,
+    )
+}
+
+/// The `bench-fleet` experiment. When `trace` is given, the 10-replica
+/// p2c cell runs traced and its lane lands there as `fleet/*`.
+pub fn bench_fleet(
+    scale: Scale,
+    out_dir: &std::path::Path,
+    trace: Option<&mut Vec<TraceTrack>>,
+) -> Report {
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut trace = trace;
+    for n in fleet_sizes() {
+        let tr = sweep_trace(n, scale);
+        for router in routers() {
+            // Trace only the smallest p2c cell: a bounded lane that shows
+            // the event taxonomy without dilating the big cells' wall.
+            let want_trace = n == fleet_sizes()[0]
+                && matches!(router, FleetRouter::PowerOfTwo { .. })
+                && trace.is_some();
+            let cfg = want_trace.then(TraceConfig::default);
+            let (cell, tracks) = run_cell(n, router, &tr, cfg);
+            if want_trace {
+                if let Some(sink) = trace.as_deref_mut() {
+                    for mut track in tracks {
+                        track.name = format!("fleet/{}", track.name);
+                        sink.push(track);
+                    }
+                }
+            }
+            cells.push(cell);
+        }
+    }
+
+    let mut body = format!(
+        "Zipf-{ZIPF_ALPHA} sweep, {N_MODELS} models, {RATE_PER_REPLICA} req/s/replica, \
+         {:.0} s traces (load scales with the fleet):\n\n",
+        durations(scale)
+    );
+    body.push_str(&md_table(
+        &[
+            "router",
+            "replicas",
+            "requests",
+            "wall (s)",
+            "p50 E2E (s)",
+            "p99 E2E (s)",
+            "warm hits",
+            "object fetches",
+            "events",
+        ],
+        &cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.router.clone(),
+                    c.n_replicas.to_string(),
+                    c.requests.to_string(),
+                    format!("{:.2}", c.wall_s),
+                    format!("{:.3}", c.p50_e2e_s),
+                    format!("{:.3}", c.p99_e2e_s),
+                    format!("{:.0}%", c.warm_hit_frac * 100.0),
+                    c.object_fetches.to_string(),
+                    c.events.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    // The headline comparisons at the largest fleet.
+    let big = fleet_sizes()[2];
+    let at = |name: &str| {
+        cells
+            .iter()
+            .find(|c| c.router == name && c.n_replicas == big)
+            .expect("sweep ran every router at every size")
+    };
+    let (global, p2c) = (at("global-least-cost"), at("p2c"));
+    body.push_str(&format!(
+        "\nAt {big} replicas: global scoring walks every replica per request \
+         and burns {:.2} s of wall vs p2c's {:.2} s ({:.1}x); p2c holds the \
+         p99 line at {:.3} s vs the global scan's {:.3} s ({:.2}x).\n",
+        global.wall_s,
+        p2c.wall_s,
+        global.wall_s / p2c.wall_s.max(1e-9),
+        p2c.p99_e2e_s,
+        global.p99_e2e_s,
+        p2c.p99_e2e_s / global.p99_e2e_s.max(1e-9),
+    ));
+    match write_json(&cells, scale, out_dir) {
+        Ok(path) => body.push_str(&format!("\njson: {path}\n")),
+        Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
+    }
+    Report {
+        id: "bench-fleet",
+        title: "Fleet-scale routing: p2c vs global scoring, 10→1000 replicas",
+        body,
+    }
+}
+
+fn write_json(cells: &[Cell], scale: Scale, dir: &std::path::Path) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-fleet",
+        &[
+            ("fleet_seed", FLEET_SEED.to_string()),
+            ("n_models", N_MODELS.to_string()),
+            ("zipf_alpha", format!("{ZIPF_ALPHA}")),
+            ("rate_per_replica", format!("{RATE_PER_REPLICA}")),
+            ("duration_s", format!("{:.1}", durations(scale))),
+        ],
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"router\": \"{}\", \"n_replicas\": {}, \"requests\": {}, \
+             \"wall_s\": {:.4}, \"p50_e2e_s\": {:.4}, \"p99_e2e_s\": {:.4}, \
+             \"warm_hit_frac\": {:.4}, \"object_fetches\": {}, \"events\": {}}}{}\n",
+            c.router,
+            c.n_replicas,
+            c.requests,
+            c.wall_s,
+            c.p50_e2e_s,
+            c.p99_e2e_s,
+            c.warm_hit_frac,
+            c.object_fetches,
+            c.events,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// The deterministic fleet cell the `bench-smoke` perf gate measures:
+/// `(wall_s, p99_e2e_s)` of the 1000-replica p2c cell at quick scale.
+/// The p99 is simulated time (bit-for-bit reproducible; bounded tightly
+/// in `ci/perf-baseline.json`); the wall is real and bounded generously.
+pub fn smoke_fleet_metrics() -> (f64, f64) {
+    let n = fleet_sizes()[2];
+    let tr = sweep_trace(n, Scale::Quick);
+    let (cell, _) = run_cell(n, FleetRouter::PowerOfTwo { seed: FLEET_SEED }, &tr, None);
+    (cell.wall_s, cell.p99_e2e_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cells_are_deterministic_in_simulated_time() {
+        let tr = sweep_trace(10, Scale::Quick);
+        let (a, _) = run_cell(10, FleetRouter::PowerOfTwo { seed: FLEET_SEED }, &tr, None);
+        let (b, _) = run_cell(10, FleetRouter::PowerOfTwo { seed: FLEET_SEED }, &tr, None);
+        assert_eq!(a.p50_e2e_s.to_bits(), b.p50_e2e_s.to_bits());
+        assert_eq!(a.p99_e2e_s.to_bits(), b.p99_e2e_s.to_bits());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.requests, tr.len());
+    }
+
+    #[test]
+    fn p2c_tail_tracks_global_scoring() {
+        // The whole point of the bench: on a quick 100-replica cell the
+        // O(1) router's p99 stays within a small factor of the O(R)
+        // global scan's.
+        let tr = sweep_trace(100, Scale::Quick);
+        let (p2c, _) = run_cell(100, FleetRouter::PowerOfTwo { seed: FLEET_SEED }, &tr, None);
+        let (global, _) = run_cell(100, FleetRouter::GlobalLeastCost, &tr, None);
+        assert!(
+            p2c.p99_e2e_s <= global.p99_e2e_s * 3.0 + 0.5,
+            "p2c p99 {:.3} vs global {:.3}",
+            p2c.p99_e2e_s,
+            global.p99_e2e_s
+        );
+    }
+}

@@ -12,6 +12,7 @@ pub mod cluster;
 pub mod codec;
 pub mod compress;
 pub mod extensions;
+pub mod fleet;
 pub mod kernels;
 pub mod quality;
 pub mod serving;

@@ -17,6 +17,10 @@
 //!   recovery cell: how fast a placement-aware fleet re-attains its SLO
 //!   after a scripted replica crash and how far the churn-window p99
 //!   inflates over the healthy baseline (simulated: deterministic),
+//! * `fleet_1000_replica_wall_s`, `fleet_p2c_p99_s` — the fleet-scale
+//!   event core: wall clock of a 1000-replica 100k-request p2c cell
+//!   (generous bound) and its simulated p99 (deterministic, tight
+//!   bounds),
 //! * `*_packed_ratio` — delta-only packed compression ratio of each
 //!   method-zoo codec on a fixed-seed synthetic model pair (pure
 //!   arithmetic: deterministic).
@@ -129,7 +133,12 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
     //    churn-window p99 inflation over the healthy baseline.
     let (chaos_recovery_s, chaos_inflation) = super::chaos::smoke_chaos_metrics();
 
-    // 5. Codec packed ratios on the synthetic pair.
+    // 5. Fleet-scale routing: 1000-replica p2c cell at quick scale. The
+    //    p99 is simulated (deterministic, tight bounds); the wall is the
+    //    event core's real cost and bounded generously.
+    let (fleet_wall_s, fleet_p2c_p99) = super::fleet::smoke_fleet_metrics();
+
+    // 6. Codec packed ratios on the synthetic pair.
     let (base, tuned) = synthetic_pair();
     let calib = dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
     let ratio_of = |codec: &dyn DeltaCodec| -> f64 {
@@ -149,6 +158,8 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
             ("swap_stall_ratio", swap_stall_ratio),
             ("chaos_recovery_s", chaos_recovery_s),
             ("chaos_churn_p99_inflation", chaos_inflation),
+            ("fleet_1000_replica_wall_s", fleet_wall_s),
+            ("fleet_p2c_p99_s", fleet_p2c_p99),
             ("sparsegpt4_packed_ratio", sgpt4),
             ("bitdelta_packed_ratio", bitdelta),
             ("deltacome_packed_ratio", deltacome),
@@ -194,6 +205,13 @@ fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
                 format!(
                     "\"placement-aware recovery, quick scenario, seed {}\"",
                     super::chaos::CHAOS_SEED
+                ),
+            ),
+            (
+                "fleet",
+                format!(
+                    "\"1000-replica p2c, quick scale, seed {}\"",
+                    super::fleet::FLEET_SEED
                 ),
             ),
         ],

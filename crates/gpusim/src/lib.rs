@@ -25,7 +25,7 @@ pub mod shapes;
 pub mod spec;
 pub mod xfer;
 
-pub use event::EventQueue;
+pub use event::{EventClass, EventQueue, SimTime};
 pub use kernel::{matmul_time, sbmm_time, BatchedImpl, MatmulDesc, WeightFormat};
 pub use shapes::ModelShape;
 pub use spec::{GpuSpec, NodeSpec, StorageKind};

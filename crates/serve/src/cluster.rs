@@ -44,6 +44,7 @@ use crate::metrics::{Metrics, RequestRecord, SwapStats};
 use crate::slo::{SloClass, SloPolicy};
 use crate::swap::{Brownout, PrefetchPolicy};
 use crate::Engine;
+use dz_gpusim::{EventClass, EventQueue};
 use dz_trace::{GaugeSample, TraceConfig, TraceEvent, TraceTrack, Tracer};
 use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
 use std::collections::{HashMap, HashSet};
@@ -367,6 +368,15 @@ pub struct PlacementAwareRouter {
     /// Live mask observed at the last routing decision; a change (crash,
     /// restart, scale event) forces an immediate re-replication.
     last_live: Vec<bool>,
+    /// Per-replica score scratch, reused across routing decisions so the
+    /// hot path computes each replica's score exactly once per request
+    /// (the old path re-evaluated it inside two `min_by` comparators).
+    /// Scores are only valid within one `route` call — backlog and
+    /// warmth predictions change between requests — so the buffer is
+    /// rewritten, and thereby invalidated, on every decision; the
+    /// plan-derived home sets it is combined with are invalidated on
+    /// placement (rebalance) and fault (live-mask change) events above.
+    score_buf: Vec<f64>,
 }
 
 impl PlacementAwareRouter {
@@ -381,6 +391,7 @@ impl PlacementAwareRouter {
             counts,
             routed: 0,
             last_live: Vec::new(),
+            score_buf: Vec::new(),
         }
     }
 
@@ -435,18 +446,40 @@ impl Router for PlacementAwareRouter {
             self.plan = next;
         }
         self.last_live = live;
-        let best = |ids: &mut dyn Iterator<Item = &ReplicaView>| {
-            ids.filter(|v| v.alive)
-                .min_by(|a, b| {
-                    Self::score(a)
-                        .total_cmp(&Self::score(b))
-                        .then(a.id.cmp(&b.id))
-                })
-                .map(|v| (v.id, Self::score(v)))
-        };
-        let overall = best(&mut views.iter()).expect("at least one live replica");
+        // One pass memoizes every replica's score (dead replicas score
+        // infinity so they can never win) and finds the global best;
+        // strict `<` keeps the first — lowest-id — replica on score
+        // ties, exactly like the old `total_cmp(..).then(id.cmp(..))`
+        // comparator.
+        self.score_buf.clear();
+        self.score_buf.reserve(views.len());
+        let mut overall: Option<(usize, f64)> = None;
+        for v in views {
+            debug_assert_eq!(v.id, self.score_buf.len(), "views must be positional");
+            let s = if v.alive {
+                Self::score(v)
+            } else {
+                f64::INFINITY
+            };
+            self.score_buf.push(s);
+            if v.alive && overall.is_none_or(|(_, best)| s < best) {
+                overall = Some((v.id, s));
+            }
+        }
+        let overall = overall.expect("at least one live replica");
+        // Home lookup is O(homes) against the memoized scores instead of
+        // re-scanning (and re-scoring) every view with a membership test.
         let homes = self.plan.homes(req.model);
-        let home = best(&mut views.iter().filter(|v| homes.contains(&v.id)));
+        let mut home: Option<(usize, f64)> = None;
+        for &h in homes {
+            if h >= views.len() || !views[h].alive {
+                continue;
+            }
+            let s = self.score_buf[h];
+            if home.is_none_or(|(_, best)| s < best) {
+                home = Some((h, s));
+            }
+        }
         match home {
             // Stay home unless the homes are badly backlogged vs the rest.
             Some((id, score)) if score <= overall.1 + self.spill_margin_s => id,
@@ -1012,16 +1045,10 @@ impl ClusterSim {
             .unwrap_or(usize::MAX)
     }
 
-    /// Replays the trace through the router and the replica engines.
-    pub fn run(&mut self, trace: &Trace) -> ClusterReport {
-        let n = self.config.n_replicas;
-        let chaos = self.chaos.clone();
-        let initial_live = chaos
-            .as_ref()
-            .and_then(|c| c.initial_replicas)
-            .unwrap_or(n)
-            .clamp(1, n);
-        let mut states: Vec<ReplicaFrontendState> = (0..n)
+    /// Builds the per-replica front-end states (predicted warm sets,
+    /// amortized service rates) shared by both front ends.
+    fn build_states(&self, trace: &Trace, initial_live: usize) -> Vec<ReplicaFrontendState> {
+        (0..self.config.n_replicas)
             .map(|r| {
                 let cost = &self.costs[r];
                 let mut state = ReplicaFrontendState {
@@ -1065,7 +1092,564 @@ impl ClusterSim {
                 }
                 state
             })
-            .collect();
+            .collect()
+    }
+
+    /// Replays the trace through the router and the replica engines.
+    ///
+    /// This is the **event-driven** front end: chaos actions and request
+    /// arrivals merge on one global [`EventQueue`] keyed by
+    /// `(time, class, seq)`, where the chaos class orders before the
+    /// arrival class at an equal timestamp (a restart at `t` is visible
+    /// to a request arriving at `t` — the lockstep reference's tie
+    /// rule). Cost is O(events) heap operations instead of two manually
+    /// merged queues with ad-hoc peeking.
+    ///
+    /// Differential oracle: the retained
+    /// [`run_lockstep_reference`](Self::run_lockstep_reference) must
+    /// produce a bit-identical [`ClusterReport`] on every configuration;
+    /// `crates/serve/tests/fleet_equivalence.rs` pins that.
+    pub fn run(&mut self, trace: &Trace) -> ClusterReport {
+        const CLASS_CHAOS: EventClass = 0;
+        const CLASS_ARRIVAL: EventClass = 1;
+        enum FrontEvent {
+            /// Index into the action table.
+            Chaos(usize),
+            /// A request (re-)entering the front end.
+            Arrival(Pending),
+        }
+        let n = self.config.n_replicas;
+        let chaos = self.chaos.clone();
+        let initial_live = chaos
+            .as_ref()
+            .and_then(|c| c.initial_replicas)
+            .unwrap_or(n)
+            .clamp(1, n);
+        let mut states = self.build_states(trace, initial_live);
+
+        let mut events: EventQueue<FrontEvent> = EventQueue::new();
+        // Arrivals still pending (deferred/parked re-entries included):
+        // the autoscaler keeps ticking only while work remains.
+        let mut arrivals_pending = 0usize;
+        for (seq, req) in trace.requests.iter().enumerate() {
+            let p = Pending {
+                req: req.clone(),
+                delay: 0.0,
+                defers: 0,
+                seq: seq as u64,
+            };
+            events.push_class(p.arrival(), CLASS_ARRIVAL, FrontEvent::Arrival(p));
+            arrivals_pending += 1;
+        }
+        let mut next_seq = trace.len() as u64;
+        let mut routing = RoutingStats {
+            per_replica_requests: vec![0; n],
+            ..RoutingStats::default()
+        };
+        let mut shed: Vec<ShedRecord> = Vec::new();
+        let mut frontend_tracer = match self.trace_config {
+            Some(cfg) => Tracer::enabled(cfg),
+            None => Tracer::disabled(),
+        };
+        let mut migrations_seen = self.router.migrations();
+
+        let mut chaos_stats = chaos.as_ref().map(|_| ChaosStats {
+            min_live: initial_live,
+            max_live: initial_live,
+            ..ChaosStats::default()
+        });
+        let mut replica_brownouts: Vec<Vec<Brownout>> = vec![Vec::new(); n];
+        let mut chaos_actions: Vec<ChaosAction> = Vec::new();
+        let horizon = trace
+            .requests
+            .iter()
+            .map(|r| r.arrival)
+            .fold(0.0f64, f64::max);
+        if let Some(c) = &chaos {
+            for ev in c.plan.events() {
+                let action = match ev.kind {
+                    FaultKind::Crash {
+                        replica,
+                        restart_after_s,
+                    } => ChaosAction::Crash {
+                        replica,
+                        restart_after_s,
+                    },
+                    FaultKind::Degrade { replica, brownout } => {
+                        if replica < n {
+                            replica_brownouts[replica].push(brownout);
+                        }
+                        ChaosAction::Degrade { replica }
+                    }
+                };
+                let idx = chaos_actions.len();
+                chaos_actions.push(action);
+                events.push_class(ev.at.max(0.0), CLASS_CHAOS, FrontEvent::Chaos(idx));
+            }
+            if let Some(scaler) = c.autoscaler {
+                let idx = chaos_actions.len();
+                chaos_actions.push(ChaosAction::Tick);
+                events.push_class(
+                    scaler.interval_s.max(1e-3),
+                    CLASS_CHAOS,
+                    FrontEvent::Chaos(idx),
+                );
+            }
+            frontend_tracer.gauge(|| GaugeSample {
+                at: 0.0,
+                live_replicas: initial_live,
+                ..GaugeSample::default()
+            });
+        }
+        let n_rollouts = chaos.as_ref().map_or(0, |c| c.rollouts.len());
+        let mut rollout_started = vec![false; n_rollouts];
+        let mut rollout_done = vec![false; n_rollouts];
+        let mut chaos_rng =
+            dz_tensor::Rng::seeded(chaos.as_ref().map_or(0, |c| c.seed) ^ 0xD17E_C4A0);
+        let mut last_scale_at = f64::NEG_INFINITY;
+
+        while let Some((t, _class, event)) = events.pop_classed() {
+            let mut p = match event {
+                FrontEvent::Chaos(idx) => {
+                    let stats = chaos_stats.as_mut().expect("chaos actions imply config");
+                    match chaos_actions[idx] {
+                        ChaosAction::Crash {
+                            replica,
+                            restart_after_s,
+                        } => {
+                            if replica < n && states[replica].alive {
+                                let lost = states[replica].crash(t);
+                                stats.crashes += 1;
+                                stats.lost_in_flight += lost.len();
+                                let lost_n = lost.len();
+                                frontend_tracer.emit(|| TraceEvent::ReplicaDown {
+                                    replica,
+                                    lost: lost_n,
+                                    at: t,
+                                });
+                                // Lost in-flight requests re-enter the
+                                // front end at the crash instant; the
+                                // wasted wait becomes queue time from
+                                // their viewpoint.
+                                for (req, global_id, delay, _) in lost {
+                                    let orig_arrival = req.arrival - delay;
+                                    let p = Pending {
+                                        req: Request {
+                                            arrival: orig_arrival,
+                                            id: global_id,
+                                            ..req
+                                        },
+                                        delay: t - orig_arrival,
+                                        defers: 0,
+                                        seq: next_seq,
+                                    };
+                                    next_seq += 1;
+                                    events.push_class(
+                                        p.arrival(),
+                                        CLASS_ARRIVAL,
+                                        FrontEvent::Arrival(p),
+                                    );
+                                    arrivals_pending += 1;
+                                }
+                                if let Some(d) = restart_after_s {
+                                    states[replica].pending_restart = true;
+                                    let idx = chaos_actions.len();
+                                    chaos_actions.push(ChaosAction::Restart { replica });
+                                    events.push_class(
+                                        t + d.max(0.0),
+                                        CLASS_CHAOS,
+                                        FrontEvent::Chaos(idx),
+                                    );
+                                }
+                                let live = states.iter().filter(|s| s.alive).count();
+                                stats.min_live = stats.min_live.min(live);
+                                frontend_tracer.gauge(|| GaugeSample {
+                                    at: t,
+                                    live_replicas: live,
+                                    ..GaugeSample::default()
+                                });
+                            }
+                        }
+                        ChaosAction::Restart { replica } => {
+                            if replica < n && !states[replica].alive {
+                                states[replica].revive(t);
+                                stats.restarts += 1;
+                                frontend_tracer.emit(|| TraceEvent::ReplicaUp { replica, at: t });
+                                let live = states.iter().filter(|s| s.alive).count();
+                                stats.max_live = stats.max_live.max(live);
+                                frontend_tracer.gauge(|| GaugeSample {
+                                    at: t,
+                                    live_replicas: live,
+                                    ..GaugeSample::default()
+                                });
+                            }
+                        }
+                        ChaosAction::Degrade { replica } => {
+                            if replica < n {
+                                stats.brownouts += 1;
+                            }
+                        }
+                        ChaosAction::Tick => {
+                            let scaler = chaos
+                                .as_ref()
+                                .and_then(|c| c.autoscaler)
+                                .expect("tick implies autoscaler");
+                            let live_ids: Vec<usize> =
+                                (0..n).filter(|&r| states[r].alive).collect();
+                            // An empty live set is infinite pressure:
+                            // bring anything available back immediately.
+                            let mean_backlog = if live_ids.is_empty() {
+                                f64::INFINITY
+                            } else {
+                                live_ids
+                                    .iter()
+                                    .map(|&r| (states[r].busy_until - t).max(0.0))
+                                    .sum::<f64>()
+                                    / live_ids.len() as f64
+                            };
+                            if t - last_scale_at >= scaler.cooldown_s {
+                                match scaler.decide(live_ids.len(), mean_backlog) {
+                                    1 => {
+                                        let spare = (0..n).find(|&r| {
+                                            !states[r].alive && !states[r].pending_restart
+                                        });
+                                        if let Some(r) = spare {
+                                            states[r].revive(t);
+                                            stats.scale_ups += 1;
+                                            last_scale_at = t;
+                                            frontend_tracer
+                                                .emit(|| TraceEvent::ScaleUp { replica: r, at: t });
+                                            let live = live_ids.len() + 1;
+                                            stats.max_live = stats.max_live.max(live);
+                                            frontend_tracer.gauge(|| GaugeSample {
+                                                at: t,
+                                                live_replicas: live,
+                                                ..GaugeSample::default()
+                                            });
+                                        }
+                                    }
+                                    -1 => {
+                                        // Drain the emptiest live replica:
+                                        // it stops receiving traffic but
+                                        // keeps (and finishes) its
+                                        // in-flight work.
+                                        let victim = live_ids.iter().copied().min_by(|&a, &b| {
+                                            states[a]
+                                                .busy_until
+                                                .total_cmp(&states[b].busy_until)
+                                                .then(a.cmp(&b))
+                                        });
+                                        if let Some(r) = victim {
+                                            states[r].alive = false;
+                                            stats.scale_downs += 1;
+                                            last_scale_at = t;
+                                            frontend_tracer.emit(|| TraceEvent::ScaleDown {
+                                                replica: r,
+                                                at: t,
+                                            });
+                                            let live = live_ids.len() - 1;
+                                            stats.min_live = stats.min_live.min(live);
+                                            frontend_tracer.gauge(|| GaugeSample {
+                                                at: t,
+                                                live_replicas: live,
+                                                ..GaugeSample::default()
+                                            });
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            // Keep ticking while there is work left to
+                            // serve.
+                            if arrivals_pending > 0 || t < horizon {
+                                let idx = chaos_actions.len();
+                                chaos_actions.push(ChaosAction::Tick);
+                                events.push_class(
+                                    t + scaler.interval_s.max(1e-3),
+                                    CLASS_CHAOS,
+                                    FrontEvent::Chaos(idx),
+                                );
+                            }
+                        }
+                    }
+                    continue;
+                }
+                FrontEvent::Arrival(p) => {
+                    arrivals_pending -= 1;
+                    p
+                }
+            };
+            let now = p.arrival();
+
+            // Rolling rollouts: a seeded, growing fraction of the v1
+            // model's traffic is remapped to its v2 delta.
+            if let Some(c) = &chaos {
+                for (i, ro) in c.rollouts.iter().enumerate() {
+                    let frac = ro.fraction_at(now);
+                    if frac > 0.0 && !rollout_started[i] {
+                        rollout_started[i] = true;
+                        frontend_tracer.emit(|| TraceEvent::Rollout {
+                            model: ro.model,
+                            v2: ro.v2,
+                            frac,
+                            at: now,
+                        });
+                    }
+                    if p.req.model == ro.model && frac > 0.0 && chaos_rng.bernoulli(frac) {
+                        p.req.model = ro.v2;
+                        chaos_stats
+                            .as_mut()
+                            .expect("rollouts imply chaos config")
+                            .rollout_remapped += 1;
+                    }
+                    if frac >= 1.0 && !rollout_done[i] {
+                        rollout_done[i] = true;
+                        frontend_tracer.emit(|| TraceEvent::Rollout {
+                            model: ro.model,
+                            v2: ro.v2,
+                            frac: 1.0,
+                            at: now,
+                        });
+                    }
+                }
+            }
+
+            for state in &mut states {
+                state.prune(now);
+            }
+            let views: Vec<ReplicaView> = states
+                .iter()
+                .enumerate()
+                .map(|(r, s)| {
+                    let mut v = s.view(r, now, p.req.model);
+                    // A browned-out channel inflates the router's load
+                    // estimates: cold loads ride disk, decode rides PCIe.
+                    let (disk_rate, pcie_rate) = brownout_rates(&replica_brownouts[r], now);
+                    v.cold_load_s /= disk_rate;
+                    v.warm_load_s /= pcie_rate;
+                    v
+                })
+                .collect();
+            let live_now = views.iter().filter(|v| v.alive).count();
+            if let Some(stats) = chaos_stats.as_mut() {
+                stats.min_live = stats.min_live.min(live_now);
+                stats.max_live = stats.max_live.max(live_now);
+            }
+
+            // SLO-aware admission: Batch requests defer, then shed, when
+            // even the least-loaded *live* replica is saturated (a fleet
+            // with zero live capacity counts as infinitely deep).
+            if let Some(adm) = &self.config.admission {
+                if adm.slo.class_of(p.req.model) == SloClass::Batch {
+                    let min_depth = views
+                        .iter()
+                        .filter(|v| v.alive)
+                        .map(|v| v.queue_depth)
+                        .min()
+                        .unwrap_or(usize::MAX);
+                    if min_depth >= adm.defer_depth && p.defers < adm.max_defers {
+                        routing.defer_events += 1;
+                        frontend_tracer.emit(|| TraceEvent::Defer {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
+                        let deferred = Pending {
+                            delay: p.delay + adm.defer_s,
+                            defers: p.defers + 1,
+                            seq: next_seq,
+                            req: p.req,
+                        };
+                        next_seq += 1;
+                        events.push_class(
+                            deferred.arrival(),
+                            CLASS_ARRIVAL,
+                            FrontEvent::Arrival(deferred),
+                        );
+                        arrivals_pending += 1;
+                        continue;
+                    }
+                    if min_depth >= adm.shed_depth {
+                        routing.shed += 1;
+                        frontend_tracer.emit(|| TraceEvent::Shed {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
+                        shed.push(ShedRecord {
+                            id: p.req.id,
+                            model: p.req.model,
+                            arrival: p.req.arrival,
+                            class: SloClass::Batch,
+                        });
+                        continue;
+                    }
+                }
+            }
+
+            // Zero effective capacity (every replica down or draining):
+            // park the request until the next capacity event — a
+            // scheduled restart or an autoscaler tick that could
+            // activate a spare. If nothing will ever bring capacity
+            // back, shed instead of looping: graceful degradation, not
+            // a hang.
+            if live_now == 0 {
+                let can_scale_up = chaos
+                    .as_ref()
+                    .and_then(|c| c.autoscaler)
+                    .is_some_and(|s| s.max_replicas > 0)
+                    && states.iter().any(|s| !s.alive && !s.pending_restart);
+                let next_up = events
+                    .iter()
+                    .filter_map(|(at, _, ev)| match ev {
+                        FrontEvent::Chaos(idx) => match chaos_actions[*idx] {
+                            ChaosAction::Restart { .. } => Some(at),
+                            ChaosAction::Tick if can_scale_up => Some(at),
+                            _ => None,
+                        },
+                        _ => None,
+                    })
+                    .fold(None, |acc: Option<f64>, t| {
+                        Some(acc.map_or(t, |a| a.min(t)))
+                    });
+                match next_up {
+                    Some(t_up) if t_up > now => {
+                        let parked = Pending {
+                            delay: t_up - p.req.arrival,
+                            seq: next_seq,
+                            ..p
+                        };
+                        next_seq += 1;
+                        events.push_class(
+                            parked.arrival(),
+                            CLASS_ARRIVAL,
+                            FrontEvent::Arrival(parked),
+                        );
+                        arrivals_pending += 1;
+                    }
+                    _ => {
+                        routing.shed += 1;
+                        if let Some(stats) = chaos_stats.as_mut() {
+                            stats.shed_no_capacity += 1;
+                        }
+                        frontend_tracer.emit(|| TraceEvent::Shed {
+                            id: p.req.id,
+                            model: p.req.model,
+                            at: now,
+                        });
+                        let class = self
+                            .config
+                            .admission
+                            .as_ref()
+                            .map(|a| a.slo.class_of(p.req.model))
+                            .unwrap_or(SloClass::Batch);
+                        shed.push(ShedRecord {
+                            id: p.req.id,
+                            model: p.req.model,
+                            arrival: p.req.arrival,
+                            class,
+                        });
+                    }
+                }
+                continue;
+            }
+
+            let r = self.router.route(&p.req, &views);
+            assert!(r < n, "router returned replica {r} of {n}");
+            assert!(views[r].alive, "router selected dead replica {r}");
+            let migrations_now = self.router.migrations();
+            if migrations_now > migrations_seen {
+                let count = migrations_now - migrations_seen;
+                frontend_tracer.emit(|| TraceEvent::Migrate { count, at: now });
+                migrations_seen = migrations_now;
+            }
+            let warm = views[r].warm;
+            if warm {
+                routing.warm_routed += 1;
+                // A warm hit on a prewarmed entry rewards the hint that
+                // placed it (counted once per prewarm).
+                if states[r].prefetched.remove(&p.req.model) {
+                    routing.prefetch_hits += 1;
+                }
+            } else {
+                routing.cold_routed += 1;
+                if views.iter().any(|v| v.warm) {
+                    routing.placement_misses += 1;
+                }
+            }
+            routing.per_replica_requests[r] += 1;
+            // Apply the router's prefetch hints: prewarm the predicted
+            // caches and, when store-bound, the real ones (budgeted).
+            if let Some(pf) = self.config.prefetch {
+                for hint in self
+                    .router
+                    .prefetch_hints(&p.req, &views, r)
+                    .into_iter()
+                    .take(pf.max_hints_per_decision)
+                {
+                    if hint.replica >= n {
+                        continue;
+                    }
+                    // A hint aimed at a dead replica is dropped, not
+                    // leaked into its predicted (or real) cache.
+                    if !views[hint.replica].alive {
+                        if let Some(stats) = chaos_stats.as_mut() {
+                            stats.dropped_hints += 1;
+                        }
+                        continue;
+                    }
+                    routing.prefetch_hints += 1;
+                    if states[hint.replica].prefetch_warm(hint.model) {
+                        routing.prefetch_issued += 1;
+                        if let Some(bindings) = self.bindings.as_mut() {
+                            let binding = &mut bindings[hint.replica];
+                            if let Some(id) = binding.artifact_of(hint.model).copied() {
+                                let _ = binding.store_mut().prefetch(&[id], pf.budget_bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            let state = &mut states[r];
+            let est = self.costs[r].prefill_time(p.req.prompt_tokens)
+                + p.req.output_tokens as f64 * state.per_token_s
+                + if warm { 0.0 } else { views[r].cold_load_s };
+            state.touch_used(p.req.model);
+            state.charge(now, est);
+            let est_finish = state.busy_until;
+            let mut admitted = p.req.clone();
+            admitted.arrival = now;
+            state
+                .assigned
+                .push((admitted, p.req.id, p.delay, est_finish));
+        }
+
+        self.replay_and_report(
+            trace,
+            states,
+            routing,
+            shed,
+            chaos_stats,
+            frontend_tracer,
+            &replica_brownouts,
+        )
+    }
+
+    /// The original lockstep front end — two manually merged time-ordered
+    /// queues (arrivals and chaos actions) with ad-hoc peeking — retained
+    /// **verbatim** as the executable oracle for the event-driven
+    /// [`run`](Self::run). Both share the state-building and replay
+    /// phases; the merge logic under differential test is exactly what
+    /// [`run`](Self::run) rewrote.
+    pub fn run_lockstep_reference(&mut self, trace: &Trace) -> ClusterReport {
+        let n = self.config.n_replicas;
+        let chaos = self.chaos.clone();
+        let initial_live = chaos
+            .as_ref()
+            .and_then(|c| c.initial_replicas)
+            .unwrap_or(n)
+            .clamp(1, n);
+        let mut states = self.build_states(trace, initial_live);
 
         // Front-end loop: requests in time order, deferred ones re-queued.
         let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
@@ -1592,7 +2176,33 @@ impl ClusterSim {
                 .push((admitted, p.req.id, p.delay, est_finish));
         }
 
-        // Replay each replica's assignment on its own engine.
+        self.replay_and_report(
+            trace,
+            states,
+            routing,
+            shed,
+            chaos_stats,
+            frontend_tracer,
+            &replica_brownouts,
+        )
+    }
+
+    /// Replays each replica's assignments on its own engine(s) and
+    /// assembles the [`ClusterReport`] — the deterministic back half
+    /// shared by [`run`](Self::run) and
+    /// [`run_lockstep_reference`](Self::run_lockstep_reference).
+    #[allow(clippy::too_many_arguments)]
+    fn replay_and_report(
+        &mut self,
+        trace: &Trace,
+        mut states: Vec<ReplicaFrontendState>,
+        routing: RoutingStats,
+        shed: Vec<ShedRecord>,
+        chaos_stats: Option<ChaosStats>,
+        mut frontend_tracer: Tracer,
+        replica_brownouts: &[Vec<Brownout>],
+    ) -> ClusterReport {
+        let n = self.config.n_replicas;
         let mut trace_tracks: Vec<TraceTrack> = Vec::new();
         if let Some(log) = frontend_tracer.take_log() {
             trace_tracks.push(TraceTrack {
@@ -2158,6 +2768,85 @@ mod tests {
         views[spare].backlog_s = 0.0;
         views[spare].queue_depth = 0;
         assert_eq!(r.route(&req(0), &views), spare);
+    }
+
+    /// Frozen copy of the pre-memoization routing decision: two
+    /// `min_by` scans re-evaluating the score inside each comparator,
+    /// plus an O(R·H) membership filter. The memoized hot path must
+    /// reproduce its decision on every input, including score ties and
+    /// dead replicas.
+    fn reference_placement_route(
+        plan: &PlacementPlan,
+        spill_margin_s: f64,
+        model: usize,
+        views: &[ReplicaView],
+    ) -> usize {
+        let score = |v: &ReplicaView| {
+            v.backlog_s
+                + if !v.warm {
+                    v.cold_load_s
+                } else if !v.decoded {
+                    v.warm_load_s
+                } else {
+                    0.0
+                }
+        };
+        let best = |ids: &mut dyn Iterator<Item = &ReplicaView>| {
+            ids.filter(|v| v.alive)
+                .min_by(|a, b| score(a).total_cmp(&score(b)).then(a.id.cmp(&b.id)))
+                .map(|v| (v.id, score(v)))
+        };
+        let overall = best(&mut views.iter()).expect("at least one live replica");
+        let homes = plan.homes(model);
+        let home = best(&mut views.iter().filter(|v| homes.contains(&v.id)));
+        match home {
+            Some((id, s)) if s <= overall.1 + spill_margin_s => id,
+            _ => overall.0,
+        }
+    }
+
+    #[test]
+    fn memoized_placement_routing_matches_reference_decisions() {
+        // Randomized fleets (xorshift, deterministic): backlogs with
+        // deliberate exact ties, mixed warm/decoded states, dead
+        // replicas, and models beyond the plan. The memoized router is
+        // pinned so its plan stays equal to the reference's.
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let weights = PopularityDist::Zipf { alpha: 1.2 }.weights(16);
+        for n in 2..=6usize {
+            let plan = PlacementPlan::from_weights(&weights, n);
+            let mut router = PlacementAwareRouter::new(plan.clone()).pinned();
+            for trial in 0..400 {
+                let mut views: Vec<ReplicaView> = (0..n)
+                    .map(|id| {
+                        // Quantized backlogs make exact score ties common.
+                        let mut v = view(id, (rng() % 8) as usize, (rng() % 4) as f64, false);
+                        v.warm = rng() % 2 == 0;
+                        v.decoded = v.warm && rng() % 2 == 0;
+                        v.cold_load_s = 2.0;
+                        v.warm_load_s = 0.5;
+                        v.alive = rng() % 5 != 0;
+                        v
+                    })
+                    .collect();
+                if !views.iter().any(|v| v.alive) {
+                    views[0].alive = true;
+                }
+                let model = (rng() % 20) as usize; // sometimes beyond the plan
+                let expect = reference_placement_route(&plan, router.spill_margin_s, model, &views);
+                assert_eq!(
+                    router.route(&req(model), &views),
+                    expect,
+                    "n={n} trial={trial} model={model} views={views:?}"
+                );
+            }
+        }
     }
 
     // -- placement plan ---------------------------------------------------

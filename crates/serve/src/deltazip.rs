@@ -581,8 +581,16 @@ impl Engine for DeltaZipEngine {
                                 FetchTier::HostHit => {
                                     cost.delta_load_profile_measured(outcome.bytes as f64, gbps)
                                 }
-                                FetchTier::DiskMiss => cost
-                                    .delta_cold_load_profile_measured(outcome.bytes as f64, gbps),
+                                FetchTier::DiskMiss => {
+                                    let mut p = cost.delta_cold_load_profile_measured(
+                                        outcome.bytes as f64,
+                                        gbps,
+                                    );
+                                    // Object-store-only artifact: the edge
+                                    // pull serializes ahead of the disk read.
+                                    p.head_s += outcome.object_wait_s;
+                                    p
+                                }
                             }
                         }
                         // Synthetic path: shape-model bytes, warm/cold
@@ -638,6 +646,7 @@ impl Engine for DeltaZipEngine {
                                 }
                                 FetchTier::DiskMiss => {
                                     cost.delta_cold_load_time_measured(outcome.bytes as f64, gbps)
+                                        + outcome.object_wait_s
                                 }
                             }
                         }

@@ -1,0 +1,1081 @@
+//! Fleet-scale event-driven serving: one global heap, O(events) not
+//! O(replicas × ticks).
+//!
+//! [`ClusterSim`](crate::cluster::ClusterSim) replays every replica with a
+//! full [`DeltaZipEngine`](crate::deltazip::DeltaZipEngine) — faithful, but
+//! the per-replica engines make thousand-replica sweeps infeasible.
+//! [`FleetSim`] is the scale-out counterpart: replicas are compact event
+//! handlers (arrival, departure, swap-land, prefetch-land, fault, autoscale
+//! tick) on a single monotone [`EventQueue`], so a million-request trace
+//! over 1000 replicas runs in seconds of wall clock.
+//!
+//! What it keeps from the paper's serving story:
+//!
+//! * **Multi-tier topology** ([`FleetTopology`]): replicas live in
+//!   region → rack → node positions with distinct inter-tier bandwidths. A
+//!   delta miss fetches from the *nearest* holder — local disk beats a
+//!   rack peer beats a region peer beats cross-region — and falls back to
+//!   the shared **object store** below every disk ([`FetchTier`]). Pulled
+//!   deltas replicate onto the edge disk, so popular deltas spread.
+//! * **O(1)-per-request routing** ([`FleetRouter`]): power-of-two-choices
+//!   and consistent hashing route without touching all `R` replicas;
+//!   [`FleetRouter::GlobalLeastCost`] keeps the O(R) global scan as the
+//!   baseline that stops scaling.
+//! * **Determinism**: same seed → identical event sequence. The optional
+//!   event log ([`FleetReport::event_log`]) exists so tests can replay a
+//!   run and compare logs bit-for-bit.
+//!
+//! Event ordering at equal timestamps is by event *class* (faults before
+//! lands before departures before arrivals before ticks), then by
+//! insertion sequence — see [`EventQueue`] for the `(at, class, seq)` key.
+
+use crate::cluster::PlacementPlan;
+use dz_gpusim::{EventClass, EventQueue};
+use dz_tensor::Rng;
+use dz_trace::{GaugeSample, StreamingQuantiles, TraceConfig, TraceEvent, TraceTrack, Tracer};
+use dz_workload::{Request, Trace};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Topology.
+// ---------------------------------------------------------------------------
+
+/// Where a delta's bytes came from, cheapest tier first.
+///
+/// The ladder mirrors a real fleet: a warm (host-cache) hit pays nothing
+/// extra, a local NVMe read beats pulling from a rack peer over the
+/// top-of-rack switch, which beats crossing the regional fabric, which
+/// beats the WAN, which beats the shared object store's request latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FetchTier {
+    /// The replica's own disk held a copy.
+    LocalDisk,
+    /// Pulled from a node in the same rack.
+    PeerRack,
+    /// Pulled from another rack in the same region.
+    PeerRegion,
+    /// Pulled from a different region.
+    CrossRegion,
+    /// No replica held a copy: fetched from the shared object store.
+    ObjectStore,
+}
+
+/// Region → rack → node fleet topology with per-tier bandwidths.
+///
+/// Replica ids are positional: rack `id / nodes_per_rack`, region
+/// `rack / racks_per_region`. Bandwidths are GB/s; latencies are per-fetch
+/// setup floors (RTT, request dispatch).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetTopology {
+    /// Nodes (replicas) per rack.
+    pub nodes_per_rack: usize,
+    /// Racks per region.
+    pub racks_per_region: usize,
+    /// Local NVMe read bandwidth (GB/s).
+    pub local_disk_gbps: f64,
+    /// Bandwidth between nodes in one rack (GB/s).
+    pub intra_rack_gbps: f64,
+    /// Bandwidth between racks in one region (GB/s).
+    pub inter_rack_gbps: f64,
+    /// Bandwidth between regions (GB/s).
+    pub inter_region_gbps: f64,
+    /// Shared object-store streaming bandwidth (GB/s).
+    pub object_store_gbps: f64,
+    /// Per-fetch latency floor for any peer pull (s).
+    pub peer_latency_s: f64,
+    /// Per-fetch latency floor for an object-store pull (s).
+    pub object_store_latency_s: f64,
+}
+
+impl Default for FleetTopology {
+    /// A mid-size deployment: 16-node racks, 8 racks per region, NVMe
+    /// local disk, 40 GbE effective in-rack, oversubscribed regional
+    /// fabric, and an S3-like object store (80 ms first-byte, shared
+    /// single-stream throughput). Bandwidths descend down the ladder so
+    /// each [`FetchTier`] is strictly costlier for delta-sized payloads.
+    fn default() -> Self {
+        FleetTopology {
+            nodes_per_rack: 16,
+            racks_per_region: 8,
+            local_disk_gbps: 7.0,
+            intra_rack_gbps: 5.0,
+            inter_rack_gbps: 2.5,
+            inter_region_gbps: 1.25,
+            object_store_gbps: 0.8,
+            peer_latency_s: 0.002,
+            object_store_latency_s: 0.08,
+        }
+    }
+}
+
+impl FleetTopology {
+    /// `(region, rack)` of a replica id.
+    pub fn location(&self, replica: usize) -> (usize, usize) {
+        let rack = replica / self.nodes_per_rack.max(1);
+        (rack / self.racks_per_region.max(1), rack)
+    }
+
+    /// The cheapest tier at which `from` can pull from `holder`.
+    pub fn tier_between(&self, from: usize, holder: usize) -> FetchTier {
+        if from == holder {
+            return FetchTier::LocalDisk;
+        }
+        let (fr, frack) = self.location(from);
+        let (hr, hrack) = self.location(holder);
+        if frack == hrack {
+            FetchTier::PeerRack
+        } else if fr == hr {
+            FetchTier::PeerRegion
+        } else {
+            FetchTier::CrossRegion
+        }
+    }
+
+    /// Seconds to move `bytes` over `tier` (latency floor + streaming).
+    pub fn fetch_time_s(&self, tier: FetchTier, bytes: u64) -> f64 {
+        let (gbps, latency) = match tier {
+            FetchTier::LocalDisk => (self.local_disk_gbps, 0.0),
+            FetchTier::PeerRack => (self.intra_rack_gbps, self.peer_latency_s),
+            FetchTier::PeerRegion => (self.inter_rack_gbps, self.peer_latency_s),
+            FetchTier::CrossRegion => (self.inter_region_gbps, self.peer_latency_s),
+            FetchTier::ObjectStore => (self.object_store_gbps, self.object_store_latency_s),
+        };
+        latency + bytes as f64 / (gbps.max(1e-9) * 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
+/// Fleet routing policy. The two O(1) policies are the tentpole: routing
+/// must not touch all `R` replicas per request or the front end itself
+/// stops scaling (see `exp bench-fleet`).
+#[derive(Debug, Clone)]
+pub enum FleetRouter {
+    /// Ignore state, cycle replicas. O(1), placement-blind.
+    RoundRobin,
+    /// Power-of-two-choices: sample two live replicas, take the cheaper
+    /// (backlog + predicted miss penalty). O(1) with near-least-loaded
+    /// tail behavior.
+    PowerOfTwo {
+        /// Sampling seed (independent of the workload seed).
+        seed: u64,
+    },
+    /// Hash the model onto a virtual-node ring: affinity without state.
+    /// O(log R) ring lookup, rebuilt only on membership changes.
+    ConsistentHash {
+        /// Virtual nodes per replica (more → smoother balance).
+        vnodes: usize,
+    },
+    /// Score every live replica (the old `PlacementAwareRouter`-style
+    /// global scan). O(R) per request — the scaling baseline.
+    GlobalLeastCost,
+}
+
+impl FleetRouter {
+    fn name(&self) -> &'static str {
+        match self {
+            FleetRouter::RoundRobin => "round-robin",
+            FleetRouter::PowerOfTwo { .. } => "p2c",
+            FleetRouter::ConsistentHash { .. } => "consistent-hash",
+            FleetRouter::GlobalLeastCost => "global-least-cost",
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------------
+
+/// One injected fault: `replica` dies at `at` (losing its warm set) and
+/// restarts `down_s` later with a cold cache but an intact disk.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetFault {
+    /// Simulation time of the failure (s).
+    pub at: f64,
+    /// Replica to kill.
+    pub replica: usize,
+    /// Seconds until the replica rejoins.
+    pub down_s: f64,
+}
+
+/// Reactive autoscaling on the fleet's event clock: every `interval_s`
+/// a tick samples mean live backlog and activates a dormant replica
+/// (above `hi_backlog_s`) or drains the highest-id live one (below
+/// `lo_backlog_s`, never under `min_live`).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetAutoscale {
+    /// Seconds between scale ticks.
+    pub interval_s: f64,
+    /// Mean backlog (s) above which a dormant replica is activated.
+    pub hi_backlog_s: f64,
+    /// Mean backlog (s) below which a live replica is drained.
+    pub lo_backlog_s: f64,
+    /// Floor on live replicas.
+    pub min_live: usize,
+}
+
+/// Configuration for a [`FleetSim`] run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet size (replica ids `0..n_replicas`).
+    pub n_replicas: usize,
+    /// Physical topology and per-tier bandwidths.
+    pub topology: FleetTopology,
+    /// Deltas each replica keeps warm (host cache) before LRU eviction.
+    pub warm_capacity: usize,
+    /// Compressed delta size (bytes); uniform across models.
+    pub delta_bytes: u64,
+    /// Decode seconds per token (prompt + output) of service time.
+    pub per_token_s: f64,
+    /// Fixed per-request service floor (s).
+    pub startup_s: f64,
+    /// Seed for routing randomness (p2c sampling).
+    pub seed: u64,
+    /// Injected faults, any order; applied on the event clock.
+    pub faults: Vec<FleetFault>,
+    /// Optional autoscaler driven by scale-tick events.
+    pub autoscale: Option<FleetAutoscale>,
+    /// On an object-store pull, also replicate the delta to one other
+    /// plan home's disk (prefetch-land event, off the critical path).
+    pub prefetch_homes: bool,
+    /// Record the `(time, class, key)` event log for replay tests.
+    pub record_events: bool,
+    /// Emit simulation-clock trace events (Chrome-trace exportable).
+    pub trace: Option<TraceConfig>,
+}
+
+impl FleetConfig {
+    /// Defaults sized for the bench sweeps: ~3300 tok/s decode, 850 MB
+    /// compressed deltas, 12-delta warm cache.
+    pub fn new(n_replicas: usize) -> Self {
+        FleetConfig {
+            n_replicas,
+            topology: FleetTopology::default(),
+            warm_capacity: 12,
+            delta_bytes: 850 << 20,
+            per_token_s: 0.0003,
+            startup_s: 0.02,
+            seed: 0x0F1E_E7F1,
+            faults: Vec::new(),
+            autoscale: None,
+            prefetch_homes: true,
+            record_events: false,
+            trace: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report.
+// ---------------------------------------------------------------------------
+
+/// Per-tier fetch counts of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FetchCounts {
+    /// Misses satisfied from the replica's own disk.
+    pub local_disk: u64,
+    /// Misses pulled from a rack peer.
+    pub peer_rack: u64,
+    /// Misses pulled from another rack in-region.
+    pub peer_region: u64,
+    /// Misses pulled cross-region.
+    pub cross_region: u64,
+    /// Misses that fell through to the object store.
+    pub object_store: u64,
+}
+
+impl FetchCounts {
+    /// Total misses (any tier).
+    pub fn total(&self) -> u64 {
+        self.local_disk + self.peer_rack + self.peer_region + self.cross_region + self.object_store
+    }
+}
+
+/// One entry of the deterministic event log (enabled by
+/// [`FleetConfig::record_events`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetLogEntry {
+    /// Event timestamp (s).
+    pub at: f64,
+    /// Event class popped with it (see module docs for the ordering).
+    pub class: EventClass,
+    /// Stable payload key (request id, replica id, or packed
+    /// replica/model for swap events).
+    pub key: u64,
+}
+
+/// Aggregate results of a [`FleetSim`] run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Routing policy name.
+    pub router: String,
+    /// Fleet size the run was configured with.
+    pub n_replicas: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests shed because no replica was live at arrival.
+    pub shed: usize,
+    /// Warm (host-cache) routing hits.
+    pub warm_hits: u64,
+    /// Per-tier miss fetch counts.
+    pub fetches: FetchCounts,
+    /// Mean end-to-end latency (s).
+    pub mean_e2e_s: f64,
+    /// Median end-to-end latency (s).
+    pub p50_e2e_s: f64,
+    /// 99th-percentile end-to-end latency (s).
+    pub p99_e2e_s: f64,
+    /// Worst end-to-end latency (s).
+    pub max_e2e_s: f64,
+    /// Time the last request finished (s).
+    pub makespan_s: f64,
+    /// Total events popped from the global heap.
+    pub events: usize,
+    /// Peak live-replica count observed (autoscale headroom used).
+    pub peak_live: usize,
+    /// Deterministic event log, when recording was enabled.
+    pub event_log: Option<Vec<FleetLogEntry>>,
+    /// Chrome-trace tracks, when tracing was enabled.
+    pub tracks: Vec<TraceTrack>,
+}
+
+// ---------------------------------------------------------------------------
+// The simulator.
+// ---------------------------------------------------------------------------
+
+/// Equal-time pops drain faults first (membership changes are visible to
+/// everything else at that instant), then landed transfers, then
+/// departures (freed capacity is visible), then arrivals, then ticks.
+const CLASS_FAULT: EventClass = 0;
+const CLASS_LAND: EventClass = 1;
+const CLASS_DEPART: EventClass = 2;
+const CLASS_ARRIVAL: EventClass = 3;
+const CLASS_TICK: EventClass = 4;
+
+enum FleetEvent {
+    /// Next trace request (index into `trace.requests`); arrivals are
+    /// streamed — popping index `i` pushes index `i + 1`.
+    Arrival(usize),
+    /// A replica finished a request.
+    Depart { replica: usize, id: usize },
+    /// A demand delta fetch landed on a replica.
+    SwapLand { replica: usize, model: usize },
+    /// An edge-replication prefetch landed on a replica's disk.
+    PrefetchLand { replica: usize, model: usize },
+    /// A fault from the plan fires (kill), or a restart (rejoin).
+    Fault { replica: usize, restart: bool },
+    /// Autoscale tick.
+    Tick,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FleetReplica {
+    alive: bool,
+    /// Simulation time the replica drains its queue (s).
+    busy_until: f64,
+    queue_depth: usize,
+    /// Warm set with LRU stamps (bounded by `warm_capacity`).
+    warm: HashMap<usize, u64>,
+    served: u64,
+}
+
+/// The fleet-scale event-driven simulator. See the module docs.
+pub struct FleetSim {
+    config: FleetConfig,
+    plan: PlacementPlan,
+    router: FleetRouter,
+}
+
+impl FleetSim {
+    /// Creates a fleet; the placement plan seeds which replicas hold each
+    /// delta on disk at t = 0 (everything else starts object-store-only).
+    pub fn new(config: FleetConfig, plan: PlacementPlan, router: FleetRouter) -> Self {
+        assert!(config.n_replicas > 0, "fleet needs at least one replica");
+        FleetSim {
+            config,
+            plan,
+            router,
+        }
+    }
+
+    /// Runs the trace to completion and reports fleet-level metrics.
+    pub fn run(&mut self, trace: &Trace) -> FleetReport {
+        let cfg = self.config.clone();
+        let n = cfg.n_replicas;
+        let topo = cfg.topology;
+        let n_models = trace.spec.n_models.max(1);
+
+        // Replica state. Everyone starts live and idle.
+        let mut replicas: Vec<FleetReplica> = (0..n)
+            .map(|_| FleetReplica {
+                alive: true,
+                ..FleetReplica::default()
+            })
+            .collect();
+        // Disk residency index: disk_holders[m] = replicas whose disk has
+        // delta m, kept sorted for deterministic nearest-holder scans.
+        // Seeded from the placement plan; grows as pulls edge-replicate.
+        let mut disk_holders: Vec<Vec<u32>> = vec![Vec::new(); n_models];
+        let mut on_disk: Vec<Vec<bool>> = Vec::with_capacity(n);
+        on_disk.resize_with(n, || vec![false; n_models]);
+        for m in 0..n_models {
+            for &h in self.plan.homes(m) {
+                if h < n && !on_disk[h][m] {
+                    on_disk[h][m] = true;
+                    disk_holders[m].push(h as u32);
+                }
+            }
+        }
+        // In-flight demand fetches: a request routed to a replica whose
+        // fetch for the same delta is still in the air waits for the land
+        // instead of paying a second pull.
+        let mut inflight: HashMap<(usize, usize), f64> = HashMap::new();
+
+        let mut events: EventQueue<FleetEvent> = EventQueue::new();
+        // Arrivals, departures, and transfer lands still in the heap —
+        // when this hits zero only faults/ticks remain, so the
+        // autoscaler stops rescheduling itself and the run drains.
+        let mut work_events = 0usize;
+        if !trace.requests.is_empty() {
+            events.push_class(trace.requests[0].arrival.max(0.0), CLASS_ARRIVAL, {
+                FleetEvent::Arrival(0)
+            });
+            work_events += 1;
+        }
+        for f in &cfg.faults {
+            if f.replica < n {
+                events.push_class(
+                    f.at.max(0.0),
+                    CLASS_FAULT,
+                    FleetEvent::Fault {
+                        replica: f.replica,
+                        restart: false,
+                    },
+                );
+            }
+        }
+        let mut fault_down: HashMap<usize, f64> = cfg
+            .faults
+            .iter()
+            .filter(|f| f.replica < n)
+            .map(|f| (f.replica, f.down_s))
+            .collect();
+        if let Some(scale) = cfg.autoscale {
+            events.push_class(scale.interval_s.max(1e-3), CLASS_TICK, FleetEvent::Tick);
+        }
+
+        let mut rng = Rng::seeded(cfg.seed ^ 0xF1EE_7517);
+        let mut rr_cursor = 0usize;
+        // Consistent-hash ring: (hash, replica), sorted by hash. Rebuilt
+        // lazily after membership changes (fault, restart, scale event).
+        let mut ring: Vec<(u64, u32)> = Vec::new();
+        let mut ring_dirty = true;
+        let mut live_count = n;
+        let mut peak_live = n;
+
+        let mut e2e = StreamingQuantiles::new();
+        let mut warm_hits = 0u64;
+        let mut fetches = FetchCounts::default();
+        let mut served = 0usize;
+        let mut shed = 0usize;
+        let mut makespan = 0.0f64;
+        let mut popped = 0usize;
+        let mut log: Option<Vec<FleetLogEntry>> = cfg.record_events.then(Vec::new);
+        let mut tracer = match &cfg.trace {
+            Some(tc) => Tracer::enabled(*tc),
+            None => Tracer::disabled(),
+        };
+
+        while let Some((t, class, event)) = events.pop_classed() {
+            popped += 1;
+            if matches!(
+                event,
+                FleetEvent::Arrival(_)
+                    | FleetEvent::Depart { .. }
+                    | FleetEvent::SwapLand { .. }
+                    | FleetEvent::PrefetchLand { .. }
+            ) {
+                work_events -= 1;
+            }
+            if let Some(log) = log.as_mut() {
+                let key = match &event {
+                    FleetEvent::Arrival(i) => *i as u64,
+                    FleetEvent::Depart { id, .. } => *id as u64,
+                    FleetEvent::SwapLand { replica, model }
+                    | FleetEvent::PrefetchLand { replica, model } => {
+                        ((*replica as u64) << 32) | *model as u64
+                    }
+                    FleetEvent::Fault { replica, .. } => *replica as u64,
+                    FleetEvent::Tick => 0,
+                };
+                log.push(FleetLogEntry { at: t, class, key });
+            }
+            match event {
+                FleetEvent::Fault { replica, restart } => {
+                    if restart {
+                        replicas[replica].alive = true;
+                        replicas[replica].busy_until = t;
+                        replicas[replica].queue_depth = 0;
+                        live_count += 1;
+                    } else if replicas[replica].alive {
+                        // Warm cache dies with the process; the disk (and
+                        // its holder entries) survives the restart.
+                        replicas[replica].alive = false;
+                        replicas[replica].warm.clear();
+                        live_count -= 1;
+                        let down = fault_down.remove(&replica).unwrap_or(10.0);
+                        events.push_class(
+                            t + down.max(1e-3),
+                            CLASS_FAULT,
+                            FleetEvent::Fault {
+                                replica,
+                                restart: true,
+                            },
+                        );
+                    }
+                    peak_live = peak_live.max(live_count);
+                    ring_dirty = true;
+                }
+                FleetEvent::SwapLand { replica, model } => {
+                    inflight.remove(&(replica, model));
+                    tracer.emit(|| TraceEvent::SwapLand {
+                        delta: model,
+                        at: t,
+                        waiters: 0,
+                    });
+                }
+                FleetEvent::PrefetchLand { replica, model } => {
+                    if !on_disk[replica][model] {
+                        on_disk[replica][model] = true;
+                        let r32 = replica as u32;
+                        let pos = disk_holders[model].partition_point(|&h| h < r32);
+                        disk_holders[model].insert(pos, r32);
+                    }
+                    tracer.emit(|| TraceEvent::PrefetchLand {
+                        delta: model,
+                        at: t,
+                    });
+                }
+                FleetEvent::Depart { replica, id: _ } => {
+                    let r = &mut replicas[replica];
+                    r.queue_depth = r.queue_depth.saturating_sub(1);
+                    makespan = makespan.max(t);
+                }
+                FleetEvent::Tick => {
+                    let scale = cfg.autoscale.expect("tick without autoscaler");
+                    let (mut backlog, mut live) = (0.0, 0usize);
+                    for r in replicas.iter().filter(|r| r.alive) {
+                        backlog += (r.busy_until - t).max(0.0);
+                        live += 1;
+                    }
+                    let mean = if live > 0 {
+                        backlog / live as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    if mean > scale.hi_backlog_s {
+                        // Activate the lowest-id dormant replica.
+                        if let Some(i) = replicas.iter().position(|r| !r.alive) {
+                            replicas[i].alive = true;
+                            replicas[i].busy_until = t;
+                            replicas[i].queue_depth = 0;
+                            live_count += 1;
+                            ring_dirty = true;
+                        }
+                    } else if mean < scale.lo_backlog_s && live > scale.min_live {
+                        // Drain the highest-id live replica.
+                        if let Some(i) = replicas.iter().rposition(|r| r.alive) {
+                            replicas[i].alive = false;
+                            replicas[i].warm.clear();
+                            live_count -= 1;
+                            ring_dirty = true;
+                        }
+                    }
+                    peak_live = peak_live.max(live_count);
+                    tracer.gauge(|| GaugeSample {
+                        at: t,
+                        queue_depth: replicas.iter().map(|r| r.queue_depth).sum(),
+                        batch: 0,
+                        blocked: 0,
+                        gpu_resident: 0,
+                        warmth_disk: 0,
+                        warmth_host: replicas.iter().map(|r| r.warm.len()).sum(),
+                        warmth_host_decoded: 0,
+                        gpu_bytes: 0.0,
+                        host_bytes: 0.0,
+                        inflight_demand: inflight.len(),
+                        inflight_prefetch: 0,
+                        live_replicas: live,
+                    });
+                    // Keep ticking while serving work remains; a heap
+                    // holding only faults/ticks must not keep the run
+                    // alive (a far-future restart would otherwise tick
+                    // the clock forever).
+                    if work_events > 0 {
+                        events.push_class(
+                            t + scale.interval_s.max(1e-3),
+                            CLASS_TICK,
+                            FleetEvent::Tick,
+                        );
+                    }
+                }
+                FleetEvent::Arrival(idx) => {
+                    // Stream the next arrival before handling this one so
+                    // the heap holds O(replicas + in-flight) entries, not
+                    // the whole trace.
+                    if idx + 1 < trace.requests.len() {
+                        events.push_class(
+                            trace.requests[idx + 1].arrival.max(t),
+                            CLASS_ARRIVAL,
+                            FleetEvent::Arrival(idx + 1),
+                        );
+                        work_events += 1;
+                    }
+                    let req = &trace.requests[idx];
+                    if live_count == 0 {
+                        shed += 1;
+                        continue;
+                    }
+                    let target = self.route_one(
+                        req,
+                        t,
+                        &replicas,
+                        &on_disk,
+                        &mut rng,
+                        &mut rr_cursor,
+                        &mut ring,
+                        &mut ring_dirty,
+                    );
+                    let stamp = popped as u64;
+                    let r = &mut replicas[target];
+                    let start = r.busy_until.max(t);
+                    // Miss cost: nearest holder wins; an in-flight fetch
+                    // for the same delta is awaited, not re-pulled.
+                    let mut fetch_s = 0.0;
+                    if let Some(&at) = r.warm.get(&req.model) {
+                        let _ = at;
+                        warm_hits += 1;
+                        r.warm.insert(req.model, stamp);
+                    } else if let Some(&land) = inflight.get(&(target, req.model)) {
+                        fetch_s = (land - start).max(0.0);
+                        Self::warm_insert(r, req.model, stamp, cfg.warm_capacity);
+                    } else {
+                        let tier = Self::nearest_tier(&topo, target, &disk_holders[req.model]);
+                        fetch_s = topo.fetch_time_s(tier, cfg.delta_bytes);
+                        match tier {
+                            FetchTier::LocalDisk => fetches.local_disk += 1,
+                            FetchTier::PeerRack => fetches.peer_rack += 1,
+                            FetchTier::PeerRegion => fetches.peer_region += 1,
+                            FetchTier::CrossRegion => fetches.cross_region += 1,
+                            FetchTier::ObjectStore => fetches.object_store += 1,
+                        }
+                        let land = start + fetch_s;
+                        inflight.insert((target, req.model), land);
+                        events.push_class(
+                            land,
+                            CLASS_LAND,
+                            FleetEvent::SwapLand {
+                                replica: target,
+                                model: req.model,
+                            },
+                        );
+                        work_events += 1;
+                        tracer.emit(|| TraceEvent::SwapStart {
+                            delta: req.model,
+                            at: start,
+                            disk_s: fetch_s,
+                            pcie_s: 0.0,
+                            solo_s: fetch_s,
+                        });
+                        // The pull lands on the edge disk too.
+                        if !on_disk[target][req.model] {
+                            on_disk[target][req.model] = true;
+                            let r32 = target as u32;
+                            let pos = disk_holders[req.model].partition_point(|&h| h < r32);
+                            disk_holders[req.model].insert(pos, r32);
+                        }
+                        Self::warm_insert(r, req.model, stamp, cfg.warm_capacity);
+                        // Object-store pulls optionally replicate the
+                        // delta to one more plan home off the critical
+                        // path (the popular-delta edge-spread story).
+                        if tier == FetchTier::ObjectStore && cfg.prefetch_homes {
+                            if let Some(&home) = self
+                                .plan
+                                .homes(req.model)
+                                .iter()
+                                .find(|&&h| h < n && h != target && !on_disk[h][req.model])
+                            {
+                                events.push_class(
+                                    land + topo
+                                        .fetch_time_s(FetchTier::ObjectStore, cfg.delta_bytes),
+                                    CLASS_LAND,
+                                    FleetEvent::PrefetchLand {
+                                        replica: home,
+                                        model: req.model,
+                                    },
+                                );
+                                work_events += 1;
+                            }
+                        }
+                    }
+                    let service = cfg.startup_s
+                        + (req.prompt_tokens + req.output_tokens) as f64 * { cfg.per_token_s };
+                    let finish = start + fetch_s + service;
+                    let r = &mut replicas[target];
+                    r.busy_until = finish;
+                    r.queue_depth += 1;
+                    r.served += 1;
+                    served += 1;
+                    e2e.add(finish - req.arrival);
+                    events.push_class(
+                        finish,
+                        CLASS_DEPART,
+                        FleetEvent::Depart {
+                            replica: target,
+                            id: req.id,
+                        },
+                    );
+                    work_events += 1;
+                    tracer.emit(|| TraceEvent::RequestQueued {
+                        id: req.id,
+                        model: req.model,
+                        at: t,
+                    });
+                    tracer.emit(|| TraceEvent::RequestFinished {
+                        id: req.id,
+                        at: finish,
+                    });
+                }
+            }
+        }
+
+        let tracks = match tracer.take_log() {
+            Some(log) => vec![TraceTrack {
+                name: format!("fleet[{}x {}]", n, self.router.name()),
+                log,
+            }],
+            None => Vec::new(),
+        };
+        FleetReport {
+            router: self.router.name().to_string(),
+            n_replicas: n,
+            served,
+            shed,
+            warm_hits,
+            fetches,
+            mean_e2e_s: e2e.mean().unwrap_or(0.0),
+            p50_e2e_s: e2e.quantile(0.5).unwrap_or(0.0),
+            p99_e2e_s: e2e.quantile(0.99).unwrap_or(0.0),
+            max_e2e_s: e2e.quantile(1.0).unwrap_or(0.0),
+            makespan_s: makespan,
+            events: popped,
+            peak_live,
+            event_log: log,
+            tracks,
+        }
+    }
+
+    /// LRU-insert `model` into the warm set, evicting the stalest entry
+    /// over capacity (the disk copy survives eviction).
+    fn warm_insert(r: &mut FleetReplica, model: usize, stamp: u64, capacity: usize) {
+        r.warm.insert(model, stamp);
+        while r.warm.len() > capacity.max(1) {
+            let (&victim, _) = r
+                .warm
+                .iter()
+                .min_by_key(|&(&m, &s)| (s, m))
+                .expect("non-empty warm set");
+            r.warm.remove(&victim);
+        }
+    }
+
+    /// Cheapest tier from which `replica` can pull a delta, given the
+    /// sorted holder list. O(holders); holders are few exactly for the
+    /// cold deltas that reach this scan.
+    fn nearest_tier(topo: &FleetTopology, replica: usize, holders: &[u32]) -> FetchTier {
+        let mut best = FetchTier::ObjectStore;
+        for &h in holders {
+            let tier = topo.tier_between(replica, h as usize);
+            if tier < best {
+                best = tier;
+                if best == FetchTier::LocalDisk {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Routes one request. O(1) for round-robin / p2c, O(log R) for the
+    /// hash ring, O(R) for the global scan.
+    #[allow(clippy::too_many_arguments)]
+    fn route_one(
+        &mut self,
+        req: &Request,
+        now: f64,
+        replicas: &[FleetReplica],
+        on_disk: &[Vec<bool>],
+        rng: &mut Rng,
+        rr_cursor: &mut usize,
+        ring: &mut Vec<(u64, u32)>,
+        ring_dirty: &mut bool,
+    ) -> usize {
+        let n = replicas.len();
+        let cost = |r: usize| -> f64 {
+            let rep = &replicas[r];
+            let backlog = (rep.busy_until - now).max(0.0);
+            let miss = if rep.warm.contains_key(&req.model) {
+                0.0
+            } else if on_disk[r][req.model] {
+                self.config
+                    .topology
+                    .fetch_time_s(FetchTier::LocalDisk, self.config.delta_bytes)
+            } else {
+                // Flat remote penalty: cheap to compute, pessimistic
+                // enough to prefer any disk holder.
+                self.config
+                    .topology
+                    .fetch_time_s(FetchTier::ObjectStore, self.config.delta_bytes)
+            };
+            backlog + miss
+        };
+        match &mut self.router {
+            FleetRouter::RoundRobin => {
+                for _ in 0..n {
+                    let r = *rr_cursor % n;
+                    *rr_cursor += 1;
+                    if replicas[r].alive {
+                        return r;
+                    }
+                }
+                unreachable!("route_one requires a live replica");
+            }
+            FleetRouter::PowerOfTwo { .. } => {
+                // Rejection-sample two live replicas (bounded), compare.
+                let pick = |rng: &mut Rng| -> usize {
+                    for _ in 0..64 {
+                        let r = (rng.next_u64() % n as u64) as usize;
+                        if replicas[r].alive {
+                            return r;
+                        }
+                    }
+                    replicas
+                        .iter()
+                        .position(|r| r.alive)
+                        .expect("route_one requires a live replica")
+                };
+                let a = pick(rng);
+                let b = pick(rng);
+                if cost(b) < cost(a) {
+                    b
+                } else {
+                    a
+                }
+            }
+            FleetRouter::ConsistentHash { vnodes } => {
+                let vnodes = (*vnodes).max(1);
+                if *ring_dirty {
+                    ring.clear();
+                    for (r, rep) in replicas.iter().enumerate() {
+                        if !rep.alive {
+                            continue;
+                        }
+                        for v in 0..vnodes {
+                            ring.push((splitmix64((r as u64) << 20 | v as u64), r as u32));
+                        }
+                    }
+                    ring.sort_unstable();
+                    *ring_dirty = false;
+                }
+                debug_assert!(!ring.is_empty(), "ring rebuilt with live replicas");
+                let h = splitmix64(0xC0FF_EE00 ^ req.model as u64);
+                let i = ring.partition_point(|&(rh, _)| rh < h);
+                ring[i % ring.len()].1 as usize
+            }
+            FleetRouter::GlobalLeastCost => (0..n)
+                .filter(|&r| replicas[r].alive)
+                .min_by(|&a, &b| cost(a).total_cmp(&cost(b)).then(a.cmp(&b)))
+                .expect("route_one requires a live replica"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dz_workload::{PopularityDist, TraceSpec};
+
+    fn small_trace(seed: u64) -> Trace {
+        Trace::generate_fast(TraceSpec {
+            n_models: 32,
+            arrival_rate: 12.0,
+            duration_s: 60.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed,
+        })
+    }
+
+    fn plan_for(trace: &Trace, n: usize) -> PlacementPlan {
+        PlacementPlan::from_weights(
+            &PopularityDist::Zipf { alpha: 1.2 }.weights(trace.spec.n_models),
+            n,
+        )
+    }
+
+    #[test]
+    fn topology_tiers_order_and_price_correctly() {
+        let topo = FleetTopology::default();
+        // Replicas 0 and 1 share a rack; 0 and 16 share a region only;
+        // 0 and 16*8 are cross-region.
+        assert_eq!(topo.tier_between(0, 0), FetchTier::LocalDisk);
+        assert_eq!(topo.tier_between(0, 1), FetchTier::PeerRack);
+        assert_eq!(topo.tier_between(0, 16), FetchTier::PeerRegion);
+        assert_eq!(topo.tier_between(0, 16 * 8), FetchTier::CrossRegion);
+        let bytes = 1 << 30;
+        let mut last = 0.0;
+        for tier in [
+            FetchTier::LocalDisk,
+            FetchTier::PeerRack,
+            FetchTier::PeerRegion,
+            FetchTier::CrossRegion,
+            FetchTier::ObjectStore,
+        ] {
+            let t = topo.fetch_time_s(tier, bytes);
+            assert!(t > last, "{tier:?} must cost more than the tier below");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fleet_serves_every_request_and_is_deterministic() {
+        let tr = small_trace(7);
+        for router in [
+            FleetRouter::RoundRobin,
+            FleetRouter::PowerOfTwo { seed: 1 },
+            FleetRouter::ConsistentHash { vnodes: 16 },
+            FleetRouter::GlobalLeastCost,
+        ] {
+            let run = |router: FleetRouter| {
+                let mut cfg = FleetConfig::new(8);
+                cfg.record_events = true;
+                let plan = plan_for(&tr, 8);
+                FleetSim::new(cfg, plan, router).run(&tr)
+            };
+            let a = run(router.clone());
+            let b = run(router);
+            assert_eq!(a.served + a.shed, tr.len(), "{}", a.router);
+            assert_eq!(a.shed, 0);
+            assert!(a.p99_e2e_s >= a.p50_e2e_s && a.p50_e2e_s > 0.0);
+            assert_eq!(
+                a.event_log.as_deref(),
+                b.event_log.as_deref(),
+                "same seed must replay identically ({})",
+                a.router
+            );
+        }
+    }
+
+    #[test]
+    fn object_store_miss_then_edge_hits() {
+        // One replica, tiny plan covering no models: every first touch is
+        // an object-store pull, repeats are warm or local-disk.
+        let tr = small_trace(11);
+        let mut cfg = FleetConfig::new(1);
+        cfg.prefetch_homes = false;
+        let plan = PlacementPlan::from_weights(&[], 1);
+        let rep = FleetSim::new(cfg, plan, FleetRouter::RoundRobin).run(&tr);
+        assert!(rep.fetches.object_store > 0);
+        assert_eq!(
+            rep.fetches.peer_rack + rep.fetches.peer_region + rep.fetches.cross_region,
+            0
+        );
+        // Each model pays the object store at most once: the pull
+        // edge-replicates to the local disk.
+        assert!(rep.fetches.object_store as usize <= tr.spec.n_models);
+        assert!(rep.warm_hits + rep.fetches.local_disk > 0);
+    }
+
+    #[test]
+    fn faults_lose_warmth_but_not_disk() {
+        let tr = small_trace(13);
+        let mut cfg = FleetConfig::new(4);
+        cfg.faults = vec![FleetFault {
+            at: 20.0,
+            replica: 0,
+            down_s: 5.0,
+        }];
+        cfg.record_events = true;
+        let plan = plan_for(&tr, 4);
+        let rep = FleetSim::new(cfg, plan, FleetRouter::PowerOfTwo { seed: 3 }).run(&tr);
+        assert_eq!(rep.served + rep.shed, tr.len());
+        assert_eq!(rep.shed, 0, "three live replicas remain during the outage");
+        let log = rep.event_log.expect("recording enabled");
+        // Kill and restart both appear, in order, at the right times.
+        let faults: Vec<&FleetLogEntry> = log.iter().filter(|e| e.class == CLASS_FAULT).collect();
+        assert_eq!(faults.len(), 2);
+        assert!((faults[0].at - 20.0).abs() < 1e-9);
+        assert!((faults[1].at - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autoscaler_activates_dormant_capacity_under_load() {
+        let tr = Trace::generate_fast(TraceSpec {
+            n_models: 16,
+            arrival_rate: 40.0,
+            duration_s: 30.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 17,
+        });
+        let mut cfg = FleetConfig::new(8);
+        // Start with half the fleet drained via an immediate tick policy:
+        // high load must activate dormant replicas.
+        cfg.autoscale = Some(FleetAutoscale {
+            interval_s: 1.0,
+            hi_backlog_s: 0.5,
+            lo_backlog_s: 0.01,
+            min_live: 2,
+        });
+        cfg.faults = (4..8)
+            .map(|r| FleetFault {
+                at: 0.0,
+                replica: r,
+                down_s: 1e9, // never restarts on its own
+            })
+            .collect();
+        let plan = plan_for(&tr, 8);
+        let rep = FleetSim::new(cfg, plan, FleetRouter::PowerOfTwo { seed: 5 }).run(&tr);
+        assert_eq!(rep.served + rep.shed, tr.len());
+        assert!(rep.peak_live > 4, "autoscaler must add capacity");
+    }
+
+    #[test]
+    fn consistent_hash_gives_affinity() {
+        let tr = small_trace(23);
+        let mut cfg = FleetConfig::new(16);
+        cfg.prefetch_homes = false;
+        let plan = PlacementPlan::from_weights(&[], 16);
+        let rep = FleetSim::new(cfg, plan, FleetRouter::ConsistentHash { vnodes: 32 }).run(&tr);
+        // Affinity: each model lands on exactly one replica, so total
+        // misses are bounded by models + warm evictions, far below the
+        // round-robin scatter.
+        let mut cfg2 = FleetConfig::new(16);
+        cfg2.prefetch_homes = false;
+        let plan2 = PlacementPlan::from_weights(&[], 16);
+        let rr = FleetSim::new(cfg2, plan2, FleetRouter::RoundRobin).run(&tr);
+        assert!(
+            rep.fetches.total() < rr.fetches.total(),
+            "hash affinity {} must out-hit round-robin {}",
+            rep.fetches.total(),
+            rr.fetches.total()
+        );
+    }
+}

@@ -28,6 +28,7 @@ pub mod chaos;
 pub mod cluster;
 pub mod cost;
 pub mod deltazip;
+pub mod fleet;
 pub mod lora;
 pub mod metrics;
 pub mod policy;
@@ -49,6 +50,10 @@ pub use cluster::{
 };
 pub use cost::CostModel;
 pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
+pub use fleet::{
+    FetchCounts, FetchTier, FleetAutoscale, FleetConfig, FleetFault, FleetLogEntry, FleetReport,
+    FleetRouter, FleetSim, FleetTopology,
+};
 pub use lora::{LoraEngine, LoraServingConfig};
 pub use metrics::{Metrics, SloWindow, SwapStats};
 pub use policy::{PreemptionPolicy, ResumePolicy};

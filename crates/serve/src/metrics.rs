@@ -679,6 +679,97 @@ mod tests {
     }
 
     #[test]
+    fn windowed_attainment_with_no_records_is_all_empty_windows() {
+        // A dead replica's metrics: no arrivals at all. Windows span the
+        // makespan, every one reports no-data, and no interval opens.
+        let m = Metrics {
+            makespan_s: 25.0,
+            ..metrics(vec![])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(w.len(), 3);
+        for win in &w {
+            assert_eq!(win.n, 0);
+            assert_eq!(win.attainment, None);
+        }
+        assert!(Metrics::violation_intervals(&w, 0.9).is_empty());
+        assert_eq!(Metrics::recovery_time_s(&w, 0.0, 0.9), None);
+    }
+
+    #[test]
+    fn windowed_attainment_single_request_and_exact_slo_boundary() {
+        // One request, e2e exactly equal to the SLO: `v <= slo` means the
+        // boundary counts as attained, and every other window is no-data.
+        let m = Metrics {
+            makespan_s: 30.0,
+            ..metrics(vec![record_at(15.0, 5.0)])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].attainment, None);
+        assert_eq!((w[1].n, w[1].attainment), (1, Some(1.0)));
+        assert_eq!(w[2].attainment, None);
+        // Nudge past the SLO and the same window flips to violation.
+        let late = Metrics {
+            makespan_s: 30.0,
+            ..metrics(vec![record_at(15.0, 5.0 + 1e-9)])
+        };
+        assert_eq!(
+            late.windowed_attainment(10.0, 5.0, false)[1].attainment,
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn arrival_exactly_on_window_boundary_lands_in_the_later_window() {
+        // Windows are half-open [start, end): an arrival at exactly 10.0
+        // belongs to [10, 20), not [0, 10). An arrival exactly at the
+        // span end clamps into the last window instead of indexing past
+        // the vector.
+        let m = Metrics {
+            makespan_s: 20.0,
+            ..metrics(vec![record_at(10.0, 1.0), record_at(20.0, 99.0)])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].n, 0, "nothing in [0, 10)");
+        assert_eq!((w[1].n, w[1].attainment), (1, Some(1.0)));
+        assert_eq!(
+            (w[2].n, w[2].attainment),
+            (1, Some(0.0)),
+            "clamped into last"
+        );
+    }
+
+    #[test]
+    fn violation_threshold_is_strict_and_trailing_violation_closes() {
+        // Attainment exactly equal to the threshold does NOT violate
+        // (`a < threshold` is strict), and a violation still open at the
+        // end of the run is emitted.
+        let m = Metrics {
+            makespan_s: 20.0,
+            ..metrics(vec![
+                record_at(1.0, 1.0),
+                record_at(2.0, 99.0),
+                record_at(11.0, 99.0),
+            ])
+        };
+        let w = m.windowed_attainment(10.0, 5.0, false);
+        assert_eq!(w[0].attainment, Some(0.5));
+        assert_eq!(
+            Metrics::violation_intervals(&w, 0.5),
+            vec![(10.0, 20.0)],
+            "attainment == threshold is not a violation"
+        );
+        let iv = Metrics::violation_intervals(&w, 0.9);
+        assert_eq!(
+            iv,
+            vec![(0.0, 20.0)],
+            "trailing open interval closes at run end"
+        );
+    }
+
+    #[test]
     fn recovery_time_crosses_threshold_after_fault() {
         let m = Metrics {
             makespan_s: 50.0,

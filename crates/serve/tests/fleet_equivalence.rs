@@ -1,0 +1,396 @@
+//! Differential oracle: the event-driven `ClusterSim::run` must
+//! reproduce the retained lockstep front end
+//! (`ClusterSim::run_lockstep_reference`) **bit-identically** on every
+//! small-fleet configuration — plain, admission + prefetch, chaos with
+//! and without tracing, engine-level prefetch, and store-bound replicas.
+//!
+//! Both front ends build the same per-replica assignments and share the
+//! replay stage, so any divergence is a front-end event-ordering bug:
+//! the unified `(at, class, seq)` heap must pop chaos-before-arrival at
+//! equal times and preserve per-class insertion order exactly like the
+//! old two-heap loop did.
+
+use dz_compress::codec::{CodecId, PackedLayer};
+use dz_compress::pack::CompressedMatrix;
+use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
+use dz_compress::quant::{quantize_slice, QuantSpec};
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_serve::cluster::{
+    AdmissionConfig, ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim, LeastLoadedRouter,
+    PlacementAwareRouter, PlacementPlan, RoundRobinRouter,
+};
+use dz_serve::{
+    ChaosConfig, CostModel, DeltaStoreBinding, DeltaZipConfig, FaultEvent, FaultKind, FaultPlan,
+    PrefetchPolicy, SloPolicy, TraceConfig,
+};
+use dz_store::{sha256, ArtifactId, Registry, TieredDeltaStore};
+use dz_tensor::{Matrix, Rng};
+use dz_workload::{PopularityDist, Trace, TraceSpec};
+use std::collections::BTreeMap;
+
+const N_MODELS: usize = 16;
+
+fn cost() -> CostModel {
+    CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b())
+}
+
+fn trace(seed: u64, rate: f64, duration_s: f64) -> Trace {
+    Trace::generate(TraceSpec {
+        n_models: N_MODELS,
+        arrival_rate: rate,
+        duration_s,
+        popularity: PopularityDist::Zipf { alpha: 1.3 },
+        seed,
+    })
+}
+
+/// Asserts the two reports are the same run, down to the bit on every
+/// float. Time sums get an explicit 1e-9 re-check first so a genuine
+/// divergence fails with a readable aggregate before the per-record
+/// bit compare pinpoints it.
+fn assert_same_report(a: &ClusterReport, b: &ClusterReport, tag: &str) {
+    let sum = |m: &dz_serve::Metrics| -> f64 { m.records.iter().map(|r| r.e2e_s).sum() };
+    assert!(
+        (sum(&a.merged) - sum(&b.merged)).abs() <= 1e-9,
+        "{tag}: e2e sums diverge: {} vs {}",
+        sum(&a.merged),
+        sum(&b.merged)
+    );
+    assert_eq!(a.merged.len(), b.merged.len(), "{tag}: merged len");
+    for (ra, rb) in a.merged.records.iter().zip(&b.merged.records) {
+        assert_eq!(ra.id, rb.id, "{tag}: record id");
+        assert_eq!(ra.model, rb.model, "{tag}: model of {}", ra.id);
+        assert_eq!(
+            ra.arrival.to_bits(),
+            rb.arrival.to_bits(),
+            "{tag}: arrival of {}",
+            ra.id
+        );
+        assert_eq!(
+            ra.e2e_s.to_bits(),
+            rb.e2e_s.to_bits(),
+            "{tag}: e2e of {} ({} vs {})",
+            ra.id,
+            ra.e2e_s,
+            rb.e2e_s
+        );
+        assert_eq!(
+            ra.ttft_s.to_bits(),
+            rb.ttft_s.to_bits(),
+            "{tag}: ttft of {}",
+            ra.id
+        );
+        assert_eq!(
+            ra.queue_s.to_bits(),
+            rb.queue_s.to_bits(),
+            "{tag}: queue of {}",
+            ra.id
+        );
+        assert_eq!(
+            ra.load_s.to_bits(),
+            rb.load_s.to_bits(),
+            "{tag}: load of {}",
+            ra.id
+        );
+        assert_eq!(
+            ra.output_tokens, rb.output_tokens,
+            "{tag}: tokens of {}",
+            ra.id
+        );
+        assert_eq!(
+            ra.preemptions, rb.preemptions,
+            "{tag}: preemptions of {}",
+            ra.id
+        );
+    }
+    assert_eq!(
+        a.per_replica.len(),
+        b.per_replica.len(),
+        "{tag}: replica count"
+    );
+    for (i, (ma, mb)) in a.per_replica.iter().zip(&b.per_replica).enumerate() {
+        assert_eq!(ma.len(), mb.len(), "{tag}: replica {i} len");
+        assert_eq!(
+            sum(ma).to_bits(),
+            sum(mb).to_bits(),
+            "{tag}: replica {i} e2e sum"
+        );
+    }
+    assert_eq!(a.shed.len(), b.shed.len(), "{tag}: shed count");
+    for (sa, sb) in a.shed.iter().zip(&b.shed) {
+        assert_eq!(
+            (sa.id, sa.model, sa.class),
+            (sb.id, sb.model, sb.class),
+            "{tag}: shed"
+        );
+        assert_eq!(
+            sa.arrival.to_bits(),
+            sb.arrival.to_bits(),
+            "{tag}: shed arrival of {}",
+            sa.id
+        );
+    }
+    assert_eq!(
+        a.routing.per_replica_requests, b.routing.per_replica_requests,
+        "{tag}: per-replica routing"
+    );
+    assert_eq!(
+        a.routing.warm_routed, b.routing.warm_routed,
+        "{tag}: warm routed"
+    );
+    assert_eq!(
+        a.routing.cold_routed, b.routing.cold_routed,
+        "{tag}: cold routed"
+    );
+    assert_eq!(
+        a.routing.placement_misses, b.routing.placement_misses,
+        "{tag}: placement misses"
+    );
+    assert_eq!(
+        a.routing.defer_events, b.routing.defer_events,
+        "{tag}: defers"
+    );
+    assert_eq!(a.routing.shed, b.routing.shed, "{tag}: routing shed");
+    assert_eq!(
+        a.routing.prefetch_hints, b.routing.prefetch_hints,
+        "{tag}: prefetch hints"
+    );
+    assert_eq!(
+        a.routing.prefetch_issued, b.routing.prefetch_issued,
+        "{tag}: prefetch issued"
+    );
+    assert_eq!(
+        a.routing.prefetch_hits, b.routing.prefetch_hits,
+        "{tag}: prefetch hits"
+    );
+    assert_eq!(a.store_stats, b.store_stats, "{tag}: store stats");
+    assert_eq!(a.chaos, b.chaos, "{tag}: chaos stats");
+}
+
+/// Runs `build()`'s sim through both front ends (fresh sim each — the
+/// router keeps state) and asserts identical reports.
+fn differential(tag: &str, tr: &Trace, build: impl Fn() -> ClusterSim) {
+    let event_driven = build().run(tr);
+    let lockstep = build().run_lockstep_reference(tr);
+    assert_same_report(&event_driven, &lockstep, tag);
+}
+
+#[test]
+fn plain_round_robin_matches_lockstep() {
+    let tr = trace(31, 3.0, 40.0);
+    differential("rr-2x", &tr, || {
+        ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig {
+                n_replicas: 2,
+                ..ClusterConfig::default()
+            },
+            Box::new(RoundRobinRouter::new()),
+        )
+    });
+}
+
+#[test]
+fn placement_prefetch_admission_matches_lockstep() {
+    // The busiest healthy path: placement-aware routing with migrations,
+    // routing-time prefetch, and admission control (defer re-pushes ride
+    // the same heap as arrivals).
+    let tr = trace(37, 6.0, 50.0);
+    differential("pa-3x-admission", &tr, || {
+        ClusterSim::new(
+            vec![cost(); 3],
+            ClusterConfig {
+                n_replicas: 3,
+                engine: DeltaZipConfig {
+                    host_capacity_deltas: Some(5),
+                    ..DeltaZipConfig::default()
+                },
+                admission: Some(AdmissionConfig {
+                    defer_depth: 4,
+                    defer_s: 2.0,
+                    max_defers: 3,
+                    shed_depth: 12,
+                    ..AdmissionConfig::new(SloPolicy::tiered(N_MODELS, 4))
+                }),
+                prefetch: Some(ClusterPrefetch::default()),
+                ..ClusterConfig::default()
+            },
+            Box::new(PlacementAwareRouter::new(PlacementPlan::from_popularity(
+                PopularityDist::Zipf { alpha: 1.3 },
+                N_MODELS,
+                3,
+            ))),
+        )
+    });
+}
+
+fn chaos_config() -> ChaosConfig {
+    ChaosConfig::faults(
+        FaultPlan::scripted(vec![
+            FaultEvent {
+                at: 10.0,
+                kind: FaultKind::Crash {
+                    replica: 0,
+                    restart_after_s: Some(8.0),
+                },
+            },
+            FaultEvent {
+                at: 25.0,
+                kind: FaultKind::Crash {
+                    replica: 2,
+                    restart_after_s: None,
+                },
+            },
+        ]),
+        0xD1FF,
+    )
+}
+
+#[test]
+fn chaos_matches_lockstep() {
+    // Crashes requeue in-flight work and schedule restarts: the
+    // chaos-before-arrival tie rule and the re-push ordering must match
+    // the old two-heap loop exactly.
+    let tr = trace(41, 4.0, 60.0);
+    differential("chaos-3x", &tr, || {
+        ClusterSim::new(
+            vec![cost(); 3],
+            ClusterConfig {
+                n_replicas: 3,
+                ..ClusterConfig::default()
+            },
+            Box::new(RoundRobinRouter::new()),
+        )
+        .with_chaos(chaos_config())
+    });
+}
+
+#[test]
+fn chaos_with_tracing_matches_lockstep() {
+    // Tracing rides the front end (gauges at every arrival) but must not
+    // perturb the simulation: traced event-driven == traced lockstep.
+    let tr = trace(43, 4.0, 60.0);
+    differential("chaos-traced-2x", &tr, || {
+        ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig {
+                n_replicas: 2,
+                ..ClusterConfig::default()
+            },
+            Box::new(PlacementAwareRouter::new(PlacementPlan::from_popularity(
+                PopularityDist::Zipf { alpha: 1.3 },
+                N_MODELS,
+                2,
+            ))),
+        )
+        .with_chaos(chaos_config())
+        .with_tracing(TraceConfig::default())
+    });
+}
+
+#[test]
+fn engine_prefetch_policy_matches_lockstep() {
+    let tr = trace(47, 3.0, 40.0);
+    differential("ll-prefetch-2x", &tr, || {
+        ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig {
+                n_replicas: 2,
+                prefetch_policy: Some(PrefetchPolicy::Popularity { top_k: 4 }),
+                ..ClusterConfig::default()
+            },
+            Box::new(LeastLoadedRouter::new()),
+        )
+    });
+}
+
+// -- store-bound ----------------------------------------------------------
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dz-fleet-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn tiny_delta(seed: u64, d: usize) -> CompressedDelta {
+    let mut rng = Rng::seeded(seed);
+    let spec = QuantSpec::new(4, 8);
+    let wt = Matrix::randn(d, d, 0.05, &mut rng);
+    let mut levels = Vec::new();
+    let mut scales = Vec::new();
+    for r in 0..d {
+        let (l, s) = quantize_slice(wt.row(r), spec);
+        levels.extend(l);
+        scales.extend(s);
+    }
+    let cm = CompressedMatrix::from_dense(d, d, &levels, scales, spec);
+    let packed = cm.packed_bytes();
+    let mut layers = BTreeMap::new();
+    layers.insert("w".to_string(), PackedLayer::Quant(cm));
+    CompressedDelta {
+        layers,
+        rest: BTreeMap::new(),
+        codec: CodecId::SparseGptStar,
+        config: DeltaCompressConfig::starred(4),
+        report: SizeReport {
+            compressed_linear_bytes: packed,
+            uncompressed_rest_bytes: 0,
+            full_fp16_bytes: d * d * 2,
+            lossless_linear_bytes: None,
+        },
+    }
+}
+
+fn publish_zoo(registry: &Registry, n: usize) -> Vec<ArtifactId> {
+    (0..n)
+        .map(|i| {
+            registry
+                .publish_delta(
+                    &format!("variant-{i}"),
+                    sha256(b"base"),
+                    &tiny_delta(900 + i as u64, 16),
+                )
+                .expect("publish")
+        })
+        .collect()
+}
+
+#[test]
+fn store_bound_matches_lockstep() {
+    // Store-bound replicas charge real artifact bytes; the replay stage
+    // mutates the stores, so each front end gets its own registry copy.
+    let tr = trace(53, 3.0, 30.0);
+    let build = |tag: &str| {
+        let dir = temp_dir(tag);
+        let registry = Registry::open(&dir).expect("registry");
+        let artifacts = publish_zoo(&registry, N_MODELS);
+        let bindings: Vec<DeltaStoreBinding> = (0..2)
+            .map(|_| {
+                let store = TieredDeltaStore::new(
+                    Registry::open(&dir).expect("registry"),
+                    64 << 10, // few-delta budget: evictions + disk misses
+                );
+                DeltaStoreBinding::new(store, artifacts.clone())
+            })
+            .collect();
+        ClusterSim::new(
+            vec![cost(); 2],
+            ClusterConfig {
+                n_replicas: 2,
+                prefetch: Some(ClusterPrefetch::default()),
+                ..ClusterConfig::default()
+            },
+            Box::new(PlacementAwareRouter::new(PlacementPlan::from_popularity(
+                PopularityDist::Zipf { alpha: 1.3 },
+                N_MODELS,
+                2,
+            ))),
+        )
+        .with_stores(bindings)
+    };
+    let event_driven = build("ed").run(&tr);
+    let lockstep = build("ls").run_lockstep_reference(&tr);
+    assert_same_report(&event_driven, &lockstep, "store-2x");
+}

@@ -747,3 +747,78 @@ fn version_1_containers_still_read() {
     let wq = reader2.read_packed("layers.0.wq").expect("packed");
     assert_eq!(&wq, &delta.layers["layers.0.wq"]);
 }
+
+#[test]
+fn object_store_tier_charges_once_then_edge_replicates() {
+    let dir = temp_dir("object-tier");
+    let registry = Registry::open(&dir).expect("open");
+    let remote_id = registry
+        .publish_delta("remote-v", sha256(b"base"), &fixture_delta(101))
+        .expect("publish remote");
+    let local_id = registry
+        .publish_delta("local-v", sha256(b"base"), &fixture_delta(102))
+        .expect("publish local");
+    let config = dz_store::ObjectStoreConfig {
+        gbps: 1.0,
+        latency_s: 0.05,
+    };
+    let mut store =
+        TieredDeltaStore::new(registry, u64::MAX).with_object_store(config, vec![remote_id]);
+    assert!(!store.is_edge_resident(&remote_id));
+    assert!(store.is_edge_resident(&local_id));
+
+    // First miss of a remote artifact pays latency + bytes/bandwidth and
+    // replicates it to the edge disk.
+    let first = store.fetch(&remote_id).expect("remote miss");
+    assert_eq!(first.tier, FetchTier::DiskMiss);
+    let expected = config.fetch_time_s(first.bytes);
+    assert!((first.object_wait_s - expected).abs() < 1e-12);
+    assert!(first.object_wait_s > 0.05);
+    assert!(store.is_edge_resident(&remote_id));
+    assert_eq!(store.total_stats().object_fetches, 1);
+    assert_eq!(store.total_stats().object_bytes, first.bytes);
+
+    // Edge-resident artifacts never pay the object tier, even after the
+    // host cache drops them (disk copies survive a crash).
+    store.invalidate_resident();
+    let again = store.fetch(&remote_id).expect("edge disk miss");
+    assert_eq!(again.tier, FetchTier::DiskMiss);
+    assert_eq!(again.object_wait_s, 0.0);
+    assert_eq!(store.total_stats().object_fetches, 1);
+
+    // Artifacts never marked remote are free of object-store charges.
+    let local = store.fetch(&local_id).expect("local miss");
+    assert_eq!(local.object_wait_s, 0.0);
+
+    // Explicit demotion restores the object-store charge on the next miss.
+    store.mark_remote(remote_id);
+    store.invalidate_resident();
+    let recold = store.fetch(&remote_id).expect("re-remote miss");
+    assert!(recold.object_wait_s > 0.0);
+    assert_eq!(store.total_stats().object_fetches, 2);
+    assert!(
+        (store.object_wait_total_s() - first.object_wait_s - recold.object_wait_s).abs() < 1e-12
+    );
+}
+
+#[test]
+fn object_store_prefetch_replicates_off_critical_path() {
+    let dir = temp_dir("object-prefetch");
+    let registry = Registry::open(&dir).expect("open");
+    let id = registry
+        .publish_delta("popular", sha256(b"base"), &fixture_delta(103))
+        .expect("publish");
+    let mut store = TieredDeltaStore::new(registry, u64::MAX)
+        .with_object_store(dz_store::ObjectStoreConfig::default(), vec![id]);
+    // Prefetch pulls from the object store (accounted) and edge-replicates,
+    // but the wait is not charged to any demand fetch.
+    let outcome = store.prefetch(&[id], u64::MAX).expect("prefetch");
+    assert_eq!(outcome.fetched, vec![id]);
+    assert_eq!(store.total_stats().object_fetches, 1);
+    assert!(store.is_edge_resident(&id));
+    let hit = store.fetch(&id).expect("host hit");
+    assert_eq!(hit.tier, FetchTier::HostHit);
+    assert_eq!(hit.object_wait_s, 0.0);
+    // The demand critical path never saw the object tier.
+    assert_eq!(store.object_wait_total_s(), 0.0);
+}

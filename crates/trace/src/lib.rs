@@ -30,6 +30,7 @@ pub use attrib::{AttributedRequest, CauseBreakdown, Causes, CAUSE_NAMES};
 pub use chrome::{chrome_trace_json, write_chrome_trace, TraceTrack};
 pub use event::{EvictTier, GaugeSample, TraceEvent, TraceLog};
 pub use prom::PromSnapshot;
+pub use stats::StreamingQuantiles;
 
 /// Tracing configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

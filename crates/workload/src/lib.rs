@@ -22,5 +22,5 @@ pub mod stats;
 pub mod trace;
 
 pub use nonstationary::Nonstationarity;
-pub use popularity::PopularityDist;
+pub use popularity::{CumulativeSampler, PopularityDist};
 pub use trace::{Request, Trace, TraceSpec};

@@ -85,6 +85,44 @@ impl Trace {
         Trace { spec, requests }
     }
 
+    /// Generates a trace through the O(log n)-per-pick
+    /// [`crate::popularity::CumulativeSampler`] instead of the linear
+    /// weighted walk — the fleet-scale path for million-request traces
+    /// over hundreds of models.
+    ///
+    /// Same distribution family and still fully seed-deterministic, but
+    /// **not** draw-for-draw identical to [`Trace::generate`] (the model
+    /// pick consumes the uniform stream differently), so existing pinned
+    /// seeds keep their traces. Bursty [`PopularityDist::AzureLike`]
+    /// schedules have no static weight table; those fall back to the
+    /// exact generator.
+    pub fn generate_fast(spec: TraceSpec) -> Trace {
+        if matches!(spec.popularity, PopularityDist::AzureLike) {
+            return Trace::generate(spec);
+        }
+        let mut rng = Rng::seeded(spec.seed);
+        let arrivals = poisson_arrivals(spec.arrival_rate, spec.duration_s, &mut rng);
+        let sampler =
+            crate::popularity::CumulativeSampler::new(&spec.popularity.weights(spec.n_models));
+        let lengths = LengthModel::lmsys_like();
+        let requests = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(id, arrival)| {
+                let model = sampler.sample(&mut rng);
+                let (prompt_tokens, output_tokens) = lengths.sample(&mut rng);
+                Request {
+                    id,
+                    model,
+                    arrival,
+                    prompt_tokens,
+                    output_tokens,
+                }
+            })
+            .collect();
+        Trace { spec, requests }
+    }
+
     /// Total requests.
     pub fn len(&self) -> usize {
         self.requests.len()
@@ -216,6 +254,38 @@ mod tests {
         }
         let mean = total as f64 / 5.0;
         assert!((mean - 200.0).abs() < 30.0, "mean {mean}");
+    }
+
+    #[test]
+    fn generate_fast_is_deterministic_and_skewed() {
+        let s = TraceSpec {
+            n_models: 128,
+            arrival_rate: 50.0,
+            duration_s: 200.0,
+            popularity: PopularityDist::Zipf { alpha: 1.2 },
+            seed: 42,
+        };
+        let a = Trace::generate_fast(s);
+        let b = Trace::generate_fast(s);
+        assert_eq!(a, b);
+        // Same arrival process as the exact generator (arrivals are drawn
+        // before any model pick, so the streams agree up to that point).
+        let exact = Trace::generate(s);
+        assert_eq!(a.len(), exact.len());
+        for (fast, slow) in a.requests.iter().zip(exact.requests.iter()) {
+            assert_eq!(fast.arrival.to_bits(), slow.arrival.to_bits());
+        }
+        // Head model dominates under Zipf-1.2.
+        let counts = a.per_model_counts();
+        assert!(counts[0] > counts[10], "{:?}", &counts[..12]);
+        let max_share = *counts.iter().max().unwrap() as f64 / a.len() as f64;
+        assert!(max_share > 0.15, "{max_share}");
+    }
+
+    #[test]
+    fn generate_fast_azure_falls_back_to_exact() {
+        let s = spec(PopularityDist::AzureLike);
+        assert_eq!(Trace::generate_fast(s), Trace::generate(s));
     }
 
     #[test]
