@@ -19,7 +19,7 @@
 
 use dz_bench::experiments::{
     ablations, chaos, cluster, codec, compress, extensions, fleet, kernels, quality, serving,
-    smoke, swap, workloads, Report, Scale,
+    smoke, swap, toppings, workloads, Report, Scale,
 };
 use dz_serve::{write_chrome_trace, TraceTrack};
 use std::io::Write;
@@ -61,6 +61,7 @@ fn available() -> Vec<&'static str> {
         "bench-fleet",
         "bench-compress",
         "bench-swap",
+        "bench-toppings",
         "bench-smoke",
     ]
 }
@@ -109,6 +110,7 @@ fn run_one(
         "bench-fleet" => fleet::bench_fleet(scale, out_dir, trace),
         "bench-compress" => compress::bench_compress(zoo, scale, out_dir),
         "bench-swap" => swap::bench_swap(scale, out_dir, trace),
+        "bench-toppings" => toppings::bench_toppings(scale, out_dir, trace),
         "bench-smoke" => {
             let (report, metrics) = smoke::bench_smoke(out_dir, trace);
             return Some((report, Some(metrics)));

@@ -18,6 +18,7 @@ pub mod quality;
 pub mod serving;
 pub mod smoke;
 pub mod swap;
+pub mod toppings;
 pub mod workloads;
 
 /// A rendered experiment artifact.

@@ -4,8 +4,8 @@ use super::{md_table, Report};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::{
-    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, LoraEngine, LoraServingConfig, Metrics,
-    PreemptionPolicy, VllmScbConfig, VllmScbEngine,
+    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, EngineBuilder, LoraEngine,
+    LoraServingConfig, Metrics, PreemptionPolicy, VllmScbConfig, VllmScbEngine,
 };
 use dz_workload::{PopularityDist, Trace, TraceSpec};
 
@@ -31,6 +31,12 @@ fn dz_engine(cost: CostModel, n: usize) -> DeltaZipEngine {
             ..DeltaZipConfig::default()
         },
     )
+}
+
+fn lora_engine(cost: CostModel, config: LoraServingConfig) -> LoraEngine {
+    EngineBuilder::new(cost)
+        .adapters(config)
+        .build_adapter_only()
 }
 
 fn dist_name(pop: PopularityDist) -> &'static str {
@@ -208,7 +214,7 @@ pub fn fig14() -> Report {
     let cost = a800_13b();
     let trace = trace_13b(0.75, PopularityDist::Zipf { alpha: 1.5 }, 0x14);
     // LoRA node: both systems use the Punica path (DeltaZip inherits it).
-    let lora = LoraEngine::new(cost, LoraServingConfig::default()).run(&trace);
+    let lora = lora_engine(cost, LoraServingConfig::default()).run(&trace);
     // FMT node: baseline swaps full models, DeltaZip serves deltas.
     let fmt_vllm = VllmScbEngine::new(cost, VllmScbConfig::default()).run(&trace);
     let fmt_dz = dz_engine(cost, 8).run(&trace);
@@ -252,7 +258,7 @@ pub fn fig15() -> Report {
         let trace = trace_13b(rate, PopularityDist::Uniform, 0x15);
         let dz = dz_engine(cost, 8).run(&trace);
         let full = VllmScbEngine::new(cost, VllmScbConfig::default()).run(&trace);
-        let l16 = LoraEngine::new(
+        let l16 = lora_engine(
             cost,
             LoraServingConfig {
                 rank: 16,
@@ -260,7 +266,7 @@ pub fn fig15() -> Report {
             },
         )
         .run(&trace);
-        let l64 = LoraEngine::new(
+        let l64 = lora_engine(
             cost,
             LoraServingConfig {
                 rank: 64,

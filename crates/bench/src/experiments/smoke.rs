@@ -21,6 +21,10 @@
 //!   event core: wall clock of a 1000-replica 100k-request p2c cell
 //!   (generous bound) and its simulated p99 (deterministic, tight
 //!   bounds),
+//! * `toppings_mixed_goodput`, `toppings_mixed_ttft_p99_s` — the
+//!   mixed-kind toppings pool on the interleaved variant catalog:
+//!   SLO-attaining requests per second of makespan and the TTFT tail
+//!   (simulated: deterministic),
 //! * `*_packed_ratio` — delta-only packed compression ratio of each
 //!   method-zoo codec on a fixed-seed synthetic model pair (pure
 //!   arithmetic: deterministic).
@@ -33,6 +37,7 @@
 use super::cluster::run_cluster_traced;
 use super::codec::packed_delta_like;
 use super::swap::{run_swap, run_swap_traced, warm_ttft_p99};
+use super::toppings::{goodput, run_toppings_traced};
 use super::{json_provenance, md_table, Report, BENCH_SCHEMA_VERSION};
 use dz_compress::codec::{BitDeltaCodec, DeltaCodec, DeltaComeCodec, SparseGptCodec};
 use dz_model::tasks::Corpus;
@@ -113,7 +118,7 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
     // 3. Swap pipeline: overlapped vs serialized on the fixed-seed churn
     //    trace (simulated time: deterministic).
     let (overlapped, swap_log) = run_swap_traced("overlapped", 40.0, trace_cfg);
-    if let (Some(sink), Some(log)) = (trace, swap_log) {
+    if let (Some(sink), Some(log)) = (trace.as_deref_mut(), swap_log) {
         sink.push(TraceTrack {
             name: "smoke/swap-overlapped".into(),
             log,
@@ -128,17 +133,29 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
         0.0
     };
 
-    // 4. Chaos recovery: placement-aware fleet after a scripted replica
+    // 4. Toppings pool: the mixed-kind batch on the interleaved variant
+    //    catalog (simulated time: deterministic).
+    let (mixed, toppings_log) = run_toppings_traced("mixed", 40.0, trace_cfg);
+    if let (Some(sink), Some(log)) = (trace, toppings_log) {
+        sink.push(TraceTrack {
+            name: "smoke/toppings-mixed".into(),
+            log,
+        });
+    }
+    let toppings_goodput = goodput(&mixed);
+    let toppings_ttft = mixed.ttft_percentile(0.99);
+
+    // 5. Chaos recovery: placement-aware fleet after a scripted replica
     //    crash (simulated time: deterministic). Recovery seconds and
     //    churn-window p99 inflation over the healthy baseline.
     let (chaos_recovery_s, chaos_inflation) = super::chaos::smoke_chaos_metrics();
 
-    // 5. Fleet-scale routing: 1000-replica p2c cell at quick scale. The
+    // 6. Fleet-scale routing: 1000-replica p2c cell at quick scale. The
     //    p99 is simulated (deterministic, tight bounds); the wall is the
     //    event core's real cost and bounded generously.
     let (fleet_wall_s, fleet_p2c_p99) = super::fleet::smoke_fleet_metrics();
 
-    // 6. Codec packed ratios on the synthetic pair.
+    // 7. Codec packed ratios on the synthetic pair.
     let (base, tuned) = synthetic_pair();
     let calib = dz_compress::calib::calibration_set(&Corpus::new(base.config.max_seq), 4, 0xCA11B);
     let ratio_of = |codec: &dyn DeltaCodec| -> f64 {
@@ -160,6 +177,8 @@ pub fn measure_traced(mut trace: Option<&mut Vec<TraceTrack>>) -> SmokeMetrics {
             ("chaos_churn_p99_inflation", chaos_inflation),
             ("fleet_1000_replica_wall_s", fleet_wall_s),
             ("fleet_p2c_p99_s", fleet_p2c_p99),
+            ("toppings_mixed_goodput", toppings_goodput),
+            ("toppings_mixed_ttft_p99_s", toppings_ttft),
             ("sparsegpt4_packed_ratio", sgpt4),
             ("bitdelta_packed_ratio", bitdelta),
             ("deltacome_packed_ratio", deltacome),
@@ -213,6 +232,10 @@ fn write_json(metrics: &SmokeMetrics, dir: &Path) -> std::io::Result<String> {
                     "\"1000-replica p2c, quick scale, seed {}\"",
                     super::fleet::FLEET_SEED
                 ),
+            ),
+            (
+                "toppings",
+                "\"mixed pool, interleaved catalog, 40s\"".into(),
             ),
         ],
     ));

@@ -1,0 +1,307 @@
+//! Heterogeneous "toppings" batches: mixed-kind serving vs the
+//! segregated-pool baseline.
+//!
+//! `bench-toppings` drives the unified engine over a fixed-seed Zipf
+//! trace on the capacity-constrained 3090/7B node with an interleaved
+//! variant catalog — base, LoRA, delta, and stacked delta+LoRA models all
+//! receive traffic — and compares three modes:
+//!
+//! * `mixed` — one pool: delta-backed and pure-LoRA toppings co-batch
+//!   under the `max_toppings_per_batch` cap; adapters fill batch slots
+//!   while deltas swap in,
+//! * `mixed-uncapped` — the same pool without the toppings cap (the SGMV
+//!   grouping cost then grows with every co-batched adapter),
+//! * `segregated` — delta-backed and pure-LoRA toppings never share an
+//!   iteration (the paper's §8 coarse-grained co-serving baseline).
+//!
+//! The headline numbers are goodput (SLO-attaining requests per second of
+//! makespan) and TTFT p99. Emits `BENCH_toppings.json`; two smoke metrics
+//! feed the CI perf gate.
+
+use super::{json_provenance, md_table, Report, Scale};
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_serve::{
+    CostModel, DeltaZipConfig, Engine, EngineBuilder, Metrics, TraceConfig, TraceLog, TraceTrack,
+    VariantCatalog,
+};
+use dz_workload::{PopularityDist, Trace, TraceSpec};
+
+const N_MODELS: usize = 24;
+const ADAPTER_RANK: usize = 16;
+/// Distinct non-base toppings allowed per iteration in the capped modes.
+pub const TOPPINGS_CAP: usize = 4;
+/// The goodput SLO: a request attains service when its E2E stays under
+/// this bound.
+pub const GOODPUT_SLO_E2E_S: f64 = 40.0;
+/// Mode ids swept by the experiment.
+pub const MODES: [&str; 3] = ["mixed", "mixed-uncapped", "segregated"];
+
+fn toppings_trace(duration_s: f64) -> Trace {
+    Trace::generate(TraceSpec {
+        n_models: N_MODELS,
+        arrival_rate: 1.5,
+        duration_s,
+        popularity: PopularityDist::Zipf { alpha: 1.2 },
+        seed: 0x7019,
+    })
+}
+
+/// Runs one toppings-bench mode (also reused by the `bench-smoke` perf
+/// gate). The catalog interleaves all four variant kinds across
+/// `N_MODELS` models; only the pool policy differs between modes.
+pub fn run_toppings(mode: &str, duration_s: f64) -> Metrics {
+    run_toppings_traced(mode, duration_s, None).0
+}
+
+/// [`run_toppings`] with optional event tracing: when `trace_cfg` is set
+/// the engine records its event log, returned alongside the metrics.
+pub fn run_toppings_traced(
+    mode: &str,
+    duration_s: f64,
+    trace_cfg: Option<TraceConfig>,
+) -> (Metrics, Option<TraceLog>) {
+    // The small node: GPU holds only a few deltas next to the base, so
+    // delta-backed toppings churn while adapters are always resident.
+    let cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
+    let trace = toppings_trace(duration_s);
+    let cap = match mode {
+        "mixed" | "segregated" => Some(TOPPINGS_CAP),
+        "mixed-uncapped" => None,
+        other => panic!("unknown toppings mode {other}"),
+    };
+    let mut builder = EngineBuilder::new(cost)
+        .scheduler(DeltaZipConfig {
+            max_concurrent_deltas: 2,
+            max_batch: 32,
+            host_capacity_deltas: Some(6),
+            max_toppings_per_batch: cap,
+            segregate_kinds: mode == "segregated",
+            ..DeltaZipConfig::default()
+        })
+        .catalog(VariantCatalog::interleaved(N_MODELS, ADAPTER_RANK));
+    if let Some(cfg) = trace_cfg {
+        builder = builder.tracing(cfg);
+    }
+    let mut engine = builder.build();
+    let m = engine.run(&trace);
+    let log = engine.tracer.take_log();
+    (m, log)
+}
+
+/// SLO-attaining requests per second of makespan.
+pub fn goodput(m: &Metrics) -> f64 {
+    if m.makespan_s > 0.0 {
+        m.len() as f64 * m.slo_attainment_e2e(GOODPUT_SLO_E2E_S) / m.makespan_s
+    } else {
+        0.0
+    }
+}
+
+struct Row {
+    mode: &'static str,
+    requests: usize,
+    goodput_rps: f64,
+    ttft_p99_s: f64,
+    e2e_p99_s: f64,
+    batches: usize,
+    mixed_batches: usize,
+    max_toppings: usize,
+    sbmm_s: f64,
+    sgmv_s: f64,
+    base_gemm_s: f64,
+}
+
+fn measure(
+    mode: &'static str,
+    duration_s: f64,
+    trace_cfg: Option<TraceConfig>,
+) -> (Row, Option<TraceLog>) {
+    let (m, log) = run_toppings_traced(mode, duration_s, trace_cfg);
+    let row = Row {
+        mode,
+        requests: m.len(),
+        goodput_rps: goodput(&m),
+        ttft_p99_s: m.ttft_percentile(0.99),
+        e2e_p99_s: m.e2e_percentile(0.99),
+        batches: m.toppings.batches,
+        mixed_batches: m.toppings.mixed_batches,
+        max_toppings: m.toppings.max_toppings_in_batch,
+        sbmm_s: m.toppings.sbmm_s,
+        sgmv_s: m.toppings.sgmv_s,
+        base_gemm_s: m.toppings.base_gemm_s,
+    };
+    (row, log)
+}
+
+/// The `bench-toppings` experiment. When `trace` is given, each mode's
+/// engine event log lands there as a `toppings/<mode>` lane.
+pub fn bench_toppings(
+    scale: Scale,
+    out_dir: &std::path::Path,
+    mut trace: Option<&mut Vec<TraceTrack>>,
+) -> Report {
+    let duration_s = match scale {
+        Scale::Full => 150.0,
+        Scale::Quick => 60.0,
+    };
+    let trace_cfg = trace.as_ref().map(|_| TraceConfig::default());
+    let rows: Vec<Row> = MODES
+        .iter()
+        .map(|m| {
+            let (row, log) = measure(m, duration_s, trace_cfg);
+            if let (Some(tracks), Some(log)) = (trace.as_deref_mut(), log) {
+                tracks.push(TraceTrack {
+                    name: format!("toppings/{m}"),
+                    log,
+                });
+            }
+            row
+        })
+        .collect();
+    let mut body = format!(
+        "Toppings pools on the 3090/7B node (Zipf-1.2, {N_MODELS} models, interleaved\n\
+         base/LoRA/delta/stacked catalog, rank {ADAPTER_RANK}). Goodput counts requests\n\
+         finishing under the {GOODPUT_SLO_E2E_S:.0} s E2E SLO per second of makespan:\n\n"
+    );
+    body.push_str(&md_table(
+        &[
+            "mode",
+            "requests",
+            "goodput (req/s)",
+            "TTFT p99 (s)",
+            "E2E p99 (s)",
+            "batches",
+            "mixed",
+            "max toppings",
+            "base GEMM (s)",
+            "SBMM (s)",
+            "SGMV (s)",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_string(),
+                    r.requests.to_string(),
+                    format!("{:.3}", r.goodput_rps),
+                    format!("{:.2}", r.ttft_p99_s),
+                    format!("{:.2}", r.e2e_p99_s),
+                    r.batches.to_string(),
+                    r.mixed_batches.to_string(),
+                    r.max_toppings.to_string(),
+                    format!("{:.1}", r.base_gemm_s),
+                    format!("{:.1}", r.sbmm_s),
+                    format!("{:.1}", r.sgmv_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    body.push_str(
+        "\nThe mixed pool fills batch slots with resident adapters while\n\
+         delta-backed toppings swap in; the segregated baseline leaves those\n\
+         slots empty whenever the other pool holds the iteration.\n",
+    );
+    match write_json(&rows, duration_s, out_dir) {
+        Ok(path) => body.push_str(&format!("\njson: {path}\n")),
+        Err(e) => body.push_str(&format!("\njson write failed: {e}\n")),
+    }
+    Report {
+        id: "bench-toppings",
+        title: "Mixed-kind toppings batches vs the segregated-pool baseline",
+        body,
+    }
+}
+
+fn write_json(rows: &[Row], duration_s: f64, dir: &std::path::Path) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut json = String::from("{\n");
+    json.push_str(&json_provenance(
+        "bench-toppings",
+        &[
+            ("n_models", N_MODELS.to_string()),
+            ("adapter_rank", ADAPTER_RANK.to_string()),
+            ("toppings_cap", TOPPINGS_CAP.to_string()),
+            ("arrival_rate", "1.5".into()),
+            ("duration_s", format!("{duration_s:.1}")),
+            ("zipf_alpha", "1.2".into()),
+            ("slo_e2e_s", format!("{GOODPUT_SLO_E2E_S:.1}")),
+            ("seed", "28697".into()),
+        ],
+    ));
+    json.push_str("  \"modes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"requests\": {}, \"goodput_rps\": {:.4}, \
+             \"ttft_p99_s\": {:.4}, \"e2e_p99_s\": {:.4}, \"batches\": {}, \
+             \"mixed_batches\": {}, \"max_toppings_in_batch\": {}, \
+             \"base_gemm_s\": {:.4}, \"sbmm_s\": {:.4}, \"sgmv_s\": {:.4}}}{}\n",
+            r.mode,
+            r.requests,
+            r.goodput_rps,
+            r.ttft_p99_s,
+            r.e2e_p99_s,
+            r.batches,
+            r.mixed_batches,
+            r.max_toppings,
+            r.base_gemm_s,
+            r.sbmm_s,
+            r.sgmv_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join("BENCH_toppings.json");
+    std::fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_pool_beats_segregated_on_goodput() {
+        // The acceptance gate: co-batching adapters with swapping deltas
+        // must not lose goodput against the segregated-pool baseline.
+        let mixed = run_toppings("mixed", 60.0);
+        let segregated = run_toppings("segregated", 60.0);
+        assert_eq!(mixed.len(), segregated.len());
+        let (gm, gs) = (goodput(&mixed), goodput(&segregated));
+        assert!(
+            gm >= gs,
+            "mixed goodput {gm} must not lose to segregated {gs}"
+        );
+        // Segregation really did keep the pools apart, and mixing really
+        // did co-batch them.
+        assert_eq!(segregated.toppings.mixed_batches, 0);
+        assert!(mixed.toppings.mixed_batches > 0);
+    }
+
+    #[test]
+    fn capped_modes_respect_the_toppings_cap() {
+        for mode in ["mixed", "segregated"] {
+            let m = run_toppings(mode, 60.0);
+            assert!(
+                m.toppings.max_toppings_in_batch <= TOPPINGS_CAP,
+                "{mode}: {} toppings over cap {TOPPINGS_CAP}",
+                m.toppings.max_toppings_in_batch
+            );
+        }
+        // The uncapped pool actually uses the freedom the cap removes.
+        let uncapped = run_toppings("mixed-uncapped", 60.0);
+        assert!(uncapped.toppings.max_toppings_in_batch > TOPPINGS_CAP);
+    }
+
+    #[test]
+    fn all_kinds_receive_traffic_and_kernel_charges_split() {
+        let m = run_toppings("mixed", 60.0);
+        let t = &m.toppings;
+        assert_eq!(t.total_reqs(), m.len());
+        assert!(t.base_reqs > 0 && t.lora_reqs > 0);
+        assert!(t.delta_reqs > 0 && t.stacked_reqs > 0);
+        // Every kernel family was charged: shared base work always, SBMM
+        // for the delta-backed kinds, SGMV for the adapter-backed ones.
+        assert!(t.base_gemm_s > 0.0 && t.sbmm_s > 0.0 && t.sgmv_s > 0.0);
+    }
+}

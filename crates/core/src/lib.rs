@@ -63,14 +63,15 @@ use dz_model::rosa::RosaAdapter;
 use dz_model::tasks::Corpus;
 use dz_model::transformer::Params;
 pub use dz_serve::{
-    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, TraceConfig,
-    TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
+    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, ToppingKind,
+    TraceConfig, TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
 };
 pub use dz_serve::{
     ClusterConfig, ClusterPrefetch, ClusterReport, ClusterSim, CostModel, DeltaStoreBinding,
-    DeltaZipConfig, LeastLoadedRouter, LoadProfile, Metrics, PlacementAwareRouter, PlacementPlan,
-    PopularityPrefetch, PrefetchConfig, PrefetchHint, PrefetchPolicy, Prefetcher, QueueLookahead,
-    RoundRobinRouter, Router, SwapStats, TransferTimeline,
+    DeltaZipConfig, EngineBuilder, LeastLoadedRouter, LoadProfile, Metrics, PlacementAwareRouter,
+    PlacementPlan, PopularityPrefetch, PrefetchConfig, PrefetchHint, PrefetchPolicy, Prefetcher,
+    QueueLookahead, RoundRobinRouter, Router, SwapStats, ToppingsStats, TransferTimeline,
+    VariantCatalog, VariantKind, VariantSpec,
 };
 use dz_serve::{DeltaZipEngine, Engine};
 pub use dz_store::{
@@ -444,10 +445,57 @@ impl DeltaZip {
         config: DeltaZipConfig,
         binding: DeltaStoreBinding,
     ) -> (Metrics, DeltaStoreBinding) {
-        let mut engine = DeltaZipEngine::new(cost, config).with_delta_store(binding);
+        let mut engine = EngineBuilder::new(cost)
+            .scheduler(config)
+            .store(binding)
+            .build();
         let metrics = engine.run(trace);
         let binding = engine.delta_store.take().expect("binding attached above");
         (metrics, binding)
+    }
+
+    /// Replays a trace through the unified toppings engine: each model's
+    /// [`VariantKind`] (base, LoRA, delta, or stacked delta+LoRA) comes
+    /// from the catalog, and one continuous batch serves all four kinds
+    /// subject to the scheduler's `max_toppings_per_batch` cap — delta
+    /// requests dispatch through SBMM, adapters through SGMV.
+    ///
+    /// ```
+    /// use deltazip::{CostModel, DeltaZip, DeltaZipConfig, VariantCatalog};
+    /// use dz_gpusim::shapes::ModelShape;
+    /// use dz_gpusim::spec::NodeSpec;
+    /// use dz_workload::{PopularityDist, Trace, TraceSpec};
+    ///
+    /// let dz = DeltaZip::new();
+    /// let trace = Trace::generate(TraceSpec {
+    ///     n_models: 6,
+    ///     arrival_rate: 1.0,
+    ///     duration_s: 10.0,
+    ///     popularity: PopularityDist::Zipf { alpha: 1.5 },
+    ///     seed: 7,
+    /// });
+    /// let cost = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
+    /// let metrics = dz.simulate_toppings(
+    ///     &trace,
+    ///     cost,
+    ///     DeltaZipConfig::default(),
+    ///     VariantCatalog::interleaved(6, 16),
+    /// );
+    /// assert_eq!(metrics.len(), trace.len());
+    /// assert_eq!(metrics.toppings.total_reqs(), trace.len());
+    /// ```
+    pub fn simulate_toppings(
+        &self,
+        trace: &Trace,
+        cost: CostModel,
+        config: DeltaZipConfig,
+        catalog: VariantCatalog,
+    ) -> Metrics {
+        EngineBuilder::new(cost)
+            .scheduler(config)
+            .catalog(catalog)
+            .build()
+            .run(trace)
     }
 }
 

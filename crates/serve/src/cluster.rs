@@ -6,7 +6,8 @@
 //! that layer:
 //!
 //! * [`ClusterSim`] owns `R` replicas — each an independent
-//!   [`DeltaZipEngine`] with its own cost model, its own warm set, and
+//!   [`DeltaZipEngine`](crate::DeltaZipEngine) with its own cost model,
+//!   its own warm set, and
 //!   (optionally) its own [`TieredDeltaStore`](dz_store::TieredDeltaStore)
 //!   budget via a [`DeltaStoreBinding`] — and replays a trace through a
 //!   front-end router,
@@ -39,7 +40,7 @@
 
 use crate::chaos::{ChaosConfig, ChaosStats, FaultKind};
 use crate::cost::CostModel;
-use crate::deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
+use crate::deltazip::{DeltaStoreBinding, DeltaZipConfig};
 use crate::metrics::{Metrics, RequestRecord, SwapStats};
 use crate::slo::{SloClass, SloPolicy};
 use crate::swap::{Brownout, PrefetchPolicy};
@@ -621,6 +622,12 @@ pub struct ClusterConfig {
     /// replica from the trace's popularity for
     /// [`PrefetchPolicy::Popularity`]). `None` disables it.
     pub prefetch_policy: Option<PrefetchPolicy>,
+    /// Optional variant catalog shared by every replica: requests whose
+    /// model is not delta-backed (base or pure LoRA) are placement-free —
+    /// adapters are ~MB, replicated everywhere, and always routed as warm;
+    /// routing-time prefetch hints are only spent on delta-backed models.
+    /// `None` keeps the legacy all-delta behavior.
+    pub catalog: Option<crate::variant::VariantCatalog>,
 }
 
 impl Default for ClusterConfig {
@@ -632,6 +639,7 @@ impl Default for ClusterConfig {
             router_warm_deltas: None,
             prefetch: None,
             prefetch_policy: None,
+            catalog: None,
         }
     }
 }
@@ -1045,6 +1053,18 @@ impl ClusterSim {
             .unwrap_or(usize::MAX)
     }
 
+    /// Whether a model's variant is delta-backed and therefore
+    /// placement-critical. Catalog-free clusters treat every model as a
+    /// delta (the legacy behavior). Base and pure-LoRA variants are ~free
+    /// to replicate, so every replica counts as warm for them and no
+    /// prefetch-hint budget is spent on their behalf.
+    fn model_needs_delta(&self, model: usize) -> bool {
+        self.config
+            .catalog
+            .as_ref()
+            .is_none_or(|c| c.kind_of(model).needs_delta())
+    }
+
     /// Builds the per-replica front-end states (predicted warm sets,
     /// amortized service rates) shared by both front ends.
     fn build_states(&self, trace: &Trace, initial_live: usize) -> Vec<ReplicaFrontendState> {
@@ -1417,7 +1437,7 @@ impl ClusterSim {
             for state in &mut states {
                 state.prune(now);
             }
-            let views: Vec<ReplicaView> = states
+            let mut views: Vec<ReplicaView> = states
                 .iter()
                 .enumerate()
                 .map(|(r, s)| {
@@ -1430,6 +1450,17 @@ impl ClusterSim {
                     v
                 })
                 .collect();
+            if !self.model_needs_delta(p.req.model) {
+                // Non-delta variants (base weights, MB-scale adapters) are
+                // resident on every live replica: the router sees them as
+                // warm everywhere and charges no swap-in.
+                for v in &mut views {
+                    v.warm = true;
+                    v.decoded = true;
+                    v.cold_load_s = 0.0;
+                    v.warm_load_s = 0.0;
+                }
+            }
             let live_now = views.iter().filter(|v| v.alive).count();
             if let Some(stats) = chaos_stats.as_mut() {
                 stats.min_live = stats.min_live.min(live_now);
@@ -1590,6 +1621,11 @@ impl ClusterSim {
                     if hint.replica >= n {
                         continue;
                     }
+                    // Hint budget is for GB-scale deltas only; adapters
+                    // and base weights need no placement.
+                    if !self.model_needs_delta(hint.model) {
+                        continue;
+                    }
                     // A hint aimed at a dead replica is dropped, not
                     // leaked into its predicted (or real) cache.
                     if !views[hint.replica].alive {
@@ -1614,7 +1650,11 @@ impl ClusterSim {
             let est = self.costs[r].prefill_time(p.req.prompt_tokens)
                 + p.req.output_tokens as f64 * state.per_token_s
                 + if warm { 0.0 } else { views[r].cold_load_s };
-            state.touch_used(p.req.model);
+            if self.model_needs_delta(p.req.model) {
+                // Adapter/base models must not occupy predicted
+                // delta-warm-set capacity.
+                state.touch_used(p.req.model);
+            }
             state.charge(now, est);
             let est_finish = state.busy_until;
             let mut admitted = p.req.clone();
@@ -1978,7 +2018,7 @@ impl ClusterSim {
             for state in &mut states {
                 state.prune(now);
             }
-            let views: Vec<ReplicaView> = states
+            let mut views: Vec<ReplicaView> = states
                 .iter()
                 .enumerate()
                 .map(|(r, s)| {
@@ -1991,6 +2031,17 @@ impl ClusterSim {
                     v
                 })
                 .collect();
+            if !self.model_needs_delta(p.req.model) {
+                // Non-delta variants (base weights, MB-scale adapters) are
+                // resident on every live replica: the router sees them as
+                // warm everywhere and charges no swap-in.
+                for v in &mut views {
+                    v.warm = true;
+                    v.decoded = true;
+                    v.cold_load_s = 0.0;
+                    v.warm_load_s = 0.0;
+                }
+            }
             let live_now = views.iter().filter(|v| v.alive).count();
             if let Some(stats) = chaos_stats.as_mut() {
                 stats.min_live = stats.min_live.min(live_now);
@@ -2142,6 +2193,11 @@ impl ClusterSim {
                     if hint.replica >= n {
                         continue;
                     }
+                    // Hint budget is for GB-scale deltas only; adapters
+                    // and base weights need no placement.
+                    if !self.model_needs_delta(hint.model) {
+                        continue;
+                    }
                     // A hint aimed at a dead replica is dropped, not
                     // leaked into its predicted (or real) cache.
                     if !views[hint.replica].alive {
@@ -2166,7 +2222,11 @@ impl ClusterSim {
             let est = self.costs[r].prefill_time(p.req.prompt_tokens)
                 + p.req.output_tokens as f64 * state.per_token_s
                 + if warm { 0.0 } else { views[r].cold_load_s };
-            state.touch_used(p.req.model);
+            if self.model_needs_delta(p.req.model) {
+                // Adapter/base models must not occupy predicted
+                // delta-warm-set capacity.
+                state.touch_used(p.req.model);
+            }
             state.charge(now, est);
             let est_finish = state.busy_until;
             let mut admitted = p.req.clone();
@@ -2254,19 +2314,23 @@ impl ClusterSim {
                     },
                     requests,
                 };
-                let mut engine = DeltaZipEngine::new(self.costs[r], self.config.engine);
+                let mut builder =
+                    crate::builder::EngineBuilder::new(self.costs[r]).scheduler(self.config.engine);
+                if let Some(cat) = &self.config.catalog {
+                    builder = builder.catalog(cat.clone());
+                }
                 if let Some(cfg) = self.trace_config {
-                    engine = engine.with_tracing(cfg);
+                    builder = builder.tracing(cfg);
                 }
                 if let Some(adm) = &self.config.admission {
-                    engine = engine.with_slo_policy(adm.slo.clone());
+                    builder = builder.slo(adm.slo.clone());
                 }
                 if let Some(policy) = self.config.prefetch_policy {
-                    engine = engine
-                        .with_prefetcher(policy.build(trace.spec.popularity, trace.spec.n_models));
+                    builder = builder
+                        .prefetcher(policy.build(trace.spec.popularity, trace.spec.n_models));
                 }
                 if !replica_brownouts[r].is_empty() {
-                    engine = engine.with_brownouts(replica_brownouts[r].clone());
+                    builder = builder.brownouts(replica_brownouts[r].clone());
                 }
                 if let Some(mut b) = binding.take() {
                     if e_idx > 0 {
@@ -2274,8 +2338,9 @@ impl ClusterSim {
                         // the real host cache as well.
                         b.store_mut().invalidate_resident();
                     }
-                    engine = engine.with_delta_store(b);
+                    builder = builder.store(b);
                 }
+                let mut engine = builder.build();
                 let mut m = engine.run(&sub);
                 makespan = makespan.max(m.makespan_s);
                 for rec in &m.records {
@@ -2342,11 +2407,16 @@ impl ClusterSim {
             cluster_swap.merge(&m.swap);
         }
         self.trace_tracks = trace_tracks;
+        let mut cluster_toppings = crate::metrics::ToppingsStats::default();
+        for m in &per_replica {
+            cluster_toppings.merge(&m.toppings);
+        }
         let merged = Metrics {
             engine: format!("Cluster[{}x {}]", n, self.router.name()),
             records,
             makespan_s: makespan,
             swap: cluster_swap,
+            toppings: cluster_toppings,
         };
         ClusterReport {
             merged,
@@ -2501,6 +2571,7 @@ pub fn run_partitioned(
         records,
         makespan_s: makespan,
         swap: SwapStats::default(),
+        toppings: crate::metrics::ToppingsStats::default(),
     }
 }
 

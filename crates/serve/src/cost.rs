@@ -13,6 +13,26 @@ use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_gpusim::xfer;
 
+/// Per-kind kernel-time breakdown of one heterogeneous toppings decode
+/// iteration (see [`CostModel::toppings_decode_iter`]).
+///
+/// `total_s` is the charge the engine advances the clock by, computed in
+/// the exact (addition-order-sensitive) sequence of the legacy delta-only
+/// iteration; the per-kind components are separate accumulators that sum
+/// to `total_s` up to float re-association.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ToppingsIterCost {
+    /// Total iteration time (s) — what the simulation clock advances by.
+    pub total_s: f64,
+    /// Shared base-model work: batched GEMMs, LM head + KV traffic, and
+    /// tensor-parallel all-reduces (s).
+    pub base_s: f64,
+    /// Delta SBMM work over the delta-backed sub-batch (s).
+    pub sbmm_s: f64,
+    /// Adapter SGMV work over the adapter-backed sub-batch (s).
+    pub sgmv_s: f64,
+}
+
 /// Shared cost parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
@@ -84,17 +104,54 @@ impl CostModel {
         self.shape.fp16_bytes()
     }
 
+    /// Resident bytes of one rank-`rank` adapter: FP16 A/B factors for
+    /// every adapted projection across all layers. Megabytes against the
+    /// gigabytes of [`delta_bytes`](Self::delta_bytes) — the warmth
+    /// asymmetry that makes adapters near-free to replicate.
+    pub fn adapter_bytes(&self, rank: usize) -> f64 {
+        let per_layer: usize = self
+            .shape
+            .layer_linears()
+            .iter()
+            .map(|&(k, n)| (k * rank + rank * n) * 2)
+            .sum();
+        (per_layer * self.shape.n_layers) as f64
+    }
+
     /// Time for one decode iteration of the DeltaZip engine.
     ///
     /// `reqs_per_delta[d]` is the number of running requests per resident
     /// delta (zeros allowed); their sum is the shared base batch.
     pub fn deltazip_decode_iter(&self, reqs_per_delta: &[usize], strategy: BatchedImpl) -> f64 {
         let batch: usize = reqs_per_delta.iter().sum();
+        self.toppings_decode_iter(batch, reqs_per_delta, &[], 0, strategy)
+            .total_s
+    }
+
+    /// Time for one heterogeneous "toppings" decode iteration: one shared
+    /// base GEMM over the whole `batch`, SBMM over the delta-backed
+    /// sub-batch, and SGMV over the adapter-backed sub-batch (stacked
+    /// requests appear in both). With no adapters this is float-for-float
+    /// the legacy delta-only iteration — the all-delta differential test
+    /// pins that bit-identity.
+    ///
+    /// `batch` is the total running batch (base requests contribute to
+    /// the shared GEMM even though they appear in neither slice).
+    pub fn toppings_decode_iter(
+        &self,
+        batch: usize,
+        reqs_per_delta: &[usize],
+        reqs_per_adapter: &[usize],
+        rank: usize,
+        strategy: BatchedImpl,
+    ) -> ToppingsIterCost {
         if batch == 0 {
-            return 0.0;
+            return ToppingsIterCost::default();
         }
+        let adapter_batch: usize = reqs_per_adapter.iter().sum();
         let tp = self.node.n_gpus.max(1);
         let mut t = 0.0;
+        let (mut base_s, mut sbmm_s, mut sgmv_s) = (0.0f64, 0.0f64, 0.0f64);
         for (k, n) in self.shape.layer_linears() {
             // Base GEMM, batched over every request, sharded over TP ranks.
             let base = MatmulDesc {
@@ -103,9 +160,11 @@ impl CostModel {
                 n: n / tp,
                 format: WeightFormat::Fp16,
             };
-            t += matmul_time(&self.node.gpu, &base);
-            // Delta SBMM on the same activations.
-            t += sbmm_time(
+            let b = matmul_time(&self.node.gpu, &base);
+            t += b;
+            base_s += b;
+            // Delta SBMM on the same activations (0 when no delta work).
+            let s = sbmm_time(
                 &self.node.gpu,
                 reqs_per_delta,
                 k,
@@ -113,11 +172,37 @@ impl CostModel {
                 self.delta_format,
                 strategy,
             );
+            t += s;
+            sbmm_s += s;
+            // Adapter SGMV, same pricing as `lora_decode_iter`.
+            if adapter_batch > 0 {
+                let distinct = reqs_per_adapter.iter().filter(|&&r| r > 0).count();
+                let adapter_bytes = (k * rank + rank * n / tp) as f64 * 2.0;
+                let adapter_flops = 2.0 * adapter_batch as f64 * (k * rank + rank * n / tp) as f64;
+                let bw = self.node.gpu.hbm_bw_gbps * 1e9;
+                let peak = self.node.gpu.fp16_tflops * 1e12 * self.node.gpu.efficiency;
+                let g = (adapter_flops / peak).max(adapter_bytes * distinct as f64 / bw)
+                    + 2.0 * self.node.gpu.kernel_launch_us * 1e-6;
+                t += g;
+                sgmv_s += g;
+            }
         }
         t *= self.shape.n_layers as f64;
-        t += self.head_and_kv_time(batch);
-        t += self.allreduce_per_iter(batch);
-        t
+        base_s *= self.shape.n_layers as f64;
+        sbmm_s *= self.shape.n_layers as f64;
+        sgmv_s *= self.shape.n_layers as f64;
+        let head = self.head_and_kv_time(batch);
+        t += head;
+        base_s += head;
+        let ar = self.allreduce_per_iter(batch);
+        t += ar;
+        base_s += ar;
+        ToppingsIterCost {
+            total_s: t,
+            base_s,
+            sbmm_s,
+            sgmv_s,
+        }
     }
 
     /// Time for one decode iteration of the vLLM+SCB baseline.
@@ -522,6 +607,61 @@ mod tests {
         let lora = cm.lora_decode_iter(&reqs, 16);
         let dz = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
         assert!(lora < dz, "lora {lora} vs dz {dz}");
+    }
+
+    #[test]
+    fn toppings_iter_with_no_adapters_is_bitwise_delta_iter() {
+        // The unified-iteration contract: an adapter-free toppings batch
+        // must charge the exact legacy delta-only float sequence.
+        let cm = model();
+        for reqs in [vec![4usize], vec![2usize; 8], vec![0, 3, 0, 1]] {
+            let batch: usize = reqs.iter().sum();
+            let unified = cm.toppings_decode_iter(batch, &reqs, &[], 0, BatchedImpl::SbmmPlus);
+            let legacy = cm.deltazip_decode_iter(&reqs, BatchedImpl::SbmmPlus);
+            assert_eq!(unified.total_s.to_bits(), legacy.to_bits());
+            assert_eq!(unified.sgmv_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn toppings_components_sum_to_total() {
+        let cm = model();
+        let c = cm.toppings_decode_iter(10, &[2, 3], &[1, 4], 16, BatchedImpl::SbmmPlus);
+        let sum = c.base_s + c.sbmm_s + c.sgmv_s;
+        assert!(
+            (sum - c.total_s).abs() < 1e-9 * c.total_s,
+            "components {sum} vs total {}",
+            c.total_s
+        );
+        assert!(c.base_s > 0.0 && c.sbmm_s > 0.0 && c.sgmv_s > 0.0);
+        // Mixing adapters in costs more than the delta work alone.
+        let delta_only = cm.toppings_decode_iter(10, &[2, 3], &[], 0, BatchedImpl::SbmmPlus);
+        assert!(c.total_s > delta_only.total_s);
+        // On a single-GPU node (full delta shards per GPU — the
+        // bench-toppings 3090/7B cell) serving the adapter sub-batch via
+        // SGMV is cheaper than streaming it as two more deltas; at high
+        // TP the shards shrink and SGMV's launch overhead can win out.
+        let single = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b());
+        let mixed = single.toppings_decode_iter(10, &[2, 3], &[1, 4], 16, BatchedImpl::SbmmPlus);
+        let all_delta =
+            single.toppings_decode_iter(10, &[2, 3, 1, 4], &[], 0, BatchedImpl::SbmmPlus);
+        assert!(
+            mixed.total_s < all_delta.total_s,
+            "mixed {} vs all-delta {}",
+            mixed.total_s,
+            all_delta.total_s
+        );
+    }
+
+    #[test]
+    fn adapter_bytes_are_megabytes_not_gigabytes() {
+        let cm = model();
+        let a = cm.adapter_bytes(16);
+        assert!(a > 1e6, "rank-16 adapter {a} bytes");
+        // ~45x lighter than the packed delta (rank-16 over every linear
+        // of the 13B model is ~125 MB vs the ~5.6 GB delta).
+        assert!(a < cm.delta_bytes() / 20.0, "adapters must be near-free");
+        assert!(cm.adapter_bytes(32) > a);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! "dynamic tuning").
 
 use crate::cost::CostModel;
-use crate::metrics::{Metrics, SwapStats};
+use crate::metrics::{Metrics, SwapStats, ToppingsStats};
 use crate::policy::{PreemptionPolicy, ResumePolicy};
 use crate::predictor::LengthEstimator;
 use crate::request::{Phase, ReqState};
@@ -39,6 +39,7 @@ use crate::swap::{
     Completion, LoadKind, LoadToken, PrefetchConfig, PrefetchContext, Prefetcher, TransferTimeline,
 };
 use crate::tuning::DynamicN;
+use crate::variant::{VariantCatalog, VariantKind};
 use crate::Engine;
 use dz_gpusim::kernel::BatchedImpl;
 use dz_store::{ArtifactId, DecodedFetch, FetchTier, TieredDeltaStore, Warmth};
@@ -77,6 +78,17 @@ pub struct DeltaZipConfig {
     /// every missing delta is charged up front and the *whole batch*
     /// stalls on the sum (the baseline `exp bench-swap` compares against).
     pub overlap_swaps: bool,
+    /// Cap on **distinct toppings** (non-base variants: LoRA adapters,
+    /// deltas, stacked) co-batched in one iteration. Deltas additionally
+    /// stay under `max_concurrent_deltas`; pure-LoRA variants count only
+    /// against this cap. `None` = unbounded (the legacy delta-only
+    /// behavior, where `N` alone governs).
+    pub max_toppings_per_batch: Option<usize>,
+    /// Refuse to mix delta-backed variants (Delta/Stacked) with pure-LoRA
+    /// variants in the same batch — the segregated-pool baseline that
+    /// `exp bench-toppings` compares the mixed pool against. Base-model
+    /// requests join either side. Default `false` (mixed batches).
+    pub segregate_kinds: bool,
 }
 
 impl Default for DeltaZipConfig {
@@ -90,6 +102,8 @@ impl Default for DeltaZipConfig {
             skip_the_line: true,
             host_capacity_deltas: None,
             overlap_swaps: true,
+            max_toppings_per_batch: None,
+            segregate_kinds: false,
         }
     }
 }
@@ -103,6 +117,9 @@ impl DeltaZipConfig {
         let floor = self.max_concurrent_deltas.max(1);
         if let Some(cap) = self.host_capacity_deltas {
             self.host_capacity_deltas = Some(cap.max(floor));
+        }
+        if let Some(cap) = self.max_toppings_per_batch {
+            self.max_toppings_per_batch = Some(cap.max(1));
         }
         self
     }
@@ -231,6 +248,12 @@ pub struct DeltaZipEngine {
     /// from real `.dza` byte sizes and the store's own disk→host tiering
     /// replaces the synthetic `host_capacity_deltas` model.
     pub delta_store: Option<DeltaStoreBinding>,
+    /// Optional variant catalog. When set, each request is served per its
+    /// model's registered [`VariantKind`] — base requests ride the shared
+    /// GEMM for free, LoRA adapters dispatch through SGMV, deltas through
+    /// SBMM, stacked variants through both. `None` = every model is a
+    /// delta (the legacy behavior, bit-identical to pre-catalog runs).
+    pub catalog: Option<VariantCatalog>,
     /// Optional predictive prefetcher: prewarms deltas disk→host ahead of
     /// demand (only active with [`DeltaZipConfig::overlap_swaps`]).
     pub prefetcher: Option<Box<dyn Prefetcher>>,
@@ -261,6 +284,7 @@ impl DeltaZipEngine {
             slo_policy: None,
             dynamic_n: None,
             delta_store: None,
+            catalog: None,
             prefetcher: None,
             prefetch_config: PrefetchConfig::default(),
             brownouts: Vec::new(),
@@ -291,8 +315,16 @@ impl DeltaZipEngine {
     /// Attaches an artifact store: loads are charged by the bound
     /// artifacts' real compressed byte sizes (host hit pays the PCIe hop
     /// only; a miss pays disk plus PCIe).
+    #[deprecated(since = "0.6.0", note = "use `EngineBuilder::store` instead")]
     pub fn with_delta_store(mut self, binding: DeltaStoreBinding) -> Self {
         self.delta_store = Some(binding);
+        self
+    }
+
+    /// Attaches a variant catalog: requests are served per their model's
+    /// registered [`VariantKind`] instead of the delta-only default.
+    pub fn with_catalog(mut self, catalog: VariantCatalog) -> Self {
+        self.catalog = Some(catalog);
         self
     }
 
@@ -348,6 +380,16 @@ impl Engine for DeltaZipEngine {
         let cfg = self.config.validated();
         let cost = self.cost;
         let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
+        // Variant kinds: stamped once from the catalog (every state
+        // defaults to Delta, so catalog-free runs take the legacy paths).
+        if let Some(cat) = &self.catalog {
+            for s in &mut states {
+                s.kind = cat.kind_of(s.req.model);
+            }
+        }
+        let toppings_cap = cfg.max_toppings_per_batch.unwrap_or(usize::MAX);
+        let sgmv_rank = self.catalog.as_ref().map_or(0, |c| c.max_adapter_rank());
+        let mut toppings = ToppingsStats::default();
         // Queue of request ids, FCFS == id order (trace is arrival-sorted).
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
@@ -389,6 +431,7 @@ impl Engine for DeltaZipEngine {
                 tracer.emit(|| TraceEvent::RequestQueued {
                     id: states[next_arrival].req.id,
                     model: states[next_arrival].req.model,
+                    kind: states[next_arrival].kind.topping_kind(),
                     at: states[next_arrival].req.arrival,
                 });
                 queue.insert(next_arrival);
@@ -436,11 +479,27 @@ impl Engine for DeltaZipEngine {
                 }
                 None => cfg.max_concurrent_deltas,
             };
+            // `selected` claims GPU delta slots — only delta-backed kinds
+            // (Delta/Stacked) occupy them. `toppings_in_batch` counts every
+            // distinct non-base topping (adapters included) against
+            // `max_toppings_per_batch`.
             let mut selected: BTreeSet<usize> = running
                 .iter()
                 .chain(waiting.iter())
+                .filter(|&&i| states[i].kind.needs_delta())
                 .map(|&i| states[i].req.model)
                 .collect();
+            let mut toppings_in_batch: BTreeSet<usize> = running
+                .iter()
+                .chain(waiting.iter())
+                .filter(|&&i| states[i].kind.is_topping())
+                .map(|&i| states[i].req.model)
+                .collect();
+            let mut has_delta_side = !selected.is_empty();
+            let mut has_adapter_side = running
+                .iter()
+                .chain(waiting.iter())
+                .any(|&i| matches!(states[i].kind, VariantKind::Lora { .. }));
             parent_of_delta.retain(|d, _| selected.contains(d));
             let mut batch_size = running.len() + waiting.len();
             let mut admitted: Vec<usize> = Vec::new();
@@ -449,16 +508,47 @@ impl Engine for DeltaZipEngine {
                     break;
                 }
                 let delta = states[qid].req.model;
-                if selected.contains(&delta) {
-                    if !cfg.skip_the_line && parent_of_delta.get(&delta) != Some(&qid) {
-                        // Pure FCFS ablation: only the queue head may enter.
+                let kind = states[qid].kind;
+                if cfg.segregate_kinds {
+                    // Segregated-pool baseline: delta-backed and pure-LoRA
+                    // toppings never share a batch (base rides anywhere).
+                    let joins_adapter = matches!(kind, VariantKind::Lora { .. });
+                    if (kind.needs_delta() && has_adapter_side) || (joins_adapter && has_delta_side)
+                    {
                         continue;
                     }
-                    admitted.push(qid);
-                    batch_size += 1;
-                } else if selected.len() < n_cap {
-                    selected.insert(delta);
-                    parent_of_delta.insert(delta, qid);
+                }
+                let admit_now = if kind.needs_delta() {
+                    if selected.contains(&delta) {
+                        if !cfg.skip_the_line && parent_of_delta.get(&delta) != Some(&qid) {
+                            // Pure FCFS ablation: only the queue head enters.
+                            continue;
+                        }
+                        true
+                    } else if selected.len() < n_cap
+                        && (toppings_in_batch.contains(&delta)
+                            || toppings_in_batch.len() < toppings_cap)
+                    {
+                        selected.insert(delta);
+                        parent_of_delta.insert(delta, qid);
+                        true
+                    } else {
+                        false
+                    }
+                } else if kind.is_topping() {
+                    // Pure LoRA: adapters are GPU-cheap (no delta slot,
+                    // no swap-in) — only the toppings cap binds.
+                    toppings_in_batch.contains(&delta) || toppings_in_batch.len() < toppings_cap
+                } else {
+                    // Base model: shares the batch GEMM, no topping state.
+                    true
+                };
+                if admit_now {
+                    if kind.is_topping() {
+                        toppings_in_batch.insert(delta);
+                    }
+                    has_delta_side |= kind.needs_delta();
+                    has_adapter_side |= matches!(kind, VariantKind::Lora { .. });
                     admitted.push(qid);
                     batch_size += 1;
                 }
@@ -484,9 +574,13 @@ impl Engine for DeltaZipEngine {
                 tracer.emit(|| TraceEvent::RequestAdmitted {
                     id: states[qid].req.id,
                     model: states[qid].req.model,
+                    kind: states[qid].kind.topping_kind(),
                     at: t,
                 });
-                if cfg.overlap_swaps && !on_gpu.contains_key(&states[qid].req.model) {
+                if cfg.overlap_swaps
+                    && states[qid].kind.needs_delta()
+                    && !on_gpu.contains_key(&states[qid].req.model)
+                {
                     // Overlapped mode: hold a batch slot but wait for this
                     // delta's own load; the resident sub-batch decodes on.
                     blocked_at.insert(qid, t);
@@ -702,6 +796,9 @@ impl Engine for DeltaZipEngine {
                 let queued_models: Vec<usize> = self
                     .scan_order(&queue, &states, t)
                     .into_iter()
+                    // Only delta-backed variants are placement-critical
+                    // enough to prewarm; adapters are ~MB and load inline.
+                    .filter(|&qid| states[qid].kind.needs_delta())
                     .map(|qid| states[qid].req.model)
                     .collect();
                 let ctx = PrefetchContext {
@@ -837,26 +934,66 @@ impl Engine for DeltaZipEngine {
                 }
             }
 
-            // Step 5: one decode iteration over the resident sub-batch.
+            // Step 5: one decode iteration over the resident sub-batch —
+            // shared base GEMM for everyone, SBMM over the resident deltas,
+            // SGMV over the co-batched adapters (stacked variants hit both).
             let delta_ids: Vec<usize> = selected
                 .iter()
                 .copied()
                 .filter(|d| on_gpu.contains_key(d))
                 .collect();
             let mut reqs_per_delta = vec![0usize; delta_ids.len()];
+            let mut adapter_ids: Vec<usize> = Vec::new();
+            let mut reqs_per_adapter: Vec<usize> = Vec::new();
+            let mut batch_has_delta = false;
+            let mut batch_has_pure_lora = false;
             for &rid in &running {
-                let di = delta_ids
-                    .iter()
-                    .position(|&d| d == states[rid].req.model)
-                    .expect("running request's delta is resident");
-                reqs_per_delta[di] += 1;
+                batch_has_delta |= states[rid].kind.needs_delta();
+                batch_has_pure_lora |= matches!(states[rid].kind, VariantKind::Lora { .. });
+                if states[rid].kind.needs_delta() {
+                    let di = delta_ids
+                        .iter()
+                        .position(|&d| d == states[rid].req.model)
+                        .expect("running request's delta is resident");
+                    reqs_per_delta[di] += 1;
+                }
+                if states[rid].kind.adapter_rank().is_some() {
+                    let m = states[rid].req.model;
+                    match adapter_ids.iter().position(|&a| a == m) {
+                        Some(ai) => reqs_per_adapter[ai] += 1,
+                        None => {
+                            adapter_ids.push(m);
+                            reqs_per_adapter.push(1);
+                        }
+                    }
+                }
             }
-            t += cost.deltazip_decode_iter(&reqs_per_delta, cfg.strategy);
+            let iter_cost = cost.toppings_decode_iter(
+                running.len(),
+                &reqs_per_delta,
+                &reqs_per_adapter,
+                sgmv_rank,
+                cfg.strategy,
+            );
+            t += iter_cost.total_s;
+            toppings.batches += 1;
+            toppings.base_gemm_s += iter_cost.base_s;
+            toppings.sbmm_s += iter_cost.sbmm_s;
+            toppings.sgmv_s += iter_cost.sgmv_s;
+            toppings.max_toppings_in_batch =
+                toppings.max_toppings_in_batch.max(toppings_in_batch.len());
+            // "Mixed" means pools actually mixed: a delta-backed request
+            // (Delta/Stacked) co-batched with a pure-LoRA one. A lone
+            // stacked variant drives both kernels but is one pool.
+            if batch_has_delta && batch_has_pure_lora {
+                toppings.mixed_batches += 1;
+            }
             tracer.emit(|| TraceEvent::BatchStep {
                 at: t_before,
                 dur_s: t - t_before,
                 batch: running.len(),
                 deltas: delta_ids.len(),
+                loras: adapter_ids.len(),
             });
             let mut finished_parents: Vec<usize> = Vec::new();
             for &rid in &running {
@@ -963,9 +1100,19 @@ impl Engine for DeltaZipEngine {
             // parents back to their original queue slots. Only kick children
             // when someone is actually starving: a queued request whose
             // delta is not in the selected set.
-            let someone_starving = queue
-                .iter()
-                .any(|&qid| !selected.contains(&states[qid].req.model));
+            // Base requests never starve on a topping slot; adapters starve
+            // only when the toppings cap shuts them out; delta-backed kinds
+            // starve when their delta is not selected (the legacy rule).
+            let someone_starving = queue.iter().any(|&qid| {
+                let m = states[qid].req.model;
+                match states[qid].kind {
+                    VariantKind::Base => false,
+                    VariantKind::Lora { .. } => {
+                        !toppings_in_batch.contains(&m) && toppings_in_batch.len() >= toppings_cap
+                    }
+                    VariantKind::Delta | VariantKind::Stacked { .. } => !selected.contains(&m),
+                }
+            });
             if cfg.preemption.enabled() && someone_starving {
                 let finished: HashSet<usize> = finished_parents.iter().copied().collect();
                 let mut preempted = Vec::new();
@@ -1010,9 +1157,21 @@ impl Engine for DeltaZipEngine {
             }
         }
 
+        // Per-kind served-request tallies (every state is finished here).
+        for s in &states {
+            match s.kind {
+                VariantKind::Base => toppings.base_reqs += 1,
+                VariantKind::Lora { .. } => toppings.lora_reqs += 1,
+                VariantKind::Delta => toppings.delta_reqs += 1,
+                VariantKind::Stacked { .. } => toppings.stacked_reqs += 1,
+            }
+        }
+
         // Re-attach the tracer so the caller can harvest the log.
         self.tracer = tracer;
-        Metrics::from_states(self.label(), &states, t).with_swap(swap)
+        Metrics::from_states(self.label(), &states, t)
+            .with_swap(swap)
+            .with_toppings(toppings)
     }
 }
 

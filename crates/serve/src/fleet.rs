@@ -748,6 +748,7 @@ impl FleetSim {
                     tracer.emit(|| TraceEvent::RequestQueued {
                         id: req.id,
                         model: req.model,
+                        kind: dz_trace::ToppingKind::Delta,
                         at: t,
                     });
                     tracer.emit(|| TraceEvent::RequestFinished {

@@ -21,9 +21,15 @@
 //! pluggable [`cluster::Router`] (round-robin, least-loaded, or
 //! placement-aware routing over each replica's delta warm set), with
 //! popularity-driven delta replication and SLO-aware admission control.
+//!
+//! The unified entry point is [`builder::EngineBuilder`]: register each
+//! model's [`variant::VariantKind`] (base, LoRA, delta, or stacked) in a
+//! [`variant::VariantCatalog`] and one [`deltazip::DeltaZipEngine`] serves
+//! the heterogeneous mix in shared "toppings" batches.
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod chaos;
 pub mod cluster;
 pub mod cost;
@@ -37,8 +43,10 @@ pub mod request;
 pub mod slo;
 pub mod swap;
 pub mod tuning;
+pub mod variant;
 pub mod vllm_scb;
 
+pub use builder::EngineBuilder;
 pub use chaos::{
     Autoscaler, Brownout, ChaosConfig, ChaosStats, FaultEvent, FaultKind, FaultPlan,
     RandomFaultConfig, Rollout,
@@ -48,14 +56,14 @@ pub use cluster::{
     LeastLoadedRouter, PlacementAwareRouter, PlacementPlan, PrefetchHint, ReplicaView,
     RoundRobinRouter, Router, RoutingStats, ShedRecord,
 };
-pub use cost::CostModel;
+pub use cost::{CostModel, ToppingsIterCost};
 pub use deltazip::{DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine};
 pub use fleet::{
     FetchCounts, FetchTier, FleetAutoscale, FleetConfig, FleetFault, FleetLogEntry, FleetReport,
     FleetRouter, FleetSim, FleetTopology,
 };
 pub use lora::{LoraEngine, LoraServingConfig};
-pub use metrics::{Metrics, SloWindow, SwapStats};
+pub use metrics::{Metrics, SloWindow, SwapStats, ToppingsStats};
 pub use policy::{PreemptionPolicy, ResumePolicy};
 pub use predictor::LengthEstimator;
 pub use slo::{SloClass, SloPolicy};
@@ -63,12 +71,13 @@ pub use swap::{
     LoadProfile, PopularityPrefetch, PrefetchConfig, PrefetchPolicy, Prefetcher, QueueLookahead,
     TransferTimeline,
 };
+pub use variant::{VariantCatalog, VariantKind, VariantSpec};
 pub use vllm_scb::{VllmScbConfig, VllmScbEngine};
 // Tracing surface: re-exported so engine users configure/consume traces
 // without naming `dz_trace` directly.
 pub use dz_trace::{
-    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, TraceConfig,
-    TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
+    chrome_trace_json, write_chrome_trace, AttributedRequest, CauseBreakdown, Causes, ToppingKind,
+    TraceConfig, TraceEvent, TraceLog, TraceTrack, Tracer, CAUSE_NAMES,
 };
 
 /// A serving engine that can replay a trace.

@@ -11,8 +11,9 @@
 //! per-adapter weight traffic and a gather-SpMM to every iteration.
 
 use crate::cost::CostModel;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ToppingsStats};
 use crate::request::{Phase, ReqState};
+use crate::variant::VariantKind;
 use crate::Engine;
 use dz_workload::Trace;
 use std::collections::BTreeSet;
@@ -60,8 +61,14 @@ pub struct LoraEngine {
 
 impl LoraEngine {
     /// Creates the engine.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `EngineBuilder::new(cost).adapters(config).build_adapter_only()` instead"
+    )]
     pub fn new(cost: CostModel, config: LoraServingConfig) -> Self {
-        LoraEngine { cost, config }
+        crate::builder::EngineBuilder::new(cost)
+            .adapters(config)
+            .build_adapter_only()
     }
 }
 
@@ -80,6 +87,13 @@ impl Engine for LoraEngine {
     fn run(&mut self, trace: &Trace) -> Metrics {
         let cost = self.cost;
         let mut states: Vec<ReqState> = trace.requests.iter().cloned().map(ReqState::new).collect();
+        // Every model on this engine is an adapter variant.
+        for s in &mut states {
+            s.kind = VariantKind::Lora {
+                rank: self.config.rank,
+            };
+        }
+        let mut toppings = ToppingsStats::default();
         let mut queue: BTreeSet<usize> = BTreeSet::new();
         let mut running: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
@@ -102,6 +116,9 @@ impl Engine for LoraEngine {
                     break;
                 };
                 queue.remove(&qid);
+                // Attribute the wait ending here (adapter serving never
+                // preempts, so this is always initial queueing).
+                states[qid].accrue(t, |c, dt| c.queue_s += dt);
                 states[qid].admit(t);
                 running.push(qid);
             }
@@ -128,9 +145,15 @@ impl Engine for LoraEngine {
                 self.config.rank,
                 self.config.sparse_density,
             );
+            toppings.batches += 1;
+            let distinct = reqs_per_adapter.iter().filter(|&&n| n > 0).count();
+            toppings.max_toppings_in_batch = toppings.max_toppings_in_batch.max(distinct);
             for &rid in &running {
                 states[rid].tokens_done += 1;
                 states[rid].record_first_token(t);
+                // Everything since the accounting boundary was this
+                // iteration's prefill + decode.
+                states[rid].accrue(t, |c, dt| c.decode_s += dt);
             }
             running.retain(|&rid| {
                 if states[rid].done() {
@@ -141,7 +164,8 @@ impl Engine for LoraEngine {
                 }
             });
         }
-        Metrics::from_states(self.label(), &states, t)
+        toppings.lora_reqs = states.len();
+        Metrics::from_states(self.label(), &states, t).with_toppings(toppings)
     }
 }
 
@@ -168,10 +192,16 @@ mod tests {
         CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b())
     }
 
+    fn lora(config: LoraServingConfig) -> LoraEngine {
+        crate::builder::EngineBuilder::new(cost())
+            .adapters(config)
+            .build_adapter_only()
+    }
+
     #[test]
     fn serves_everything_with_no_load_waits() {
         let tr = trace(1.0, 1);
-        let m = LoraEngine::new(cost(), LoraServingConfig::default()).run(&tr);
+        let m = lora(LoraServingConfig::default()).run(&tr);
         assert_eq!(m.len(), tr.len());
         assert!(m.records.iter().all(|r| r.load_s == 0.0));
     }
@@ -179,7 +209,7 @@ mod tests {
     #[test]
     fn figure15_ordering_lora_fastest_fullmodel_slowest() {
         let tr = trace(1.5, 2);
-        let lora = LoraEngine::new(cost(), LoraServingConfig::default()).run(&tr);
+        let lora = lora(LoraServingConfig::default()).run(&tr);
         let dz = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&tr);
         let vllm = VllmScbEngine::new(cost(), VllmScbConfig::default()).run(&tr);
         assert!(
@@ -199,21 +229,15 @@ mod tests {
     #[test]
     fn higher_rank_is_slightly_slower() {
         let tr = trace(2.0, 3);
-        let r16 = LoraEngine::new(
-            cost(),
-            LoraServingConfig {
-                rank: 16,
-                ..LoraServingConfig::default()
-            },
-        )
+        let r16 = lora(LoraServingConfig {
+            rank: 16,
+            ..LoraServingConfig::default()
+        })
         .run(&tr);
-        let r64 = LoraEngine::new(
-            cost(),
-            LoraServingConfig {
-                rank: 64,
-                ..LoraServingConfig::default()
-            },
-        )
+        let r64 = lora(LoraServingConfig {
+            rank: 64,
+            ..LoraServingConfig::default()
+        })
         .run(&tr);
         assert!(
             r16.mean_e2e() <= r64.mean_e2e() * 1.01,
@@ -229,8 +253,8 @@ mod tests {
         // cost more than plain LoRA, yet stay well under compressed-delta
         // FMT serving.
         let tr = trace(1.5, 4);
-        let lora = LoraEngine::new(cost(), LoraServingConfig::default()).run(&tr);
-        let rosa = LoraEngine::new(cost(), LoraServingConfig::rosa(16, 0.01)).run(&tr);
+        let rosa = lora(LoraServingConfig::rosa(16, 0.01)).run(&tr);
+        let lora = lora(LoraServingConfig::default()).run(&tr);
         let dz = DeltaZipEngine::new(cost(), DeltaZipConfig::default()).run(&tr);
         assert_eq!(rosa.len(), tr.len());
         assert!(
@@ -249,9 +273,9 @@ mod tests {
 
     #[test]
     fn rosa_label_reflects_density() {
-        let e = LoraEngine::new(cost(), LoraServingConfig::rosa(8, 0.02));
+        let e = lora(LoraServingConfig::rosa(8, 0.02));
         assert_eq!(e.label(), "RoSA(r=8,d=0.02)");
-        let plain = LoraEngine::new(cost(), LoraServingConfig::default());
+        let plain = lora(LoraServingConfig::default());
         assert_eq!(plain.label(), "LoRA(r=16)");
     }
 }

@@ -2,6 +2,7 @@
 //! per-request latency breakdown.
 
 use crate::request::ReqState;
+use crate::variant::VariantKind;
 use dz_trace::stats::{fraction_within, mean, percentile, ratio_or};
 use dz_trace::{AttributedRequest, CauseBreakdown, Causes, PromSnapshot};
 use serde::Serialize;
@@ -13,6 +14,9 @@ pub struct RequestRecord {
     pub id: usize,
     /// Target model variant.
     pub model: usize,
+    /// Variant kind the request was served as (the legacy delta-only
+    /// engines report [`VariantKind::Delta`]).
+    pub kind: VariantKind,
     /// Arrival time (s).
     pub arrival: f64,
     /// End-to-end latency (s).
@@ -90,6 +94,65 @@ impl SwapStats {
     }
 }
 
+/// Engine-level accounting of heterogeneous "toppings" batches: how the
+/// running batch decomposed by variant kind and where the kernel seconds
+/// went. Zero everywhere for engines without a variant catalog.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ToppingsStats {
+    /// Finished requests served as `Base`.
+    pub base_reqs: usize,
+    /// Finished requests served as `Lora`.
+    pub lora_reqs: usize,
+    /// Finished requests served as `Delta`.
+    pub delta_reqs: usize,
+    /// Finished requests served as `Stacked`.
+    pub stacked_reqs: usize,
+    /// Decode iterations executed.
+    pub batches: usize,
+    /// Iterations that co-scheduled the two serving pools: a delta-backed
+    /// request (`Delta`/`Stacked`) alongside a pure-`Lora` one. A lone
+    /// stacked variant drives both SBMM and SGMV but is a single pool, so
+    /// it does not count; `segregate_kinds` forces this to zero.
+    pub mixed_batches: usize,
+    /// High-water mark of distinct toppings (non-base variants) holding a
+    /// batch slot at any iteration — never exceeds the engine's
+    /// `max_toppings_per_batch` cap.
+    pub max_toppings_in_batch: usize,
+    /// Kernel seconds in shared base work (GEMMs, head/KV, all-reduce).
+    pub base_gemm_s: f64,
+    /// Kernel seconds in delta SBMM products.
+    pub sbmm_s: f64,
+    /// Kernel seconds in adapter SGMV products.
+    pub sgmv_s: f64,
+}
+
+impl ToppingsStats {
+    /// Total requests counted across all kinds.
+    pub fn total_reqs(&self) -> usize {
+        self.base_reqs + self.lora_reqs + self.delta_reqs + self.stacked_reqs
+    }
+
+    /// Total decode kernel seconds across all kinds.
+    pub fn kernel_total_s(&self) -> f64 {
+        self.base_gemm_s + self.sbmm_s + self.sgmv_s
+    }
+
+    /// Field-wise accumulation (for cluster-level aggregation; the
+    /// high-water mark takes the max).
+    pub fn merge(&mut self, other: &ToppingsStats) {
+        self.base_reqs += other.base_reqs;
+        self.lora_reqs += other.lora_reqs;
+        self.delta_reqs += other.delta_reqs;
+        self.stacked_reqs += other.stacked_reqs;
+        self.batches += other.batches;
+        self.mixed_batches += other.mixed_batches;
+        self.max_toppings_in_batch = self.max_toppings_in_batch.max(other.max_toppings_in_batch);
+        self.base_gemm_s += other.base_gemm_s;
+        self.sbmm_s += other.sbmm_s;
+        self.sgmv_s += other.sgmv_s;
+    }
+}
+
 /// One fixed-width window of SLO accounting (see
 /// [`Metrics::windowed_attainment`]).
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -116,6 +179,8 @@ pub struct Metrics {
     pub makespan_s: f64,
     /// Engine-level swap/overlap/prefetch accounting.
     pub swap: SwapStats,
+    /// Engine-level per-kind toppings batch accounting.
+    pub toppings: ToppingsStats,
 }
 
 impl Metrics {
@@ -137,6 +202,7 @@ impl Metrics {
                 RequestRecord {
                     id: s.req.id,
                     model: s.req.model,
+                    kind: s.kind,
                     arrival: s.req.arrival,
                     e2e_s: finished - s.req.arrival,
                     ttft_s: first_tok - s.req.arrival,
@@ -153,12 +219,19 @@ impl Metrics {
             records,
             makespan_s,
             swap: SwapStats::default(),
+            toppings: ToppingsStats::default(),
         }
     }
 
     /// Attaches engine-level swap accounting.
     pub fn with_swap(mut self, swap: SwapStats) -> Metrics {
         self.swap = swap;
+        self
+    }
+
+    /// Attaches engine-level toppings batch accounting.
+    pub fn with_toppings(mut self, toppings: ToppingsStats) -> Metrics {
+        self.toppings = toppings;
         self
     }
 
@@ -265,6 +338,7 @@ impl Metrics {
             records: self.records.iter().filter(|r| keep(r)).cloned().collect(),
             makespan_s: self.makespan_s,
             swap: self.swap,
+            toppings: self.toppings,
         }
     }
 
@@ -437,6 +511,7 @@ mod tests {
         RequestRecord {
             id: 0,
             model: 0,
+            kind: VariantKind::Delta,
             arrival: 0.0,
             e2e_s: e2e,
             ttft_s: ttft,
@@ -454,7 +529,36 @@ mod tests {
             records,
             makespan_s: 10.0,
             swap: SwapStats::default(),
+            toppings: ToppingsStats::default(),
         }
+    }
+
+    #[test]
+    fn toppings_stats_merge_and_totals() {
+        let mut a = ToppingsStats {
+            lora_reqs: 2,
+            delta_reqs: 3,
+            batches: 5,
+            mixed_batches: 1,
+            max_toppings_in_batch: 4,
+            base_gemm_s: 1.0,
+            sbmm_s: 0.5,
+            sgmv_s: 0.25,
+            ..ToppingsStats::default()
+        };
+        let b = ToppingsStats {
+            base_reqs: 1,
+            stacked_reqs: 2,
+            batches: 3,
+            max_toppings_in_batch: 7,
+            sgmv_s: 0.25,
+            ..ToppingsStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_reqs(), 8);
+        assert_eq!(a.batches, 8);
+        assert_eq!(a.max_toppings_in_batch, 7, "high-water takes the max");
+        assert!((a.kernel_total_s() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Runtime request state shared by all engines.
 
+use crate::variant::VariantKind;
 use dz_trace::Causes;
 use dz_workload::Request;
 
@@ -21,6 +22,10 @@ pub enum Phase {
 pub struct ReqState {
     /// The immutable trace request.
     pub req: Request,
+    /// Variant kind the request's model is served as (engines with a
+    /// [`VariantCatalog`](crate::variant::VariantCatalog) stamp this at
+    /// admission; the default is the legacy delta-only kind).
+    pub kind: VariantKind,
     /// Current phase.
     pub phase: Phase,
     /// Tokens decoded so far.
@@ -51,6 +56,7 @@ impl ReqState {
         let arrival = req.arrival;
         ReqState {
             req,
+            kind: VariantKind::Delta,
             phase: Phase::Queued,
             tokens_done: 0,
             first_token_at: None,

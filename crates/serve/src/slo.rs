@@ -167,6 +167,7 @@ mod tests {
         let rec = |model: usize| RequestRecord {
             id: model,
             model,
+            kind: crate::variant::VariantKind::Delta,
             arrival: 0.0,
             e2e_s: 1.0,
             ttft_s: 0.5,
@@ -181,6 +182,7 @@ mod tests {
             records: vec![rec(0), rec(1), rec(2), rec(3)],
             makespan_s: 10.0,
             swap: crate::metrics::SwapStats::default(),
+            toppings: crate::metrics::ToppingsStats::default(),
         };
         let parts = p.split_metrics(&m);
         assert_eq!(parts.len(), 2);

@@ -4,7 +4,7 @@
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::{
-    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, LoraEngine, LoraServingConfig,
+    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, EngineBuilder, LoraServingConfig,
     PreemptionPolicy, VllmScbConfig, VllmScbEngine,
 };
 use dz_workload::{PopularityDist, Trace, TraceSpec};
@@ -81,7 +81,10 @@ proptest! {
             seed,
         });
         let cost = CostModel::new(NodeSpec::a800_node(4), ModelShape::llama13b());
-        let m = LoraEngine::new(cost, LoraServingConfig { rank, ..LoraServingConfig::default() }).run(&trace);
+        let m = EngineBuilder::new(cost)
+            .adapters(LoraServingConfig { rank, ..LoraServingConfig::default() })
+            .build_adapter_only()
+            .run(&trace);
         check(&trace, &m);
     }
 }

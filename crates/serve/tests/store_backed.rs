@@ -8,7 +8,7 @@ use dz_compress::pipeline::{CompressedDelta, DeltaCompressConfig, SizeReport};
 use dz_compress::quant::{quantize_slice, QuantSpec};
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
-use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, DeltaZipEngine, Engine};
+use dz_serve::{CostModel, DeltaStoreBinding, DeltaZipConfig, Engine, EngineBuilder};
 use dz_store::{sha256, ArtifactId, FetchTier, Registry, TieredDeltaStore};
 use dz_tensor::{Matrix, Rng};
 use dz_workload::{PopularityDist, Trace, TraceSpec};
@@ -90,8 +90,9 @@ fn store_backed_engine_charges_real_artifact_bytes() {
         .collect();
     let store = TieredDeltaStore::new(registry, 1 << 30);
     let t = trace(4, 1.0, 5);
-    let mut engine = DeltaZipEngine::new(cost(), DeltaZipConfig::default())
-        .with_delta_store(DeltaStoreBinding::new(store, artifacts.clone()));
+    let mut engine = EngineBuilder::new(cost())
+        .store(DeltaStoreBinding::new(store, artifacts.clone()))
+        .build();
     let metrics = engine.run(&t);
     assert_eq!(metrics.len(), t.len());
 
@@ -151,15 +152,14 @@ fn host_hits_are_strictly_cheaper_than_misses_end_to_end() {
         // A single small GPU: only ~N deltas stay GPU-resident, so evicted
         // deltas get re-fetched and the host tier actually matters.
         let tight_cost = CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama13b());
-        let mut engine = DeltaZipEngine::new(
-            tight_cost,
-            DeltaZipConfig {
+        let mut engine = EngineBuilder::new(tight_cost)
+            .scheduler(DeltaZipConfig {
                 max_concurrent_deltas: 2,
                 max_batch: 8,
                 ..DeltaZipConfig::default()
-            },
-        )
-        .with_delta_store(DeltaStoreBinding::new(store, artifacts));
+            })
+            .store(DeltaStoreBinding::new(store, artifacts))
+            .build();
         let m = engine.run(&t);
         let stats = engine
             .delta_store

@@ -73,10 +73,19 @@ pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
         for ev in track.log.events() {
             let ts = ev.at() * 1e6;
             match *ev {
-                TraceEvent::RequestQueued { id, model, at: _ } => {
+                TraceEvent::RequestQueued {
+                    id,
+                    model,
+                    kind,
+                    at: _,
+                } => {
                     open.insert(
                         ("request", id),
-                        (ts, format!("req {id}"), format!(r#"{{"model":{model}}}"#)),
+                        (
+                            ts,
+                            format!("req {id}"),
+                            format!(r#"{{"model":{model},"kind":"{}"}}"#, kind.label()),
+                        ),
                     );
                 }
                 TraceEvent::RequestFinished { id, at: _ } => {
@@ -96,7 +105,12 @@ pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
                         );
                     }
                 }
-                TraceEvent::RequestAdmitted { id, model, at: _ } => {
+                TraceEvent::RequestAdmitted {
+                    id,
+                    model,
+                    kind,
+                    at: _,
+                } => {
                     instant(
                         &mut lines,
                         &mut seq,
@@ -104,7 +118,7 @@ pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
                         TID_REQUESTS,
                         "admit",
                         ts,
-                        &format!(r#"{{"id":{id},"model":{model}}}"#),
+                        &format!(r#"{{"id":{id},"model":{model},"kind":"{}"}}"#, kind.label()),
                     );
                 }
                 TraceEvent::FirstToken { id, at: _ } => {
@@ -327,13 +341,14 @@ pub fn chrome_trace_json(tracks: &[TraceTrack]) -> String {
                     dur_s,
                     batch,
                     deltas,
+                    loras,
                 } => {
                     raw(
                         &mut lines,
                         &mut seq,
                         ts,
                         format!(
-                            r#"{{"name":"batch_step","cat":"decode","ph":"X","ts":{ts:.3},"dur":{:.3},"pid":{pid},"tid":{TID_DECODE},"args":{{"batch":{batch},"deltas":{deltas}}}}}"#,
+                            r#"{{"name":"batch_step","cat":"decode","ph":"X","ts":{ts:.3},"dur":{:.3},"pid":{pid},"tid":{TID_DECODE},"args":{{"batch":{batch},"deltas":{deltas},"loras":{loras}}}}}"#,
                             (dur_s * 1e6).max(0.0)
                         ),
                     );
@@ -501,17 +516,20 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::ToppingKind;
 
     fn sample_track() -> TraceTrack {
         let mut log = TraceLog::with_capacity(64);
         log.push(TraceEvent::RequestQueued {
             id: 0,
             model: 2,
+            kind: ToppingKind::Lora,
             at: 0.0,
         });
         log.push(TraceEvent::RequestAdmitted {
             id: 0,
             model: 2,
+            kind: ToppingKind::Lora,
             at: 0.5,
         });
         log.push(TraceEvent::SwapStart {
@@ -531,6 +549,7 @@ mod tests {
             dur_s: 0.1,
             batch: 1,
             deltas: 1,
+            loras: 1,
         });
         log.push(TraceEvent::FirstToken { id: 0, at: 1.0 });
         log.push(TraceEvent::RequestFinished { id: 0, at: 1.2 });

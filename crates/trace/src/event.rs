@@ -11,6 +11,38 @@ pub enum EvictTier {
     Host,
 }
 
+/// The variant kind ("topping") a request carries, as seen by trace
+/// consumers.
+///
+/// Mirrors the serving layer's variant taxonomy without depending on it
+/// (dz-serve depends on dz-trace, not the reverse), so mixed toppings
+/// batches stay debuggable from the trace alone. Legacy delta-only
+/// engines emit [`ToppingKind::Delta`], the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ToppingKind {
+    /// The shared base model — no topping applied.
+    Base,
+    /// A low-rank adapter served through the SGMV path.
+    Lora,
+    /// A compressed full-model delta served through SBMM.
+    #[default]
+    Delta,
+    /// A delta with an adapter stacked on top (both kernel paths).
+    Stacked,
+}
+
+impl ToppingKind {
+    /// Stable lowercase label used in exported trace args.
+    pub fn label(self) -> &'static str {
+        match self {
+            ToppingKind::Base => "base",
+            ToppingKind::Lora => "lora",
+            ToppingKind::Delta => "delta",
+            ToppingKind::Stacked => "stacked",
+        }
+    }
+}
+
 /// One structured event on the simulation clock.
 ///
 /// Every variant carries `at`, the simulation timestamp in seconds.
@@ -23,8 +55,10 @@ pub enum TraceEvent {
     RequestQueued {
         /// Request id.
         id: usize,
-        /// Model (delta) id the request targets.
+        /// Model (variant) id the request targets.
         model: usize,
+        /// Variant kind the request carries.
+        kind: ToppingKind,
         /// Simulation time (s).
         at: f64,
     },
@@ -32,8 +66,10 @@ pub enum TraceEvent {
     RequestAdmitted {
         /// Request id.
         id: usize,
-        /// Model (delta) id the request targets.
+        /// Model (variant) id the request targets.
         model: usize,
+        /// Variant kind the request carries.
+        kind: ToppingKind,
         /// Simulation time (s).
         at: f64,
     },
@@ -196,6 +232,9 @@ pub enum TraceEvent {
         batch: usize,
         /// Distinct deltas co-batched this step.
         deltas: usize,
+        /// Distinct LoRA adapters co-batched this step (stacked variants
+        /// count in both `deltas` and `loras`).
+        loras: usize,
     },
 }
 
@@ -401,6 +440,7 @@ mod tests {
         log.push(TraceEvent::RequestQueued {
             id: 0,
             model: 3,
+            kind: ToppingKind::Delta,
             at: 0.0,
         });
         log.push(TraceEvent::SwapStart {
@@ -417,6 +457,7 @@ mod tests {
             TraceEvent::RequestQueued {
                 id: 42,
                 model: 3,
+                kind: ToppingKind::Delta,
                 at: 0.0
             }
         );

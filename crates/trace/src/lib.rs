@@ -28,7 +28,7 @@ pub mod stats;
 
 pub use attrib::{AttributedRequest, CauseBreakdown, Causes, CAUSE_NAMES};
 pub use chrome::{chrome_trace_json, write_chrome_trace, TraceTrack};
-pub use event::{EvictTier, GaugeSample, TraceEvent, TraceLog};
+pub use event::{EvictTier, GaugeSample, ToppingKind, TraceEvent, TraceLog};
 pub use prom::PromSnapshot;
 pub use stats::StreamingQuantiles;
 

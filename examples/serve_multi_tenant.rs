@@ -12,7 +12,7 @@
 use dz_gpusim::shapes::ModelShape;
 use dz_gpusim::spec::NodeSpec;
 use dz_serve::{
-    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, LoraEngine, LoraServingConfig,
+    CostModel, DeltaZipConfig, DeltaZipEngine, Engine, EngineBuilder, LoraServingConfig,
     VllmScbConfig, VllmScbEngine,
 };
 use dz_workload::stats::{idle_fraction, invocation_matrix, render_heatmap};
@@ -54,7 +54,11 @@ fn main() {
                 ..DeltaZipConfig::default()
             },
         )),
-        Box::new(LoraEngine::new(cost, LoraServingConfig::default())),
+        Box::new(
+            EngineBuilder::new(cost)
+                .adapters(LoraServingConfig::default())
+                .build_adapter_only(),
+        ),
     ];
     println!(
         "{:<18} {:>10} {:>10} {:>12} {:>14}",
