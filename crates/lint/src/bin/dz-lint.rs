@@ -1,0 +1,89 @@
+//! dz-lint CLI — the workspace determinism & accounting gate.
+//!
+//! ```text
+//! dz-lint [--root DIR] [--check] [--json] [--update-budget] [--budget PATH]
+//! ```
+//!
+//! Plain mode prints `path:line: [rule] message` diagnostics and exits
+//! zero; `--check` (the CI mode) exits nonzero when any finding
+//! survives suppression; `--json` emits the machine-readable report;
+//! `--update-budget` rewrites the unwrap budget from current counts.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dz_lint::{lint_workspace, report_to_json, Options};
+
+const USAGE: &str =
+    "usage: dz-lint [--root DIR] [--check] [--json] [--update-budget] [--budget PATH]";
+
+fn main() -> ExitCode {
+    let mut opts = Options::new(".");
+    let mut check = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => opts.root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--budget" => match args.next() {
+                Some(v) => opts.budget_path = PathBuf::from(v),
+                None => return usage_error("--budget needs a value"),
+            },
+            "--check" => check = true,
+            "--json" => json = true,
+            "--update-budget" => opts.update_budget = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dz-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report_to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        if opts.update_budget {
+            println!(
+                "dz-lint: budget rewritten ({})",
+                report
+                    .unwrap_counts
+                    .iter()
+                    .map(|(k, v)| format!("{k}: {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        println!(
+            "dz-lint: {} files scanned, {} finding{}",
+            report.files_scanned,
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" }
+        );
+    }
+
+    if check && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dz-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,485 @@
+//! A hand-rolled Rust lexer, just deep enough for reliable rule
+//! matching: it separates **code** from comments and literals so rules
+//! never fire on text inside a string or a doc comment, records comment
+//! text (where `dz-lint: allow(...)` suppressions live) and string
+//! literals (for the bench-provenance rule) with their lines, and marks
+//! `#[cfg(test)]` / `mod tests` regions so test-only code is exempt.
+//!
+//! It is not a full tokenizer — no `syn` exists in the vendored tree —
+//! but it handles the constructs that break naive regex scans:
+//!
+//! * nested block comments (`/* a /* b */ c */`)
+//! * raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`)
+//! * char and byte literals vs lifetimes (`'a'` vs `<'a>` vs `'label:`)
+//! * escaped quotes (`"\""`, `'\''`) and multi-line strings
+//!
+//! The code view preserves the source's line structure exactly (every
+//! newline survives; comment and literal characters become spaces), so
+//! a byte offset into the code view maps to the original line number.
+
+/// One comment (line or block) with its starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text including the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// One string literal (normal or raw, possibly byte) with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: usize,
+    /// Literal contents, without quotes or hash fences.
+    pub text: String,
+}
+
+/// A lexed source file: blanked code view plus side tables.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// Source with comments and literal contents blanked to spaces.
+    /// Newlines are preserved, so line N here is line N in the source.
+    pub code: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+    /// Every string literal, in source order.
+    pub strings: Vec<StrLit>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items or
+    /// `mod tests { .. }` bodies.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte offset of each line start in `code` (index 0 = line 1).
+    line_starts: Vec<usize>,
+}
+
+impl LexedFile {
+    /// Lexes `src` into a code view and side tables.
+    pub fn lex(src: &str) -> LexedFile {
+        let chars: Vec<char> = src.chars().collect();
+        let n = chars.len();
+        let mut code = String::with_capacity(src.len());
+        let mut comments = Vec::new();
+        let mut strings = Vec::new();
+        let mut line = 1usize;
+
+        // Pushes a blanked char: newlines survive (they carry the line
+        // structure), everything else becomes one space.
+        fn blank(out: &mut String, c: char, line: &mut usize) {
+            if c == '\n' {
+                out.push('\n');
+                *line += 1;
+            } else {
+                out.push(' ');
+            }
+        }
+
+        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+        let mut i = 0usize;
+        let mut prev_ident = false; // was the previous *code* char ident-like?
+        while i < n {
+            let c = chars[i];
+            // Line comment.
+            if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                let start_line = line;
+                let mut text = String::new();
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+                prev_ident = false;
+                continue;
+            }
+            // Block comment, possibly nested.
+            if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                let start_line = line;
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while i < n {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        blank(&mut code, chars[i], &mut line);
+                        blank(&mut code, chars[i + 1], &mut line);
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        blank(&mut code, chars[i], &mut line);
+                        blank(&mut code, chars[i + 1], &mut line);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(chars[i]);
+                        blank(&mut code, chars[i], &mut line);
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+                prev_ident = false;
+                continue;
+            }
+            // Raw (and raw byte) strings: r"…", r#"…"#, br##"…"##.
+            if !prev_ident && (c == 'r' || c == 'b') {
+                let mut j = i;
+                if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                    j += 2;
+                } else if chars[j] == 'r' {
+                    j += 1;
+                } else {
+                    j = usize::MAX; // b"…" handled by the plain-string arm
+                }
+                if j != usize::MAX {
+                    let mut hashes = 0usize;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        // Confirmed raw string from i..; blank it through.
+                        let start_line = line;
+                        let mut text = String::new();
+                        for &c in &chars[i..=j] {
+                            blank(&mut code, c, &mut line);
+                        }
+                        let mut k = j + 1;
+                        'raw: while k < n {
+                            if chars[k] == '"' {
+                                let mut h = 0usize;
+                                while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    for &c in &chars[k..=k + hashes] {
+                                        blank(&mut code, c, &mut line);
+                                    }
+                                    k += hashes + 1;
+                                    break 'raw;
+                                }
+                            }
+                            text.push(chars[k]);
+                            blank(&mut code, chars[k], &mut line);
+                            k += 1;
+                        }
+                        strings.push(StrLit {
+                            line: start_line,
+                            text,
+                        });
+                        i = k;
+                        prev_ident = false;
+                        continue;
+                    }
+                }
+            }
+            // Plain (and byte) strings: "…", b"…".
+            if c == '"' || (!prev_ident && c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+                let start_line = line;
+                let mut text = String::new();
+                if c == 'b' {
+                    blank(&mut code, chars[i], &mut line);
+                    i += 1;
+                }
+                blank(&mut code, chars[i], &mut line); // opening quote
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        text.push(chars[i]);
+                        text.push(chars[i + 1]);
+                        blank(&mut code, chars[i], &mut line);
+                        blank(&mut code, chars[i + 1], &mut line);
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        blank(&mut code, chars[i], &mut line);
+                        i += 1;
+                        break;
+                    }
+                    text.push(chars[i]);
+                    blank(&mut code, chars[i], &mut line);
+                    i += 1;
+                }
+                strings.push(StrLit {
+                    line: start_line,
+                    text,
+                });
+                prev_ident = false;
+                continue;
+            }
+            // Char / byte-char literal vs lifetime. Pure lookahead: '\…'
+            // is always a char; 'X' (one char then a quote) is a char;
+            // anything else ('a>, 'outer:, '_) is a lifetime or label.
+            if c == '\'' {
+                let is_char = if i + 1 < n && chars[i + 1] == '\\' {
+                    true
+                } else {
+                    i + 2 < n && chars[i + 2] == '\''
+                };
+                if is_char {
+                    blank(&mut code, chars[i], &mut line); // opening '
+                    i += 1;
+                    if i < n && chars[i] == '\\' {
+                        blank(&mut code, chars[i], &mut line);
+                        i += 1;
+                        if i < n {
+                            blank(&mut code, chars[i], &mut line); // escaped char
+                            i += 1;
+                        }
+                        while i < n && chars[i] != '\'' {
+                            blank(&mut code, chars[i], &mut line);
+                            i += 1;
+                        }
+                    } else if i < n {
+                        blank(&mut code, chars[i], &mut line); // the char
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '\'' {
+                        blank(&mut code, chars[i], &mut line); // closing '
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+                // Lifetime / label: emit the quote as code.
+                code.push('\'');
+                i += 1;
+                prev_ident = false;
+                continue;
+            }
+            // Ordinary code char.
+            if c == '\n' {
+                line += 1;
+            }
+            code.push(c);
+            prev_ident = is_ident(c);
+            i += 1;
+        }
+
+        let mut line_starts = vec![0usize];
+        for (idx, b) in code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(idx + 1);
+            }
+        }
+        let test_regions = find_test_regions(&code, &line_starts);
+        LexedFile {
+            code,
+            comments,
+            strings,
+            test_regions,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset into `code`.
+    pub fn line_of(&self, byte: usize) -> usize {
+        match self.line_starts.binary_search(&byte) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether a 1-based line sits inside a test region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// The code-view text of a 1-based line (without its newline).
+    pub fn code_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e - 1)
+            .unwrap_or(self.code.len());
+        &self.code[start..end]
+    }
+}
+
+/// Finds `#[cfg(test)] <item>` and `mod tests { .. }` line ranges in the
+/// blanked code view (no strings or comments remain, so braces are real).
+fn find_test_regions(code: &str, line_starts: &[usize]) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let line_of = |byte: usize| match line_starts.binary_search(&byte) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if let Some((start, after)) = match_cfg_test_attr(code, i) {
+            if let Some(end_byte) = item_end(code, after) {
+                regions.push((line_of(start), line_of(end_byte)));
+                i = end_byte + 1;
+                continue;
+            }
+        }
+        if let Some((start, body_open)) = match_mod_tests(code, i) {
+            if let Some(end_byte) = brace_end(code, body_open) {
+                regions.push((line_of(start), line_of(end_byte)));
+                i = end_byte + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Matches `#[cfg(…test…)]` starting at or after `i` only when `i` is
+/// exactly the `#`. Returns `(start, byte-after-`]`)` on a match.
+fn match_cfg_test_attr(code: &str, i: usize) -> Option<(usize, usize)> {
+    let bytes = code.as_bytes();
+    if bytes.get(i) != Some(&b'#') {
+        return None;
+    }
+    let mut j = skip_ws(bytes, i + 1);
+    if bytes.get(j) != Some(&b'[') {
+        return None;
+    }
+    j = skip_ws(bytes, j + 1);
+    if !code[j..].starts_with("cfg") {
+        return None;
+    }
+    j = skip_ws(bytes, j + 3);
+    if bytes.get(j) != Some(&b'(') {
+        return None;
+    }
+    // Scan the balanced attribute to its `]`, checking for a `test` word.
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut k = j;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'(' | b'[' => depth += 1,
+            b')' => depth -= 1,
+            b']' => {
+                if depth == 0 {
+                    return has_test.then_some((i, k + 1));
+                }
+                depth -= 1;
+            }
+            b't' if word_at(code, k, "test") => has_test = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Matches `mod tests` (optionally `pub mod tests`) at word position `i`,
+/// returning `(start, byte-of-opening-brace)`.
+fn match_mod_tests(code: &str, i: usize) -> Option<(usize, usize)> {
+    if !word_at(code, i, "mod") {
+        return None;
+    }
+    let bytes = code.as_bytes();
+    let mut j = skip_ws(bytes, i + 3);
+    if !word_at(code, j, "tests") {
+        return None;
+    }
+    j = skip_ws(bytes, j + 5);
+    (bytes.get(j) == Some(&b'{')).then_some((i, j))
+}
+
+/// Whether `word` occupies code[i..] with identifier boundaries.
+pub(crate) fn word_at(code: &str, i: usize, word: &str) -> bool {
+    if !code[i..].starts_with(word) {
+        return false;
+    }
+    let before_ok = i == 0
+        || !code[..i]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = i + word.len();
+    let after_ok = !code[after..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// From just past a `#[cfg(test)]` attribute, finds the end of the item
+/// it covers: skips further attributes, then either the `;` of a
+/// braceless item or the matching `}` of the item body.
+fn item_end(code: &str, mut i: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    loop {
+        i = skip_ws(bytes, i);
+        if bytes.get(i) == Some(&b'#') {
+            // Another attribute: skip its balanced [ ... ].
+            let mut depth = 0usize;
+            let mut k = i + 1;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            i = k + 1;
+            continue;
+        }
+        break;
+    }
+    // Find the item's `{` at bracket depth 0, or a `;` ending it.
+    let mut depth = 0isize;
+    let mut k = i;
+    while k < bytes.len() {
+        match bytes[k] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' if depth == 0 => return Some(k),
+            b'{' if depth == 0 => return brace_end(code, k),
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+fn brace_end(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (off, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,162 @@
+//! Lexer unit tests: the constructs that break naive regex scans —
+//! nested block comments, raw strings with hash fences, char/byte
+//! literals vs lifetimes, and `#[cfg(test)]` / `mod tests` region
+//! tracking.
+
+use dz_lint::lexer::LexedFile;
+
+#[test]
+fn nested_block_comments_are_stripped_whole() {
+    let lexed = LexedFile::lex("let a = 1; /* x /* y */ z */ let b = 2;");
+    assert!(lexed.code.contains("let a = 1;"));
+    assert!(lexed.code.contains("let b = 2;"));
+    assert!(!lexed.code.contains('x'));
+    assert!(!lexed.code.contains('y'));
+    assert!(!lexed.code.contains('z'));
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].text, "/* x /* y */ z */");
+    assert_eq!(lexed.comments[0].line, 1);
+}
+
+#[test]
+fn line_comments_keep_text_and_line() {
+    let lexed = LexedFile::lex("let a = 1;\n// dz-lint: allow(float-eq, \"why\")\nlet b = 2;\n");
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(
+        lexed.comments[0].text,
+        "// dz-lint: allow(float-eq, \"why\")"
+    );
+    // The comment's quotes are not string literals.
+    assert!(lexed.strings.is_empty());
+}
+
+#[test]
+fn raw_strings_with_hash_fences() {
+    let lexed = LexedFile::lex(r####"let s = r##"quote "# inside"##;"####);
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].text, r##"quote "# inside"##);
+    assert!(!lexed.code.contains("quote"));
+    assert!(lexed.code.contains("let s ="));
+}
+
+#[test]
+fn byte_raw_strings() {
+    let lexed = LexedFile::lex(r###"let b = br#"BENCH_x.json"#;"###);
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].text, "BENCH_x.json");
+    assert!(!lexed.code.contains("BENCH"));
+}
+
+#[test]
+fn identifier_ending_in_r_is_not_a_raw_string() {
+    // `var"x"` is not valid Rust, but `for` / `ptr` followed by a quote
+    // via macro-ish spacing must not absorb code as a raw string.
+    let lexed = LexedFile::lex("let ptr = 1; let s = \"x\";");
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].text, "x");
+    assert!(lexed.code.contains("let ptr = 1;"));
+}
+
+#[test]
+fn escaped_quotes_in_plain_strings() {
+    let lexed = LexedFile::lex(r#"let s = "a\"b"; let t = 1;"#);
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].text, r#"a\"b"#);
+    assert!(lexed.code.contains("let t = 1;"));
+}
+
+#[test]
+fn multi_line_strings_preserve_line_structure() {
+    let lexed = LexedFile::lex("let s = \"one\ntwo\";\nlet after = 3;\n");
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].line, 1);
+    assert_eq!(lexed.strings[0].text, "one\ntwo");
+    // Line 3 is still line 3 in the code view.
+    assert_eq!(lexed.code_line(3), "let after = 3;");
+}
+
+#[test]
+fn char_literals_are_blanked_but_lifetimes_survive() {
+    let lexed = LexedFile::lex("fn f<'a>(x: &'a u32) -> &'a u32 { let c = 'q'; x }");
+    assert!(lexed.code.contains("<'a>"));
+    assert!(lexed.code.contains("&'a u32"));
+    assert!(!lexed.code.contains('q'));
+    assert!(lexed.strings.is_empty());
+}
+
+#[test]
+fn escaped_char_literals() {
+    let lexed = LexedFile::lex(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}';");
+    assert!(!lexed.code.contains('n') || !lexed.code.contains("'n'"));
+    assert!(!lexed.code.contains("1F600"));
+    assert!(lexed.code.contains("let nl ="));
+    assert!(lexed.code.contains("let q ="));
+    assert!(lexed.code.contains("let u ="));
+}
+
+#[test]
+fn byte_char_literals() {
+    let lexed = LexedFile::lex("let b = b'z';");
+    assert!(!lexed.code.contains('z'));
+}
+
+#[test]
+fn loop_labels_are_not_chars() {
+    let lexed = LexedFile::lex("'outer: for i in 0..3 { break 'outer; }");
+    assert!(lexed.code.contains("'outer: for"));
+    assert!(lexed.code.contains("break 'outer;"));
+}
+
+#[test]
+fn cfg_test_item_is_a_test_region() {
+    let src = "fn real() {}\n#[cfg(test)]\nmod t {\n    fn inner() {}\n}\nfn after() {}\n";
+    let lexed = LexedFile::lex(src);
+    assert!(!lexed.is_test_line(1));
+    assert!(lexed.is_test_line(2));
+    assert!(lexed.is_test_line(4));
+    assert!(lexed.is_test_line(5));
+    assert!(!lexed.is_test_line(6));
+}
+
+#[test]
+fn cfg_test_with_extra_attributes_covers_whole_item() {
+    let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n    let x = 1;\n}\nfn real() {}\n";
+    let lexed = LexedFile::lex(src);
+    assert!(lexed.is_test_line(3));
+    assert!(lexed.is_test_line(4));
+    assert!(!lexed.is_test_line(6));
+}
+
+#[test]
+fn mod_tests_without_attribute_is_a_test_region() {
+    let src = "fn real() {}\nmod tests {\n    fn t() { let x = 1; }\n}\nfn after() {}\n";
+    let lexed = LexedFile::lex(src);
+    assert!(!lexed.is_test_line(1));
+    assert!(lexed.is_test_line(3));
+    assert!(!lexed.is_test_line(5));
+}
+
+#[test]
+fn cfg_all_test_counts() {
+    let src = "#[cfg(all(test, feature = \"extra\"))]\nmod harness {\n    fn t() {}\n}\n";
+    let lexed = LexedFile::lex(src);
+    assert!(lexed.is_test_line(3));
+}
+
+#[test]
+fn attest_is_not_the_test_word() {
+    // `test` must match on identifier boundaries inside cfg.
+    let src = "#[cfg(feature = \"attested\")]\nfn f() { let x = 1; }\n";
+    let lexed = LexedFile::lex(src);
+    assert!(!lexed.is_test_line(2));
+}
+
+#[test]
+fn line_of_and_code_line_agree() {
+    let src = "let a = 1;\nlet bb = 2;\nlet ccc = 3;\n";
+    let lexed = LexedFile::lex(src);
+    let pos = lexed.code.find("bb").unwrap();
+    assert_eq!(lexed.line_of(pos), 2);
+    assert_eq!(lexed.code_line(2), "let bb = 2;");
+}

@@ -1,0 +1,88 @@
+//! Workspace-level tests over the checked-in fixture corpora: the
+//! seeded tree must trip every rule (CI additionally asserts the
+//! binary's nonzero exit over the same tree), and the clean twin —
+//! same constructs, each suppressed — must come back spotless.
+
+use std::collections::BTreeMap;
+
+use dz_lint::{budget_to_json, lint_workspace, parse_budget, report_to_json, Options};
+
+fn fixture(name: &str) -> Options {
+    Options::new(format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let report = lint_workspace(&fixture("seeded")).expect("lint seeded fixture");
+    assert_eq!(report.files_scanned, 1);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    for expected in [
+        "wall-clock",
+        "hash-iter",
+        "float-eq",
+        "unwrap-budget",
+        "thread-spawn",
+        "bench-provenance",
+    ] {
+        assert!(rules.contains(&expected), "missing {expected} in {rules:?}");
+    }
+    // Findings are sorted and carry real line numbers.
+    let mut sorted = report.findings.clone();
+    sorted.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    assert_eq!(
+        report
+            .findings
+            .iter()
+            .map(|f| (f.path.clone(), f.line))
+            .collect::<Vec<_>>(),
+        sorted
+            .iter()
+            .map(|f| (f.path.clone(), f.line))
+            .collect::<Vec<_>>(),
+    );
+    assert!(report.findings.iter().all(|f| f.line >= 1));
+    // The JSON view carries the same findings.
+    let json = report_to_json(&report);
+    assert!(json.contains("\"wall-clock\""));
+    assert!(json.contains("\"finding_count\""));
+}
+
+#[test]
+fn clean_fixture_is_spotless() {
+    let report = lint_workspace(&fixture("clean")).expect("lint clean fixture");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    // The suppressed unwrap is excluded from the tally, matching the
+    // zero budget.
+    assert_eq!(report.unwrap_counts.get("serve"), Some(&0));
+}
+
+#[test]
+fn budget_roundtrips_through_json() {
+    let mut counts = BTreeMap::new();
+    counts.insert("serve".to_string(), 31usize);
+    counts.insert("store".to_string(), 0usize);
+    let text = budget_to_json(&counts);
+    assert_eq!(parse_budget(&text).expect("parse"), counts);
+}
+
+#[test]
+fn workspace_budget_matches_reality() {
+    // The real repo root: dz-lint --check must stay green, and the
+    // checked-in budget must match the live counts exactly (the ratchet
+    // both directions).
+    let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(&Options::new(&root)).expect("lint workspace");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -48,7 +48,7 @@ use crate::Engine;
 use dz_gpusim::{EventClass, EventQueue};
 use dz_trace::{GaugeSample, TraceConfig, TraceEvent, TraceTrack, Tracer};
 use dz_workload::{PopularityDist, Request, Trace, TraceSpec};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 // ---------------------------------------------------------------------------
 // Router-visible replica state.
@@ -739,14 +739,15 @@ impl ClusterReport {
 /// Estimated-state bookkeeping for one replica, maintained by the
 /// front-end as it routes.
 struct ReplicaFrontendState {
-    /// Predicted host-cache contents: model -> LRU stamp.
-    warm: HashMap<usize, u64>,
+    /// Predicted host-cache contents: model -> LRU stamp. Ordered so the
+    /// eviction scan in `touch_warm` is iteration-order-deterministic.
+    warm: BTreeMap<usize, u64>,
     /// Models whose *decoded* copy is predicted resident (subset of
     /// `warm`): a demand use decodes and caches, a prefetch does not.
-    decoded: HashSet<usize>,
+    decoded: BTreeSet<usize>,
     /// Warm entries established by a prefetch hint and not yet rewarded
     /// by a warm-routed request.
-    prefetched: HashSet<usize>,
+    prefetched: BTreeSet<usize>,
     warm_cap: usize,
     clock: u64,
     /// Estimated time the replica drains everything routed to it.
@@ -1072,9 +1073,9 @@ impl ClusterSim {
             .map(|r| {
                 let cost = &self.costs[r];
                 let mut state = ReplicaFrontendState {
-                    warm: HashMap::new(),
-                    decoded: HashSet::new(),
-                    prefetched: HashSet::new(),
+                    warm: BTreeMap::new(),
+                    decoded: BTreeSet::new(),
+                    prefetched: BTreeSet::new(),
                     warm_cap: self.warm_capacity(r),
                     clock: 0,
                     busy_until: 0.0,

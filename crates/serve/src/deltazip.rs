@@ -45,7 +45,7 @@ use dz_gpusim::kernel::BatchedImpl;
 use dz_store::{ArtifactId, DecodedFetch, FetchTier, TieredDeltaStore, Warmth};
 use dz_trace::{EvictTier, GaugeSample, TraceConfig, TraceEvent, Tracer};
 use dz_workload::Trace;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Tunables of the DeltaZip engine.
 #[derive(Debug, Clone, Copy)]
@@ -398,7 +398,7 @@ impl Engine for DeltaZipEngine {
         // (`blocked_at` marks when the stall began). Only used with
         // `overlap_swaps`.
         let mut waiting: Vec<usize> = Vec::new();
-        let mut blocked_at: HashMap<usize, f64> = HashMap::new();
+        let mut blocked_at: BTreeMap<usize, f64> = BTreeMap::new();
         let mut next_arrival = 0usize;
         let mut t = 0.0f64;
         // Delta residency: deltas stay on GPU (LRU) up to the memory
@@ -408,18 +408,18 @@ impl Engine for DeltaZipEngine {
         let capacity = cost
             .delta_resident_capacity()
             .max(cfg.max_concurrent_deltas);
-        let mut on_gpu: HashMap<usize, f64> = HashMap::new();
-        let mut warm: HashMap<usize, f64> = HashMap::new();
+        let mut on_gpu: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut warm: BTreeMap<usize, f64> = BTreeMap::new();
         // The parent request per selected delta.
-        let mut parent_of_delta: HashMap<usize, usize> = HashMap::new();
+        let mut parent_of_delta: BTreeMap<usize, usize> = BTreeMap::new();
         // The shared-channel transfer timeline and its in-flight index.
         let mut timeline = TransferTimeline::new();
         timeline.set_brownouts(self.brownouts.clone());
-        let mut loading: HashMap<usize, LoadToken> = HashMap::new();
-        let mut load_is_prefetch: HashSet<usize> = HashSet::new();
+        let mut loading: BTreeMap<usize, LoadToken> = BTreeMap::new();
+        let mut load_is_prefetch: BTreeSet<usize> = BTreeSet::new();
         // Deltas whose host warmth came from a completed prefetch (the
         // prefetch-hit accounting).
-        let mut prefetched_warm: HashSet<usize> = HashSet::new();
+        let mut prefetched_warm: BTreeSet<usize> = BTreeSet::new();
         let mut prefetch_bucket = self.prefetch_config.burst_s;
         let mut swap = SwapStats::default();
         // Detach the tracer so emission closures can borrow engine state.
@@ -1180,7 +1180,7 @@ impl Engine for DeltaZipEngine {
 /// reserve slots), returning the evicted deltas. Capacity >= N guarantees
 /// progress; if every resident delta is selected the loop stops.
 fn evict_gpu_lru(
-    on_gpu: &mut HashMap<usize, f64>,
+    on_gpu: &mut BTreeMap<usize, f64>,
     selected: &BTreeSet<usize>,
     capacity: usize,
     reserved_inflight: usize,
@@ -1218,7 +1218,7 @@ fn trace_evicts(tracer: &mut Tracer, victims: Vec<usize>, tier: EvictTier, at: f
 /// exempt set, so the loop always restores `warm.len() <= cap`).
 fn enforce_host_cap(
     cfg: &DeltaZipConfig,
-    warm: &mut HashMap<usize, f64>,
+    warm: &mut BTreeMap<usize, f64>,
     selected: &BTreeSet<usize>,
 ) -> Vec<usize> {
     let mut victims = Vec::new();
@@ -1253,12 +1253,12 @@ fn apply_swap_completions(
     states: &mut [ReqState],
     waiting: &mut Vec<usize>,
     running: &mut Vec<usize>,
-    blocked_at: &mut HashMap<usize, f64>,
-    on_gpu: &mut HashMap<usize, f64>,
-    warm: &mut HashMap<usize, f64>,
-    loading: &mut HashMap<usize, LoadToken>,
-    load_is_prefetch: &mut HashSet<usize>,
-    prefetched_warm: &mut HashSet<usize>,
+    blocked_at: &mut BTreeMap<usize, f64>,
+    on_gpu: &mut BTreeMap<usize, f64>,
+    warm: &mut BTreeMap<usize, f64>,
+    loading: &mut BTreeMap<usize, LoadToken>,
+    load_is_prefetch: &mut BTreeSet<usize>,
+    prefetched_warm: &mut BTreeSet<usize>,
     protected: &BTreeSet<usize>,
     delta_store: &mut Option<DeltaStoreBinding>,
     swap: &mut SwapStats,

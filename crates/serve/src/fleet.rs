@@ -34,7 +34,7 @@ use dz_gpusim::{EventClass, EventQueue};
 use dz_tensor::Rng;
 use dz_trace::{GaugeSample, StreamingQuantiles, TraceConfig, TraceEvent, TraceTrack, Tracer};
 use dz_workload::{Request, Trace};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 // ---------------------------------------------------------------------------
 // Topology.
@@ -383,8 +383,9 @@ struct FleetReplica {
     /// Simulation time the replica drains its queue (s).
     busy_until: f64,
     queue_depth: usize,
-    /// Warm set with LRU stamps (bounded by `warm_capacity`).
-    warm: HashMap<usize, u64>,
+    /// Warm set with LRU stamps (bounded by `warm_capacity`). Ordered so
+    /// the eviction scan below is iteration-order-deterministic.
+    warm: BTreeMap<usize, u64>,
     served: u64,
 }
 

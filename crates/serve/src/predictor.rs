@@ -20,7 +20,7 @@
 //! the true output length from the request itself; it bounds what any
 //! predictor could achieve and is used by the ablation experiments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A streaming estimate of output length per model variant.
 pub trait LengthPredictor {
@@ -39,7 +39,7 @@ pub trait LengthPredictor {
 /// least one observation.
 #[derive(Debug, Clone, Default)]
 pub struct MeanPredictor {
-    per_model: HashMap<usize, (f64, usize)>,
+    per_model: BTreeMap<usize, (f64, usize)>,
     global_sum: f64,
     global_n: usize,
 }
@@ -225,7 +225,7 @@ impl P2Quantile {
 #[derive(Debug, Clone)]
 pub struct QuantilePredictor {
     q: f64,
-    per_model: HashMap<usize, P2Quantile>,
+    per_model: BTreeMap<usize, P2Quantile>,
     global: P2Quantile,
 }
 
@@ -241,7 +241,7 @@ impl QuantilePredictor {
     pub fn new(q: f64) -> Self {
         QuantilePredictor {
             q,
-            per_model: HashMap::new(),
+            per_model: BTreeMap::new(),
             global: P2Quantile::new(q),
         }
     }

@@ -82,6 +82,7 @@ impl Engine for VllmScbEngine {
             let mut admitted = Vec::new();
             let busy: HashSet<usize> = running.iter().map(|&r| states[r].req.model).collect();
             let mut load_s = 0.0;
+            let mut swap_scheduled = false;
             for &qid in queue.iter() {
                 if batch_size >= self.config.max_batch {
                     break;
@@ -91,7 +92,7 @@ impl Engine for VllmScbEngine {
                 if is_resident {
                     admitted.push(qid);
                     batch_size += 1;
-                } else if load_s == 0.0 {
+                } else if !swap_scheduled {
                     // At most one swap per scheduling round, and only by
                     // evicting an idle model (or using free capacity).
                     if resident.len() >= capacity {
@@ -106,6 +107,7 @@ impl Engine for VllmScbEngine {
                             None => continue, // Everyone busy; wait for drain.
                         }
                     }
+                    swap_scheduled = true;
                     load_s = if warm.contains(&model) {
                         cost.model_load_time()
                     } else {

@@ -1,0 +1,147 @@
+//! Golden determinism pins across the HashMap -> BTreeMap container
+//! swap (PR 10): each scenario below ran on the pre-swap tree and its
+//! per-request floats were folded (via `to_bits`) into one FNV-1a
+//! checksum. The constants pin that the deterministic-container
+//! conversion in `fleet.rs` / `cluster.rs` / `deltazip.rs` /
+//! `predictor.rs` / `tiered.rs` changed **no** simulation result, and
+//! that future refactors keep every run replayable bit-for-bit.
+//!
+//! If a PR changes one of these values *on purpose* (a scheduling or
+//! cost-model change), re-pin deliberately: run with
+//! `DZ_PRINT_PINS=1 cargo test -p dz-serve --test determinism_pins -- --nocapture`
+//! and paste the printed hashes.
+
+use dz_gpusim::shapes::ModelShape;
+use dz_gpusim::spec::NodeSpec;
+use dz_serve::cluster::{ClusterConfig, ClusterSim, PlacementAwareRouter, PlacementPlan};
+use dz_serve::fleet::{FleetConfig, FleetRouter, FleetSim};
+use dz_serve::{CostModel, DeltaZipConfig, Engine, EngineBuilder, Metrics, VariantCatalog};
+use dz_workload::{PopularityDist, Trace, TraceSpec};
+
+const N_MODELS: usize = 16;
+
+/// FNV-1a over a stream of u64 words — stable, dependency-free way to
+/// pin a whole run's worth of floats in one constant.
+struct Pin(u64);
+
+impl Pin {
+    fn new() -> Self {
+        Pin(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        let mut h = self.0;
+        for i in 0..8 {
+            h ^= (w >> (i * 8)) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+    fn metrics(&mut self, m: &Metrics) {
+        self.word(m.len() as u64);
+        self.f64(m.makespan_s);
+        for r in &m.records {
+            self.word(r.id as u64);
+            self.word(r.model as u64);
+            self.f64(r.e2e_s);
+            self.f64(r.ttft_s);
+            self.f64(r.queue_s);
+            self.f64(r.load_s);
+        }
+    }
+}
+
+fn check(tag: &str, got: u64, pinned: u64) {
+    if std::env::var("DZ_PRINT_PINS").is_ok() {
+        println!("const PIN_{}: u64 = 0x{got:016x};", tag.to_uppercase());
+        return;
+    }
+    assert_eq!(
+        got, pinned,
+        "{tag}: run checksum 0x{got:016x} != pinned 0x{pinned:016x} — \
+         a container/ordering change altered simulation results"
+    );
+}
+
+fn cost() -> CostModel {
+    CostModel::new(NodeSpec::rtx3090_node(1), ModelShape::llama7b())
+}
+
+fn trace(seed: u64, rate: f64, duration_s: f64) -> Trace {
+    Trace::generate(TraceSpec {
+        n_models: N_MODELS,
+        arrival_rate: rate,
+        duration_s,
+        popularity: PopularityDist::Zipf { alpha: 1.3 },
+        seed,
+    })
+}
+
+const PIN_FLEET: u64 = 0x12c99df2cbd0593c;
+const PIN_TOPPINGS: u64 = 0x01e21a5090efc51a;
+const PIN_CLUSTER: u64 = 0xafbf0b924db84839;
+
+/// Fleet-scale event core: p2c routing over 24 replicas exercises the
+/// per-replica warm-set LRU (`FleetReplica::warm`) on every request.
+#[test]
+fn fleet_run_is_pinned() {
+    let tr = trace(7, 40.0, 60.0);
+    let weights = PopularityDist::Zipf { alpha: 1.3 }.weights(N_MODELS);
+    let plan = PlacementPlan::from_weights(&weights, 24);
+    let mut cfg = FleetConfig::new(24);
+    cfg.warm_capacity = 3; // small cap => constant LRU eviction churn
+    let report = FleetSim::new(cfg, plan, FleetRouter::PowerOfTwo { seed: 99 }).run(&tr);
+    let mut pin = Pin::new();
+    pin.word(report.served as u64);
+    pin.word(report.warm_hits);
+    pin.word(report.fetches.local_disk);
+    pin.word(report.fetches.object_store);
+    pin.f64(report.mean_e2e_s);
+    pin.f64(report.p99_e2e_s);
+    pin.f64(report.makespan_s);
+    check("fleet", pin.0, PIN_FLEET);
+}
+
+/// Toppings engine: interleaved base/LoRA/delta/stacked catalog with a
+/// tight host cap exercises `evict_gpu_lru` / `enforce_host_cap` (the
+/// LRU scans that used to iterate HashMaps).
+#[test]
+fn toppings_run_is_pinned() {
+    let tr = trace(11, 1.2, 90.0);
+    let cfg = DeltaZipConfig {
+        max_concurrent_deltas: 3,
+        host_capacity_deltas: Some(4),
+        max_toppings_per_batch: Some(5),
+        ..DeltaZipConfig::default()
+    };
+    let m = EngineBuilder::new(cost())
+        .scheduler(cfg)
+        .catalog(VariantCatalog::interleaved(N_MODELS, 16))
+        .build()
+        .run(&tr);
+    let mut pin = Pin::new();
+    pin.metrics(&m);
+    check("toppings", pin.0, PIN_TOPPINGS);
+}
+
+/// Cluster front end: placement-aware routing exercises the predicted
+/// warm-set LRU (`ReplicaFrontendState::warm`) on every decision.
+#[test]
+fn cluster_run_is_pinned() {
+    let tr = trace(13, 2.0, 80.0);
+    let weights = PopularityDist::Zipf { alpha: 1.3 }.weights(N_MODELS);
+    let plan = PlacementPlan::from_weights(&weights, 4);
+    let costs = vec![cost(); 4];
+    let router = PlacementAwareRouter::new(plan);
+    let config = ClusterConfig {
+        n_replicas: 4,
+        ..ClusterConfig::default()
+    };
+    let report = ClusterSim::new(costs, config, Box::new(router)).run(&tr);
+    let mut pin = Pin::new();
+    pin.metrics(&report.merged);
+    pin.word(report.routing.per_replica_requests.iter().sum::<usize>() as u64);
+    check("cluster", pin.0, PIN_CLUSTER);
+}

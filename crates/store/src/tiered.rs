@@ -11,7 +11,7 @@ use crate::dza::{ArtifactReader, DecodeStats};
 use crate::error::StoreError;
 use crate::registry::{ArtifactId, Registry};
 use dz_compress::pipeline::CompressedDelta;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Cursor;
 use std::sync::Arc;
 
@@ -250,22 +250,22 @@ impl Resident {
 pub struct TieredDeltaStore {
     registry: Registry,
     budget_bytes: u64,
-    resident: HashMap<ArtifactId, Resident>,
+    resident: BTreeMap<ArtifactId, Resident>,
     resident_bytes: u64,
     clock: u64,
-    per_artifact: HashMap<ArtifactId, LoadStats>,
+    per_artifact: BTreeMap<ArtifactId, LoadStats>,
     total: LoadStats,
     decode: DecodeThroughput,
     /// Artifacts whose host residency came from [`prefetch`]
     /// (cleared on the first demand hit, which counts as a prefetch hit).
     ///
     /// [`prefetch`]: Self::prefetch
-    prefetched: std::collections::HashSet<ArtifactId>,
+    prefetched: BTreeSet<ArtifactId>,
     /// The shared object-store tier, when modeled.
     object_store: Option<ObjectStoreConfig>,
     /// Artifacts not yet replicated to this node's edge disk: their next
     /// disk miss pays an object-store fetch, then leaves this set.
-    remote_only: std::collections::HashSet<ArtifactId>,
+    remote_only: BTreeSet<ArtifactId>,
     /// Cumulative simulated object-store wait across all demand fetches.
     object_wait_total_s: f64,
 }
@@ -276,15 +276,15 @@ impl TieredDeltaStore {
         TieredDeltaStore {
             registry,
             budget_bytes,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             resident_bytes: 0,
             clock: 0,
-            per_artifact: HashMap::new(),
+            per_artifact: BTreeMap::new(),
             total: LoadStats::default(),
             decode: DecodeThroughput::default(),
-            prefetched: std::collections::HashSet::new(),
+            prefetched: BTreeSet::new(),
             object_store: None,
-            remote_only: std::collections::HashSet::new(),
+            remote_only: BTreeSet::new(),
             object_wait_total_s: 0.0,
         }
     }
@@ -374,8 +374,9 @@ impl TieredDeltaStore {
         self.resident.len()
     }
 
-    /// Ids of the host-resident artifacts (arbitrary order) — lets a
-    /// router seed its predicted warm set from real residency.
+    /// Ids of the host-resident artifacts in sorted (deterministic)
+    /// order — lets a router seed its predicted warm set from real
+    /// residency.
     pub fn resident_ids(&self) -> impl Iterator<Item = &ArtifactId> {
         self.resident.keys()
     }

@@ -180,6 +180,7 @@ fn matmul_parallel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         .chunks_mut(rows_per * n)
         .enumerate()
         .collect();
+    // dz-lint: allow(thread-spawn, "data-parallel GEMM over disjoint row chunks; output is order-independent")
     std::thread::scope(|scope| {
         for (idx, c_chunk) in chunks {
             let r0 = idx * rows_per;

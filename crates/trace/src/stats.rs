@@ -163,9 +163,11 @@ impl StreamingQuantiles {
         }
         self.compress();
         let q = q.clamp(0.0, 1.0);
+        // dz-lint: allow(float-eq, "exact endpoint after clamp(0.0, 1.0)")
         if q == 0.0 {
             return Some(self.min);
         }
+        // dz-lint: allow(float-eq, "exact endpoint after clamp(0.0, 1.0)")
         if q == 1.0 {
             return Some(self.max);
         }
